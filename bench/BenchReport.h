@@ -1,0 +1,48 @@
+//===- bench/BenchReport.h - Shared reporting helpers ----------*- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Table/figure formatting shared by the bench binaries. Each bench
+/// regenerates one table or figure from the paper; output is aligned
+/// text so diffs against EXPERIMENTS.md stay readable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_BENCH_BENCHREPORT_H
+#define SPECPRE_BENCH_BENCHREPORT_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace specpre {
+namespace benchreport {
+
+inline void printRule(unsigned Width = 78) {
+  std::string Rule(Width, '-');
+  std::printf("%s\n", Rule.c_str());
+}
+
+inline void printTitle(const std::string &Title) {
+  printRule();
+  std::printf("%s\n", Title.c_str());
+  printRule();
+}
+
+/// Renders a horizontal ASCII bar scaled so that 1.0 == `Scale` chars.
+inline std::string bar(double Value, double Scale = 50.0) {
+  int N = static_cast<int>(Value * Scale + 0.5);
+  if (N < 0)
+    N = 0;
+  if (N > 120)
+    N = 120;
+  return std::string(static_cast<size_t>(N), '#');
+}
+
+} // namespace benchreport
+} // namespace specpre
+
+#endif // SPECPRE_BENCH_BENCHREPORT_H

@@ -1,0 +1,85 @@
+//===- bench/ablation_full_pipeline.cpp - PRE inside a realistic pipeline -------===//
+//
+// The paper's experiments keep "all other optimization phases unchanged"
+// around PRE in a -O3 compiler. This ablation checks that MC-SSAPRE's
+// advantage is not an artifact of running PRE alone: every leg gets the
+// same realistic surrounding pipeline (GVN, constant folding, copy
+// propagation, DCE before and after PRE), and the suite-level ordering
+// must survive.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchReport.h"
+#include "interp/Interpreter.h"
+#include "opt/Cleanup.h"
+#include "opt/ValueNumbering.h"
+#include "pre/PreDriver.h"
+#include "ssa/SsaConstruction.h"
+#include "workload/SpecSuite.h"
+
+#include <cstdio>
+
+using namespace specpre;
+using namespace specpre::benchreport;
+
+namespace {
+
+uint64_t runLegWithPipeline(const Function &Prepared, PreStrategy S,
+                            const Profile &Prof,
+                            const std::vector<int64_t> &RefArgs) {
+  Function F = Prepared;
+  constructSsa(F);
+  runValueNumbering(F);
+  runCleanupPipeline(F);
+  if (S != PreStrategy::None) {
+    PreOptions PO;
+    PO.Strategy = S;
+    Profile NodeOnly = Prof.withoutEdgeFreqs();
+    PO.Prof = &NodeOnly;
+    runPre(F, PO);
+  }
+  runValueNumbering(F);
+  runCleanupPipeline(F);
+  return interpret(F, RefArgs).Cycles;
+}
+
+} // namespace
+
+int main() {
+  uint64_t None = 0, A = 0, B = 0, Cc = 0;
+  for (const BenchmarkSpec &Spec : fullCpu2006Suite()) {
+    Function Prepared = Spec.buildProgram();
+    prepareFunction(Prepared);
+    Profile Prof;
+    ExecOptions EO;
+    EO.CollectProfile = &Prof;
+    interpret(Prepared, Spec.TrainArgs, EO);
+
+    None += runLegWithPipeline(Prepared, PreStrategy::None, Prof,
+                               Spec.RefArgs);
+    A += runLegWithPipeline(Prepared, PreStrategy::SsaPre, Prof,
+                            Spec.RefArgs);
+    B += runLegWithPipeline(Prepared, PreStrategy::SsaPreSpec, Prof,
+                            Spec.RefArgs);
+    Cc += runLegWithPipeline(Prepared, PreStrategy::McSsaPre, Prof,
+                             Spec.RefArgs);
+  }
+
+  printTitle("Ablation: PRE legs inside a realistic scalar pipeline "
+             "(GVN + cleanups around PRE)");
+  std::printf("%-34s %16s %10s\n", "configuration", "ref cycles",
+              "vs no-PRE");
+  auto Row = [&](const char *Name, uint64_t Cycles) {
+    std::printf("%-34s %16llu %9.2f%%\n", Name,
+                static_cast<unsigned long long>(Cycles),
+                100.0 * (double(None) - double(Cycles)) / double(None));
+  };
+  Row("pipeline only (no PRE)", None);
+  Row("pipeline + SSAPRE (A)", A);
+  Row("pipeline + SSAPREsp (B)", B);
+  Row("pipeline + MC-SSAPRE (C)", Cc);
+  printRule();
+  std::printf("Expected shape: C <= B <= A < no-PRE — the paper's ordering "
+              "survives a\nrealistic surrounding pass pipeline.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+//===- bench/ablation_lifetime.cpp - Lifetime-optimality ablation ---------------===//
+//
+// Theorem 9 / step 7: applying the Reverse Labeling Procedure (latest
+// min cut) instead of the conventional forward labeling (earliest cut)
+// does not change the computation count but shortens the live ranges of
+// the PRE temporaries. This ablation quantifies the difference over the
+// suite using a static live-range proxy: for every PRE temporary, the
+// number of statements between its first definition and its last use.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchReport.h"
+#include "analysis/LiveRanges.h"
+#include "interp/Interpreter.h"
+#include "pre/PreDriver.h"
+#include "workload/SpecSuite.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace specpre;
+using namespace specpre::benchreport;
+
+namespace {
+
+bool isPreTemp(const Function &F, VarId V) {
+  return F.varName(V).rfind("pre.tmp", 0) == 0;
+}
+
+/// Statement positions at which any PRE temporary is live (exact SSA
+/// live-range analysis). Lower is tighter.
+uint64_t tempLiveSlots(const Function &F) {
+  LiveRanges LR(F);
+  return LR.totalLiveSlots([&](VarId V) { return isPreTemp(F, V); });
+}
+
+/// Block-entry register-pressure proxy counting only the PRE temps.
+unsigned tempPressure(const Function &F) {
+  LiveRanges LR(F);
+  return LR.maxPressure([&](VarId V) { return isPreTemp(F, V); });
+}
+
+} // namespace
+
+int main() {
+  uint64_t LateRange = 0, EarlyRange = 0;
+  uint64_t LateComps = 0, EarlyComps = 0;
+  unsigned LatePressure = 0, EarlyPressure = 0;
+  unsigned LateTighter = 0, Equal = 0, EarlyTighter = 0;
+
+  for (const BenchmarkSpec &Spec : fullCpu2006Suite()) {
+    Function Prepared = Spec.buildProgram();
+    prepareFunction(Prepared);
+    Profile Prof;
+    ExecOptions EO;
+    EO.CollectProfile = &Prof;
+    interpret(Prepared, Spec.TrainArgs, EO);
+    Profile NodeOnly = Prof.withoutEdgeFreqs();
+
+    PreOptions PO;
+    PO.Strategy = PreStrategy::McSsaPre;
+    PO.Prof = &NodeOnly;
+    PO.Verify = false;
+
+    PO.Placement = CutPlacement::Latest;
+    Function Late = compileWithPre(Prepared, PO);
+    PO.Placement = CutPlacement::Earliest;
+    Function Early = compileWithPre(Prepared, PO);
+
+    uint64_t LR = tempLiveSlots(Late), ER = tempLiveSlots(Early);
+    LateRange += LR;
+    EarlyRange += ER;
+    LatePressure = std::max(LatePressure, tempPressure(Late));
+    EarlyPressure = std::max(EarlyPressure, tempPressure(Early));
+    LateTighter += LR < ER;
+    Equal += LR == ER;
+    EarlyTighter += LR > ER;
+    LateComps += interpret(Late, Spec.RefArgs).DynamicComputations;
+    EarlyComps += interpret(Early, Spec.RefArgs).DynamicComputations;
+  }
+
+  printTitle("Ablation: reverse labeling (latest cut) vs forward labeling "
+             "(earliest cut)");
+  std::printf("%-44s %12s %12s\n", "", "latest", "earliest");
+  std::printf("%-44s %12llu %12llu\n",
+              "dynamic computations (reference inputs)",
+              static_cast<unsigned long long>(LateComps),
+              static_cast<unsigned long long>(EarlyComps));
+  std::printf("%-44s %12llu %12llu\n",
+              "temp live range (statement slots)",
+              static_cast<unsigned long long>(LateRange),
+              static_cast<unsigned long long>(EarlyRange));
+  std::printf("%-44s %12u %12u\n",
+              "worst temp register pressure (block entry)", LatePressure,
+              EarlyPressure);
+  std::printf("\nPrograms where the latest cut is tighter: %u, equal: %u, "
+              "looser: %u\n",
+              LateTighter, Equal, EarlyTighter);
+  printRule();
+  std::printf("Expected shape (Theorem 9): computation counts equal under "
+              "the training\nprofile (reference-input counts may differ by a "
+              "handful of operations where\nzero-frequency blocks made the "
+              "tie-break free); the latest cut's temporaries\nnever live "
+              "longer.\n");
+  return 0;
+}

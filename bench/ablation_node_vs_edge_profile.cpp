@@ -1,0 +1,88 @@
+//===- bench/ablation_node_vs_edge_profile.cpp - Profile-kind ablation ----------===//
+//
+// Paper claim (Sections 1 and 4): MC-SSAPRE needs only node frequencies,
+// while MC-PRE needs edge frequencies; node profiles are cheaper to
+// collect. This ablation verifies the claim empirically:
+//
+//   * MC-SSAPRE with a node-only profile produces bit-identical output
+//     to MC-SSAPRE with the full edge profile, on every suite program;
+//   * MC-PRE degrades when it only gets node frequencies (edge
+//     frequencies must then be estimated by uniform splitting).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchReport.h"
+#include "interp/Interpreter.h"
+#include "ir/Printer.h"
+#include "pre/PreDriver.h"
+#include "workload/SpecSuite.h"
+
+#include <cstdio>
+
+using namespace specpre;
+using namespace specpre::benchreport;
+
+int main() {
+  unsigned McSsaIdentical = 0, Total = 0;
+  uint64_t McPreTrue = 0, McPreEstimated = 0, Original = 0;
+
+  for (const BenchmarkSpec &Spec : fullCpu2006Suite()) {
+    Function Prepared = Spec.buildProgram();
+    prepareFunction(Prepared);
+    Profile Prof;
+    ExecOptions EO;
+    EO.CollectProfile = &Prof;
+    interpret(Prepared, Spec.TrainArgs, EO);
+    Profile NodeOnly = Prof.withoutEdgeFreqs();
+    Profile Estimated = NodeOnly.withEstimatedEdgeFreqs(Prepared);
+    ++Total;
+
+    // MC-SSAPRE: node-only vs full edge profile.
+    {
+      PreOptions PO;
+      PO.Strategy = PreStrategy::McSsaPre;
+      PO.Verify = false;
+      PO.Prof = &Prof;
+      Function WithEdges = compileWithPre(Prepared, PO);
+      PO.Prof = &NodeOnly;
+      Function WithNodes = compileWithPre(Prepared, PO);
+      McSsaIdentical +=
+          printFunction(WithEdges) == printFunction(WithNodes);
+    }
+
+    // MC-PRE: true edge profile vs estimated-from-nodes profile,
+    // measured in dynamic computations on the training input.
+    {
+      PreOptions PO;
+      PO.Strategy = PreStrategy::McPre;
+      PO.Verify = false;
+      PO.Prof = &Prof;
+      Function TrueEdges = compileWithPre(Prepared, PO);
+      PO.Prof = &Estimated;
+      Function EstEdges = compileWithPre(Prepared, PO);
+      Original += interpret(Prepared, Spec.TrainArgs).DynamicComputations;
+      McPreTrue += interpret(TrueEdges, Spec.TrainArgs).DynamicComputations;
+      McPreEstimated +=
+          interpret(EstEdges, Spec.TrainArgs).DynamicComputations;
+    }
+  }
+
+  printTitle("Ablation: node-frequency-only profiles (paper Sections 1/4)");
+  std::printf("MC-SSAPRE output identical with node-only profile: %u / %u "
+              "programs\n",
+              McSsaIdentical, Total);
+  std::printf("\nMC-PRE dynamic computations on the training inputs "
+              "(total over suite):\n");
+  std::printf("  original programs        : %llu\n",
+              static_cast<unsigned long long>(Original));
+  std::printf("  with true edge profile   : %llu\n",
+              static_cast<unsigned long long>(McPreTrue));
+  std::printf("  with estimated (node-only) edge profile: %llu\n",
+              static_cast<unsigned long long>(McPreEstimated));
+  printRule();
+  std::printf("Expected shape: MC-SSAPRE is identical in all programs (its "
+              "weights are\ndefined from node frequencies); MC-PRE with "
+              "estimated edges is no better\n(usually worse) than with true "
+              "edge frequencies.\n");
+  return 0;
+}

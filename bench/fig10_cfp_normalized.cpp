@@ -1,0 +1,15 @@
+//===- bench/fig10_cfp_normalized.cpp - Reproduces paper Figure 10 --------------===//
+//
+// Figure 10: performance comparison between SSAPRE, SSAPREsp and
+// MC-SSAPRE on CFP2006, normalized to SSAPRE = 1.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fig9_fig10_normalized.h"
+
+int main() {
+  specpre::benchreport::runNormalizedFigure(
+      "Figure 10: CFP2006 normalized running cost (SSAPRE = 1)",
+      specpre::cfp2006Suite());
+  return 0;
+}

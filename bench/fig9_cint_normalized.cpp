@@ -1,0 +1,15 @@
+//===- bench/fig9_cint_normalized.cpp - Reproduces paper Figure 9 ---------------===//
+//
+// Figure 9: performance comparison between SSAPRE, SSAPREsp and
+// MC-SSAPRE on CINT2006, normalized to SSAPRE = 1.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fig9_fig10_normalized.h"
+
+int main() {
+  specpre::benchreport::runNormalizedFigure(
+      "Figure 9: CINT2006 normalized running cost (SSAPRE = 1)",
+      specpre::cint2006Suite());
+  return 0;
+}

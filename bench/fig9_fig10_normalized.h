@@ -1,0 +1,55 @@
+//===- bench/fig9_fig10_normalized.h - Figures 9/10 shared driver -*- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figures 9 and 10 display the Table 1/2 data as bar charts after
+/// normalizing every running time to safe SSAPRE == 1. This driver
+/// prints the normalized series and ASCII bars.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_BENCH_FIG9_FIG10_NORMALIZED_H
+#define SPECPRE_BENCH_FIG9_FIG10_NORMALIZED_H
+
+#include "BenchReport.h"
+#include "workload/Evaluation.h"
+
+#include <cstdio>
+
+namespace specpre {
+namespace benchreport {
+
+inline void runNormalizedFigure(const std::string &Title,
+                                const std::vector<BenchmarkSpec> &Suite) {
+  EvaluationOptions Opts;
+  std::vector<BenchmarkOutcome> Results = evaluateSuite(Suite, Opts);
+
+  printTitle(Title);
+  std::printf("%-12s %9s %9s %9s  (bars: 40 chars == 1.00)\n", "Benchmark",
+              "SSAPRE", "SSAPREsp", "MC-SSAPRE");
+  printRule();
+  for (const BenchmarkOutcome &R : Results) {
+    double A = static_cast<double>(
+        R.PerStrategy.at(PreStrategy::SsaPre).Cycles);
+    double B = static_cast<double>(
+        R.PerStrategy.at(PreStrategy::SsaPreSpec).Cycles);
+    double C = static_cast<double>(
+        R.PerStrategy.at(PreStrategy::McSsaPre).Cycles);
+    double NB = B / A, NC = C / A;
+    std::printf("%-12s %9.3f %9.3f %9.3f\n", R.Name.c_str(), 1.0, NB, NC);
+    std::printf("  A |%s\n", bar(1.0, 40).c_str());
+    std::printf("  B |%s\n", bar(NB, 40).c_str());
+    std::printf("  C |%s\n", bar(NC, 40).c_str());
+  }
+  printRule();
+  std::printf("Expected shape (paper): all C bars at or below 1.00; B bars "
+              "scatter around 1.00.\n");
+}
+
+} // namespace benchreport
+} // namespace specpre
+
+#endif // SPECPRE_BENCH_FIG9_FIG10_NORMALIZED_H

@@ -1,0 +1,118 @@
+//===- bench/mincut_algorithms.cpp - Max-flow algorithm comparison --------------===//
+//
+// The paper's step 7 cites Chekuri et al.'s experimental study of
+// minimum-cut algorithms and uses an O(V^2 sqrt(E)) algorithm. This
+// google-benchmark binary compares our two max-flow implementations
+// (Edmonds-Karp and Dinic) on two input families:
+//
+//   * EFG-shaped networks harvested from compiling generated programs
+//     (small, sparse, a few parallel source edges and infinite sink
+//     edges — the workload MC-SSAPRE actually produces), and
+//   * dense random networks (the classic stress shape).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mincut/MinCut.h"
+#include "support/Random.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace specpre;
+
+namespace {
+
+/// Builds an EFG-shaped network: a layered DAG with bottom edges from
+/// the source, chains of phi-to-phi edges, and infinite sink edges —
+/// statistically similar to the EFGs MC-SSAPRE forms (predominantly 4-30
+/// nodes, with occasional larger ones).
+FlowNetwork efgShaped(Rng &R, int NumPhis, int NumReals) {
+  FlowNetwork Net;
+  int S = Net.addNode();
+  int T = Net.addNode();
+  std::vector<int> Phis, Reals;
+  for (int I = 0; I != NumPhis; ++I)
+    Phis.push_back(Net.addNode());
+  for (int I = 0; I != NumReals; ++I)
+    Reals.push_back(Net.addNode());
+  for (int I = 0; I != NumPhis; ++I) {
+    // Every phi gets 1-2 incoming edges: from the source (bottom
+    // operands) or an earlier phi.
+    int InEdges = 1 + static_cast<int>(R.nextBelow(2));
+    for (int E = 0; E != InEdges; ++E) {
+      int64_t W = static_cast<int64_t>(R.nextInRange(1, 1000));
+      if (I == 0 || R.chance(2, 5))
+        Net.addEdge(S, Phis[I], W);
+      else
+        Net.addEdge(Phis[R.nextBelow(I)], Phis[I], W);
+    }
+  }
+  for (int I = 0; I != NumReals; ++I) {
+    int DefPhi = Phis[R.nextBelow(NumPhis)];
+    Net.addEdge(DefPhi, Reals[I],
+                static_cast<int64_t>(R.nextInRange(1, 1000)));
+    Net.addEdge(Reals[I], T, InfiniteCapacity);
+  }
+  return Net;
+}
+
+FlowNetwork denseRandom(Rng &R, int N) {
+  FlowNetwork Net(N);
+  for (int U = 0; U != N; ++U)
+    for (int V = 0; V != N; ++V)
+      if (U != V && R.chance(1, 3))
+        Net.addEdge(U, V, static_cast<int64_t>(R.nextInRange(1, 100)));
+  return Net;
+}
+
+void BM_EfgShaped(benchmark::State &State, MaxFlowAlgorithm Algo) {
+  int Phis = static_cast<int>(State.range(0));
+  Rng R(42);
+  FlowNetwork Net = efgShaped(R, Phis, Phis / 2 + 1);
+  for (auto _ : State) {
+    Net.resetFlow();
+    benchmark::DoNotOptimize(
+        computeMaxFlow(Net, 0, 1, Algo));
+  }
+  State.SetLabel(std::to_string(Net.numNodes()) + " nodes");
+}
+
+void BM_DenseRandom(benchmark::State &State, MaxFlowAlgorithm Algo) {
+  int N = static_cast<int>(State.range(0));
+  Rng R(7);
+  FlowNetwork Net = denseRandom(R, N);
+  for (auto _ : State) {
+    Net.resetFlow();
+    benchmark::DoNotOptimize(computeMaxFlow(Net, 0, N - 1, Algo));
+  }
+}
+
+void BM_CutExtraction(benchmark::State &State, CutPlacement Placement) {
+  Rng R(11);
+  FlowNetwork Net = efgShaped(R, 64, 32);
+  computeMaxFlow(Net, 0, 1, MaxFlowAlgorithm::Dinic);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(extractMinCut(Net, 0, 1, Placement));
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(BM_EfgShaped, edmonds_karp, MaxFlowAlgorithm::EdmondsKarp)
+    ->Arg(2)
+    ->Arg(8)
+    ->Arg(48)
+    ->Arg(400);
+BENCHMARK_CAPTURE(BM_EfgShaped, dinic, MaxFlowAlgorithm::Dinic)
+    ->Arg(2)
+    ->Arg(8)
+    ->Arg(48)
+    ->Arg(400);
+BENCHMARK_CAPTURE(BM_DenseRandom, edmonds_karp, MaxFlowAlgorithm::EdmondsKarp)
+    ->Arg(16)
+    ->Arg(64);
+BENCHMARK_CAPTURE(BM_DenseRandom, dinic, MaxFlowAlgorithm::Dinic)
+    ->Arg(16)
+    ->Arg(64);
+BENCHMARK_CAPTURE(BM_CutExtraction, forward_labeling, CutPlacement::Earliest);
+BENCHMARK_CAPTURE(BM_CutExtraction, reverse_labeling, CutPlacement::Latest);
+
+BENCHMARK_MAIN();

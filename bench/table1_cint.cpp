@@ -1,0 +1,17 @@
+//===- bench/table1_cint.cpp - Reproduces paper Table 1 -------------------------===//
+//
+// Table 1: CINT2006 execution times and speedup ratios of MC-SSAPRE
+// relative to SSAPRE and SSAPREsp. Our "seconds" are cost-model cycles
+// measured by the interpreter on each benchmark's reference input after
+// FDO-style training (see workload/Evaluation.h).
+//
+//===----------------------------------------------------------------------===//
+
+#include "table_common.h"
+
+int main() {
+  specpre::benchreport::runTableBench(
+      "Table 1: CINT2006 execution cost and speedup of MC-SSAPRE",
+      specpre::cint2006Suite());
+  return 0;
+}

@@ -1,0 +1,15 @@
+//===- bench/table2_cfp.cpp - Reproduces paper Table 2 --------------------------===//
+//
+// Table 2: CFP2006 execution times and speedup ratios of MC-SSAPRE
+// relative to SSAPRE and SSAPREsp, on the synthetic CFP2006 stand-ins.
+//
+//===----------------------------------------------------------------------===//
+
+#include "table_common.h"
+
+int main() {
+  specpre::benchreport::runTableBench(
+      "Table 2: CFP2006 execution cost and speedup of MC-SSAPRE",
+      specpre::cfp2006Suite());
+  return 0;
+}

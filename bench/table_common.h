@@ -1,0 +1,65 @@
+//===- bench/table_common.h - Tables 1 and 2 shared driver -----*- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared driver for the Table 1 (CINT2006) and Table 2 (CFP2006)
+/// reproductions: evaluates a suite under the three strategies the paper
+/// compares (A = SSAPRE, B = SSAPREsp, C = MC-SSAPRE) and prints the
+/// table in the paper's layout — per-benchmark "times" (cost-model
+/// cycles standing in for seconds) and the two speedup columns, plus the
+/// averages the paper reports at the bottom.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_BENCH_TABLE_COMMON_H
+#define SPECPRE_BENCH_TABLE_COMMON_H
+
+#include "BenchReport.h"
+#include "workload/Evaluation.h"
+
+#include <cstdio>
+
+namespace specpre {
+namespace benchreport {
+
+inline void runTableBench(const std::string &Title,
+                          const std::vector<BenchmarkSpec> &Suite) {
+  EvaluationOptions Opts; // A, B, C with node-only profiles for C
+  std::vector<BenchmarkOutcome> Results = evaluateSuite(Suite, Opts);
+
+  printTitle(Title);
+  std::printf("%-12s %14s %14s %14s %9s %9s\n", "Benchmark", "A.SSAPRE",
+              "B.SSAPREsp", "C.MC-SSAPRE", "(A-C)/A", "(B-C)/B");
+  printRule();
+  double SumAC = 0, SumBC = 0;
+  for (const BenchmarkOutcome &R : Results) {
+    uint64_t A = R.PerStrategy.at(PreStrategy::SsaPre).Cycles;
+    uint64_t B = R.PerStrategy.at(PreStrategy::SsaPreSpec).Cycles;
+    uint64_t C = R.PerStrategy.at(PreStrategy::McSsaPre).Cycles;
+    double AC = R.speedupPercent(PreStrategy::SsaPre, PreStrategy::McSsaPre);
+    double BC =
+        R.speedupPercent(PreStrategy::SsaPreSpec, PreStrategy::McSsaPre);
+    SumAC += AC;
+    SumBC += BC;
+    std::printf("%-12s %11llu cy %11llu cy %11llu cy %8.2f%% %8.2f%%\n",
+                R.Name.c_str(), static_cast<unsigned long long>(A),
+                static_cast<unsigned long long>(B),
+                static_cast<unsigned long long>(C), AC, BC);
+  }
+  printRule();
+  std::printf("%-12s %14s %14s %14s %8.2f%% %8.2f%%\n", "Average", "", "",
+              "", SumAC / Results.size(), SumBC / Results.size());
+  std::printf("\nPaper reference: Table %s averages (A-C)/A = %s, "
+              "(B-C)/B = %s on real SPEC CPU2006 hardware runs.\n",
+              Suite.front().FloatSuite ? "2 (CFP2006)" : "1 (CINT2006)",
+              Suite.front().FloatSuite ? "2.76%" : "2.13%",
+              Suite.front().FloatSuite ? "1.96%" : "2.25%");
+}
+
+} // namespace benchreport
+} // namespace specpre
+
+#endif // SPECPRE_BENCH_TABLE_COMMON_H

@@ -1,0 +1,110 @@
+//===- examples/profile_mismatch.cpp - When speculation loses -------------------===//
+//
+// Speculation "improves performance only when the path that is burdened
+// with more computations is executed less frequently than the path where
+// the computations are avoided" (paper Section 2), and FDO's usefulness
+// "depends on how well the training runs correlate with the reference
+// runs" (Section 5.1). This example makes that concrete: a program whose
+// branch skew depends on its input is trained one way and run the other
+// way — safe SSAPRE is immune, MC-SSAPRE pays for trusting the profile.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+#include "ir/Parser.h"
+#include "pre/PreDriver.h"
+
+#include <cstdio>
+
+using namespace specpre;
+
+int main() {
+  // Each iteration either keeps `a` (left, and then uses a+b twice) or
+  // redefines `a` (right, killing the expression). When training sees
+  // only left-paths, the min cut inserts `a+b` at the end of `right` —
+  // that edge was free. If the reference input then mostly takes
+  // `right`, the speculated computation runs every iteration while its
+  // uses never execute: speculation loses, exactly as Section 2 warns.
+  const char *Source = R"(
+    func f(a, b, m, n) {
+    entry:
+      i = 0
+      s = 0
+      jmp head
+    head:
+      t = i < n
+      br t, body, done
+    body:
+      c = i % m
+      cz = c == 0
+      br cz, left, right
+    left:
+      x = a + b
+      s = s + x
+      jmp j
+    right:
+      a = a + 1
+      s = s + 1
+      jmp j
+    j:
+      br cz, zuse, zskip
+    zuse:
+      z = a + b
+      s = s + z
+      jmp latch
+    zskip:
+      jmp latch
+    latch:
+      i = i + 1
+      jmp head
+    done:
+      ret s
+    }
+  )";
+  Function F = parseFunctionOrDie(Source);
+  prepareFunction(F);
+
+  std::vector<int64_t> HotUse{3, 4, 1, 512};     // left+zuse every iteration
+  std::vector<int64_t> ColdUse{3, 4, 1000, 512}; // right almost always
+
+  auto Compile = [&](PreStrategy S,
+                     const std::vector<int64_t> &TrainInput) {
+    Profile Prof;
+    ExecOptions EO;
+    EO.CollectProfile = &Prof;
+    interpret(F, TrainInput, EO);
+    Profile NodeOnly = Prof.withoutEdgeFreqs();
+    PreOptions PO;
+    PO.Strategy = S;
+    PO.Prof = &NodeOnly;
+    return compileWithPre(F, PO);
+  };
+  auto Count = [&](const Function &G, const std::vector<int64_t> &Input) {
+    return interpret(G, Input).DynamicComputations;
+  };
+
+  Function Safe = Compile(PreStrategy::SsaPre, HotUse);
+  Function TrainedHot = Compile(PreStrategy::McSsaPre, HotUse);
+  Function TrainedCold = Compile(PreStrategy::McSsaPre, ColdUse);
+
+  std::printf("dynamic computations (lower is better)\n");
+  std::printf("%-34s %12s %12s\n", "", "run: hot use", "run: cold use");
+  std::printf("%-34s %12llu %12llu\n", "original",
+              (unsigned long long)Count(F, HotUse),
+              (unsigned long long)Count(F, ColdUse));
+  std::printf("%-34s %12llu %12llu\n", "SSAPRE (safe, profile-free)",
+              (unsigned long long)Count(Safe, HotUse),
+              (unsigned long long)Count(Safe, ColdUse));
+  std::printf("%-34s %12llu %12llu\n", "MC-SSAPRE trained on hot use",
+              (unsigned long long)Count(TrainedHot, HotUse),
+              (unsigned long long)Count(TrainedHot, ColdUse));
+  std::printf("%-34s %12llu %12llu\n", "MC-SSAPRE trained on cold use",
+              (unsigned long long)Count(TrainedCold, HotUse),
+              (unsigned long long)Count(TrainedCold, ColdUse));
+  std::printf("\nReading guide: each MC-SSAPRE build is optimal for the "
+              "input it was trained\non (matches or beats every other row "
+              "in that column) and may lose on the\nother input — exactly "
+              "the train/reference correlation effect the paper\ndiscusses "
+              "for FDO.\n");
+  return 0;
+}

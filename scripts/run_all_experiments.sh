@@ -1,0 +1,14 @@
+#!/bin/sh
+# Regenerates every table, figure and ablation from the paper reproduction.
+# Usage: scripts/run_all_experiments.sh [build-dir]
+set -e
+BUILD="${1:-build}"
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+ctest --test-dir "$BUILD"
+for b in "$BUILD"/bench/*; do
+  echo "==================================================================="
+  echo "== $b"
+  echo "==================================================================="
+  "$b"
+done

@@ -1,0 +1,97 @@
+//===- analysis/Cfg.cpp - Control-flow graph view ---------------------------===//
+
+#include "analysis/Cfg.h"
+
+using namespace specpre;
+
+Cfg::Cfg(const Function &F) {
+  unsigned N = F.numBlocks();
+  Succs.assign(N, {});
+  Preds.assign(N, {});
+  for (unsigned B = 0; B != N; ++B) {
+    F.Blocks[B].appendSuccessors(Succs[B]);
+    for (BlockId S : Succs[B])
+      Preds[S].push_back(static_cast<BlockId>(B));
+  }
+
+  // Iterative post-order DFS from entry, then reverse.
+  RpoIndex.assign(N, -1);
+  if (N == 0)
+    return;
+  std::vector<bool> Visited(N, false);
+  std::vector<std::pair<BlockId, unsigned>> Stack; // (block, next succ index)
+  std::vector<BlockId> PostOrder;
+  Stack.emplace_back(0, 0);
+  Visited[0] = true;
+  while (!Stack.empty()) {
+    auto &[B, NextIdx] = Stack.back();
+    if (NextIdx < Succs[B].size()) {
+      BlockId S = Succs[B][NextIdx++];
+      if (!Visited[S]) {
+        Visited[S] = true;
+        Stack.emplace_back(S, 0);
+      }
+    } else {
+      PostOrder.push_back(B);
+      Stack.pop_back();
+    }
+  }
+  Rpo.assign(PostOrder.rbegin(), PostOrder.rend());
+  for (unsigned I = 0; I != Rpo.size(); ++I)
+    RpoIndex[Rpo[I]] = static_cast<int>(I);
+}
+
+std::vector<std::pair<BlockId, BlockId>> Cfg::edges() const {
+  std::vector<std::pair<BlockId, BlockId>> Out;
+  for (BlockId B = 0; B != static_cast<BlockId>(numBlocks()); ++B) {
+    if (!isReachable(B))
+      continue;
+    for (BlockId S : Succs[B])
+      Out.emplace_back(B, S);
+  }
+  return Out;
+}
+
+bool Cfg::isCriticalEdge(BlockId From, BlockId To) const {
+  return Succs[From].size() > 1 && Preds[To].size() > 1;
+}
+
+unsigned specpre::removeUnreachableBlocks(Function &F) {
+  Cfg C(F);
+  unsigned N = F.numBlocks();
+  std::vector<BlockId> NewId(N, InvalidBlock);
+  std::vector<BasicBlock> Kept;
+  for (unsigned B = 0; B != N; ++B) {
+    if (!C.isReachable(static_cast<BlockId>(B)))
+      continue;
+    NewId[B] = static_cast<BlockId>(Kept.size());
+    Kept.push_back(std::move(F.Blocks[B]));
+  }
+  unsigned Removed = N - static_cast<unsigned>(Kept.size());
+  if (Removed == 0) {
+    // Move the blocks back untouched.
+    F.Blocks = std::move(Kept);
+    return 0;
+  }
+  for (BasicBlock &BB : Kept) {
+    for (Stmt &S : BB.Stmts) {
+      if (S.Kind == StmtKind::Branch) {
+        S.TrueTarget = NewId[S.TrueTarget];
+        S.FalseTarget = NewId[S.FalseTarget];
+      } else if (S.Kind == StmtKind::Jump) {
+        S.TrueTarget = NewId[S.TrueTarget];
+      } else if (S.Kind == StmtKind::Phi) {
+        std::vector<PhiArg> NewArgs;
+        for (PhiArg &A : S.PhiArgs) {
+          if (NewId[A.Pred] == InvalidBlock)
+            continue; // predecessor was unreachable
+          A.Pred = NewId[A.Pred];
+          NewArgs.push_back(A);
+        }
+        S.PhiArgs = std::move(NewArgs);
+      }
+    }
+  }
+  F.Blocks = std::move(Kept);
+  return Removed;
+}

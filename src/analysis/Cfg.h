@@ -1,0 +1,64 @@
+//===- analysis/Cfg.h - Control-flow graph view ----------------*- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A derived control-flow-graph view of a Function: predecessor and
+/// successor lists, reverse postorder, and reachability. The view is a
+/// snapshot — rebuild it after mutating the function's control flow.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_ANALYSIS_CFG_H
+#define SPECPRE_ANALYSIS_CFG_H
+
+#include "ir/Ir.h"
+
+#include <vector>
+
+namespace specpre {
+
+/// Snapshot of a function's control-flow graph.
+class Cfg {
+public:
+  explicit Cfg(const Function &F);
+
+  unsigned numBlocks() const { return static_cast<unsigned>(Succs.size()); }
+
+  const std::vector<BlockId> &succs(BlockId B) const { return Succs[B]; }
+  const std::vector<BlockId> &preds(BlockId B) const { return Preds[B]; }
+
+  /// Blocks in reverse postorder of a DFS from the entry. Unreachable
+  /// blocks are excluded.
+  const std::vector<BlockId> &reversePostOrder() const { return Rpo; }
+
+  /// Position of each block in the reverse postorder; -1 when unreachable.
+  int rpoIndex(BlockId B) const { return RpoIndex[B]; }
+
+  bool isReachable(BlockId B) const { return RpoIndex[B] >= 0; }
+
+  /// Returns all CFG edges (From, To) between reachable blocks, in
+  /// deterministic order.
+  std::vector<std::pair<BlockId, BlockId>> edges() const;
+
+  /// Returns true if the edge From->To is critical: From has multiple
+  /// successors and To has multiple predecessors.
+  bool isCriticalEdge(BlockId From, BlockId To) const;
+
+private:
+  std::vector<std::vector<BlockId>> Succs;
+  std::vector<std::vector<BlockId>> Preds;
+  std::vector<BlockId> Rpo;
+  std::vector<int> RpoIndex;
+};
+
+/// Deletes blocks unreachable from the entry, compacting block ids and
+/// rewriting branch targets and phi predecessor keys. Phi arguments for
+/// deleted predecessors are dropped. Returns the number of blocks removed.
+unsigned removeUnreachableBlocks(Function &F);
+
+} // namespace specpre
+
+#endif // SPECPRE_ANALYSIS_CFG_H

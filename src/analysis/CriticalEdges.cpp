@@ -1,0 +1,64 @@
+//===- analysis/CriticalEdges.cpp - Critical edge splitting -----------------===//
+
+#include "analysis/CriticalEdges.h"
+
+#include "analysis/Cfg.h"
+
+#include <string>
+
+using namespace specpre;
+
+unsigned specpre::normalizeDegenerateBranches(Function &F) {
+  unsigned Rewritten = 0;
+  for (BasicBlock &BB : F.Blocks) {
+    if (BB.Stmts.empty())
+      continue;
+    Stmt &T = BB.Stmts.back();
+    if (T.Kind == StmtKind::Branch && T.TrueTarget == T.FalseTarget) {
+      T = Stmt::makeJump(T.TrueTarget);
+      ++Rewritten;
+    }
+  }
+  return Rewritten;
+}
+
+unsigned specpre::splitCriticalEdges(Function &F) {
+  normalizeDegenerateBranches(F);
+  Cfg C(F);
+
+  unsigned NumSplit = 0;
+  // Collect the critical edges first: mutating the function invalidates
+  // the Cfg snapshot.
+  std::vector<std::pair<BlockId, BlockId>> Critical;
+  for (auto [From, To] : C.edges())
+    if (C.isCriticalEdge(From, To))
+      Critical.emplace_back(From, To);
+
+  for (auto [From, To] : Critical) {
+    BlockId Mid = F.addBlock("crit." + std::to_string(From) + "." +
+                             std::to_string(To));
+    F.Blocks[Mid].Stmts.push_back(Stmt::makeJump(To));
+
+    // Redirect the terminator of From.
+    Stmt &T = F.Blocks[From].terminator();
+    if (T.Kind == StmtKind::Branch) {
+      if (T.TrueTarget == To)
+        T.TrueTarget = Mid;
+      else
+        T.FalseTarget = Mid;
+    } else if (T.Kind == StmtKind::Jump && T.TrueTarget == To) {
+      T.TrueTarget = Mid;
+    }
+
+    // Rekey phi arguments in To from From to Mid.
+    for (Stmt &S : F.Blocks[To].Stmts) {
+      if (S.Kind != StmtKind::Phi)
+        break;
+      for (PhiArg &A : S.PhiArgs)
+        if (A.Pred == From)
+          A.Pred = Mid;
+    }
+    ++NumSplit;
+  }
+  return NumSplit;
+}

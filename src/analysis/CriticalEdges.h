@@ -1,0 +1,35 @@
+//===- analysis/CriticalEdges.h - Critical edge splitting ------*- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Critical-edge splitting. Both SSAPRE and MC-SSAPRE assume all critical
+/// edges (head with multiple successors, tail with multiple predecessors)
+/// have been removed by inserting empty blocks (paper Section 3.1.2); this
+/// is what lets insertions on type-1 FRG edges land at the exit of the
+/// predecessor block (Lemma 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_ANALYSIS_CRITICALEDGES_H
+#define SPECPRE_ANALYSIS_CRITICALEDGES_H
+
+#include "ir/Ir.h"
+
+namespace specpre {
+
+/// Converts degenerate conditional branches (both targets equal) into
+/// jumps so that the CFG has no duplicate edges. Returns the number of
+/// branches rewritten.
+unsigned normalizeDegenerateBranches(Function &F);
+
+/// Splits every critical edge of \p F by inserting an empty forwarding
+/// block, updating phi arguments in the former successor. Also normalizes
+/// degenerate branches first. Returns the number of edges split.
+unsigned splitCriticalEdges(Function &F);
+
+} // namespace specpre
+
+#endif // SPECPRE_ANALYSIS_CRITICALEDGES_H

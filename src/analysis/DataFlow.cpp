@@ -1,0 +1,86 @@
+//===- analysis/DataFlow.cpp - Iterative bit-vector data flow ---------------===//
+
+#include "analysis/DataFlow.h"
+
+#include "support/Diagnostics.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace specpre;
+
+DataFlowResult specpre::solveDataFlow(const Cfg &C, const DataFlowProblem &P) {
+  unsigned N = C.numBlocks();
+  assert(P.Gen.size() == N && P.Kill.size() == N &&
+         "per-block transfer functions required");
+
+  bool Forward = P.Dir == DataFlowProblem::Direction::Forward;
+  bool Intersect = P.MeetOp == DataFlowProblem::Meet::Intersect;
+
+  DataFlowResult R;
+  BitVector Top(P.NumBits, Intersect); // meet identity
+  R.In.assign(N, Top);
+  R.Out.assign(N, Top);
+
+  // Iteration order: RPO for forward problems, reverse RPO for backward.
+  std::vector<BlockId> Order = C.reversePostOrder();
+  if (!Forward)
+    std::reverse(Order.begin(), Order.end());
+
+  auto ApplyTransfer = [&](unsigned B, const BitVector &InSet) {
+    BitVector OutSet = InSet;
+    OutSet.subtract(P.Kill[B]);
+    OutSet |= P.Gen[B];
+    return OutSet;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BlockId B : Order) {
+      // Meet over incoming edges (preds for forward, succs for backward).
+      const std::vector<BlockId> &Sources =
+          Forward ? C.preds(B) : C.succs(B);
+      BitVector MeetSet(P.NumBits, Intersect);
+      bool IsBoundary = Forward ? (B == 0) : C.succs(B).empty();
+      if (IsBoundary) {
+        MeetSet = P.Boundary;
+      } else {
+        bool First = true;
+        for (BlockId S : Sources) {
+          if (Forward && !C.isReachable(S))
+            continue; // unreachable preds cannot contribute facts
+          const BitVector &SourceSet = Forward ? R.Out[S] : R.In[S];
+          if (First) {
+            MeetSet = SourceSet;
+            First = false;
+          } else if (Intersect) {
+            MeetSet &= SourceSet;
+          } else {
+            MeetSet |= SourceSet;
+          }
+        }
+        if (First) {
+          // No incoming information at all (e.g. infinite loop for a
+          // backward problem): keep the meet identity.
+          MeetSet = BitVector(P.NumBits, Intersect);
+        }
+      }
+      BitVector NewFlow = ApplyTransfer(B, MeetSet);
+      if (Forward) {
+        if (!(MeetSet == R.In[B]) || !(NewFlow == R.Out[B])) {
+          R.In[B] = std::move(MeetSet);
+          R.Out[B] = std::move(NewFlow);
+          Changed = true;
+        }
+      } else {
+        if (!(MeetSet == R.Out[B]) || !(NewFlow == R.In[B])) {
+          R.Out[B] = std::move(MeetSet);
+          R.In[B] = std::move(NewFlow);
+          Changed = true;
+        }
+      }
+    }
+  }
+  return R;
+}

@@ -1,0 +1,125 @@
+//===- analysis/DataFlow.h - Iterative bit-vector data flow ----*- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A generic iterative bit-vector data-flow solver over the CFG. This is
+/// the classic machinery MC-PRE (Xue & Cai) is built on, and the paper
+/// contrasts it with the sparse SSA-based propagation of MC-SSAPRE. It is
+/// also used by the verification passes (availability after PRE).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_ANALYSIS_DATAFLOW_H
+#define SPECPRE_ANALYSIS_DATAFLOW_H
+
+#include "analysis/Cfg.h"
+
+#include <vector>
+
+namespace specpre {
+
+/// A fixed-width bit vector; one bit per tracked fact (e.g. expression).
+class BitVector {
+public:
+  BitVector() = default;
+  explicit BitVector(unsigned NumBits, bool Value = false)
+      : NumBits(NumBits),
+        Words((NumBits + 63) / 64, Value ? ~uint64_t(0) : 0) {
+    clearPadding();
+  }
+
+  unsigned size() const { return NumBits; }
+
+  bool test(unsigned I) const {
+    return (Words[I / 64] >> (I % 64)) & 1;
+  }
+  void set(unsigned I) { Words[I / 64] |= uint64_t(1) << (I % 64); }
+  void reset(unsigned I) { Words[I / 64] &= ~(uint64_t(1) << (I % 64)); }
+  void assign(unsigned I, bool V) {
+    if (V)
+      set(I);
+    else
+      reset(I);
+  }
+
+  void setAll() {
+    for (uint64_t &W : Words)
+      W = ~uint64_t(0);
+    clearPadding();
+  }
+  void resetAll() {
+    for (uint64_t &W : Words)
+      W = 0;
+  }
+
+  BitVector &operator&=(const BitVector &O) {
+    for (unsigned I = 0; I != Words.size(); ++I)
+      Words[I] &= O.Words[I];
+    return *this;
+  }
+  BitVector &operator|=(const BitVector &O) {
+    for (unsigned I = 0; I != Words.size(); ++I)
+      Words[I] |= O.Words[I];
+    return *this;
+  }
+  /// this = this & ~O
+  BitVector &subtract(const BitVector &O) {
+    for (unsigned I = 0; I != Words.size(); ++I)
+      Words[I] &= ~O.Words[I];
+    return *this;
+  }
+
+  bool operator==(const BitVector &O) const {
+    return NumBits == O.NumBits && Words == O.Words;
+  }
+
+  unsigned count() const {
+    unsigned N = 0;
+    for (uint64_t W : Words)
+      N += static_cast<unsigned>(__builtin_popcountll(W));
+    return N;
+  }
+
+private:
+  void clearPadding() {
+    if (NumBits % 64 != 0 && !Words.empty())
+      Words.back() &= (uint64_t(1) << (NumBits % 64)) - 1;
+  }
+
+  unsigned NumBits = 0;
+  std::vector<uint64_t> Words;
+};
+
+/// Specification of one bit-vector data-flow problem.
+struct DataFlowProblem {
+  enum class Direction { Forward, Backward };
+  enum class Meet { Intersect, Union };
+
+  Direction Dir = Direction::Forward;
+  Meet MeetOp = Meet::Intersect;
+  unsigned NumBits = 0;
+
+  /// Per-block transfer-function inputs: OUT = GEN | (IN & ~KILL) for
+  /// forward problems; IN = GEN | (OUT & ~KILL) for backward problems.
+  std::vector<BitVector> Gen, Kill;
+
+  /// Boundary value at the entry (forward) or at every exit block
+  /// (backward). Typically all-zero for availability and anticipability.
+  BitVector Boundary;
+};
+
+/// Solution: the IN and OUT sets of every block.
+struct DataFlowResult {
+  std::vector<BitVector> In, Out;
+};
+
+/// Solves the problem to a fixpoint with a worklist over (reverse)
+/// postorder. Unreachable blocks keep the meet identity.
+DataFlowResult solveDataFlow(const Cfg &C, const DataFlowProblem &P);
+
+} // namespace specpre
+
+#endif // SPECPRE_ANALYSIS_DATAFLOW_H

@@ -1,0 +1,177 @@
+//===- analysis/LiveRanges.cpp - SSA value live ranges ------------------------===//
+
+#include "analysis/LiveRanges.h"
+
+#include "analysis/Cfg.h"
+#include "support/Diagnostics.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace specpre;
+
+LiveRanges::LiveRanges(const Function &Fn) : F(Fn) {
+  assert(F.IsSSA && "live ranges require SSA form");
+  Cfg C(F);
+  unsigned NB = F.numBlocks();
+
+  // Collect all values.
+  auto AddValue = [&](VarId V, int Ver, BlockId B, int Idx) {
+    ValueInfo VI;
+    VI.Var = V;
+    VI.Version = Ver;
+    VI.DefBlock = B;
+    VI.DefIdx = Idx;
+    VI.LiveIn.assign(NB, false);
+    VI.LiveOut.assign(NB, false);
+    Index[{V, Ver}] = static_cast<unsigned>(Values.size());
+    Values.push_back(std::move(VI));
+  };
+  for (VarId P : F.Params)
+    AddValue(P, 1, 0, -1);
+  for (unsigned B = 0; B != NB; ++B)
+    for (unsigned I = 0; I != F.Blocks[B].Stmts.size(); ++I) {
+      const Stmt &S = F.Blocks[B].Stmts[I];
+      if (S.definesValue() && !Index.count({S.Dest, S.DestVersion}))
+        AddValue(S.Dest, S.DestVersion, static_cast<BlockId>(B),
+                 static_cast<int>(I));
+    }
+
+  // Record uses and propagate liveness backwards (Appel's per-use walk).
+  auto Walk = [&](ValueInfo &VI, BlockId UseBlock) {
+    // The value is live-in at UseBlock and live-out of all predecessors,
+    // transitively up to (but excluding) its definition block.
+    std::vector<BlockId> Work{UseBlock};
+    while (!Work.empty()) {
+      BlockId B = Work.back();
+      Work.pop_back();
+      if (B == VI.DefBlock)
+        continue; // reached the definition: stop above it
+      if (VI.LiveIn[B])
+        continue;
+      VI.LiveIn[B] = true;
+      for (BlockId P : C.preds(B)) {
+        if (!VI.LiveOut[P]) {
+          VI.LiveOut[P] = true;
+          Work.push_back(P);
+        }
+      }
+    }
+  };
+
+  auto RecordUse = [&](const Operand &O, BlockId Block, int Idx,
+                       bool AtBlockEnd) {
+    if (!O.isVar())
+      return;
+    auto It = Index.find({O.Var, O.Version});
+    if (It == Index.end())
+      return; // use of an undefined value in unreachable code
+    ValueInfo &VI = Values[It->second];
+    int Pos = AtBlockEnd
+                  ? static_cast<int>(F.Blocks[Block].Stmts.size())
+                  : Idx;
+    auto [LU, Inserted] = VI.LastUse.emplace(Block, Pos);
+    if (!Inserted)
+      LU->second = std::max(LU->second, Pos);
+    if (AtBlockEnd) {
+      // Live through the end of Block.
+      VI.LiveOut[Block] = true;
+      if (Block != VI.DefBlock)
+        Walk(VI, Block);
+    } else if (Block != VI.DefBlock) {
+      Walk(VI, Block);
+    }
+  };
+
+  for (unsigned B = 0; B != NB; ++B) {
+    if (!C.isReachable(static_cast<BlockId>(B)))
+      continue;
+    const BasicBlock &BB = F.Blocks[B];
+    for (unsigned I = 0; I != BB.Stmts.size(); ++I) {
+      const Stmt &S = BB.Stmts[I];
+      switch (S.Kind) {
+      case StmtKind::Copy:
+      case StmtKind::Branch:
+      case StmtKind::Ret:
+      case StmtKind::Print:
+        RecordUse(S.Src0, static_cast<BlockId>(B), static_cast<int>(I),
+                  false);
+        break;
+      case StmtKind::Compute:
+        RecordUse(S.Src0, static_cast<BlockId>(B), static_cast<int>(I),
+                  false);
+        RecordUse(S.Src1, static_cast<BlockId>(B), static_cast<int>(I),
+                  false);
+        break;
+      case StmtKind::Phi:
+        for (const PhiArg &A : S.PhiArgs)
+          RecordUse(A.Val, A.Pred, 0, /*AtBlockEnd=*/true);
+        break;
+      case StmtKind::Jump:
+        break;
+      }
+    }
+  }
+
+  // Tally statement slots per value.
+  for (ValueInfo &VI : Values) {
+    for (unsigned B = 0; B != NB; ++B) {
+      int Len = static_cast<int>(F.Blocks[B].Stmts.size());
+      bool In = VI.LiveIn[B];
+      bool Out = VI.LiveOut[B];
+      bool IsDef = static_cast<BlockId>(B) == VI.DefBlock;
+      int From, To;
+      if (IsDef)
+        From = VI.DefIdx + 1; // live after the defining statement
+      else if (In)
+        From = 0;
+      else
+        continue;
+      if (Out) {
+        To = Len;
+      } else {
+        auto LU = VI.LastUse.find(static_cast<BlockId>(B));
+        To = LU == VI.LastUse.end() ? From : LU->second + 1;
+      }
+      if (To > From)
+        VI.Slots += static_cast<uint64_t>(To - From);
+    }
+  }
+}
+
+const LiveRanges::ValueInfo *LiveRanges::find(VarId Var, int Version) const {
+  auto It = Index.find({Var, Version});
+  return It == Index.end() ? nullptr : &Values[It->second];
+}
+
+uint64_t LiveRanges::liveSlots(VarId Var, int Version) const {
+  const ValueInfo *VI = find(Var, Version);
+  return VI ? VI->Slots : 0;
+}
+
+uint64_t LiveRanges::totalLiveSlots(
+    const std::function<bool(VarId)> &Filter) const {
+  uint64_t Total = 0;
+  for (const ValueInfo &VI : Values)
+    if (Filter(VI.Var))
+      Total += VI.Slots;
+  return Total;
+}
+
+unsigned LiveRanges::maxPressure(
+    const std::function<bool(VarId)> &Filter) const {
+  unsigned Max = 0;
+  for (unsigned B = 0; B != F.numBlocks(); ++B) {
+    unsigned Here = 0;
+    for (const ValueInfo &VI : Values)
+      if (VI.LiveIn[B] && Filter(VI.Var))
+        ++Here;
+    Max = std::max(Max, Here);
+  }
+  return Max;
+}
+
+bool LiveRanges::liveIn(BlockId B, VarId Var, int Version) const {
+  const ValueInfo *VI = find(Var, Version);
+  return VI && VI->LiveIn[B];
+}

@@ -1,0 +1,77 @@
+//===- analysis/LiveRanges.h - SSA value live ranges -----------*- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Live ranges of SSA values, used to quantify lifetime optimality
+/// (paper Theorem 9): the Reverse Labeling Procedure exists precisely to
+/// minimize the live ranges of the temporaries PRE introduces, because
+/// longer ranges raise register pressure (Section 2's critique of Scholz
+/// et al. makes the same point).
+///
+/// Granularity: statement positions. A value is live from its definition
+/// to its last uses along each path; a phi argument is a use at the end
+/// of the corresponding predecessor block; a phi definition begins at
+/// the top of its block.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_ANALYSIS_LIVERANGES_H
+#define SPECPRE_ANALYSIS_LIVERANGES_H
+
+#include "ir/Ir.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+namespace specpre {
+
+/// Live-range information for every SSA value of one function.
+class LiveRanges {
+public:
+  /// Computes ranges for \p F, which must be in SSA form.
+  explicit LiveRanges(const Function &F);
+
+  /// Number of statement positions at which the value (\p Var,
+  /// \p Version) is live; 0 for unknown values.
+  uint64_t liveSlots(VarId Var, int Version) const;
+
+  /// Sum of liveSlots over every version of every variable accepted by
+  /// \p Filter.
+  uint64_t
+  totalLiveSlots(const std::function<bool(VarId)> &Filter) const;
+
+  /// Maximum number of simultaneously live values at any block entry —
+  /// a block-granularity register-pressure proxy. \p Filter selects the
+  /// counted variables (pass a tautology for all).
+  unsigned maxPressure(const std::function<bool(VarId)> &Filter) const;
+
+  /// True if the value is live on entry to \p B.
+  bool liveIn(BlockId B, VarId Var, int Version) const;
+
+private:
+  struct ValueInfo {
+    VarId Var = InvalidVar;
+    int Version = 0;
+    BlockId DefBlock = InvalidBlock;
+    int DefIdx = -1; ///< -1: implicit (parameter at entry).
+    std::vector<bool> LiveIn, LiveOut;
+    /// Last intra-block use position per block (only where uses exist).
+    std::map<BlockId, int> LastUse;
+    uint64_t Slots = 0;
+  };
+
+  const ValueInfo *find(VarId Var, int Version) const;
+
+  const Function &F;
+  std::vector<ValueInfo> Values;
+  std::map<std::pair<VarId, int>, unsigned> Index;
+};
+
+} // namespace specpre
+
+#endif // SPECPRE_ANALYSIS_LIVERANGES_H

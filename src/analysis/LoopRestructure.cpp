@@ -1,0 +1,99 @@
+//===- analysis/LoopRestructure.cpp - while -> do-while ---------------------===//
+
+#include "analysis/LoopRestructure.h"
+
+#include "analysis/Cfg.h"
+#include "analysis/DomTree.h"
+#include "analysis/Loops.h"
+#include "support/Diagnostics.h"
+
+#include <cassert>
+#include <set>
+
+using namespace specpre;
+
+namespace {
+
+/// Applies one round of restructuring. Returns true if a loop was
+/// transformed (analyses must then be recomputed). \p DoneHeaders records
+/// headers already processed, so that rotated loops whose exit test walks
+/// around a multi-exit cycle are each guarded at most once per block.
+bool restructureOneLoop(Function &F, std::set<BlockId> &DoneHeaders) {
+  Cfg C(F);
+  DomTree DT = DomTree::buildDominators(C);
+  LoopInfo LI(C, DT);
+
+  for (const Loop &L : LI.loops()) {
+    BlockId H = L.Header;
+    if (DoneHeaders.count(H))
+      continue;
+    const BasicBlock &Header = F.Blocks[H];
+    const Stmt &T = Header.terminator();
+    if (T.Kind != StmtKind::Branch)
+      continue;
+    // A "while" shape: the header test has exactly one in-loop successor
+    // and one exit successor.
+    bool TrueInLoop = L.contains(T.TrueTarget);
+    bool FalseInLoop = L.contains(T.FalseTarget);
+    if (TrueInLoop == FalseInLoop)
+      continue;
+    BlockId Body = TrueInLoop ? T.TrueTarget : T.FalseTarget;
+    if (Body == H)
+      continue; // self-loop on the test block; already bottom-tested
+
+    // Entry predecessors are those outside the loop. The function entry
+    // block can never be a loop header (it has no predecessors).
+    std::vector<BlockId> EntryPreds;
+    for (BlockId P : C.preds(H))
+      if (!L.contains(P))
+        EntryPreds.push_back(P);
+    if (EntryPreds.empty())
+      continue;
+
+    // Already bottom-tested? If the header is also a latch the loop is a
+    // do-while; the shape check above (Body != H) covers the 1-block
+    // case, and a multi-block bottom-tested loop has its test in the
+    // latch, not the header, so the header terminator check fails there.
+
+    // Clone the header (the entry test). Pre-SSA form has no phis, so a
+    // plain statement copy is a faithful clone.
+    assert(!F.IsSSA && "restructureWhileLoops requires non-SSA form");
+    BlockId Guard = F.addBlock(Header.Label + ".guard");
+    F.Blocks[Guard].Stmts = F.Blocks[H].Stmts;
+
+    // Redirect every entry edge to the guard.
+    for (BlockId P : EntryPreds) {
+      Stmt &PT = F.Blocks[P].terminator();
+      switch (PT.Kind) {
+      case StmtKind::Branch:
+        if (PT.TrueTarget == H)
+          PT.TrueTarget = Guard;
+        if (PT.FalseTarget == H)
+          PT.FalseTarget = Guard;
+        break;
+      case StmtKind::Jump:
+        if (PT.TrueTarget == H)
+          PT.TrueTarget = Guard;
+        break;
+      default:
+        SPECPRE_UNREACHABLE("predecessor without branch terminator");
+      }
+    }
+    DoneHeaders.insert(H);
+    return true;
+  }
+  return false;
+}
+
+} // namespace
+
+unsigned specpre::restructureWhileLoops(Function &F) {
+  assert(!F.IsSSA && "restructuring operates on pre-SSA form");
+  unsigned NumRestructured = 0;
+  // Each block is guarded at most once, so this terminates after at most
+  // the original block count of transformations.
+  std::set<BlockId> DoneHeaders;
+  while (restructureOneLoop(F, DoneHeaders))
+    ++NumRestructured;
+  return NumRestructured;
+}

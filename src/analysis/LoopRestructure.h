@@ -1,0 +1,31 @@
+//===- analysis/LoopRestructure.h - while -> do-while ----------*- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Traditional control-flow restructuring of while loops (paper Figure 1):
+/// `while (c) body` becomes `if (c) do body while (c)` by cloning the
+/// loop-header test in front of the loop. After the transformation the
+/// loop is bottom-tested, so loop-invariant code motion no longer needs
+/// speculation. The paper's compiler always performs this (Section 5),
+/// and so does our pipeline, on the pre-SSA form.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_ANALYSIS_LOOPRESTRUCTURE_H
+#define SPECPRE_ANALYSIS_LOOPRESTRUCTURE_H
+
+#include "ir/Ir.h"
+
+namespace specpre {
+
+/// Restructures every top-tested natural loop of \p F (which must not be
+/// in SSA form) into bottom-tested shape by duplicating the header test on
+/// the entry path. Returns the number of loops restructured.
+unsigned restructureWhileLoops(Function &F);
+
+} // namespace specpre
+
+#endif // SPECPRE_ANALYSIS_LOOPRESTRUCTURE_H

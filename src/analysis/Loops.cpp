@@ -1,0 +1,76 @@
+//===- analysis/Loops.cpp - Natural loop detection --------------------------===//
+
+#include "analysis/Loops.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace specpre;
+
+LoopInfo::LoopInfo(const Cfg &C, const DomTree &DT) {
+  unsigned N = C.numBlocks();
+  InnermostLoop.assign(N, -1);
+
+  // Find back edges: Latch -> Header where Header dominates Latch.
+  std::map<BlockId, std::vector<BlockId>> HeaderToLatches;
+  for (unsigned B = 0; B != N; ++B) {
+    BlockId Latch = static_cast<BlockId>(B);
+    if (!C.isReachable(Latch))
+      continue;
+    for (BlockId S : C.succs(Latch))
+      if (DT.hasInfo(S) && DT.dominates(S, Latch))
+        HeaderToLatches[S].push_back(Latch);
+  }
+
+  // Build each loop body: reverse reachability from latches, stopping at
+  // the header.
+  for (auto &[Header, Latches] : HeaderToLatches) {
+    Loop L;
+    L.Header = Header;
+    L.Latches = Latches;
+    L.Contains.assign(N, false);
+    L.Contains[Header] = true;
+    std::vector<BlockId> Work = Latches;
+    for (BlockId La : Latches)
+      L.Contains[La] = true;
+    while (!Work.empty()) {
+      BlockId B = Work.back();
+      Work.pop_back();
+      if (B == Header)
+        continue;
+      for (BlockId P : C.preds(B)) {
+        if (!C.isReachable(P) || L.Contains[P])
+          continue;
+        L.Contains[P] = true;
+        Work.push_back(P);
+      }
+    }
+    for (unsigned B = 0; B != N; ++B)
+      if (L.Contains[B])
+        L.Blocks.push_back(static_cast<BlockId>(B));
+    Loops.push_back(std::move(L));
+  }
+
+  // Sort loops by size descending so that enclosing loops come first; a
+  // loop's parent is the smallest strictly-enclosing loop.
+  std::sort(Loops.begin(), Loops.end(), [](const Loop &A, const Loop &B) {
+    if (A.Blocks.size() != B.Blocks.size())
+      return A.Blocks.size() > B.Blocks.size();
+    return A.Header < B.Header;
+  });
+  for (unsigned I = 0; I != Loops.size(); ++I) {
+    for (unsigned J = 0; J != I; ++J) {
+      if (Loops[J].contains(Loops[I].Header) &&
+          Loops[J].Header != Loops[I].Header) {
+        Loops[I].Parent = static_cast<int>(J); // latest (smallest) wins
+      }
+    }
+    Loops[I].Depth =
+        Loops[I].Parent < 0 ? 1 : Loops[Loops[I].Parent].Depth + 1;
+  }
+
+  // Innermost-loop map: later (smaller) loops overwrite earlier ones.
+  for (unsigned I = 0; I != Loops.size(); ++I)
+    for (BlockId B : Loops[I].Blocks)
+      InnermostLoop[B] = static_cast<int>(I);
+}

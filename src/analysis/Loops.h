@@ -1,0 +1,62 @@
+//===- analysis/Loops.h - Natural loop detection ---------------*- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Natural-loop detection via dominator-based back edges. Used by
+/// SSAPREsp (conservative loop-based speculation, Lo et al.) and by the
+/// while-loop restructuring pass (paper Figure 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_ANALYSIS_LOOPS_H
+#define SPECPRE_ANALYSIS_LOOPS_H
+
+#include "analysis/Cfg.h"
+#include "analysis/DomTree.h"
+
+#include <vector>
+
+namespace specpre {
+
+/// One natural loop: a header plus the union of bodies of all back edges
+/// targeting it.
+struct Loop {
+  BlockId Header = InvalidBlock;
+  std::vector<BlockId> Latches;   ///< Sources of back edges to the header.
+  std::vector<BlockId> Blocks;    ///< All blocks in the loop (sorted).
+  std::vector<bool> Contains;     ///< Membership, indexed by BlockId.
+  int Parent = -1;                ///< Index of the innermost enclosing loop.
+  int Depth = 1;                  ///< Nesting depth (outermost = 1).
+
+  bool contains(BlockId B) const {
+    return B >= 0 && B < static_cast<BlockId>(Contains.size()) && Contains[B];
+  }
+};
+
+/// All natural loops of a function. Loops sharing a header are merged.
+class LoopInfo {
+public:
+  LoopInfo(const Cfg &C, const DomTree &DT);
+
+  const std::vector<Loop> &loops() const { return Loops; }
+
+  /// Index into loops() of the innermost loop containing \p B, or -1.
+  int innermostLoop(BlockId B) const { return InnermostLoop[B]; }
+
+  /// Loop nesting depth of \p B (0 = not in any loop).
+  int depth(BlockId B) const {
+    int L = InnermostLoop[B];
+    return L < 0 ? 0 : Loops[L].Depth;
+  }
+
+private:
+  std::vector<Loop> Loops;
+  std::vector<int> InnermostLoop;
+};
+
+} // namespace specpre
+
+#endif // SPECPRE_ANALYSIS_LOOPS_H

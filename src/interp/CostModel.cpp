@@ -1,0 +1,31 @@
+//===- interp/CostModel.cpp - Cycle cost model ------------------------------===//
+
+#include "interp/CostModel.h"
+
+using namespace specpre;
+
+CostModel::CostModel() {
+  for (uint64_t &Cost : OpCost)
+    Cost = 1;
+}
+
+CostModel CostModel::standard() {
+  CostModel CM;
+  CM.OpCost[static_cast<unsigned>(Opcode::Mul)] = 4;
+  CM.OpCost[static_cast<unsigned>(Opcode::Div)] = 25;
+  CM.OpCost[static_cast<unsigned>(Opcode::Mod)] = 25;
+  CM.OpCost[static_cast<unsigned>(Opcode::Min)] = 2;
+  CM.OpCost[static_cast<unsigned>(Opcode::Max)] = 2;
+  return CM;
+}
+
+CostModel CostModel::computationsOnly() {
+  CostModel CM; // all Compute ops cost 1
+  CM.CopyCost = 0;
+  CM.PhiCost = 0;
+  CM.BranchCost = 0;
+  CM.JumpCost = 0;
+  CM.RetCost = 0;
+  CM.PrintCost = 0;
+  return CM;
+}

@@ -1,0 +1,259 @@
+//===- interp/Interpreter.cpp - IR interpreter -------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <utility>
+
+using namespace specpre;
+
+bool ExecResult::sameObservableBehavior(const ExecResult &O) const {
+  if (Trapped != O.Trapped || TimedOut != O.TimedOut)
+    return false;
+  if (Output != O.Output)
+    return false;
+  if (!Trapped && !TimedOut && ReturnValue != O.ReturnValue)
+    return false;
+  return true;
+}
+
+namespace {
+
+/// Pre-resolved operand: either an immediate or a value-slot index.
+/// Slot -1 encodes "read of a never-defined non-SSA variable", which
+/// deterministically yields 0 (registers hold *some* value there; see
+/// the MC-PRE speculation discussion in DESIGN.md). Never-defined SSA
+/// reads are compiler bugs and abort at resolution time only if actually
+/// executed, so we encode them as slot -2.
+struct ROperand {
+  bool IsConst = false;
+  int64_t Imm = 0;
+  int Slot = -1;
+};
+
+struct RPhiArg {
+  BlockId Pred;
+  ROperand Val;
+};
+
+/// A statement with all name lookups done.
+struct RStmt {
+  StmtKind Kind;
+  Opcode Op = Opcode::Add;
+  int DestSlot = -1;
+  ROperand Src0, Src1;
+  std::vector<RPhiArg> PhiArgs;
+  BlockId TrueTarget = InvalidBlock, FalseTarget = InvalidBlock;
+  uint64_t Cost = 0;
+};
+
+/// The function lowered to slot-addressed form for fast interpretation.
+class ResolvedProgram {
+public:
+  ResolvedProgram(const Function &F, const CostModel &CM) {
+    // Assign slots to every definable value.
+    for (VarId P : F.Params) {
+      slotFor(P, 1);
+      slotFor(P, 0);
+    }
+    for (const BasicBlock &BB : F.Blocks)
+      for (const Stmt &S : BB.Stmts)
+        if (S.definesValue())
+          slotFor(S.Dest, S.DestVersion);
+
+    Blocks.resize(F.numBlocks());
+    for (unsigned B = 0; B != F.numBlocks(); ++B) {
+      for (const Stmt &S : F.Blocks[B].Stmts) {
+        RStmt R;
+        R.Kind = S.Kind;
+        switch (S.Kind) {
+        case StmtKind::Copy:
+          R.DestSlot = slotFor(S.Dest, S.DestVersion);
+          R.Src0 = resolve(S.Src0);
+          R.Cost = CM.CopyCost;
+          break;
+        case StmtKind::Compute:
+          R.Op = S.Op;
+          R.DestSlot = slotFor(S.Dest, S.DestVersion);
+          R.Src0 = resolve(S.Src0);
+          R.Src1 = resolve(S.Src1);
+          R.Cost = CM.computeCost(S.Op);
+          break;
+        case StmtKind::Phi:
+          R.DestSlot = slotFor(S.Dest, S.DestVersion);
+          for (const PhiArg &A : S.PhiArgs)
+            R.PhiArgs.push_back(RPhiArg{A.Pred, resolve(A.Val)});
+          R.Cost = CM.PhiCost;
+          break;
+        case StmtKind::Branch:
+          R.Src0 = resolve(S.Src0);
+          R.TrueTarget = S.TrueTarget;
+          R.FalseTarget = S.FalseTarget;
+          R.Cost = CM.BranchCost;
+          break;
+        case StmtKind::Jump:
+          R.TrueTarget = S.TrueTarget;
+          R.Cost = CM.JumpCost;
+          break;
+        case StmtKind::Ret:
+          R.Src0 = resolve(S.Src0);
+          R.Cost = CM.RetCost;
+          break;
+        case StmtKind::Print:
+          R.Src0 = resolve(S.Src0);
+          R.Cost = CM.PrintCost;
+          break;
+        }
+        Blocks[B].push_back(std::move(R));
+      }
+    }
+  }
+
+  int slotFor(VarId V, int Version) {
+    auto Key = std::make_pair(V, Version);
+    auto It = Slots.find(Key);
+    if (It != Slots.end())
+      return It->second;
+    int Slot = NumSlots++;
+    Slots.emplace(Key, Slot);
+    return Slot;
+  }
+
+  ROperand resolve(const Operand &O) const {
+    ROperand R;
+    if (O.isConst()) {
+      R.IsConst = true;
+      R.Imm = O.Value;
+      return R;
+    }
+    auto It = Slots.find({O.Var, O.Version});
+    if (It != Slots.end()) {
+      R.Slot = It->second;
+      return R;
+    }
+    // Never-defined value: non-SSA reads are a deterministic 0; a
+    // versioned (SSA) read would be a compiler bug — trap if executed.
+    R.Slot = O.Version == 0 ? -1 : -2;
+    return R;
+  }
+
+  std::vector<std::vector<RStmt>> Blocks;
+  int NumSlots = 0;
+
+private:
+  std::map<std::pair<VarId, int>, int> Slots;
+};
+
+} // namespace
+
+ExecResult specpre::interpret(const Function &F,
+                              const std::vector<int64_t> &Args,
+                              const ExecOptions &Opts) {
+  if (Args.size() != F.Params.size())
+    reportFatalError("interpret: argument count mismatch for '" + F.Name +
+                     "'");
+  ExecResult Res;
+  ResolvedProgram P(F, Opts.Costs);
+  std::vector<int64_t> Values(static_cast<size_t>(P.NumSlots), 0);
+
+  auto Read = [&](const ROperand &O) -> int64_t {
+    if (O.IsConst)
+      return O.Imm;
+    if (O.Slot >= 0)
+      return Values[static_cast<size_t>(O.Slot)];
+    if (O.Slot == -1)
+      return 0; // never-assigned non-SSA variable
+    reportFatalError("interpreter: read of never-defined SSA value");
+  };
+
+  for (unsigned I = 0; I != Args.size(); ++I) {
+    Values[static_cast<size_t>(P.slotFor(F.Params[I], 1))] = Args[I];
+    Values[static_cast<size_t>(P.slotFor(F.Params[I], 0))] = Args[I];
+  }
+
+  Profile *Prof = Opts.CollectProfile;
+  if (Prof)
+    Prof->reset(F.numBlocks(), /*WithEdges=*/true);
+
+  BlockId Cur = 0;
+  BlockId CameFrom = InvalidBlock;
+  std::vector<std::pair<int, int64_t>> PhiUpdates;
+
+  for (;;) {
+    if (Prof) {
+      ++Prof->BlockFreq[Cur];
+      if (CameFrom != InvalidBlock)
+        ++Prof->EdgeFreq[{CameFrom, Cur}];
+    }
+    const std::vector<RStmt> &BB = P.Blocks[Cur];
+
+    // Phis evaluate in parallel against the predecessor's environment.
+    PhiUpdates.clear();
+    unsigned I = 0;
+    for (; I != BB.size() && BB[I].Kind == StmtKind::Phi; ++I) {
+      const RStmt &S = BB[I];
+      assert(CameFrom != InvalidBlock && "phi in entry block");
+      const RPhiArg *Arg = nullptr;
+      for (const RPhiArg &A : S.PhiArgs)
+        if (A.Pred == CameFrom)
+          Arg = &A;
+      if (!Arg)
+        reportFatalError("interpreter: phi has no argument for "
+                         "predecessor");
+      PhiUpdates.emplace_back(S.DestSlot, Read(Arg->Val));
+      Res.Cycles += S.Cost;
+      ++Res.StepsExecuted;
+    }
+    for (auto &[Slot, V] : PhiUpdates)
+      Values[static_cast<size_t>(Slot)] = V;
+
+    bool Transferred = false;
+    for (; I != BB.size(); ++I) {
+      const RStmt &S = BB[I];
+      if (++Res.StepsExecuted > Opts.MaxSteps) {
+        Res.TimedOut = true;
+        return Res;
+      }
+      Res.Cycles += S.Cost;
+      switch (S.Kind) {
+      case StmtKind::Copy:
+        Values[static_cast<size_t>(S.DestSlot)] = Read(S.Src0);
+        break;
+      case StmtKind::Compute: {
+        bool Faulted = false;
+        int64_t V = evalOpcode(S.Op, Read(S.Src0), Read(S.Src1), Faulted);
+        ++Res.DynamicComputations;
+        if (Faulted) {
+          Res.Trapped = true;
+          return Res;
+        }
+        Values[static_cast<size_t>(S.DestSlot)] = V;
+        break;
+      }
+      case StmtKind::Print:
+        Res.Output.push_back(Read(S.Src0));
+        break;
+      case StmtKind::Branch:
+        CameFrom = Cur;
+        Cur = Read(S.Src0) != 0 ? S.TrueTarget : S.FalseTarget;
+        Transferred = true;
+        break;
+      case StmtKind::Jump:
+        CameFrom = Cur;
+        Cur = S.TrueTarget;
+        Transferred = true;
+        break;
+      case StmtKind::Ret:
+        Res.ReturnValue = Read(S.Src0);
+        return Res;
+      case StmtKind::Phi:
+        SPECPRE_UNREACHABLE("phi after non-phi statement");
+      }
+      if (Transferred)
+        break;
+    }
+    assert(Transferred && "fell off the end of a block");
+  }
+}

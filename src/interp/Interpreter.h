@@ -1,0 +1,60 @@
+//===- interp/Interpreter.h - IR interpreter -------------------*- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A reference interpreter for the IR. It executes both SSA-form and
+/// non-SSA functions, counts dynamic computations and cycles under a
+/// CostModel, and optionally collects node/edge execution profiles.
+///
+/// This is the measurement substrate that replaces the paper's hardware
+/// runs: "execution time" of a benchmark program is the cycle count the
+/// interpreter accumulates, and the "dynamic number of computations"
+/// (the quantity Theorem 7 says MC-SSAPRE minimizes) is counted directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_INTERP_INTERPRETER_H
+#define SPECPRE_INTERP_INTERPRETER_H
+
+#include "interp/CostModel.h"
+#include "ir/Ir.h"
+#include "profile/Profile.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace specpre {
+
+/// Outcome of interpreting one function call.
+struct ExecResult {
+  int64_t ReturnValue = 0;
+  std::vector<int64_t> Output; ///< Values printed, in order.
+  bool Trapped = false;        ///< Faulting division/remainder executed.
+  bool TimedOut = false;       ///< Step budget exhausted.
+
+  uint64_t StepsExecuted = 0;
+  uint64_t DynamicComputations = 0; ///< Number of Compute executions.
+  uint64_t Cycles = 0;              ///< Cost-model cycles.
+
+  /// True if two runs are observationally equivalent: same trap/timeout
+  /// status, same prints, and same return value (when not trapped).
+  bool sameObservableBehavior(const ExecResult &O) const;
+};
+
+/// Options for one interpreter run.
+struct ExecOptions {
+  CostModel Costs = CostModel::standard();
+  uint64_t MaxSteps = 50'000'000;
+  Profile *CollectProfile = nullptr; ///< When set, node/edge counts go here.
+};
+
+/// Interprets \p F with the given arguments (must match F.Params size).
+ExecResult interpret(const Function &F, const std::vector<int64_t> &Args,
+                     const ExecOptions &Opts = ExecOptions());
+
+} // namespace specpre
+
+#endif // SPECPRE_INTERP_INTERPRETER_H

@@ -1,0 +1,47 @@
+//===- ir/IrBuilder.cpp - Convenience builder for IR ----------------------===//
+
+#include "ir/IrBuilder.h"
+
+#include "support/Diagnostics.h"
+
+#include <algorithm>
+
+using namespace specpre;
+
+VarId IrBuilder::param(const std::string &Name) {
+  VarId V = F.getOrAddVar(Name);
+  if (std::find(F.Params.begin(), F.Params.end(), V) == F.Params.end())
+    F.Params.push_back(V);
+  return V;
+}
+
+void IrBuilder::emit(Stmt S) {
+  assert(Cur != InvalidBlock && "no insertion block set");
+  assert(Cur < static_cast<BlockId>(F.Blocks.size()) && "bad insertion block");
+  BasicBlock &BB = F.Blocks[Cur];
+  assert((BB.Stmts.empty() || !BB.Stmts.back().isTerminator()) &&
+         "emitting past a terminator");
+  BB.Stmts.push_back(std::move(S));
+}
+
+void IrBuilder::emitCopy(VarId Dest, Operand Src) {
+  emit(Stmt::makeCopy(Dest, Src));
+}
+
+void IrBuilder::emitCompute(VarId Dest, Opcode Op, Operand L, Operand R) {
+  emit(Stmt::makeCompute(Dest, Op, L, R));
+}
+
+void IrBuilder::emitPhi(VarId Dest, std::vector<PhiArg> Args) {
+  emit(Stmt::makePhi(Dest, std::move(Args)));
+}
+
+void IrBuilder::emitBranch(Operand Cond, BlockId T, BlockId Fa) {
+  emit(Stmt::makeBranch(Cond, T, Fa));
+}
+
+void IrBuilder::emitJump(BlockId T) { emit(Stmt::makeJump(T)); }
+
+void IrBuilder::emitRet(Operand V) { emit(Stmt::makeRet(V)); }
+
+void IrBuilder::emitPrint(Operand V) { emit(Stmt::makePrint(V)); }

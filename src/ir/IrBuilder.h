@@ -1,0 +1,68 @@
+//===- ir/IrBuilder.h - Convenience builder for IR -------------*- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thin convenience layer for constructing Functions programmatically,
+/// used by tests and the workload generator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_IR_IRBUILDER_H
+#define SPECPRE_IR_IRBUILDER_H
+
+#include "ir/Ir.h"
+
+namespace specpre {
+
+/// Builds statements into a Function block by block. The builder keeps a
+/// current insertion block; all emit methods append to it.
+class IrBuilder {
+public:
+  explicit IrBuilder(Function &F) : F(F) {}
+
+  /// Creates a new block and returns its id (does not change the insertion
+  /// point).
+  BlockId makeBlock(const std::string &Label) { return F.addBlock(Label); }
+
+  /// Sets the block that subsequent emit calls append to.
+  void setInsertBlock(BlockId B) { Cur = B; }
+  BlockId insertBlock() const { return Cur; }
+
+  /// Declares \p Name as a parameter of the function and returns its id.
+  VarId param(const std::string &Name);
+
+  /// Returns (creating if needed) the variable named \p Name.
+  VarId var(const std::string &Name) { return F.getOrAddVar(Name); }
+
+  /// Operand helpers.
+  static Operand cst(int64_t V) { return Operand::makeConst(V); }
+  Operand use(const std::string &Name) {
+    return Operand::makeVar(var(Name));
+  }
+  static Operand use(VarId V, int Version = 0) {
+    return Operand::makeVar(V, Version);
+  }
+
+  void emitCopy(VarId Dest, Operand Src);
+  void emitCompute(VarId Dest, Opcode Op, Operand L, Operand R);
+  void emitPhi(VarId Dest, std::vector<PhiArg> Args);
+  void emitBranch(Operand Cond, BlockId T, BlockId Fa);
+  void emitJump(BlockId T);
+  void emitRet(Operand V);
+  void emitPrint(Operand V);
+
+  Function &function() { return F; }
+
+private:
+  void emit(Stmt S);
+
+  Function &F;
+  BlockId Cur = InvalidBlock;
+};
+
+} // namespace specpre
+
+#endif // SPECPRE_IR_IRBUILDER_H

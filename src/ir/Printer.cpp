@@ -1,0 +1,92 @@
+//===- ir/Printer.cpp - Textual IR printer ---------------------------------===//
+
+#include "ir/Printer.h"
+
+#include "support/Diagnostics.h"
+
+#include <sstream>
+
+using namespace specpre;
+
+std::string specpre::printOperand(const Function &F, const Operand &O) {
+  if (O.isConst())
+    return std::to_string(O.Value);
+  std::string S = F.varName(O.Var);
+  if (O.Version > 0)
+    S += "#" + std::to_string(O.Version);
+  return S;
+}
+
+static std::string printDest(const Function &F, const Stmt &S) {
+  std::string D = F.varName(S.Dest);
+  if (S.DestVersion > 0)
+    D += "#" + std::to_string(S.DestVersion);
+  return D;
+}
+
+std::string specpre::printStmt(const Function &F, const Stmt &S) {
+  std::ostringstream OS;
+  switch (S.Kind) {
+  case StmtKind::Copy:
+    OS << printDest(F, S) << " = " << printOperand(F, S.Src0);
+    break;
+  case StmtKind::Compute: {
+    const char *Sp = opcodeSpelling(S.Op);
+    if (S.Op == Opcode::Min || S.Op == Opcode::Max)
+      OS << printDest(F, S) << " = " << Sp << "(" << printOperand(F, S.Src0)
+         << ", " << printOperand(F, S.Src1) << ")";
+    else
+      OS << printDest(F, S) << " = " << printOperand(F, S.Src0) << " " << Sp
+         << " " << printOperand(F, S.Src1);
+    break;
+  }
+  case StmtKind::Phi:
+    OS << printDest(F, S) << " = phi";
+    for (const PhiArg &A : S.PhiArgs)
+      OS << " [" << F.Blocks[A.Pred].Label << ": " << printOperand(F, A.Val)
+         << "]";
+    break;
+  case StmtKind::Branch:
+    OS << "br " << printOperand(F, S.Src0) << ", "
+       << F.Blocks[S.TrueTarget].Label << ", "
+       << F.Blocks[S.FalseTarget].Label;
+    break;
+  case StmtKind::Jump:
+    OS << "jmp " << F.Blocks[S.TrueTarget].Label;
+    break;
+  case StmtKind::Ret:
+    OS << "ret " << printOperand(F, S.Src0);
+    break;
+  case StmtKind::Print:
+    OS << "print " << printOperand(F, S.Src0);
+    break;
+  }
+  return OS.str();
+}
+
+std::string specpre::printFunction(const Function &F) {
+  std::ostringstream OS;
+  OS << "func " << F.Name << "(";
+  for (unsigned I = 0; I != F.Params.size(); ++I) {
+    if (I != 0)
+      OS << ", ";
+    OS << F.varName(F.Params[I]);
+  }
+  OS << ") {\n";
+  for (const BasicBlock &BB : F.Blocks) {
+    OS << BB.Label << ":\n";
+    for (const Stmt &S : BB.Stmts)
+      OS << "  " << printStmt(F, S) << "\n";
+  }
+  OS << "}\n";
+  return OS.str();
+}
+
+std::string specpre::printModule(const Module &M) {
+  std::string Out;
+  for (const Function &F : M.Functions) {
+    Out += printFunction(F);
+    Out += "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,36 @@
+//===- ir/Printer.h - Textual IR printer -----------------------*- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints IR back to the textual form accepted by the parser, so functions
+/// round-trip (modulo temp-flattening that already happened at parse time).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_IR_PRINTER_H
+#define SPECPRE_IR_PRINTER_H
+
+#include "ir/Ir.h"
+
+#include <string>
+
+namespace specpre {
+
+/// Renders one operand, e.g. "42", "x", or "x#3".
+std::string printOperand(const Function &F, const Operand &O);
+
+/// Renders one statement without a trailing newline, e.g. "x#1 = a#1 + b#1".
+std::string printStmt(const Function &F, const Stmt &S);
+
+/// Renders a whole function in parseable syntax.
+std::string printFunction(const Function &F);
+
+/// Renders a whole module in parseable syntax.
+std::string printModule(const Module &M);
+
+} // namespace specpre
+
+#endif // SPECPRE_IR_PRINTER_H

@@ -1,0 +1,36 @@
+//===- ir/Verifier.h - IR well-formedness checks ---------------*- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural and SSA well-formedness verification. The verifier is
+/// deliberately self-contained (it computes reachability and dominance by
+/// naive set intersection) so it can serve as an independent oracle
+/// against the fast analyses in src/analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_IR_VERIFIER_H
+#define SPECPRE_IR_VERIFIER_H
+
+#include "ir/Ir.h"
+
+#include <string>
+
+namespace specpre {
+
+/// Checks structural invariants (terminators, phi placement, target and
+/// operand validity, phi/pred agreement, entry has no predecessors) and,
+/// when F.IsSSA, SSA invariants (unique versioned defs, defs dominate
+/// uses). Returns true when well-formed; otherwise false with a message in
+/// \p Error.
+bool verifyFunction(const Function &F, std::string &Error);
+
+/// Verifies and aborts with the message on failure. For tests/examples.
+void verifyFunctionOrDie(const Function &F, const std::string &Context);
+
+} // namespace specpre
+
+#endif // SPECPRE_IR_VERIFIER_H

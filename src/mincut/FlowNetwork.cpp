@@ -1,0 +1,58 @@
+//===- mincut/FlowNetwork.cpp - Flow network representation -----------------===//
+
+#include "mincut/FlowNetwork.h"
+
+#include "support/Diagnostics.h"
+
+#include <cassert>
+
+using namespace specpre;
+
+int FlowNetwork::addEdge(int From, int To, int64_t Cap, int UserTag) {
+  assert(From >= 0 && From < numNodes() && To >= 0 && To < numNodes() &&
+         "edge endpoints out of range");
+  assert(Cap >= 0 && "negative capacity");
+  Edge Fwd;
+  Fwd.To = To;
+  Fwd.Cap = Cap;
+  Fwd.IsForward = true;
+  Fwd.UserTag = UserTag;
+  Fwd.RevIndex = static_cast<int>(Adj[To].size());
+  Edge Rev;
+  Rev.To = From;
+  Rev.Cap = 0;
+  Rev.IsForward = false;
+  Rev.RevIndex = static_cast<int>(Adj[From].size());
+  Adj[From].push_back(Fwd);
+  Adj[To].push_back(Rev);
+  EdgeIndex.emplace_back(From, Rev.RevIndex);
+  OrigCap.push_back(Cap);
+  return static_cast<int>(EdgeIndex.size()) - 1;
+}
+
+int64_t FlowNetwork::edgeFlow(int EdgeId) const {
+  auto [From, Idx] = EdgeIndex[EdgeId];
+  return OrigCap[EdgeId] - Adj[From][Idx].Cap;
+}
+
+int64_t FlowNetwork::edgeCapacity(int EdgeId) const { return OrigCap[EdgeId]; }
+
+int FlowNetwork::edgeTo(int EdgeId) const {
+  auto [From, Idx] = EdgeIndex[EdgeId];
+  return Adj[From][Idx].To;
+}
+
+int FlowNetwork::edgeTag(int EdgeId) const {
+  auto [From, Idx] = EdgeIndex[EdgeId];
+  return Adj[From][Idx].UserTag;
+}
+
+void FlowNetwork::resetFlow() {
+  for (int E = 0; E != numOriginalEdges(); ++E) {
+    auto [From, Idx] = EdgeIndex[E];
+    Edge &Fwd = Adj[From][Idx];
+    Edge &Rev = Adj[Fwd.To][Fwd.RevIndex];
+    Fwd.Cap = OrigCap[E];
+    Rev.Cap = 0;
+  }
+}

@@ -1,0 +1,84 @@
+//===- mincut/FlowNetwork.h - Flow network representation ------*- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A directed flow network with residual edges, shared by the max-flow
+/// algorithms and the min-cut extraction. Parallel edges are allowed
+/// (MC-SSAPRE's EFG can have several bottom-operand edges from the
+/// artificial source into the same phi).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_MINCUT_FLOWNETWORK_H
+#define SPECPRE_MINCUT_FLOWNETWORK_H
+
+#include <cstdint>
+#include <vector>
+
+namespace specpre {
+
+/// Capacity value treated as unremovable (edges to the artificial sink).
+/// Large enough that no sum of real frequencies reaches it, small enough
+/// that summing a few infinities cannot overflow int64.
+constexpr int64_t InfiniteCapacity = int64_t(1) << 60;
+
+/// Adjacency-list flow network with implicit residual (reverse) edges.
+class FlowNetwork {
+public:
+  struct Edge {
+    int To = -1;
+    int64_t Cap = 0;   ///< Remaining capacity (residual).
+    int RevIndex = -1; ///< Index of the reverse edge in Adj[To].
+    bool IsForward = false; ///< True for original edges, false for residuals.
+    int UserTag = -1;       ///< Caller-defined id for original edges.
+  };
+
+  explicit FlowNetwork(int NumNodes = 0) : Adj(NumNodes) {}
+
+  int addNode() {
+    Adj.emplace_back();
+    return static_cast<int>(Adj.size()) - 1;
+  }
+
+  int numNodes() const { return static_cast<int>(Adj.size()); }
+
+  /// Adds a directed edge From->To with capacity \p Cap and an optional
+  /// caller tag (used to map cut edges back to FRG edges). Returns an
+  /// opaque id usable with edgeFlow().
+  int addEdge(int From, int To, int64_t Cap, int UserTag = -1);
+
+  const std::vector<Edge> &edgesFrom(int Node) const { return Adj[Node]; }
+  std::vector<Edge> &edgesFrom(int Node) { return Adj[Node]; }
+
+  /// Flow currently pushed through the original edge with id \p EdgeId
+  /// (== capacity consumed on the forward edge).
+  int64_t edgeFlow(int EdgeId) const;
+
+  /// Original capacity of the edge with id \p EdgeId.
+  int64_t edgeCapacity(int EdgeId) const;
+
+  /// Endpoints and tag of the original edge with id \p EdgeId.
+  int edgeFrom(int EdgeId) const { return EdgeIndex[EdgeId].first; }
+  int edgeTo(int EdgeId) const;
+  int edgeTag(int EdgeId) const;
+
+  int numOriginalEdges() const { return static_cast<int>(EdgeIndex.size()); }
+
+  /// Resets all flow to zero (restores residual capacities).
+  void resetFlow();
+
+private:
+  friend class MaxFlowSolver;
+
+  std::vector<std::vector<Edge>> Adj;
+  /// Original-edge id -> (from node, index within Adj[from]).
+  std::vector<std::pair<int, int>> EdgeIndex;
+  std::vector<int64_t> OrigCap;
+};
+
+} // namespace specpre
+
+#endif // SPECPRE_MINCUT_FLOWNETWORK_H

@@ -1,0 +1,33 @@
+//===- mincut/MaxFlow.h - Max-flow algorithms ------------------*- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Max-flow solvers: Edmonds-Karp (BFS augmenting paths) and Dinic's
+/// algorithm (level graph + blocking flow). The paper uses an
+/// O(V^2 sqrt(E)) algorithm and cites Chekuri et al.'s experimental study
+/// of min-cut algorithms; we implement two so the mincut_algorithms bench
+/// can compare them on EFG-shaped inputs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_MINCUT_MAXFLOW_H
+#define SPECPRE_MINCUT_MAXFLOW_H
+
+#include "mincut/FlowNetwork.h"
+
+namespace specpre {
+
+enum class MaxFlowAlgorithm { EdmondsKarp, Dinic };
+
+/// Runs the chosen max-flow algorithm from \p Source to \p Sink, leaving
+/// the flow in the network's residual capacities. Returns the max-flow
+/// value.
+int64_t computeMaxFlow(FlowNetwork &Net, int Source, int Sink,
+                       MaxFlowAlgorithm Algo = MaxFlowAlgorithm::Dinic);
+
+} // namespace specpre
+
+#endif // SPECPRE_MINCUT_MAXFLOW_H

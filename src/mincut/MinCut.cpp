@@ -1,0 +1,121 @@
+//===- mincut/MinCut.cpp - Min-cut extraction ---------------------------------===//
+
+#include "mincut/MinCut.h"
+
+#include "support/Diagnostics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+using namespace specpre;
+
+namespace {
+
+/// Nodes reachable from \p Start along residual capacity, following
+/// forward residual edges.
+std::vector<bool> residualReachableFrom(const FlowNetwork &Net, int Start) {
+  std::vector<bool> Seen(Net.numNodes(), false);
+  std::deque<int> Queue{Start};
+  Seen[Start] = true;
+  while (!Queue.empty()) {
+    int U = Queue.front();
+    Queue.pop_front();
+    for (const FlowNetwork::Edge &E : Net.edgesFrom(U)) {
+      if (E.Cap <= 0 || Seen[E.To])
+        continue;
+      Seen[E.To] = true;
+      Queue.push_back(E.To);
+    }
+  }
+  return Seen;
+}
+
+/// Nodes that can reach \p Sink along residual capacity. A node U can
+/// reach V through an edge U->V with residual capacity; to search
+/// backwards we walk the reverse adjacency, which in this representation
+/// is exactly "edges out of V whose paired edge at U has capacity".
+std::vector<bool> residualCanReach(const FlowNetwork &Net, int Sink) {
+  std::vector<bool> Seen(Net.numNodes(), false);
+  std::deque<int> Queue{Sink};
+  Seen[Sink] = true;
+  while (!Queue.empty()) {
+    int V = Queue.front();
+    Queue.pop_front();
+    // For each edge V->U (of either orientation), the paired edge U->V
+    // lives at Adj[U][RevIndex]; U can reach V if that edge has residual
+    // capacity.
+    for (const FlowNetwork::Edge &E : Net.edgesFrom(V)) {
+      int U = E.To;
+      const FlowNetwork::Edge &Paired = Net.edgesFrom(U)[E.RevIndex];
+      assert(Paired.To == V && "mismatched residual pairing");
+      if (Paired.Cap <= 0 || Seen[U])
+        continue;
+      Seen[U] = true;
+      Queue.push_back(U);
+    }
+  }
+  return Seen;
+}
+
+} // namespace
+
+MinCutResult specpre::extractMinCut(const FlowNetwork &Net, int Source,
+                                    int Sink, CutPlacement Placement) {
+  MinCutResult R;
+  if (Placement == CutPlacement::Earliest) {
+    R.SourceSide = residualReachableFrom(Net, Source);
+  } else {
+    std::vector<bool> T = residualCanReach(Net, Sink);
+    R.SourceSide.assign(Net.numNodes(), false);
+    for (int I = 0; I != Net.numNodes(); ++I)
+      R.SourceSide[I] = !T[I];
+  }
+  assert(R.SourceSide[Source] && "source ended up on the sink side");
+  assert(!R.SourceSide[Sink] && "sink ended up on the source side");
+
+  for (int E = 0; E != Net.numOriginalEdges(); ++E) {
+    int From = Net.edgeFrom(E);
+    int To = Net.edgeTo(E);
+    if (R.SourceSide[From] && !R.SourceSide[To]) {
+      R.CutEdgeIds.push_back(E);
+      R.Capacity += Net.edgeCapacity(E);
+    }
+  }
+  return R;
+}
+
+MinCutResult specpre::computeMinCut(FlowNetwork &Net, int Source, int Sink,
+                                    CutPlacement Placement,
+                                    MaxFlowAlgorithm Algo) {
+  int64_t Flow = computeMaxFlow(Net, Source, Sink, Algo);
+  MinCutResult R = extractMinCut(Net, Source, Sink, Placement);
+  assert(R.Capacity == Flow && "max-flow/min-cut duality violated");
+  (void)Flow;
+  return R;
+}
+
+int64_t specpre::bruteForceMinCutCapacity(const FlowNetwork &Net, int Source,
+                                          int Sink) {
+  int N = Net.numNodes();
+  assert(N <= 22 && "brute force limited to tiny networks");
+  // Enumerate subsets of the nodes other than source and sink.
+  std::vector<int> Free;
+  for (int I = 0; I != N; ++I)
+    if (I != Source && I != Sink)
+      Free.push_back(I);
+  int64_t Best = InfiniteCapacity * 2;
+  for (uint64_t Mask = 0; Mask < (uint64_t(1) << Free.size()); ++Mask) {
+    std::vector<bool> InS(N, false);
+    InS[Source] = true;
+    for (unsigned I = 0; I != Free.size(); ++I)
+      if (Mask & (uint64_t(1) << I))
+        InS[Free[I]] = true;
+    int64_t Cap = 0;
+    for (int E = 0; E != Net.numOriginalEdges(); ++E)
+      if (InS[Net.edgeFrom(E)] && !InS[Net.edgeTo(E)])
+        Cap += Net.edgeCapacity(E);
+    Best = std::min(Best, Cap);
+  }
+  return Best;
+}

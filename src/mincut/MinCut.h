@@ -1,0 +1,61 @@
+//===- mincut/MinCut.h - Min-cut extraction --------------------*- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimum s-t cut extraction from a max flow, in two flavors:
+///
+///  * Forward labeling: S = nodes reachable from the source in the
+///    residual graph. This yields the source-closest ("earliest") cut.
+///  * Reverse labeling (Ford & Fulkerson 1962): T = nodes that can reach
+///    the sink in the residual graph, S = complement. This yields the
+///    sink-closest ("latest") cut — the one MC-SSAPRE step 7 uses to pick
+///    later cuts on ties, which is what makes the placement lifetime
+///    optimal (Theorem 9).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_MINCUT_MINCUT_H
+#define SPECPRE_MINCUT_MINCUT_H
+
+#include "mincut/FlowNetwork.h"
+#include "mincut/MaxFlow.h"
+
+#include <vector>
+
+namespace specpre {
+
+/// A minimum cut: the partition and the saturated original edges that
+/// cross it.
+struct MinCutResult {
+  int64_t Capacity = 0;          ///< Sum of cut-edge capacities (== max flow).
+  std::vector<bool> SourceSide;  ///< Per node: true if on the source side.
+  std::vector<int> CutEdgeIds;   ///< Original-edge ids crossing the cut.
+};
+
+enum class CutPlacement {
+  Earliest, ///< forward labeling (source-closest)
+  Latest,   ///< reverse labeling (sink-closest)
+};
+
+/// Computes max flow with \p Algo and extracts the requested min cut.
+MinCutResult computeMinCut(FlowNetwork &Net, int Source, int Sink,
+                           CutPlacement Placement = CutPlacement::Latest,
+                           MaxFlowAlgorithm Algo = MaxFlowAlgorithm::Dinic);
+
+/// Extracts a cut from an existing max flow without recomputing it.
+MinCutResult extractMinCut(const FlowNetwork &Net, int Source, int Sink,
+                           CutPlacement Placement);
+
+/// Exhaustive minimum-cut search over all 2^(N-2) partitions; only for
+/// networks with at most ~20 nodes. Used by tests as an oracle. Returns
+/// the minimum cut capacity over partitions that separate source from
+/// sink (only counting forward edges from S to T).
+int64_t bruteForceMinCutCapacity(const FlowNetwork &Net, int Source,
+                                 int Sink);
+
+} // namespace specpre
+
+#endif // SPECPRE_MINCUT_MINCUT_H

@@ -1,0 +1,55 @@
+//===- opt/Cleanup.h - SSA cleanup passes ----------------------*- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Post-PRE cleanup passes over SSA form. PRE introduces copies (reloads
+/// and saves) and may leave single-target phis behind after other passes
+/// simplify control flow; a real compiler (the paper's Path64 host ran
+/// everything at -O3) cleans these with the standard scalar trio:
+///
+///  * constant folding — `x = 2 + 3` becomes `x = 5`, constant branches
+///    become jumps (with phi arguments of removed edges dropped),
+///  * copy propagation — uses of `x` where `x = y` reach it become `y`,
+///  * dead code elimination — value definitions with no (transitive)
+///    observable use are deleted; computations that can fault are kept
+///    unless the divisor is a provably nonzero constant.
+///
+/// All three preserve observable behavior (traps, prints, return value).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_OPT_CLEANUP_H
+#define SPECPRE_OPT_CLEANUP_H
+
+#include "ir/Ir.h"
+
+namespace specpre {
+
+/// Folds constant Computes into constant Copies and rewrites
+/// constant-condition branches into jumps (dropping phi arguments along
+/// deleted edges and removing unreachable blocks). Returns the number of
+/// statements or terminators changed.
+unsigned foldConstants(Function &F);
+
+/// Propagates SSA copies: every use of `x#v` defined by `x#v = y#w` (or
+/// a constant) is replaced by the copy source, transitively. The copies
+/// themselves become dead and are left for DCE. Returns the number of
+/// operands rewritten. Requires SSA form.
+unsigned propagateCopies(Function &F);
+
+/// Deletes value definitions (Copy/Compute/Phi) whose results are never
+/// used by an observable computation. Faulting computations are retained
+/// unless their right operand is a nonzero constant. Returns the number
+/// of statements deleted. Requires SSA form.
+unsigned eliminateDeadCode(Function &F);
+
+/// Runs fold/propagate/DCE to a fixpoint (bounded). Returns the total
+/// number of changes. Requires SSA form.
+unsigned runCleanupPipeline(Function &F);
+
+} // namespace specpre
+
+#endif // SPECPRE_OPT_CLEANUP_H

@@ -1,0 +1,91 @@
+//===- opt/ConstantFold.cpp - Constant folding ----------------------------------===//
+
+#include "analysis/Cfg.h"
+#include "opt/Cleanup.h"
+#include "support/Diagnostics.h"
+
+#include <set>
+
+using namespace specpre;
+
+unsigned specpre::foldConstants(Function &F) {
+  unsigned Changed = 0;
+
+  // 1. Fold constant Computes. Faulting folds (division by a constant
+  // zero) are left alone: the trap is observable behavior.
+  for (BasicBlock &BB : F.Blocks) {
+    for (Stmt &S : BB.Stmts) {
+      if (S.Kind != StmtKind::Compute || !S.Src0.isConst() ||
+          !S.Src1.isConst())
+        continue;
+      bool Faulted = false;
+      int64_t V = evalOpcode(S.Op, S.Src0.Value, S.Src1.Value, Faulted);
+      if (Faulted)
+        continue;
+      S = Stmt::makeCopy(S.Dest, Operand::makeConst(V), S.DestVersion);
+      ++Changed;
+    }
+  }
+
+  // 2. Constant branches become jumps; phis in the no-longer-reached
+  // successor drop the corresponding argument.
+  for (unsigned B = 0; B != F.numBlocks(); ++B) {
+    Stmt &T = F.Blocks[B].terminator();
+    if (T.Kind != StmtKind::Branch || !T.Src0.isConst())
+      continue;
+    BlockId Taken = T.Src0.Value != 0 ? T.TrueTarget : T.FalseTarget;
+    BlockId Dropped = T.Src0.Value != 0 ? T.FalseTarget : T.TrueTarget;
+    T = Stmt::makeJump(Taken);
+    ++Changed;
+    if (Dropped == Taken)
+      continue;
+    for (Stmt &S : F.Blocks[Dropped].Stmts) {
+      if (S.Kind != StmtKind::Phi)
+        break;
+      for (unsigned I = 0; I != S.PhiArgs.size(); ++I) {
+        if (S.PhiArgs[I].Pred == static_cast<BlockId>(B)) {
+          S.PhiArgs.erase(S.PhiArgs.begin() + I);
+          break;
+        }
+      }
+    }
+  }
+  if (Changed)
+    removeUnreachableBlocks(F);
+
+  // 3. Single-argument phis become copies, placed after the remaining
+  // phis to keep the phi-first block layout. SSA versioning makes the
+  // move safe: the copy's source version cannot be redefined by the
+  // surviving phis.
+  for (BasicBlock &BB : F.Blocks) {
+    unsigned NumPhis = BB.firstNonPhiIdx();
+    if (NumPhis == 0)
+      continue;
+    bool AnySingleArg = false;
+    for (unsigned I = 0; I != NumPhis; ++I)
+      AnySingleArg |= BB.Stmts[I].PhiArgs.size() == 1;
+    if (!AnySingleArg)
+      continue;
+    std::vector<Stmt> Phis, Copies;
+    for (unsigned I = 0; I != NumPhis; ++I) {
+      Stmt &S = BB.Stmts[I];
+      if (S.PhiArgs.size() == 1) {
+        Copies.push_back(
+            Stmt::makeCopy(S.Dest, S.PhiArgs[0].Val, S.DestVersion));
+        ++Changed;
+      } else {
+        Phis.push_back(std::move(S));
+      }
+    }
+    std::vector<Stmt> NewStmts;
+    NewStmts.reserve(BB.Stmts.size());
+    for (Stmt &S : Phis)
+      NewStmts.push_back(std::move(S));
+    for (Stmt &S : Copies)
+      NewStmts.push_back(std::move(S));
+    for (unsigned I = NumPhis; I != BB.Stmts.size(); ++I)
+      NewStmts.push_back(std::move(BB.Stmts[I]));
+    BB.Stmts = std::move(NewStmts);
+  }
+  return Changed;
+}

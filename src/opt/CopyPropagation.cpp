@@ -1,0 +1,88 @@
+//===- opt/CopyPropagation.cpp - SSA copy propagation ----------------------------===//
+
+#include "opt/Cleanup.h"
+#include "support/Diagnostics.h"
+
+#include <cassert>
+#include <map>
+
+using namespace specpre;
+
+namespace {
+
+/// Resolves a chain of copies to its ultimate source.
+Operand resolve(const std::map<std::pair<VarId, int>, Operand> &CopyOf,
+                Operand O) {
+  // Chains are acyclic in SSA (a copy's source version is defined
+  // earlier), so this terminates; the small bound is belt and braces.
+  for (int Guard = 0; Guard != 64 && O.isVar(); ++Guard) {
+    auto It = CopyOf.find({O.Var, O.Version});
+    if (It == CopyOf.end())
+      return O;
+    O = It->second;
+  }
+  return O;
+}
+
+} // namespace
+
+unsigned specpre::propagateCopies(Function &F) {
+  assert(F.IsSSA && "copy propagation requires SSA form");
+
+  // Gather the copy definitions.
+  std::map<std::pair<VarId, int>, Operand> CopyOf;
+  for (const BasicBlock &BB : F.Blocks)
+    for (const Stmt &S : BB.Stmts)
+      if (S.Kind == StmtKind::Copy)
+        CopyOf[{S.Dest, S.DestVersion}] = S.Src0;
+
+  if (CopyOf.empty())
+    return 0;
+
+  // Rewrite every use through the chains.
+  unsigned Rewritten = 0;
+  auto Rewrite = [&](Operand &O) {
+    if (!O.isVar())
+      return;
+    Operand R = resolve(CopyOf, O);
+    if (!(R == O)) {
+      O = R;
+      ++Rewritten;
+    }
+  };
+  for (BasicBlock &BB : F.Blocks) {
+    for (Stmt &S : BB.Stmts) {
+      switch (S.Kind) {
+      case StmtKind::Copy:
+      case StmtKind::Branch:
+      case StmtKind::Ret:
+      case StmtKind::Print:
+        Rewrite(S.Src0);
+        break;
+      case StmtKind::Compute:
+        Rewrite(S.Src0);
+        Rewrite(S.Src1);
+        break;
+      case StmtKind::Phi:
+        // Phi arguments must stay versions of the phi's own variable:
+        // SSAPRE's factored redundancy graph (like any SSA-based sparse
+        // analysis) relies on variable phis merging versions of one
+        // variable, so substituting a foreign copy source here would
+        // pessimize (and previously miscompile) later PRE rounds.
+        for (PhiArg &A : S.PhiArgs) {
+          if (!A.Val.isVar())
+            continue;
+          Operand R = resolve(CopyOf, A.Val);
+          if (R.isVar() && R.Var == S.Dest && !(R == A.Val)) {
+            A.Val = R;
+            ++Rewritten;
+          }
+        }
+        break;
+      case StmtKind::Jump:
+        break;
+      }
+    }
+  }
+  return Rewritten;
+}

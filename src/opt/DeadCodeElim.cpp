@@ -1,0 +1,125 @@
+//===- opt/DeadCodeElim.cpp - SSA dead code elimination --------------------------===//
+
+#include "opt/Cleanup.h"
+#include "support/Diagnostics.h"
+
+#include <cassert>
+#include <map>
+#include <vector>
+
+using namespace specpre;
+
+unsigned specpre::eliminateDeadCode(Function &F) {
+  assert(F.IsSSA && "DCE requires SSA form");
+
+  // Index every value definition.
+  std::map<std::pair<VarId, int>, std::pair<unsigned, unsigned>> DefSite;
+  for (unsigned B = 0; B != F.numBlocks(); ++B)
+    for (unsigned I = 0; I != F.Blocks[B].Stmts.size(); ++I) {
+      const Stmt &S = F.Blocks[B].Stmts[I];
+      if (S.definesValue())
+        DefSite[{S.Dest, S.DestVersion}] = {B, I};
+    }
+
+  // Roots: operands of statements with observable effects, plus
+  // computations that may fault (they must run, hence their operands are
+  // live too).
+  std::map<std::pair<VarId, int>, bool> Live;
+  std::vector<std::pair<VarId, int>> Work;
+  auto MarkLive = [&](const Operand &O) {
+    if (!O.isVar())
+      return;
+    auto Key = std::make_pair(O.Var, O.Version);
+    if (Live[Key])
+      return;
+    Live[Key] = true;
+    Work.push_back(Key);
+  };
+
+  auto MayFaultAndMustStay = [](const Stmt &S) {
+    if (S.Kind != StmtKind::Compute || !opcodeCanFault(S.Op))
+      return false;
+    // A nonzero constant divisor can never fault (INT64_MIN / -1 is the
+    // lone overflow case, so -1 must stay too).
+    if (S.Src1.isConst() && S.Src1.Value != 0 && S.Src1.Value != -1)
+      return false;
+    return true;
+  };
+
+  for (const BasicBlock &BB : F.Blocks) {
+    for (const Stmt &S : BB.Stmts) {
+      switch (S.Kind) {
+      case StmtKind::Branch:
+      case StmtKind::Ret:
+      case StmtKind::Print:
+        MarkLive(S.Src0);
+        break;
+      case StmtKind::Compute:
+        if (MayFaultAndMustStay(S)) {
+          MarkLive(S.Src0);
+          MarkLive(S.Src1);
+        }
+        break;
+      default:
+        break;
+      }
+    }
+  }
+
+  // Transitive closure over def-use.
+  while (!Work.empty()) {
+    auto Key = Work.back();
+    Work.pop_back();
+    auto It = DefSite.find(Key);
+    if (It == DefSite.end())
+      continue; // parameter: implicitly defined
+    const Stmt &S = F.Blocks[It->second.first].Stmts[It->second.second];
+    switch (S.Kind) {
+    case StmtKind::Copy:
+      MarkLive(S.Src0);
+      break;
+    case StmtKind::Compute:
+      MarkLive(S.Src0);
+      MarkLive(S.Src1);
+      break;
+    case StmtKind::Phi:
+      for (const PhiArg &A : S.PhiArgs)
+        MarkLive(A.Val);
+      break;
+    default:
+      SPECPRE_UNREACHABLE("non-definition in def index");
+    }
+  }
+
+  // Sweep.
+  unsigned Deleted = 0;
+  for (BasicBlock &BB : F.Blocks) {
+    std::vector<Stmt> Kept;
+    Kept.reserve(BB.Stmts.size());
+    for (Stmt &S : BB.Stmts) {
+      bool Dead = S.definesValue() &&
+                  !Live[{S.Dest, S.DestVersion}] && !MayFaultAndMustStay(S);
+      if (Dead)
+        ++Deleted;
+      else
+        Kept.push_back(std::move(S));
+    }
+    BB.Stmts = std::move(Kept);
+  }
+  return Deleted;
+}
+
+unsigned specpre::runCleanupPipeline(Function &F) {
+  assert(F.IsSSA && "cleanup pipeline requires SSA form");
+  unsigned Total = 0;
+  for (int Round = 0; Round != 8; ++Round) {
+    unsigned Changed = 0;
+    Changed += foldConstants(F);
+    Changed += propagateCopies(F);
+    Changed += eliminateDeadCode(F);
+    Total += Changed;
+    if (Changed == 0)
+      break;
+  }
+  return Total;
+}

@@ -1,0 +1,39 @@
+//===- opt/ValueNumbering.h - Dominator-scoped GVN -------------*- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator-tree scoped global value numbering. PRE's lexical
+/// identification (paper footnote 1) relates occurrences by base
+/// variables; GVN relates them by *value*, so the two compose: GVN
+/// catches `u1*c` vs `u2*c` when u1 and u2 carry the same value, which
+/// lexical PRE cannot, while PRE moves computations across control flow,
+/// which GVN cannot. Real SSA compilers (including the paper's Path64
+/// lineage) run both.
+///
+/// The implementation is the classic preorder dominator-tree walk with a
+/// scoped expression table: operands are canonicalized through copies
+/// and discovered equalities, commutative operands are ordered, constant
+/// operations fold, and a redundant computation dominated by an
+/// equivalent one becomes a copy (left to DCE once propagated).
+/// Identical phis in the same block also unify. Faulting operations may
+/// be value-numbered (the dominating twin traps first) but never folded.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_OPT_VALUENUMBERING_H
+#define SPECPRE_OPT_VALUENUMBERING_H
+
+#include "ir/Ir.h"
+
+namespace specpre {
+
+/// Runs GVN over \p F (must be in SSA form). Returns the number of
+/// statements simplified (turned into copies or folded to constants).
+unsigned runValueNumbering(Function &F);
+
+} // namespace specpre
+
+#endif // SPECPRE_OPT_VALUENUMBERING_H

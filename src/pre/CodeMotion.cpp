@@ -1,0 +1,124 @@
+//===- pre/CodeMotion.cpp - SSAPRE CodeMotion step ----------------------------===//
+
+#include "pre/CodeMotion.h"
+
+#include "support/Diagnostics.h"
+
+#include <cassert>
+#include <map>
+#include <vector>
+
+using namespace specpre;
+
+unsigned specpre::applyCodeMotion(Function &F, const Frg &G,
+                                  FinalizePlan &Plan, VarId TempVar) {
+  const ExprKey &E = G.expr();
+
+  // Assign SSA versions to the live temp definitions.
+  int NextVersion = 1;
+  for (TempDef &D : Plan.TempDefs)
+    if (D.Live)
+      D.AssignedVersion = NextVersion++;
+  if (NextVersion == 1)
+    return 0; // nothing lives: no transformation
+
+  auto TempOperandOf = [&](int DefIdx) {
+    const TempDef &D = Plan.TempDefs[DefIdx];
+    assert(D.Live && D.AssignedVersion > 0 && "use of a dead temp def");
+    return Operand::makeVar(TempVar, D.AssignedVersion);
+  };
+
+  auto ExprOperand = [&](const OperandKey &K, int Ver) {
+    if (K.IsConst)
+      return Operand::makeConst(K.Const);
+    assert(Ver > 0 && "insertion with an undefined operand version");
+    return Operand::makeVar(K.Var, Ver);
+  };
+
+  // Group the edits per block.
+  struct BlockEdits {
+    std::vector<Stmt> PhiDefs;                 // after existing phis
+    std::vector<Stmt> InsertsAtEnd;            // before the terminator
+    std::map<unsigned, Stmt> ReplaceAt;        // reloads, by stmt index
+    std::map<unsigned, Stmt> SaveAfter;        // saves, by stmt index
+  };
+  std::map<BlockId, BlockEdits> Edits;
+
+  unsigned NumChanges = 0;
+  for (const TempDef &D : Plan.TempDefs) {
+    if (!D.Live)
+      continue;
+    switch (D.K) {
+    case TempDef::Kind::Insert: {
+      Stmt S = Stmt::makeCompute(TempVar, E.Op, ExprOperand(E.L, D.LVer),
+                                 ExprOperand(E.R, D.RVer),
+                                 D.AssignedVersion);
+      Edits[D.Block].InsertsAtEnd.push_back(std::move(S));
+      ++NumChanges;
+      break;
+    }
+    case TempDef::Kind::Phi: {
+      std::vector<PhiArg> Args;
+      for (unsigned OI = 0; OI != D.PhiArgs.size(); ++OI) {
+        PhiArg A;
+        A.Pred = D.PhiPreds[OI];
+        A.Val = TempOperandOf(D.PhiArgs[OI]);
+        Args.push_back(A);
+      }
+      Edits[D.Block].PhiDefs.push_back(
+          Stmt::makePhi(TempVar, std::move(Args), D.AssignedVersion));
+      ++NumChanges;
+      break;
+    }
+    case TempDef::Kind::RealSave: {
+      const RealOcc &R = G.reals()[D.RealIdx];
+      assert(R.Save && "live RealSave without Save flag");
+      const Stmt &Orig = F.Blocks[R.Block].Stmts[R.StmtIdx];
+      Stmt S = Stmt::makeCopy(
+          TempVar, Operand::makeVar(Orig.Dest, Orig.DestVersion),
+          D.AssignedVersion);
+      Edits[R.Block].SaveAfter.emplace(R.StmtIdx, std::move(S));
+      ++NumChanges;
+      break;
+    }
+    }
+  }
+  for (const RealOcc &R : G.reals()) {
+    if (!R.Reload)
+      continue;
+    const Stmt &Orig = F.Blocks[R.Block].Stmts[R.StmtIdx];
+    assert(E.matches(Orig) && "reload target is not an occurrence");
+    Stmt S = Stmt::makeCopy(Orig.Dest, TempOperandOf(R.TempDefIndex),
+                            Orig.DestVersion);
+    Edits[R.Block].ReplaceAt.emplace(R.StmtIdx, std::move(S));
+    ++NumChanges;
+  }
+
+  // Rebuild the edited blocks.
+  for (auto &[B, BE] : Edits) {
+    BasicBlock &BB = F.Blocks[B];
+    std::vector<Stmt> NewStmts;
+    NewStmts.reserve(BB.Stmts.size() + BE.PhiDefs.size() +
+                     BE.InsertsAtEnd.size() + BE.SaveAfter.size());
+    unsigned FirstNonPhi = BB.firstNonPhiIdx();
+    for (unsigned I = 0; I != BB.Stmts.size(); ++I) {
+      if (I == FirstNonPhi)
+        for (Stmt &P : BE.PhiDefs)
+          NewStmts.push_back(std::move(P));
+      bool IsTerminator = I + 1 == BB.Stmts.size();
+      if (IsTerminator)
+        for (Stmt &S : BE.InsertsAtEnd)
+          NewStmts.push_back(std::move(S));
+      auto Replacement = BE.ReplaceAt.find(I);
+      if (Replacement != BE.ReplaceAt.end())
+        NewStmts.push_back(std::move(Replacement->second));
+      else
+        NewStmts.push_back(std::move(BB.Stmts[I]));
+      auto Save = BE.SaveAfter.find(I);
+      if (Save != BE.SaveAfter.end())
+        NewStmts.push_back(std::move(Save->second));
+    }
+    BB.Stmts = std::move(NewStmts);
+  }
+  return NumChanges;
+}

@@ -1,0 +1,32 @@
+//===- pre/CodeMotion.h - SSAPRE CodeMotion step ---------------*- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SSAPRE's CodeMotion (paper step 10 == Kennedy et al. step 6): applies
+/// a FinalizePlan to the function — inserts the temporary's computations
+/// at predecessor exits, materializes its phis, rewrites reloaded
+/// occurrences into copies from the temporary and appends saves after
+/// occurrences whose value is reused. The output remains in SSA form.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_PRE_CODEMOTION_H
+#define SPECPRE_PRE_CODEMOTION_H
+
+#include "pre/Finalize.h"
+#include "pre/Frg.h"
+
+namespace specpre {
+
+/// Applies \p Plan for the expression of \p G to \p F (the same function
+/// the FRG was built from). \p TempVar is the PRE temporary to define.
+/// Returns the number of statements changed or added.
+unsigned applyCodeMotion(Function &F, const Frg &G, FinalizePlan &Plan,
+                         VarId TempVar);
+
+} // namespace specpre
+
+#endif // SPECPRE_PRE_CODEMOTION_H

@@ -1,0 +1,121 @@
+//===- pre/DotExport.cpp - Graphviz rendering of CFG and FRG -------------------===//
+
+#include "pre/DotExport.h"
+
+#include "ir/Printer.h"
+
+#include <sstream>
+
+using namespace specpre;
+
+namespace {
+
+std::string escape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    if (C == '\n') {
+      Out += "\\l";
+      continue;
+    }
+    Out += C;
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string specpre::cfgToDot(const Function &F, const Profile *Prof) {
+  std::ostringstream OS;
+  OS << "digraph \"" << escape(F.Name) << "\" {\n";
+  OS << "  node [shape=box, fontname=\"monospace\"];\n";
+  for (unsigned B = 0; B != F.numBlocks(); ++B) {
+    const BasicBlock &BB = F.Blocks[B];
+    OS << "  b" << B << " [label=\"" << escape(BB.Label);
+    if (Prof)
+      OS << " (freq " << Prof->blockFreq(static_cast<BlockId>(B)) << ")";
+    OS << "\\l";
+    for (const Stmt &S : BB.Stmts)
+      OS << escape(printStmt(F, S)) << "\\l";
+    OS << "\"];\n";
+    std::vector<BlockId> Succs;
+    BB.appendSuccessors(Succs);
+    for (BlockId S : Succs)
+      OS << "  b" << B << " -> b" << S << ";\n";
+  }
+  OS << "}\n";
+  return OS.str();
+}
+
+std::string specpre::frgToDot(const Frg &G, const Profile *Prof) {
+  const Function &F = G.function();
+  std::ostringstream OS;
+  OS << "digraph \"FRG " << escape(G.expr().toString(F)) << "\" {\n";
+  OS << "  rankdir=TB;\n  node [fontname=\"monospace\"];\n";
+
+  bool AnyReduced = false;
+  for (const PhiOcc &P : G.phis())
+    AnyReduced |= P.InReducedGraph;
+
+  if (AnyReduced) {
+    OS << "  source [shape=doublecircle];\n";
+    OS << "  sink [shape=doublecircle];\n";
+  }
+
+  for (unsigned I = 0; I != G.phis().size(); ++I) {
+    const PhiOcc &P = G.phis()[I];
+    OS << "  phi" << I << " [shape=ellipse, label=\"Phi@"
+       << escape(F.Blocks[P.Block].Label) << "\\nclass c" << P.Class
+       << (P.WillBeAvail ? "\\nwba" : "") << "\""
+       << (P.InReducedGraph ? "" : ", style=dashed") << "];\n";
+  }
+  for (unsigned I = 0; I != G.reals().size(); ++I) {
+    const RealOcc &R = G.reals()[I];
+    OS << "  real" << I << " [shape=box, label=\""
+       << escape(printStmt(F, F.Blocks[R.Block].Stmts[R.StmtIdx])) << "\\n@"
+       << escape(F.Blocks[R.Block].Label) << " c" << R.Class
+       << (R.RgExcluded ? " rg_excluded" : "") << "\""
+       << (R.RgExcluded || !R.Def.isPhi() ? ", style=dashed" : "")
+       << "];\n";
+  }
+
+  auto Weight = [&](BlockId B) -> std::string {
+    if (!Prof)
+      return "";
+    return " w=" + std::to_string(Prof->blockFreq(B));
+  };
+
+  // Phi operands: def-use edges (type 1), bottoms from the source.
+  for (unsigned I = 0; I != G.phis().size(); ++I) {
+    const PhiOcc &P = G.phis()[I];
+    for (const PhiOperand &Op : P.Operands) {
+      std::string Attr = Op.Insert ? ", color=red, penwidth=2" : "";
+      std::string Label = F.Blocks[Op.Pred].Label + Weight(Op.Pred);
+      if (Op.isBottom()) {
+        if (AnyReduced && P.InReducedGraph)
+          OS << "  source -> phi" << I << " [label=\"" << escape(Label)
+             << (Op.InsertBlocked ? " blocked" : "") << "\"" << Attr
+             << "];\n";
+        continue;
+      }
+      if (!Op.Def.isPhi())
+        continue;
+      OS << "  phi" << Op.Def.Index << " -> phi" << I << " [label=\""
+         << escape(Label) << (Op.HasRealUse ? " real-use" : "") << "\""
+         << Attr << (Op.HasRealUse ? ", style=dotted" : "") << "];\n";
+    }
+  }
+  // Real occurrences: type-2 edges and sink edges.
+  for (unsigned I = 0; I != G.reals().size(); ++I) {
+    const RealOcc &R = G.reals()[I];
+    if (!R.Def.isPhi())
+      continue;
+    OS << "  phi" << R.Def.Index << " -> real" << I << " [label=\""
+       << escape(F.Blocks[R.Block].Label + Weight(R.Block)) << "\"];\n";
+    if (AnyReduced && !R.RgExcluded && G.phiOf(R.Def).InReducedGraph)
+      OS << "  real" << I << " -> sink [label=\"inf\"];\n";
+  }
+  OS << "}\n";
+  return OS.str();
+}

@@ -1,0 +1,39 @@
+//===- pre/DotExport.h - Graphviz rendering of CFG and FRG -----*- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Graphviz (DOT) renderers for the control-flow graph and the factored
+/// redundancy graph / essential flow graph, mirroring the paper's
+/// Figures 2-6: Φ nodes, real occurrences, ⊥ operands hanging off the
+/// artificial source, type-1/type-2 edge weights from node frequencies,
+/// and the chosen insertions highlighted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_PRE_DOTEXPORT_H
+#define SPECPRE_PRE_DOTEXPORT_H
+
+#include "ir/Ir.h"
+#include "pre/Frg.h"
+#include "profile/Profile.h"
+
+#include <string>
+
+namespace specpre {
+
+/// Renders the CFG with statements in the node labels; block frequencies
+/// are shown when \p Prof is non-null.
+std::string cfgToDot(const Function &F, const Profile *Prof = nullptr);
+
+/// Renders the FRG after whatever phase has run on it: solid nodes for
+/// the reduced graph, dashed for excluded occurrences, the artificial
+/// source/sink when the EFG is non-trivial, edge weights from \p Prof,
+/// and red edges where insertion was chosen.
+std::string frgToDot(const Frg &G, const Profile *Prof = nullptr);
+
+} // namespace specpre
+
+#endif // SPECPRE_PRE_DOTEXPORT_H

@@ -1,0 +1,38 @@
+//===- pre/EdgeTransform.h - Shared edge-insertion rewrite -----*- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transformation step shared by the CFG-based PRE algorithms
+/// (MC-PRE and LCM): split the chosen insertion edges with `t = e`
+/// blocks, recompute availability, then rewrite every occurrence that
+/// became fully available into a reload and save the value at the
+/// occurrences that keep computing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_PRE_EDGETRANSFORM_H
+#define SPECPRE_PRE_EDGETRANSFORM_H
+
+#include "ir/Ir.h"
+#include "pre/ExprKey.h"
+#include "profile/Profile.h"
+
+#include <vector>
+
+namespace specpre {
+
+/// Applies edge insertions for expression \p E on non-SSA \p F and
+/// rewrites redundant occurrences to use \p TempVar. When
+/// \p ProfToUpdate is non-null it is kept consistent with the CFG edits
+/// (split blocks inherit the split edge's frequency).
+void applyEdgeInsertionsAndRewrite(
+    Function &F, const ExprKey &E,
+    const std::vector<std::pair<BlockId, BlockId>> &Inserts, VarId TempVar,
+    Profile *ProfToUpdate);
+
+} // namespace specpre
+
+#endif // SPECPRE_PRE_EDGETRANSFORM_H

@@ -1,0 +1,33 @@
+//===- pre/ExprKey.cpp - Lexical expression identification ------------------===//
+
+#include "pre/ExprKey.h"
+
+#include <algorithm>
+
+using namespace specpre;
+
+std::string ExprKey::toString(const Function &F) const {
+  auto Side = [&](const OperandKey &K) {
+    return K.IsConst ? std::to_string(K.Const) : F.varName(K.Var);
+  };
+  return Side(L) + " " + opcodeSpelling(Op) + " " + Side(R);
+}
+
+std::vector<ExprKey> specpre::collectCandidateExprs(const Function &F) {
+  std::vector<ExprKey> Keys;
+  for (const BasicBlock &BB : F.Blocks) {
+    for (const Stmt &S : BB.Stmts) {
+      if (S.Kind != StmtKind::Compute)
+        continue;
+      if (S.Src0.isConst() && S.Src1.isConst())
+        continue; // constant folding territory
+      ExprKey K;
+      K.Op = S.Op;
+      K.L = OperandKey::of(S.Src0);
+      K.R = OperandKey::of(S.Src1);
+      if (std::find(Keys.begin(), Keys.end(), K) == Keys.end())
+        Keys.push_back(K);
+    }
+  }
+  return Keys;
+}

@@ -1,0 +1,61 @@
+//===- pre/Finalize.h - SSAPRE Finalize step -------------------*- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SSAPRE's Finalize (paper step 9 == Kennedy et al. step 5): given the
+/// WillBeAvail and Insert decisions on the FRG, decides for every real
+/// occurrence whether it reloads from the PRE temporary or computes (and
+/// whether the computed value is saved), places the temporary's phis and
+/// inserted computations, and removes extraneous phis via liveness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_PRE_FINALIZE_H
+#define SPECPRE_PRE_FINALIZE_H
+
+#include "pre/Frg.h"
+
+#include <vector>
+
+namespace specpre {
+
+/// One definition of the PRE temporary t in the transformed program.
+struct TempDef {
+  enum class Kind {
+    Insert,   ///< `t = a op b` inserted at the end of a predecessor block.
+    Phi,      ///< `t = phi(...)` materialized for a will_be_avail Φ.
+    RealSave, ///< `t = x` after a real occurrence that keeps computing.
+  };
+  Kind K = Kind::Insert;
+
+  BlockId Block = InvalidBlock; ///< Insert: the predecessor block;
+                                ///< Phi/RealSave: the occurrence's block.
+  int PhiIdx = -1;              ///< Phi: index into Frg::phis().
+  int RealIdx = -1;             ///< RealSave: index into Frg::reals().
+  int LVer = 0, RVer = 0;       ///< Insert: operand versions to compute with.
+
+  std::vector<BlockId> PhiPreds; ///< Phi: operand predecessors, in order.
+  std::vector<int> PhiArgs;      ///< Phi: per operand, source TempDef index.
+
+  bool Live = false;       ///< Survives extraneous-phi elimination.
+  int AssignedVersion = 0; ///< SSA version of t given by CodeMotion.
+};
+
+/// The complete edit plan for one expression. Real-occurrence decisions
+/// (Reload/Save/TempDefIndex) are recorded in the Frg's RealOccs.
+struct FinalizePlan {
+  std::vector<TempDef> TempDefs;
+
+  bool hasAnyEffect() const;
+};
+
+/// Runs Finalize on \p G (which must have WillBeAvail and Insert set by
+/// either the safe SSAPRE placement or MC-SSAPRE steps 3-8).
+FinalizePlan finalizePlacement(Frg &G);
+
+} // namespace specpre
+
+#endif // SPECPRE_PRE_FINALIZE_H

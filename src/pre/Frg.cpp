@@ -1,0 +1,155 @@
+//===- pre/Frg.cpp - Factored redundancy graph: Phi-Insertion ---------------===//
+
+#include "pre/Frg.h"
+
+#include "analysis/DominanceFrontier.h"
+#include "pre/FrgInternal.h"
+#include "support/Diagnostics.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace specpre;
+
+const PhiOcc &Frg::phiOf(OccRef Ref) const {
+  assert(Ref.isPhi() && "not a phi occurrence");
+  return Phis[Ref.Index];
+}
+
+PhiOcc &Frg::phiOf(OccRef Ref) {
+  assert(Ref.isPhi() && "not a phi occurrence");
+  return Phis[Ref.Index];
+}
+
+namespace specpre {
+
+/// Shared implementation of steps 1-2; Rename lives in FrgRename.cpp.
+class FrgBuilder {
+public:
+  FrgBuilder(Frg &G) : G(G) {}
+
+  void run() {
+    insertPhis();
+    collectReals();
+    detail::renameFrg(G);
+  }
+
+private:
+  void insertPhis();
+  void collectReals();
+
+  Frg &G;
+};
+
+void FrgBuilder::insertPhis() {
+  const Function &F = G.F;
+  const Cfg &C = G.C;
+
+  // Seed set: blocks with real occurrences, plus blocks containing a
+  // variable phi for one of the expression's operands (the expression
+  // potentially acquires a new value there, so the merge point of h must
+  // be exposed; Kennedy et al. Section 3.1).
+  std::vector<BlockId> OccBlocks;
+  std::vector<BlockId> VarPhiBlocks;
+  for (unsigned B = 0; B != F.numBlocks(); ++B) {
+    bool HasOcc = false, HasVarPhi = false;
+    for (const Stmt &S : F.Blocks[B].Stmts) {
+      if (G.E.matches(S))
+        HasOcc = true;
+      if (S.Kind == StmtKind::Phi && G.E.dependsOnVar(S.Dest))
+        HasVarPhi = true;
+    }
+    if (HasOcc)
+      OccBlocks.push_back(static_cast<BlockId>(B));
+    if (HasVarPhi)
+      VarPhiBlocks.push_back(static_cast<BlockId>(B));
+  }
+
+  DominanceFrontier DF(C, G.DT);
+  std::vector<BlockId> Seeds = OccBlocks;
+  Seeds.insert(Seeds.end(), VarPhiBlocks.begin(), VarPhiBlocks.end());
+  std::vector<BlockId> PhiBlocks = DF.iterated(Seeds);
+  // Operand-phi blocks host a Φ directly (they are join nodes already).
+  PhiBlocks.insert(PhiBlocks.end(), VarPhiBlocks.begin(), VarPhiBlocks.end());
+  std::sort(PhiBlocks.begin(), PhiBlocks.end());
+  PhiBlocks.erase(std::unique(PhiBlocks.begin(), PhiBlocks.end()),
+                  PhiBlocks.end());
+
+  G.PhiAtBlock.assign(F.numBlocks(), -1);
+  for (BlockId B : PhiBlocks) {
+    // Φs are only meaningful at reachable join points.
+    if (!C.isReachable(B) || C.preds(B).size() < 2)
+      continue;
+    PhiOcc P;
+    P.Block = B;
+    for (BlockId Pred : C.preds(B)) {
+      PhiOperand Op;
+      Op.Pred = Pred;
+      P.Operands.push_back(Op);
+    }
+    G.PhiAtBlock[B] = static_cast<int>(G.Phis.size());
+    G.Phis.push_back(std::move(P));
+  }
+}
+
+void FrgBuilder::collectReals() {
+  const Function &F = G.F;
+  for (unsigned B = 0; B != F.numBlocks(); ++B) {
+    if (!G.C.isReachable(static_cast<BlockId>(B)))
+      continue;
+    const BasicBlock &BB = F.Blocks[B];
+    for (unsigned I = 0; I != BB.Stmts.size(); ++I) {
+      const Stmt &S = BB.Stmts[I];
+      if (!G.E.matches(S))
+        continue;
+      RealOcc R;
+      R.Block = static_cast<BlockId>(B);
+      R.StmtIdx = I;
+      R.LVer = S.Src0.isVar() ? S.Src0.Version : 0;
+      R.RVer = S.Src1.isVar() ? S.Src1.Version : 0;
+      G.Reals.push_back(R);
+    }
+  }
+}
+
+} // namespace specpre
+
+Frg::Frg(const Function &F, const Cfg &C, const DomTree &DT, const ExprKey &E)
+    : F(F), C(C), DT(DT), E(E) {
+  assert(F.IsSSA && "FRG construction requires SSA form");
+  FrgBuilder B(*this);
+  B.run();
+}
+
+std::string Frg::dump() const {
+  std::ostringstream OS;
+  OS << "FRG for '" << E.toString(F) << "':\n";
+  for (unsigned I = 0; I != Phis.size(); ++I) {
+    const PhiOcc &P = Phis[I];
+    OS << "  phi" << I << " @" << F.Blocks[P.Block].Label
+       << " class=" << P.Class << " entry=(" << P.LVerAtEntry << ","
+       << P.RVerAtEntry << ") [";
+    for (unsigned J = 0; J != P.Operands.size(); ++J) {
+      const PhiOperand &Op = P.Operands[J];
+      if (J)
+        OS << ", ";
+      OS << F.Blocks[Op.Pred].Label << ": ";
+      if (Op.isBottom())
+        OS << "_|_";
+      else
+        OS << "c" << Op.Class << (Op.HasRealUse ? "!" : "");
+    }
+    OS << "] downSafe=" << Phis[I].DownSafe
+       << " fullyAvail=" << Phis[I].FullyAvail << " partAnt=" << P.PartAnt
+       << "\n";
+  }
+  for (unsigned I = 0; I != Reals.size(); ++I) {
+    const RealOcc &R = Reals[I];
+    OS << "  real" << I << " @" << F.Blocks[R.Block].Label << "/" << R.StmtIdx
+       << " class=" << R.Class << " vers=(" << R.LVer << "," << R.RVer << ")"
+       << (R.RgExcluded ? " rg_excluded" : "")
+       << " def=" << (R.Def.isPhi() ? "phi" : R.Def.isReal() ? "real" : "self")
+       << "\n";
+  }
+  return OS.str();
+}

@@ -1,0 +1,181 @@
+//===- pre/Frg.h - Factored redundancy graph -------------------*- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The factored redundancy graph (FRG): the SSA form of the hypothetical
+/// temporary h carrying the candidate expression's value (Kennedy et al.,
+/// TOPLAS 1999; paper Section 3.1.1). It is built by the first two steps
+/// shared between SSAPRE and MC-SSAPRE:
+///
+///  1. Phi-Insertion — expression Φs are placed at the iterated dominance
+///     frontier of the real occurrences and at blocks containing variable
+///     phis of the expression's operands.
+///  2. Rename        — occurrences are assigned redundancy classes via a
+///     preorder dominator-tree walk; MC-SSAPRE additionally marks real
+///     occurrences dominated by same-version real occurrences as
+///     rg_excluded (paper Section 3.1.3).
+///
+/// Everything downstream (DownSafety/WillBeAvail for SSAPRE; data flow,
+/// graph reduction, EFG and min-cut for MC-SSAPRE; the shared Finalize
+/// and CodeMotion) consumes this structure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_PRE_FRG_H
+#define SPECPRE_PRE_FRG_H
+
+#include "analysis/Cfg.h"
+#include "analysis/DomTree.h"
+#include "ir/Ir.h"
+#include "pre/ExprKey.h"
+
+#include <string>
+#include <vector>
+
+namespace specpre {
+
+/// Reference to an occurrence node in the FRG.
+struct OccRef {
+  enum class Kind : uint8_t { None, Real, Phi };
+  Kind K = Kind::None;
+  int Index = -1;
+
+  static OccRef none() { return OccRef{}; }
+  static OccRef real(int I) { return OccRef{Kind::Real, I}; }
+  static OccRef phi(int I) { return OccRef{Kind::Phi, I}; }
+
+  bool isNone() const { return K == Kind::None; }
+  bool isReal() const { return K == Kind::Real; }
+  bool isPhi() const { return K == Kind::Phi; }
+
+  bool operator==(const OccRef &) const = default;
+};
+
+/// A real occurrence: a Compute statement of the candidate expression.
+struct RealOcc {
+  BlockId Block = InvalidBlock;
+  unsigned StmtIdx = 0;
+
+  int LVer = 0, RVer = 0; ///< SSA versions of the var operands (0 = const).
+
+  int Class = -1;   ///< Redundancy class.
+  OccRef Def;       ///< Class-defining occurrence; self when none() is set
+                    ///< ... i.e. none() means this occurrence opened the
+                    ///< class (it is non-redundant).
+  bool RgExcluded = false; ///< MC-SSAPRE: dominated by a same-version real.
+
+  // ---- Finalize outputs ----
+  bool Reload = false;   ///< Replaced by a use of the PRE temporary.
+  bool Save = false;     ///< Computed value saved into the temporary.
+  int TempDefIndex = -1; ///< Reload: index into FinalizePlan::TempDefs.
+};
+
+/// One operand of an expression Φ, keyed by predecessor block.
+struct PhiOperand {
+  BlockId Pred = InvalidBlock;
+  int Class = -1;           ///< -1 encodes ⊥ (bottom).
+  OccRef Def;               ///< Class-defining occurrence (when not ⊥).
+  bool HasRealUse = false;  ///< Version carried here crossed a real occ.
+
+  /// Versions of the expression's variable operands at the end of Pred —
+  /// the versions an insertion at this operand would compute with.
+  int LVerAtPredEnd = 0, RVerAtPredEnd = 0;
+
+  /// ⊥ operand at which insertion is impossible: an expression operand
+  /// is undefined at the end of Pred, or the join's variable phi
+  /// substitutes a different variable (or a constant) along this edge,
+  /// so no lexical insertion can produce the merged value. Such operands
+  /// appear in the flow network with infinite weight.
+  bool InsertBlocked = false;
+
+  bool Insert = false; ///< Final decision: insert at the end of Pred.
+
+  bool isBottom() const { return Class < 0; }
+};
+
+/// An expression Φ: a merge point of the hypothetical temporary h.
+struct PhiOcc {
+  BlockId Block = InvalidBlock;
+  int Class = -1;
+  std::vector<PhiOperand> Operands; ///< Aligned with Cfg preds of Block.
+
+  /// Versions of the variable operands current at the Φ (block entry,
+  /// after variable phis) — used by Rename to match real occurrences.
+  int LVerAtEntry = 0, RVerAtEntry = 0;
+
+  // ---- SSAPRE attributes (safe placement; Kennedy et al.) ----
+  bool DownSafe = false;
+  bool SpeculativeDownSafe = false; ///< SSAPREsp loop speculation.
+  bool CanBeAvail = true;
+  bool Later = true;
+
+  // ---- MC-SSAPRE attributes (paper steps 3-4) ----
+  bool FullyAvail = true;
+  bool PartAnt = false;
+  bool InReducedGraph = false;
+
+  // ---- Shared result (paper step 8 / SSAPRE WillBeAvail) ----
+  bool WillBeAvail = false;
+};
+
+/// The FRG for one candidate expression in one function.
+class Frg {
+public:
+  /// Builds the FRG (steps 1 and 2). \p F must be in SSA form with
+  /// critical edges split; \p C and \p DT must be current for F.
+  Frg(const Function &F, const Cfg &C, const DomTree &DT, const ExprKey &E);
+
+  const ExprKey &expr() const { return E; }
+  const Function &function() const { return F; }
+  const Cfg &cfg() const { return C; }
+  const DomTree &domTree() const { return DT; }
+
+  std::vector<RealOcc> &reals() { return Reals; }
+  const std::vector<RealOcc> &reals() const { return Reals; }
+  std::vector<PhiOcc> &phis() { return Phis; }
+  const std::vector<PhiOcc> &phis() const { return Phis; }
+
+  /// Index into phis() of the Φ at block \p B, or -1.
+  int phiAt(BlockId B) const { return PhiAtBlock[B]; }
+
+  int numClasses() const { return NumClasses; }
+
+  /// Class-defining occurrence of \p Class (a Φ, or a real occurrence
+  /// that opened the class).
+  OccRef classDef(int Class) const { return ClassDefs[Class]; }
+
+  /// Allocates a fresh redundancy class defined by \p Def. Only the
+  /// construction steps (Rename) call this.
+  int allocateClass(OccRef Def) {
+    ClassDefs.push_back(Def);
+    return NumClasses++;
+  }
+
+  /// Returns phis()[Ref.Index] for a Phi ref (asserts otherwise).
+  const PhiOcc &phiOf(OccRef Ref) const;
+  PhiOcc &phiOf(OccRef Ref);
+
+  /// Debug rendering of the whole graph.
+  std::string dump() const;
+
+private:
+  friend class FrgBuilder;
+
+  const Function &F;
+  const Cfg &C;
+  const DomTree &DT;
+  ExprKey E;
+
+  std::vector<RealOcc> Reals;
+  std::vector<PhiOcc> Phis;
+  std::vector<int> PhiAtBlock;
+  std::vector<OccRef> ClassDefs;
+  int NumClasses = 0;
+};
+
+} // namespace specpre
+
+#endif // SPECPRE_PRE_FRG_H

@@ -1,0 +1,108 @@
+//===- pre/Lcm.cpp - Lazy code motion baseline (Knoop et al.) ------------------===//
+
+#include "pre/Lcm.h"
+
+#include "analysis/Cfg.h"
+#include "analysis/DataFlow.h"
+#include "pre/EdgeTransform.h"
+#include "pre/ExprKey.h"
+#include "pre/LexicalDataFlow.h"
+#include "support/Diagnostics.h"
+
+#include <cassert>
+#include <map>
+
+using namespace specpre;
+
+namespace {
+
+/// One LCM solve for a single expression over the current CFG, in the
+/// Drechsler-Stadel edge-placement formulation.
+struct LcmSolution {
+  /// Edges to insert `t = e` on.
+  std::vector<std::pair<BlockId, BlockId>> InsertEdges;
+};
+
+LcmSolution solveLcm(const Function &F, const Cfg &C, const ExprKey &E) {
+  std::vector<ExprKey> One{E};
+  LexicalDataFlow LDF = solveLexicalDataFlow(F, C, One);
+  const unsigned NB = F.numBlocks();
+
+  auto AntIn = [&](BlockId B) { return LDF.antIn(B, 0); };
+  auto AntOut = [&](BlockId B) { return LDF.antOut(B, 0); };
+  auto AvOut = [&](BlockId B) { return LDF.availOut(B, 0); };
+  auto Transp = [&](BlockId B) { return LDF.Local.Transp[B].test(0); };
+  auto AntLoc = [&](BlockId B) { return LDF.Local.AntLoc[B].test(0); };
+
+  // EARLIEST(u,v): the expression is anticipated at v's entry but not
+  // yet available at u's exit, and u itself cannot host the value
+  // (either it kills the expression or the expression is not anticipated
+  // throughout u) — i.e. (u,v) is a frontier where the computation can
+  // first be placed safely.
+  std::vector<std::pair<BlockId, BlockId>> Edges = C.edges();
+  std::map<std::pair<BlockId, BlockId>, bool> Earliest, Later;
+  for (auto [U, V] : Edges)
+    Earliest[{U, V}] =
+        AntIn(V) && !AvOut(U) && (U == 0 || !AntOut(U) || !Transp(U));
+
+  // LATER: the placement can be postponed to this edge. Greatest
+  // fixpoint: initialize optimistically (true), the function entry
+  // cannot postpone anything into itself.
+  std::vector<bool> LaterIn(NB, true);
+  LaterIn[0] = false;
+  for (auto [U, V] : Edges)
+    Later[{U, V}] = true;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (auto [U, V] : Edges) {
+      bool NewLater = Earliest[{U, V}] || (LaterIn[U] && !AntLoc(U));
+      if (NewLater != Later[{U, V}]) {
+        Later[{U, V}] = NewLater;
+        Changed = true;
+      }
+    }
+    for (unsigned B = 1; B != NB; ++B) {
+      if (!C.isReachable(static_cast<BlockId>(B)))
+        continue;
+      bool NewIn = true;
+      for (BlockId P : C.preds(static_cast<BlockId>(B)))
+        NewIn = NewIn && Later[{P, static_cast<BlockId>(B)}];
+      if (C.preds(static_cast<BlockId>(B)).empty())
+        NewIn = false;
+      if (NewIn != LaterIn[B]) {
+        LaterIn[B] = NewIn;
+        Changed = true;
+      }
+    }
+  }
+
+  // INSERT(u,v) = LATER(u,v) and not LATERIN(v): the last edge to which
+  // the placement can be postponed.
+  LcmSolution Sol;
+  for (auto [U, V] : Edges)
+    if (Later[{U, V}] && !LaterIn[V])
+      Sol.InsertEdges.emplace_back(U, V);
+  return Sol;
+}
+
+} // namespace
+
+void specpre::runLcm(Function &F, PreStats *Stats) {
+  assert(!F.IsSSA && "LCM operates on non-SSA form");
+  std::vector<ExprKey> Exprs = collectCandidateExprs(F);
+  for (const ExprKey &E : Exprs) {
+    Cfg C(F);
+    LcmSolution Sol = solveLcm(F, C, E);
+    if (Stats) {
+      ExprStatsRecord R;
+      R.Expr = E.toString(F);
+      R.FunctionName = F.Name;
+      R.NumInsertions = static_cast<unsigned>(Sol.InsertEdges.size());
+      Stats->addRecord(std::move(R));
+    }
+    VarId Temp = F.makeFreshVar("lcm.tmp");
+    applyEdgeInsertionsAndRewrite(F, E, Sol.InsertEdges, Temp,
+                                  /*ProfToUpdate=*/nullptr);
+  }
+}

@@ -1,0 +1,39 @@
+//===- pre/Lcm.h - Lazy code motion baseline (Knoop et al.) ----*- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classic lazy code motion (Knoop, Rüthing & Steffen, PLDI'92), in the
+/// Drechsler-Stadel edge-placement formulation. LCM is the safe,
+/// profile-independent optimum that SSAPRE reimplements sparsely on SSA
+/// form (paper Section 1), so it doubles as an *independent oracle*: on
+/// every input, a function optimized by safe SSAPRE must execute exactly
+/// as many computations as the same function optimized by LCM — both are
+/// computationally and lifetime optimal for safe code motion, and that
+/// optimum is unique path-by-path.
+///
+/// Like MC-PRE, LCM operates on non-SSA form with bit-vector data flow
+/// and edge insertions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_PRE_LCM_H
+#define SPECPRE_PRE_LCM_H
+
+#include "ir/Ir.h"
+#include "pre/PreStats.h"
+
+namespace specpre {
+
+/// Runs LCM over all candidate expressions of the non-SSA function \p F,
+/// mutating it in place (edge splitting + rewrites). Safe: no
+/// speculation, no profile; faulting expressions are handled like any
+/// other (insertions are only placed where the expression is fully
+/// anticipated).
+void runLcm(Function &F, PreStats *Stats = nullptr);
+
+} // namespace specpre
+
+#endif // SPECPRE_PRE_LCM_H

@@ -1,0 +1,59 @@
+//===- pre/McPre.h - MC-PRE baseline (Xue & Cai) ---------------*- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MC-PRE baseline (Cai & Xue CGO'03 / Xue & Cai TACO'06): profile-
+/// driven speculative PRE by minimum cut on a flow network formed out of
+/// the *control flow graph* (not the SSA graph). It is the algorithm the
+/// paper compares MC-SSAPRE against in Section 4:
+///
+///  * operates on non-SSA form (bit-vector data flow over the CFG),
+///  * inserts on CFG edges, so it needs *edge* frequencies,
+///  * reduces the CFG per expression by deleting non-essential edges
+///    (those where the expression is already available or not partially
+///    anticipated), then finds a min cut between unavailability sources
+///    and the computation points.
+///
+/// Our network mirrors the construction: each block is split into an
+/// in/out node pair; availability generators detach in from out;
+/// kill blocks source unavailability; computation points are sinks whose
+/// incoming finite edge weight is the block frequency (cut it == keep
+/// computing in place). Insertable CFG edges carry edge frequencies.
+/// Reverse labeling picks the latest cut, mirroring the lifetime-optimal
+/// refinement of the TACO'06 version (which additionally avoids some
+/// redundant saves; our temporaries are register-allocated and free, so
+/// that refinement is not modeled).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_PRE_MCPRE_H
+#define SPECPRE_PRE_MCPRE_H
+
+#include "ir/Ir.h"
+#include "mincut/MinCut.h"
+#include "pre/PreStats.h"
+#include "profile/Profile.h"
+
+namespace specpre {
+
+/// Runs MC-PRE on the non-SSA function \p F with edge profile \p Prof
+/// (Profile::HasEdgeFreqs must be true — use withEstimatedEdgeFreqs() to
+/// degrade a node-only profile). Mutates F (edge splitting + rewrites).
+/// Statistics (reduced-network sizes per expression) go to \p Stats when
+/// non-null.
+void runMcPre(Function &F, const Profile &Prof, PreStats *Stats = nullptr,
+              CutPlacement Placement = CutPlacement::Latest);
+
+/// Problem-size probe used by the ablation bench: builds the reduced
+/// MC-PRE flow network for every candidate expression of \p F without
+/// transforming anything, recording node/edge counts per expression.
+/// The returned records carry only McPreNodes/McPreEdges and Expr.
+std::vector<ExprStatsRecord> measureMcPreNetworkSizes(const Function &F,
+                                                      const Profile &Prof);
+
+} // namespace specpre
+
+#endif // SPECPRE_PRE_MCPRE_H

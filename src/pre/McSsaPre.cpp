@@ -1,0 +1,307 @@
+//===- pre/McSsaPre.cpp - MC-SSAPRE speculative placement --------------------===//
+
+#include "pre/McSsaPre.h"
+
+#include "support/Diagnostics.h"
+
+#include <cassert>
+#include <vector>
+
+using namespace specpre;
+
+namespace {
+
+/// Step 3a: full availability on the FRG. A Φ is fully available iff
+/// every operand carries the value: non-⊥ and either crossed a real
+/// occurrence or is defined by a fully available Φ. Optimistic
+/// initialization + falseness propagation over def-use edges.
+void computeFullAvailability(Frg &G) {
+  std::vector<std::vector<int>> Uses(G.phis().size());
+  for (unsigned GI = 0; GI != G.phis().size(); ++GI)
+    for (const PhiOperand &Op : G.phis()[GI].Operands)
+      if (!Op.isBottom() && !Op.HasRealUse && Op.Def.isPhi())
+        Uses[Op.Def.Index].push_back(static_cast<int>(GI));
+
+  for (PhiOcc &P : G.phis())
+    P.FullyAvail = true;
+
+  std::vector<int> Work;
+  for (unsigned I = 0; I != G.phis().size(); ++I) {
+    for (const PhiOperand &Op : G.phis()[I].Operands) {
+      if (Op.isBottom()) {
+        G.phis()[I].FullyAvail = false;
+        Work.push_back(static_cast<int>(I));
+        break;
+      }
+    }
+  }
+  while (!Work.empty()) {
+    int F = Work.back();
+    Work.pop_back();
+    for (int User : Uses[F]) {
+      if (!G.phis()[User].FullyAvail)
+        continue;
+      G.phis()[User].FullyAvail = false;
+      Work.push_back(User);
+    }
+  }
+}
+
+/// Step 3b: partial anticipability on the FRG. A Φ is partially
+/// anticipated iff its value reaches some real occurrence, directly (a
+/// real occurrence in its class) or through downstream Φs. Pessimistic
+/// initialization + trueness propagation backwards over def-use edges.
+void computePartialAnticipability(Frg &G) {
+  for (PhiOcc &P : G.phis())
+    P.PartAnt = false;
+
+  std::vector<int> Work;
+  for (const RealOcc &R : G.reals()) {
+    OccRef Def = G.classDef(R.Class);
+    if (!Def.isPhi())
+      continue;
+    PhiOcc &P = G.phiOf(Def);
+    if (!P.PartAnt) {
+      P.PartAnt = true;
+      Work.push_back(Def.Index);
+    }
+  }
+  while (!Work.empty()) {
+    int GI = Work.back();
+    Work.pop_back();
+    for (const PhiOperand &Op : G.phis()[GI].Operands) {
+      if (Op.isBottom() || Op.HasRealUse || !Op.Def.isPhi())
+        continue;
+      PhiOcc &P = G.phis()[Op.Def.Index];
+      if (!P.PartAnt) {
+        P.PartAnt = true;
+        Work.push_back(Op.Def.Index);
+      }
+    }
+  }
+}
+
+/// The action a cut edge maps back to.
+struct CutAction {
+  enum class Kind { InsertAtOperand, ComputeInPlace };
+  Kind K = Kind::InsertAtOperand;
+  int PhiIdx = -1, OpIdx = -1; ///< InsertAtOperand
+  int RealIdx = -1;            ///< ComputeInPlace
+};
+
+} // namespace
+
+void specpre::computeWillBeAvailFromInserts(Frg &G) {
+  // Paper Figure 7: will_be_avail == full availability after performing
+  // the insertions recorded in the Insert flags.
+  std::vector<std::vector<std::pair<int, int>>> Uses(G.phis().size());
+  for (unsigned GI = 0; GI != G.phis().size(); ++GI) {
+    const PhiOcc &P = G.phis()[GI];
+    for (unsigned OI = 0; OI != P.Operands.size(); ++OI) {
+      const PhiOperand &Op = P.Operands[OI];
+      if (!Op.isBottom() && !Op.HasRealUse && Op.Def.isPhi())
+        Uses[Op.Def.Index].emplace_back(static_cast<int>(GI),
+                                        static_cast<int>(OI));
+    }
+  }
+
+  for (PhiOcc &P : G.phis())
+    P.WillBeAvail = true;
+
+  std::vector<int> Work;
+  auto Reset = [&](int F) {
+    G.phis()[F].WillBeAvail = false;
+    Work.push_back(F);
+  };
+  for (unsigned I = 0; I != G.phis().size(); ++I) {
+    for (const PhiOperand &Op : G.phis()[I].Operands) {
+      if (Op.isBottom() && !Op.Insert && G.phis()[I].WillBeAvail) {
+        Reset(static_cast<int>(I));
+        break;
+      }
+    }
+  }
+  while (!Work.empty()) {
+    int F = Work.back();
+    Work.pop_back();
+    for (auto [User, OpIdx] : Uses[F]) {
+      PhiOcc &P = G.phis()[User];
+      if (!P.WillBeAvail || P.Operands[OpIdx].Insert)
+        continue;
+      Reset(User);
+    }
+  }
+}
+
+EfgStats specpre::computeSpeculativePlacement(Frg &G, const Profile &Prof,
+                                              CutPlacement Placement,
+                                              MaxFlowAlgorithm Algo,
+                                              CutObjective Objective) {
+  EfgStats Stats;
+  auto EdgeWeight = [&](uint64_t Freq) {
+    return static_cast<int64_t>(Freq * Objective.SpeedWeight +
+                                Objective.SizeWeight);
+  };
+
+  for (PhiOcc &P : G.phis()) {
+    P.WillBeAvail = false;
+    for (PhiOperand &Op : P.Operands)
+      Op.Insert = false;
+  }
+
+  // Step 3: sparse data flow on the SSA graph.
+  computeFullAvailability(G);
+  computePartialAnticipability(G);
+
+  // Step 4: the reduced SSA graph.
+  for (PhiOcc &P : G.phis())
+    P.InReducedGraph = !P.FullyAvail && P.PartAnt;
+
+  // The strictly-partially-redundant occurrences: uses of included Φs
+  // that are not rg_excluded.
+  std::vector<int> SprReals;
+  for (unsigned RI = 0; RI != G.reals().size(); ++RI) {
+    const RealOcc &R = G.reals()[RI];
+    if (R.RgExcluded || !R.Def.isPhi())
+      continue;
+    const PhiOcc &DefPhi = G.phiOf(R.Def);
+    if (DefPhi.InReducedGraph)
+      SprReals.push_back(static_cast<int>(RI));
+    else
+      // The defining Φ can only be excluded because the expression is
+      // fully available there (a use keeps it partially anticipated), in
+      // which case this occurrence is fully redundant.
+      assert(DefPhi.FullyAvail &&
+             "use of an excluded Φ that is not fully available");
+  }
+
+  if (SprReals.empty()) {
+    // No strictly partial redundancy: no flow network is formed (the
+    // paper's empty-EFG case). Full redundancies are still harvested by
+    // Finalize through will_be_avail.
+    computeWillBeAvailFromInserts(G);
+    return Stats;
+  }
+
+  // Steps 5-6: the essential flow graph with artificial source and sink.
+  FlowNetwork Net;
+  int Source = Net.addNode();
+  int Sink = Net.addNode();
+  std::vector<int> PhiNode(G.phis().size(), -1);
+  for (unsigned I = 0; I != G.phis().size(); ++I)
+    if (G.phis()[I].InReducedGraph)
+      PhiNode[I] = Net.addNode();
+  std::vector<int> RealNode(G.reals().size(), -1);
+  for (int RI : SprReals)
+    RealNode[RI] = Net.addNode();
+
+  std::vector<CutAction> Actions;
+  auto AddEdge = [&](int From, int To, int64_t Weight, CutAction A) {
+    int Id = Net.addEdge(From, To, Weight, static_cast<int>(Actions.size()));
+    (void)Id;
+    Actions.push_back(A);
+  };
+
+  unsigned NumEdges = 0;
+  for (unsigned GI = 0; GI != G.phis().size(); ++GI) {
+    PhiOcc &P = G.phis()[GI];
+    if (!P.InReducedGraph)
+      continue;
+    for (unsigned OI = 0; OI != P.Operands.size(); ++OI) {
+      const PhiOperand &Op = P.Operands[OI];
+      CutAction A;
+      A.K = CutAction::Kind::InsertAtOperand;
+      A.PhiIdx = static_cast<int>(GI);
+      A.OpIdx = static_cast<int>(OI);
+      int64_t Weight = EdgeWeight(Prof.blockFreq(Op.Pred));
+      if (Op.isBottom()) {
+        // Step 5: type-1 edge from the artificial source, weighted with
+        // the node frequency of the predecessor block. Insert-blocked
+        // operands (no lexical insertion can supply the value there) get
+        // infinite weight: the Φ stays unavailable and its uses pay
+        // their type-2 edges instead.
+        AddEdge(Source, PhiNode[GI],
+                Op.InsertBlocked ? InfiniteCapacity : Weight, A);
+        ++NumEdges;
+        continue;
+      }
+      if (Op.HasRealUse)
+        continue; // value computed on this path: never an insertion point
+      assert(Op.Def.isPhi() && "non-real-use operand defined by a real");
+      if (PhiNode[Op.Def.Index] < 0) {
+        assert(G.phis()[Op.Def.Index].FullyAvail &&
+               "excluded def Φ must be fully available");
+        continue; // value arrives for free
+      }
+      AddEdge(PhiNode[Op.Def.Index], PhiNode[GI], Weight, A);
+      ++NumEdges;
+    }
+  }
+  for (int RI : SprReals) {
+    const RealOcc &R = G.reals()[RI];
+    CutAction A;
+    A.K = CutAction::Kind::ComputeInPlace;
+    A.RealIdx = RI;
+    // Type-2 edge: cutting it means computing in place at the occurrence.
+    AddEdge(PhiNode[R.Def.Index], RealNode[RI],
+            EdgeWeight(Prof.blockFreq(R.Block)), A);
+    // Step 6: infinite edge to the artificial sink (tag -1: never cut).
+    Net.addEdge(RealNode[RI], Sink, InfiniteCapacity, -1);
+    NumEdges += 2;
+  }
+
+  Stats.Empty = false;
+  Stats.NumNodes = static_cast<unsigned>(Net.numNodes());
+  Stats.NumEdges = NumEdges;
+
+  // Step 7: minimum cut, picking later cuts on ties via reverse labeling.
+  MinCutResult Cut = computeMinCut(Net, Source, Sink, Placement, Algo);
+  Stats.CutWeight = Cut.Capacity;
+  Stats.NumCutEdges = static_cast<unsigned>(Cut.CutEdgeIds.size());
+
+  for (int EdgeId : Cut.CutEdgeIds) {
+    int Tag = Net.edgeTag(EdgeId);
+    assert(Tag >= 0 && "infinite sink edge in the minimum cut");
+    const CutAction &A = Actions[Tag];
+    if (A.K == CutAction::Kind::InsertAtOperand) {
+      assert(!G.phis()[A.PhiIdx].Operands[A.OpIdx].InsertBlocked &&
+             "minimum cut crossed an insert-blocked operand");
+      G.phis()[A.PhiIdx].Operands[A.OpIdx].Insert = true;
+      ++Stats.NumInsertions;
+    } else {
+      // Compute in place: no insertion; the defining Φ simply does not
+      // become available, which Figure 7 derives below.
+      ++Stats.NumComputeInPlace;
+    }
+  }
+
+  // Step 8.
+  computeWillBeAvailFromInserts(G);
+
+#ifndef NDEBUG
+  // Consistency of the cut with the Figure-7 propagation: an SPR
+  // occurrence whose type-2 edge is in the cut computes in place (its Φ
+  // must not be available), every other SPR occurrence reloads (its Φ
+  // must be available). The one legitimate exception: a zero-frequency
+  // occurrence (its block never ran in training) may have its free
+  // type-2 edge in the cut even though the Φ is available — computing in
+  // place and reloading both cost nothing, so either is optimal; Figure 7
+  // (availability) then wins and the occurrence reloads.
+  {
+    std::vector<bool> InPlace(G.reals().size(), false);
+    for (int EdgeId : Cut.CutEdgeIds) {
+      int Tag = Net.edgeTag(EdgeId);
+      if (Tag >= 0 && Actions[Tag].K == CutAction::Kind::ComputeInPlace)
+        InPlace[Actions[Tag].RealIdx] = true;
+    }
+    for (int RI : SprReals) {
+      const PhiOcc &DefPhi = G.phiOf(G.reals()[RI].Def);
+      if (EdgeWeight(Prof.blockFreq(G.reals()[RI].Block)) == 0)
+        continue;
+      assert(DefPhi.WillBeAvail != InPlace[RI] &&
+             "cut and will_be_avail disagree on an SPR occurrence");
+    }
+  }
+#endif
+  return Stats;
+}

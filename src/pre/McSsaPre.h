@@ -1,0 +1,71 @@
+//===- pre/McSsaPre.h - MC-SSAPRE speculative placement --------*- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Steps 3-8 of MC-SSAPRE (paper Figure 4): sparse data-flow on the FRG
+/// (full availability, partial anticipability), graph reduction, the
+/// essential flow graph (EFG) with artificial source and sink, the
+/// minimum cut (Reverse Labeling for later/lifetime-optimal cuts), and
+/// the derivation of the insert / will_be_avail attributes (Figure 7) so
+/// SSAPRE's Finalize and CodeMotion can be reused unchanged.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_PRE_MCSSAPRE_H
+#define SPECPRE_PRE_MCSSAPRE_H
+
+#include "mincut/MinCut.h"
+#include "pre/Frg.h"
+#include "profile/Profile.h"
+
+namespace specpre {
+
+/// What the minimum cut minimizes (paper Section 6 sketches the
+/// code-size direction, following Scholz et al.): every EFG edge gets
+/// weight `freq * SpeedWeight + SizeWeight`, so the cut cost blends the
+/// dynamic computation count with the static occurrence count.
+struct CutObjective {
+  uint64_t SpeedWeight = 1; ///< Cost per dynamic execution.
+  uint64_t SizeWeight = 0;  ///< Cost per static occurrence.
+
+  /// The paper's objective: minimize dynamic computations (Theorem 7).
+  static CutObjective speed() { return CutObjective{1, 0}; }
+  /// Section-6 extension: minimize static occurrences of the expression.
+  static CutObjective size() { return CutObjective{0, 1}; }
+  /// Speed first, code size as the tie-breaker.
+  static CutObjective speedThenSize() {
+    return CutObjective{1u << 16, 1};
+  }
+};
+
+/// Problem-size and outcome statistics of one MC-SSAPRE run, feeding the
+/// Figure 11 reproduction (EFG size distribution).
+struct EfgStats {
+  bool Empty = true;        ///< No strictly partial redundancy: no cut run.
+  unsigned NumNodes = 0;    ///< Including artificial source and sink.
+  unsigned NumEdges = 0;
+  int64_t CutWeight = 0;    ///< Min-cut capacity (== max flow).
+  unsigned NumCutEdges = 0;
+  unsigned NumInsertions = 0;
+  unsigned NumComputeInPlace = 0; ///< Type-2 edges in the cut.
+};
+
+/// Runs steps 3-8 on \p G under \p Prof (node frequencies only — the
+/// paper's point in Section 4). Sets WillBeAvail and operand Insert flags.
+EfgStats computeSpeculativePlacement(
+    Frg &G, const Profile &Prof,
+    CutPlacement Placement = CutPlacement::Latest,
+    MaxFlowAlgorithm Algo = MaxFlowAlgorithm::Dinic,
+    CutObjective Objective = CutObjective::speed());
+
+/// Step 8 alone (paper Figure 7): recomputes WillBeAvail for all Φs of
+/// \p G from the current Insert flags by forward propagation of full
+/// availability. Exposed for tests (Lemma 8).
+void computeWillBeAvailFromInserts(Frg &G);
+
+} // namespace specpre
+
+#endif // SPECPRE_PRE_MCSSAPRE_H

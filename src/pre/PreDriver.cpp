@@ -1,0 +1,182 @@
+//===- pre/PreDriver.cpp - PRE pipeline orchestration -------------------------===//
+
+#include "pre/PreDriver.h"
+
+#include "analysis/Cfg.h"
+#include "analysis/CriticalEdges.h"
+#include "analysis/DomTree.h"
+#include "analysis/LoopRestructure.h"
+#include "analysis/Loops.h"
+#include "ir/Verifier.h"
+#include "pre/CodeMotion.h"
+#include "pre/ExprKey.h"
+#include "pre/Finalize.h"
+#include "pre/Frg.h"
+#include "pre/LexicalDataFlow.h"
+#include "pre/Lcm.h"
+#include "pre/McPre.h"
+#include "pre/McSsaPre.h"
+#include "pre/SsaPre.h"
+#include "ssa/SsaConstruction.h"
+#include "support/Diagnostics.h"
+
+#include <cassert>
+
+using namespace specpre;
+
+const char *specpre::strategyName(PreStrategy S) {
+  switch (S) {
+  case PreStrategy::None:
+    return "none";
+  case PreStrategy::SsaPre:
+    return "SSAPRE";
+  case PreStrategy::SsaPreSpec:
+    return "SSAPREsp";
+  case PreStrategy::McSsaPre:
+    return "MC-SSAPRE";
+  case PreStrategy::McPre:
+    return "MC-PRE";
+  case PreStrategy::Lcm:
+    return "LCM";
+  }
+  SPECPRE_UNREACHABLE("bad strategy");
+}
+
+void specpre::prepareFunction(Function &F) {
+  assert(!F.IsSSA && "prepareFunction expects pre-SSA input");
+  removeUnreachableBlocks(F);
+  restructureWhileLoops(F);
+  splitCriticalEdges(F);
+}
+
+namespace {
+
+void runSsaStrategies(Function &F, const PreOptions &Opts) {
+  assert(F.IsSSA && "SSA strategies require SSA form");
+  Cfg C(F);
+  DomTree DT = DomTree::buildDominators(C);
+  LoopInfo LI(C, DT);
+
+  std::vector<ExprKey> Exprs = collectCandidateExprs(F);
+  // Lexical block-level data flow is unaffected by the per-expression
+  // rewrites (reloads keep the destination, temps are fresh variables),
+  // so it is computed once up front for all candidates.
+  LexicalDataFlow LDF = solveLexicalDataFlow(F, C, Exprs);
+
+  for (unsigned EI = 0; EI != Exprs.size(); ++EI) {
+    const ExprKey &E = Exprs[EI];
+    Frg G(F, C, DT, E);
+    if (G.reals().empty())
+      continue;
+
+    ExprStatsRecord Rec;
+    Rec.Expr = E.toString(F);
+    Rec.FunctionName = F.Name;
+    Rec.FrgPhis = static_cast<unsigned>(G.phis().size());
+    Rec.FrgReals = static_cast<unsigned>(G.reals().size());
+
+    switch (Opts.Strategy) {
+    case PreStrategy::SsaPre:
+      computeSafePlacement(G, LDF, EI, /*LoopSpeculation=*/false, nullptr);
+      break;
+    case PreStrategy::SsaPreSpec:
+      computeSafePlacement(G, LDF, EI,
+                           /*LoopSpeculation=*/!E.canFault(), &LI);
+      break;
+    case PreStrategy::McSsaPre: {
+      assert(Opts.Prof && "MC-SSAPRE requires a profile");
+      if (E.canFault()) {
+        // Faulting computations cannot be speculated (paper Section 2):
+        // fall back to the safe placement for this expression.
+        computeSafePlacement(G, LDF, EI, false, nullptr);
+        break;
+      }
+      EfgStats ES =
+          computeSpeculativePlacement(G, *Opts.Prof, Opts.Placement,
+                                      Opts.Algo, Opts.Objective);
+      Rec.EfgEmpty = ES.Empty;
+      Rec.EfgNodes = ES.NumNodes;
+      Rec.EfgEdges = ES.NumEdges;
+      Rec.CutWeight = ES.CutWeight;
+      break;
+    }
+    default:
+      SPECPRE_UNREACHABLE("non-SSA strategy in runSsaStrategies");
+    }
+
+    FinalizePlan Plan = finalizePlacement(G);
+    for (const RealOcc &R : G.reals()) {
+      Rec.NumReloads += R.Reload;
+      Rec.NumSaves += R.Save;
+    }
+    for (const TempDef &D : Plan.TempDefs) {
+      if (!D.Live)
+        continue;
+      if (D.K == TempDef::Kind::Phi)
+        ++Rec.NumTempPhis;
+      if (D.K == TempDef::Kind::Insert)
+        ++Rec.NumInsertions;
+    }
+
+    if (Plan.hasAnyEffect()) {
+      VarId Temp = F.makeFreshVar("pre.tmp." + std::to_string(EI));
+      applyCodeMotion(F, G, Plan, Temp);
+      if (Opts.Verify) {
+        verifyFunctionOrDie(F, std::string("after PRE of '") +
+                                   E.toString(F) + "' with " +
+                                   strategyName(Opts.Strategy));
+        std::vector<std::pair<ExprKey, VarId>> TempMap{{E, Temp}};
+        std::string Error;
+        if (!checkReloadsFullyAvailable(F, TempMap, Error))
+          reportFatalError("Definition-1 correctness violated by " +
+                           std::string(strategyName(Opts.Strategy)) + ": " +
+                           Error);
+      }
+    }
+
+    if (Opts.Stats)
+      Opts.Stats->addRecord(std::move(Rec));
+  }
+}
+
+} // namespace
+
+void specpre::runPre(Function &F, const PreOptions &Opts) {
+  switch (Opts.Strategy) {
+  case PreStrategy::None:
+    return;
+  case PreStrategy::SsaPre:
+  case PreStrategy::SsaPreSpec:
+  case PreStrategy::McSsaPre:
+    runSsaStrategies(F, Opts);
+    return;
+  case PreStrategy::McPre: {
+    assert(Opts.Prof && "MC-PRE requires a profile");
+    Profile EdgeProf = Opts.Prof->HasEdgeFreqs
+                           ? *Opts.Prof
+                           : Opts.Prof->withEstimatedEdgeFreqs(F);
+    runMcPre(F, EdgeProf, Opts.Stats, Opts.Placement);
+    if (Opts.Verify)
+      verifyFunctionOrDie(F, "after MC-PRE");
+    return;
+  }
+  case PreStrategy::Lcm:
+    runLcm(F, Opts.Stats);
+    if (Opts.Verify)
+      verifyFunctionOrDie(F, "after LCM");
+    return;
+  }
+  SPECPRE_UNREACHABLE("bad strategy");
+}
+
+Function specpre::compileWithPre(const Function &Prepared,
+                                 const PreOptions &Opts) {
+  assert(!Prepared.IsSSA && "compileWithPre expects prepared non-SSA input");
+  Function F = Prepared;
+  if (Opts.Strategy == PreStrategy::SsaPre ||
+      Opts.Strategy == PreStrategy::SsaPreSpec ||
+      Opts.Strategy == PreStrategy::McSsaPre)
+    constructSsa(F);
+  runPre(F, Opts);
+  return F;
+}

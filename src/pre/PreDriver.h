@@ -1,0 +1,85 @@
+//===- pre/PreDriver.h - PRE pipeline orchestration ------------*- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compilation pipeline tying everything together, mirroring the
+/// paper's experimental setup (Section 5):
+///
+///   parse -> while-loop restructuring (Figure 1; "the compiler always
+///   restructures while loops") -> critical-edge splitting -> profile
+///   collection (training run) -> PRE under one of four strategies:
+///
+///     A. SsaPre     safe SSAPRE, no speculation, no profile
+///     B. SsaPreSpec SSAPRE + conservative loop speculation (SSAPREsp)
+///     C. McSsaPre   optimal speculative PRE via min-cut on the FRG
+///     -- McPre      the CFG-based baseline (Section 4 comparison)
+///
+/// The SSA strategies run on SSA form; MC-PRE runs on non-SSA form.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_PRE_PREDRIVER_H
+#define SPECPRE_PRE_PREDRIVER_H
+
+#include "ir/Ir.h"
+#include "mincut/MinCut.h"
+#include "pre/McSsaPre.h"
+#include "pre/PreStats.h"
+#include "profile/Profile.h"
+
+#include <string>
+
+namespace specpre {
+
+enum class PreStrategy {
+  None,       ///< No PRE at all (sanity baseline).
+  SsaPre,     ///< Leg A: safe SSAPRE.
+  SsaPreSpec, ///< Leg B: SSAPRE with loop-based speculation.
+  McSsaPre,   ///< Leg C: the paper's contribution.
+  McPre,      ///< The CFG-based min-cut baseline (Xue & Cai).
+  Lcm,        ///< Classic lazy code motion (Knoop et al.): the safe
+              ///< optimum, used as an oracle for leg A.
+};
+
+const char *strategyName(PreStrategy S);
+
+struct PreOptions {
+  PreStrategy Strategy = PreStrategy::McSsaPre;
+  /// Execution profile; required by McSsaPre (node frequencies) and
+  /// McPre (edge frequencies; estimated from nodes if absent).
+  const Profile *Prof = nullptr;
+  /// Tie-breaking of minimum cuts; Latest is the paper's choice
+  /// (lifetime optimality). Earliest exists for the ablation bench.
+  CutPlacement Placement = CutPlacement::Latest;
+  MaxFlowAlgorithm Algo = MaxFlowAlgorithm::Dinic;
+  /// What the MC-SSAPRE cut minimizes: the paper optimizes speed;
+  /// CutObjective::size() explores the Section-6 code-size direction.
+  CutObjective Objective = CutObjective::speed();
+  /// Run the IR verifier and the Definition-1 availability oracle on the
+  /// transformed function (aborts on violation).
+  bool Verify = true;
+  /// Statistics sink (may be null).
+  PreStats *Stats = nullptr;
+};
+
+/// Normalizes a freshly parsed (non-SSA) function for compilation:
+/// removes unreachable blocks, restructures while loops and splits
+/// critical edges. Must run before profile collection so block ids match.
+void prepareFunction(Function &F);
+
+/// Runs the selected PRE strategy over a prepared function. For the SSA
+/// strategies, \p F must already be in SSA form (see constructSsa); for
+/// McPre it must not be. Mutates F in place.
+void runPre(Function &F, const PreOptions &Opts);
+
+/// Convenience: takes a *prepared, non-SSA* function, builds SSA if the
+/// strategy requires it, and runs PRE. Returns the optimized function,
+/// leaving the input untouched.
+Function compileWithPre(const Function &Prepared, const PreOptions &Opts);
+
+} // namespace specpre
+
+#endif // SPECPRE_PRE_PREDRIVER_H

@@ -1,0 +1,49 @@
+//===- pre/PreStats.cpp - PRE statistics collection ---------------------------===//
+
+#include "pre/PreStats.h"
+
+#include <algorithm>
+
+using namespace specpre;
+
+unsigned PreStats::numNonEmptyEfgs() const {
+  unsigned N = 0;
+  for (const ExprStatsRecord &R : Records)
+    if (!R.EfgEmpty)
+      ++N;
+  return N;
+}
+
+std::map<unsigned, unsigned> PreStats::efgSizeHistogram() const {
+  std::map<unsigned, unsigned> H;
+  for (const ExprStatsRecord &R : Records)
+    if (!R.EfgEmpty)
+      ++H[R.EfgNodes];
+  return H;
+}
+
+double PreStats::cumulativePercentAtOrBelow(unsigned MaxNodes) const {
+  unsigned Total = 0, AtOrBelow = 0;
+  for (const ExprStatsRecord &R : Records) {
+    if (R.EfgEmpty)
+      continue;
+    ++Total;
+    if (R.EfgNodes <= MaxNodes)
+      ++AtOrBelow;
+  }
+  if (Total == 0)
+    return 100.0;
+  return 100.0 * AtOrBelow / Total;
+}
+
+unsigned PreStats::largestEfg() const {
+  unsigned Largest = 0;
+  for (const ExprStatsRecord &R : Records)
+    if (!R.EfgEmpty)
+      Largest = std::max(Largest, R.EfgNodes);
+  return Largest;
+}
+
+void PreStats::merge(const PreStats &Other) {
+  Records.insert(Records.end(), Other.Records.begin(), Other.Records.end());
+}

@@ -1,0 +1,70 @@
+//===- pre/PreStats.h - PRE statistics collection --------------*- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Statistics accumulated across PRE runs: per-expression FRG/EFG sizes,
+/// insertion/reload counts, and the EFG size histogram that reproduces
+/// paper Figure 11 (including cumulative percentages).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_PRE_PRESTATS_H
+#define SPECPRE_PRE_PRESTATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace specpre {
+
+/// One PRE'd expression's record.
+struct ExprStatsRecord {
+  std::string Expr;
+  std::string FunctionName;
+  unsigned FrgPhis = 0;
+  unsigned FrgReals = 0;
+  bool EfgEmpty = true;
+  unsigned EfgNodes = 0; ///< Including artificial source and sink.
+  unsigned EfgEdges = 0;
+  int64_t CutWeight = 0;
+  unsigned NumInsertions = 0;
+  unsigned NumReloads = 0;
+  unsigned NumSaves = 0;
+  unsigned NumTempPhis = 0;
+  /// MC-PRE comparison: reduced-CFG flow-network size for the same
+  /// expression (0 unless the ablation fills it in).
+  unsigned McPreNodes = 0;
+  unsigned McPreEdges = 0;
+};
+
+/// Aggregate statistics over many functions/expressions.
+class PreStats {
+public:
+  void addRecord(ExprStatsRecord R) { Records.push_back(std::move(R)); }
+
+  const std::vector<ExprStatsRecord> &records() const { return Records; }
+
+  /// Number of non-empty EFGs.
+  unsigned numNonEmptyEfgs() const;
+
+  /// Histogram of non-empty EFG sizes: size-in-nodes -> count.
+  std::map<unsigned, unsigned> efgSizeHistogram() const;
+
+  /// Fraction (0..100) of non-empty EFGs with at most \p MaxNodes nodes.
+  double cumulativePercentAtOrBelow(unsigned MaxNodes) const;
+
+  unsigned largestEfg() const;
+
+  void merge(const PreStats &Other);
+
+private:
+  std::vector<ExprStatsRecord> Records;
+};
+
+} // namespace specpre
+
+#endif // SPECPRE_PRE_PRESTATS_H

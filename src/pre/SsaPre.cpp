@@ -1,0 +1,169 @@
+//===- pre/SsaPre.cpp - Safe SSAPRE placement (steps 3-4) --------------------===//
+
+#include "pre/SsaPre.h"
+
+#include "support/Diagnostics.h"
+
+#include <cassert>
+#include <vector>
+
+using namespace specpre;
+
+namespace {
+
+/// Def-use index over the FRG: for each Φ f, the Φs g having an operand
+/// whose class is defined by f.
+struct PhiUseIndex {
+  /// Per defining Φ: list of (user phi, operand index).
+  std::vector<std::vector<std::pair<int, int>>> Uses;
+
+  explicit PhiUseIndex(const Frg &G) {
+    Uses.assign(G.phis().size(), {});
+    for (unsigned GI = 0; GI != G.phis().size(); ++GI) {
+      const PhiOcc &P = G.phis()[GI];
+      for (unsigned OI = 0; OI != P.Operands.size(); ++OI) {
+        const PhiOperand &Op = P.Operands[OI];
+        if (!Op.isBottom() && Op.Def.isPhi())
+          Uses[Op.Def.Index].emplace_back(static_cast<int>(GI),
+                                          static_cast<int>(OI));
+      }
+    }
+  }
+};
+
+bool effectiveDownSafe(const PhiOcc &P) {
+  return P.DownSafe || P.SpeculativeDownSafe;
+}
+
+void resetCanBeAvail(Frg &G, const PhiUseIndex &Idx, int F) {
+  G.phis()[F].CanBeAvail = false;
+  for (auto [User, OpIdx] : Idx.Uses[F]) {
+    PhiOcc &P = G.phis()[User];
+    const PhiOperand &Op = P.Operands[OpIdx];
+    if (Op.HasRealUse)
+      continue; // a real occurrence on this path supplies the value
+    if (!effectiveDownSafe(P) && P.CanBeAvail)
+      resetCanBeAvail(G, Idx, User);
+  }
+}
+
+void resetLater(Frg &G, const PhiUseIndex &Idx, int F) {
+  G.phis()[F].Later = false;
+  for (auto [User, OpIdx] : Idx.Uses[F]) {
+    (void)OpIdx;
+    if (G.phis()[User].Later)
+      resetLater(G, Idx, User);
+  }
+}
+
+/// Lo et al.'s conservative loop speculation: treat the Φ at a loop
+/// header as down-safe when the expression is invariant in the loop and
+/// is computed somewhere inside the loop.
+void markLoopSpeculation(Frg &G, const LoopInfo &LI) {
+  const ExprKey &E = G.expr();
+  assert(!E.canFault() && "faulting expressions must not be speculated");
+  for (PhiOcc &P : G.phis()) {
+    if (P.DownSafe)
+      continue;
+    const Loop *Enclosing = nullptr;
+    for (const Loop &L : LI.loops()) {
+      if (L.Header == P.Block) {
+        Enclosing = &L;
+        break;
+      }
+    }
+    if (!Enclosing)
+      continue;
+    // Invariance: no definition (phi or real) of an operand variable
+    // inside the loop.
+    bool Invariant = true;
+    bool ComputedInLoop = false;
+    const Function &F = G.function();
+    for (BlockId B : Enclosing->Blocks) {
+      for (const Stmt &S : F.Blocks[B].Stmts) {
+        if (S.definesValue() && E.dependsOnVar(S.Dest))
+          Invariant = false;
+        if (E.matches(S))
+          ComputedInLoop = true;
+      }
+    }
+    if (Invariant && ComputedInLoop)
+      P.SpeculativeDownSafe = true;
+  }
+}
+
+} // namespace
+
+void specpre::computeSafePlacement(Frg &G, const LexicalDataFlow &LDF,
+                                   unsigned ExprIdx, bool LoopSpeculation,
+                                   const LoopInfo *LI) {
+  // DownSafety: a Φ is down-safe iff the expression is fully anticipated
+  // at its block entry (variable phis are transparent, so the lexical
+  // ANTIN is exactly anticipation at the Φ).
+  for (PhiOcc &P : G.phis()) {
+    P.DownSafe = LDF.antIn(P.Block, ExprIdx);
+    P.SpeculativeDownSafe = false;
+    P.CanBeAvail = true;
+    P.Later = true;
+    P.WillBeAvail = false;
+    for (PhiOperand &Op : P.Operands)
+      Op.Insert = false;
+  }
+
+  if (LoopSpeculation) {
+    assert(LI && "loop info required for loop speculation");
+    markLoopSpeculation(G, *LI);
+  }
+
+  PhiUseIndex Idx(G);
+
+  // CanBeAvail: false where the expression can neither be made available
+  // safely (not down-safe with a ⊥ operand) nor arrives from elsewhere.
+  // Insert-blocked ⊥ operands (undefined operand variables or foreign
+  // phi substitutions along the edge) kill availability regardless of
+  // down-safety: no insertion can cover them.
+  for (unsigned I = 0; I != G.phis().size(); ++I) {
+    PhiOcc &P = G.phis()[I];
+    if (!P.CanBeAvail)
+      continue;
+    bool HasBottom = false, HasBlocked = false;
+    for (const PhiOperand &Op : P.Operands) {
+      HasBottom |= Op.isBottom();
+      HasBlocked |= Op.InsertBlocked;
+    }
+    if (HasBlocked || (HasBottom && !effectiveDownSafe(P)))
+      resetCanBeAvail(G, Idx, static_cast<int>(I));
+  }
+
+  // Later: insertion can be postponed past this Φ. Reset where a path
+  // into the Φ already computes the value (an operand with a real use).
+  for (PhiOcc &P : G.phis())
+    P.Later = P.CanBeAvail;
+  for (unsigned I = 0; I != G.phis().size(); ++I) {
+    PhiOcc &P = G.phis()[I];
+    if (!P.Later)
+      continue;
+    bool HasRealOperand = false;
+    for (const PhiOperand &Op : P.Operands)
+      HasRealOperand |= !Op.isBottom() && Op.HasRealUse;
+    if (HasRealOperand)
+      resetLater(G, Idx, static_cast<int>(I));
+  }
+
+  // WillBeAvail and the insertion points.
+  for (PhiOcc &P : G.phis())
+    P.WillBeAvail = P.CanBeAvail && !P.Later;
+  for (PhiOcc &P : G.phis()) {
+    if (!P.WillBeAvail)
+      continue;
+    for (PhiOperand &Op : P.Operands) {
+      if (Op.isBottom()) {
+        Op.Insert = true;
+        continue;
+      }
+      if (!Op.HasRealUse && Op.Def.isPhi() &&
+          !G.phis()[Op.Def.Index].WillBeAvail)
+        Op.Insert = true;
+    }
+  }
+}

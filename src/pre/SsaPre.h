@@ -1,0 +1,39 @@
+//===- pre/SsaPre.h - Safe SSAPRE placement (steps 3-4) --------*- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The safe (non-profile) insertion-point computation of classic SSAPRE
+/// (Kennedy et al., TOPLAS 1999): DownSafety, CanBeAvail/Later, and the
+/// resulting WillBeAvail and per-operand Insert flags. This is
+/// experiment leg A of the paper, and with loop speculation enabled
+/// (Lo et al.'s conservative speculative loop-invariant code motion) it
+/// is leg B (SSAPREsp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_PRE_SSAPRE_H
+#define SPECPRE_PRE_SSAPRE_H
+
+#include "analysis/Loops.h"
+#include "pre/Frg.h"
+#include "pre/LexicalDataFlow.h"
+
+namespace specpre {
+
+/// Computes DownSafe, CanBeAvail, Later, WillBeAvail and Insert flags on
+/// \p G for safe code motion. \p ExprIdx indexes the expression within
+/// \p LDF. When \p LoopSpeculation is set, Φs at loop headers whose
+/// expression is loop-invariant and computed in the loop are treated as
+/// down-safe even when they are not (SSAPREsp); \p LI must then be
+/// non-null. Expressions that can fault must never be passed with
+/// LoopSpeculation enabled.
+void computeSafePlacement(Frg &G, const LexicalDataFlow &LDF,
+                          unsigned ExprIdx, bool LoopSpeculation,
+                          const LoopInfo *LI);
+
+} // namespace specpre
+
+#endif // SPECPRE_PRE_SSAPRE_H

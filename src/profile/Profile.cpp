@@ -1,0 +1,145 @@
+//===- profile/Profile.cpp - Execution profiles ------------------------------===//
+
+#include "profile/Profile.h"
+
+#include "analysis/Cfg.h"
+
+#include <sstream>
+
+using namespace specpre;
+
+void Profile::reset(unsigned NumBlocks, bool WithEdges) {
+  BlockFreq.assign(NumBlocks, 0);
+  EdgeFreq.clear();
+  HasEdgeFreqs = WithEdges;
+}
+
+uint64_t Profile::edgeFreq(BlockId From, BlockId To) const {
+  auto It = EdgeFreq.find({From, To});
+  return It == EdgeFreq.end() ? 0 : It->second;
+}
+
+Profile Profile::withoutEdgeFreqs() const {
+  Profile P = *this;
+  P.EdgeFreq.clear();
+  P.HasEdgeFreqs = false;
+  return P;
+}
+
+Profile Profile::withEstimatedEdgeFreqs(const Function &F) const {
+  Profile P = *this;
+  P.EdgeFreq.clear();
+  P.HasEdgeFreqs = true;
+  Cfg C(F);
+  for (unsigned B = 0; B != C.numBlocks(); ++B) {
+    const std::vector<BlockId> &Succs = C.succs(static_cast<BlockId>(B));
+    if (Succs.empty())
+      continue;
+    uint64_t Freq = blockFreq(static_cast<BlockId>(B));
+    uint64_t Share = Freq / Succs.size();
+    uint64_t Rem = Freq % Succs.size();
+    for (unsigned I = 0; I != Succs.size(); ++I)
+      P.EdgeFreq[{static_cast<BlockId>(B), Succs[I]}] =
+          Share + (I < Rem ? 1 : 0);
+  }
+  return P;
+}
+
+bool Profile::verifyConservation(const Function &F, std::string &Error) const {
+  if (!HasEdgeFreqs) {
+    Error = "profile has no edge frequencies";
+    return false;
+  }
+  Cfg C(F);
+  for (unsigned B = 0; B != C.numBlocks(); ++B) {
+    BlockId Id = static_cast<BlockId>(B);
+    if (!C.isReachable(Id))
+      continue;
+    if (Id != 0) {
+      uint64_t In = 0;
+      for (BlockId P : C.preds(Id))
+        In += edgeFreq(P, Id);
+      if (In != blockFreq(Id)) {
+        Error = "incoming flow mismatch at block '" + F.Blocks[B].Label +
+                "': in=" + std::to_string(In) +
+                " freq=" + std::to_string(blockFreq(Id));
+        return false;
+      }
+    }
+    if (!C.succs(Id).empty()) {
+      uint64_t Out = 0;
+      for (BlockId S : C.succs(Id))
+        Out += edgeFreq(Id, S);
+      if (Out != blockFreq(Id)) {
+        Error = "outgoing flow mismatch at block '" + F.Blocks[B].Label +
+                "': out=" + std::to_string(Out) +
+                " freq=" + std::to_string(blockFreq(Id));
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+Profile specpre::scaleProfile(const Profile &P, uint64_t Num, uint64_t Den) {
+  Profile R = P;
+  for (uint64_t &Freq : R.BlockFreq)
+    Freq = Freq * Num / Den;
+  for (auto &[Edge, Freq] : R.EdgeFreq)
+    Freq = Freq * Num / Den;
+  return R;
+}
+
+std::string specpre::serializeProfile(const Profile &P) {
+  std::string Out = "specpre-profile v1\n";
+  for (unsigned B = 0; B != P.BlockFreq.size(); ++B)
+    Out += "block " + std::to_string(B) + " " +
+           std::to_string(P.BlockFreq[B]) + "\n";
+  if (P.HasEdgeFreqs)
+    for (const auto &[Edge, Freq] : P.EdgeFreq)
+      Out += "edge " + std::to_string(Edge.first) + " " +
+             std::to_string(Edge.second) + " " + std::to_string(Freq) +
+             "\n";
+  return Out;
+}
+
+bool specpre::parseProfile(const std::string &Text, Profile &Out,
+                           std::string &Error) {
+  std::istringstream In(Text);
+  std::string Header;
+  if (!std::getline(In, Header) || Header != "specpre-profile v1") {
+    Error = "missing or unsupported profile header";
+    return false;
+  }
+  Out.BlockFreq.clear();
+  Out.EdgeFreq.clear();
+  Out.HasEdgeFreqs = false;
+  std::string Kind;
+  while (In >> Kind) {
+    if (Kind == "block") {
+      long long Id;
+      unsigned long long Freq;
+      if (!(In >> Id >> Freq) || Id < 0) {
+        Error = "malformed block line";
+        return false;
+      }
+      if (Out.BlockFreq.size() <= static_cast<size_t>(Id))
+        Out.BlockFreq.resize(static_cast<size_t>(Id) + 1, 0);
+      Out.BlockFreq[static_cast<size_t>(Id)] = Freq;
+    } else if (Kind == "edge") {
+      long long From, To;
+      unsigned long long Freq;
+      if (!(In >> From >> To >> Freq) || From < 0 || To < 0) {
+        Error = "malformed edge line";
+        return false;
+      }
+      Out.EdgeFreq[{static_cast<BlockId>(From), static_cast<BlockId>(To)}] =
+          Freq;
+      Out.HasEdgeFreqs = true;
+    } else {
+      Error = "unknown record kind '" + Kind + "'";
+      return false;
+    }
+  }
+  return true;
+}

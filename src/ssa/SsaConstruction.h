@@ -1,0 +1,30 @@
+//===- ssa/SsaConstruction.h - Cytron et al. SSA construction --*- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pruned SSA construction (Cytron et al., TOPLAS 1991): phi insertion at
+/// the iterated dominance frontier of each variable's definition blocks,
+/// restricted to blocks where the variable is live-in, followed by
+/// dominator-tree renaming. MC-SSAPRE's input program must be in SSA form
+/// (paper Section 3); this pass produces it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_SSA_SSACONSTRUCTION_H
+#define SPECPRE_SSA_SSACONSTRUCTION_H
+
+#include "ir/Ir.h"
+
+namespace specpre {
+
+/// Converts \p F into pruned SSA form. Unreachable blocks are removed
+/// first. Every use must be dominated by some definition (parameters are
+/// defined at entry); a use of a never-defined variable is a fatal error.
+void constructSsa(Function &F);
+
+} // namespace specpre
+
+#endif // SPECPRE_SSA_SSACONSTRUCTION_H

@@ -1,0 +1,148 @@
+//===- ssa/SsaDestruction.cpp - Out-of-SSA translation -------------------------===//
+
+#include "ssa/SsaDestruction.h"
+
+#include "analysis/Cfg.h"
+#include "support/Diagnostics.h"
+
+#include <cassert>
+#include <map>
+#include <vector>
+
+using namespace specpre;
+
+namespace {
+
+/// Sequentializes one parallel copy (the moves a predecessor must
+/// perform for the phis of its successor). Emits into \p Out. Uses
+/// \p ScratchVar to break cycles (swap problem); self-moves vanish.
+void sequentializeParallelCopy(std::vector<std::pair<VarId, Operand>> Moves,
+                               VarId ScratchVar,
+                               std::vector<Stmt> &Out) {
+  // Drop self-moves.
+  std::vector<std::pair<VarId, Operand>> Pending;
+  for (auto &[Dst, Src] : Moves)
+    if (!(Src.isVar() && Src.Var == Dst))
+      Pending.emplace_back(Dst, Src);
+
+  auto IsSourceOfOther = [&](VarId V, size_t Skip) {
+    for (size_t I = 0; I != Pending.size(); ++I)
+      if (I != Skip && Pending[I].second.isVar() &&
+          Pending[I].second.Var == V)
+        return true;
+    return false;
+  };
+
+  while (!Pending.empty()) {
+    bool Progress = false;
+    for (size_t I = 0; I != Pending.size(); ++I) {
+      if (IsSourceOfOther(Pending[I].first, I))
+        continue;
+      Out.push_back(Stmt::makeCopy(Pending[I].first, Pending[I].second));
+      Pending.erase(Pending.begin() + static_cast<long>(I));
+      Progress = true;
+      break;
+    }
+    if (Progress)
+      continue;
+    // Every remaining destination is also a pending source: cycles.
+    // Save the first destination's old value in the scratch variable and
+    // redirect its readers there.
+    VarId Clobbered = Pending.front().first;
+    Out.push_back(
+        Stmt::makeCopy(ScratchVar, Operand::makeVar(Clobbered)));
+    for (auto &[Dst, Src] : Pending)
+      if (Src.isVar() && Src.Var == Clobbered)
+        Src = Operand::makeVar(ScratchVar);
+  }
+}
+
+} // namespace
+
+void specpre::destructSsa(Function &F) {
+  assert(F.IsSSA && "function is not in SSA form");
+  Cfg C(F);
+
+  // 1. Fully split the web: every (var, version) becomes its own
+  // variable; version <= 1 keeps the original name.
+  std::map<std::pair<VarId, int>, VarId> NewVar;
+  auto MapValue = [&](VarId V, int Version) {
+    auto Key = std::make_pair(V, Version);
+    auto It = NewVar.find(Key);
+    if (It != NewVar.end())
+      return It->second;
+    VarId Mapped = Version <= 1
+                       ? V
+                       : F.makeFreshVar(F.varName(V) + ".v" +
+                                        std::to_string(Version));
+    NewVar.emplace(Key, Mapped);
+    return Mapped;
+  };
+  auto MapOperand = [&](Operand &O) {
+    if (!O.isVar())
+      return;
+    O.Var = MapValue(O.Var, O.Version);
+    O.Version = 0;
+  };
+
+  for (BasicBlock &BB : F.Blocks) {
+    for (Stmt &S : BB.Stmts) {
+      if (S.definesValue()) {
+        S.Dest = MapValue(S.Dest, S.DestVersion);
+        S.DestVersion = 0;
+      }
+      switch (S.Kind) {
+      case StmtKind::Copy:
+      case StmtKind::Branch:
+      case StmtKind::Ret:
+      case StmtKind::Print:
+        MapOperand(S.Src0);
+        break;
+      case StmtKind::Compute:
+        MapOperand(S.Src0);
+        MapOperand(S.Src1);
+        break;
+      case StmtKind::Phi:
+        for (PhiArg &A : S.PhiArgs)
+          MapOperand(A.Val);
+        break;
+      case StmtKind::Jump:
+        break;
+      }
+    }
+  }
+
+  // 2. Replace phis with sequentialized parallel copies at the ends of
+  // the predecessors.
+  VarId Scratch = InvalidVar; // allocated lazily
+  for (unsigned B = 0; B != F.numBlocks(); ++B) {
+    BasicBlock &BB = F.Blocks[B];
+    unsigned NumPhis = BB.firstNonPhiIdx();
+    if (NumPhis == 0)
+      continue;
+    for (BlockId P : C.preds(static_cast<BlockId>(B))) {
+      if (C.succs(P).size() > 1 &&
+          C.preds(static_cast<BlockId>(B)).size() > 1)
+        reportFatalError("destructSsa: critical edge present; run "
+                         "splitCriticalEdges first");
+      std::vector<std::pair<VarId, Operand>> Moves;
+      for (unsigned I = 0; I != NumPhis; ++I) {
+        const Stmt &Phi = BB.Stmts[I];
+        Moves.emplace_back(Phi.Dest, Phi.phiArgForPred(P));
+      }
+      std::vector<Stmt> Copies;
+      if (Scratch == InvalidVar)
+        Scratch = F.makeFreshVar("ossa.scratch");
+      sequentializeParallelCopy(std::move(Moves), Scratch, Copies);
+      if (Copies.empty())
+        continue;
+      BasicBlock &Pred = F.Blocks[P];
+      Pred.Stmts.insert(Pred.Stmts.end() - 1,
+                        std::make_move_iterator(Copies.begin()),
+                        std::make_move_iterator(Copies.end()));
+    }
+    BB.Stmts.erase(BB.Stmts.begin(), BB.Stmts.begin() + NumPhis);
+  }
+
+  F.IsSSA = false;
+}

@@ -1,0 +1,36 @@
+//===- ssa/SsaDestruction.h - Out-of-SSA translation -----------*- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Out-of-SSA translation: the paper's CodeMotion step emits SSA, and a
+/// compiler's backend eventually needs ordinary code. Phis are replaced
+/// by copies at the ends of their predecessors; because all phis of a
+/// block evaluate in parallel, each predecessor gets one *parallel copy*
+/// that is sequentialized correctly (the classic swap and lost-copy
+/// problems), introducing a scratch variable only when the copy graph
+/// has cycles. Versioned values become distinct variables (`x`, `x.v2`,
+/// ...), so no coalescing is attempted beyond keeping version 1 on the
+/// original name.
+///
+/// Requires critical edges to be split (the pipeline guarantees this).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_SSA_SSADESTRUCTION_H
+#define SPECPRE_SSA_SSADESTRUCTION_H
+
+#include "ir/Ir.h"
+
+namespace specpre {
+
+/// Converts \p F out of SSA form in place. Afterwards F.IsSSA is false,
+/// no phis or version numbers remain, and observable behavior is
+/// unchanged.
+void destructSsa(Function &F);
+
+} // namespace specpre
+
+#endif // SPECPRE_SSA_SSADESTRUCTION_H

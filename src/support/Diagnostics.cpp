@@ -1,0 +1,20 @@
+//===- support/Diagnostics.cpp - Fatal-error and check helpers -----------===//
+
+#include "support/Diagnostics.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace specpre;
+
+void specpre::reportFatalError(const std::string &Message) {
+  std::fprintf(stderr, "specpre fatal error: %s\n", Message.c_str());
+  std::abort();
+}
+
+void specpre::unreachableInternal(const char *Message, const char *File,
+                                  unsigned Line) {
+  std::fprintf(stderr, "specpre unreachable at %s:%u: %s\n", File, Line,
+               Message);
+  std::abort();
+}

@@ -1,0 +1,34 @@
+//===- support/Diagnostics.h - Fatal-error and check helpers ---*- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal diagnostic helpers used across the library: a fatal-error
+/// reporter for invariant violations that must abort even in release
+/// builds, and an unreachable marker.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_SUPPORT_DIAGNOSTICS_H
+#define SPECPRE_SUPPORT_DIAGNOSTICS_H
+
+#include <string>
+
+namespace specpre {
+
+/// Prints \p Message to stderr and aborts. Used for invariant violations
+/// that must be caught even when assertions are compiled out.
+[[noreturn]] void reportFatalError(const std::string &Message);
+
+/// Marks a point in the code that is unconditionally a bug to reach.
+[[noreturn]] void unreachableInternal(const char *Message, const char *File,
+                                      unsigned Line);
+
+} // namespace specpre
+
+#define SPECPRE_UNREACHABLE(MSG)                                               \
+  ::specpre::unreachableInternal(MSG, __FILE__, __LINE__)
+
+#endif // SPECPRE_SUPPORT_DIAGNOSTICS_H

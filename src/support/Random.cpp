@@ -1,0 +1,59 @@
+//===- support/Random.cpp - Deterministic PRNG for workloads -------------===//
+
+#include "support/Random.h"
+
+#include <cassert>
+
+using namespace specpre;
+
+static uint64_t splitmix64(uint64_t &X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  uint64_t Z = X;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+static uint64_t rotl(uint64_t X, int K) { return (X << K) | (X >> (64 - K)); }
+
+void Rng::reseed(uint64_t Seed) {
+  uint64_t S = Seed;
+  for (uint64_t &Word : State)
+    Word = splitmix64(S);
+}
+
+uint64_t Rng::next() {
+  uint64_t Result = rotl(State[1] * 5, 7) * 9;
+  uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+uint64_t Rng::nextBelow(uint64_t Bound) {
+  assert(Bound != 0 && "nextBelow bound must be nonzero");
+  // Rejection sampling to avoid modulo bias.
+  uint64_t Threshold = -Bound % Bound;
+  for (;;) {
+    uint64_t Raw = next();
+    if (Raw >= Threshold)
+      return Raw % Bound;
+  }
+}
+
+int64_t Rng::nextInRange(int64_t Lo, int64_t Hi) {
+  assert(Lo <= Hi && "empty range");
+  uint64_t Span = static_cast<uint64_t>(Hi) - static_cast<uint64_t>(Lo) + 1;
+  // Span of 0 means the full 64-bit range (Lo = INT64_MIN, Hi = INT64_MAX).
+  uint64_t Offset = Span == 0 ? next() : nextBelow(Span);
+  return static_cast<int64_t>(static_cast<uint64_t>(Lo) + Offset);
+}
+
+bool Rng::chance(uint64_t Num, uint64_t Den) {
+  assert(Den != 0 && "chance denominator must be nonzero");
+  return nextBelow(Den) < Num;
+}

@@ -1,0 +1,47 @@
+//===- support/Random.h - Deterministic PRNG for workloads -----*- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic PRNG (xoshiro256**) used by the workload
+/// generator and the property tests. We avoid std::mt19937 so that
+/// generated programs are stable across standard-library versions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_SUPPORT_RANDOM_H
+#define SPECPRE_SUPPORT_RANDOM_H
+
+#include <cstdint>
+
+namespace specpre {
+
+/// Deterministic 64-bit PRNG with a tiny state, seedable from one word.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) { reseed(Seed); }
+
+  /// Re-initializes the state from \p Seed via splitmix64 expansion.
+  void reseed(uint64_t Seed);
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next();
+
+  /// Returns a uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Returns a uniform value in [Lo, Hi] inclusive. Requires Lo <= Hi.
+  int64_t nextInRange(int64_t Lo, int64_t Hi);
+
+  /// Returns true with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den);
+
+private:
+  uint64_t State[4];
+};
+
+} // namespace specpre
+
+#endif // SPECPRE_SUPPORT_RANDOM_H

@@ -1,0 +1,135 @@
+//===- workload/Evaluation.cpp - FDO evaluation harness ------------------------===//
+
+#include "workload/Evaluation.h"
+
+#include "opt/Cleanup.h"
+#include "ssa/SsaConstruction.h"
+#include "support/Diagnostics.h"
+
+#include <chrono>
+
+using namespace specpre;
+
+double BenchmarkOutcome::speedupPercent(PreStrategy From,
+                                        PreStrategy To) const {
+  auto FromIt = PerStrategy.find(From);
+  auto ToIt = PerStrategy.find(To);
+  if (FromIt == PerStrategy.end() || ToIt == PerStrategy.end() ||
+      FromIt->second.Cycles == 0)
+    return 0.0;
+  return 100.0 *
+         (static_cast<double>(FromIt->second.Cycles) -
+          static_cast<double>(ToIt->second.Cycles)) /
+         static_cast<double>(FromIt->second.Cycles);
+}
+
+BenchmarkOutcome specpre::evaluateBenchmark(const BenchmarkSpec &Spec,
+                                            const EvaluationOptions &Opts) {
+  BenchmarkOutcome Out;
+  Out.Name = Spec.Name;
+  Out.FloatSuite = Spec.FloatSuite;
+
+  // 1. Build and prepare.
+  Function Prepared = Spec.buildProgram();
+  prepareFunction(Prepared);
+
+  // 2. Training run: collect the profile on the prepared CFG.
+  Profile Prof;
+  {
+    ExecOptions EO;
+    EO.Costs = Opts.Costs;
+    EO.MaxSteps = Opts.MaxSteps;
+    EO.CollectProfile = &Prof;
+    ExecResult Train = interpret(Prepared, Spec.TrainArgs, EO);
+    if (Train.Trapped || Train.TimedOut)
+      reportFatalError("training run failed for benchmark '" + Spec.Name +
+                       "'");
+  }
+  Profile NodeOnly = Prof.withoutEdgeFreqs();
+  const Profile &ProfileForPre = Opts.NodeFrequenciesOnly ? NodeOnly : Prof;
+
+  // 3+4. Compile and measure each strategy on the reference input.
+  ExecResult Baseline;
+  bool HaveBaseline = false;
+  for (PreStrategy Strategy : Opts.Strategies) {
+    PreOptions PO;
+    PO.Strategy = Strategy;
+    PO.Prof = Strategy == PreStrategy::McPre ? &Prof : &ProfileForPre;
+    PO.Placement = Opts.Placement;
+    PO.Verify = Opts.Verify;
+    PreStats Stats;
+    PO.Stats = &Stats;
+
+    auto T0 = std::chrono::steady_clock::now();
+    Function Optimized = compileWithPre(Prepared, PO);
+    auto T1 = std::chrono::steady_clock::now();
+
+    ExecOptions EO;
+    EO.Costs = Opts.Costs;
+    EO.MaxSteps = Opts.MaxSteps;
+    ExecResult Ref = interpret(Optimized, Spec.RefArgs, EO);
+    if (Ref.Trapped || Ref.TimedOut)
+      reportFatalError("reference run failed for benchmark '" + Spec.Name +
+                       "' under " + strategyName(Strategy));
+    if (Opts.Verify) {
+      if (!HaveBaseline) {
+        Baseline = interpret(Prepared, Spec.RefArgs, EO);
+        HaveBaseline = true;
+      }
+      if (!Ref.sameObservableBehavior(Baseline))
+        reportFatalError("semantics changed by " +
+                         std::string(strategyName(Strategy)) +
+                         " on benchmark '" + Spec.Name + "'");
+    }
+
+    StrategyOutcome SO;
+    SO.Cycles = Ref.Cycles;
+    SO.DynComputations = Ref.DynamicComputations;
+    SO.CompileSeconds = std::chrono::duration<double>(T1 - T0).count();
+    Out.PerStrategy[Strategy] = SO;
+    if (Strategy == PreStrategy::McSsaPre)
+      Out.McSsaPreStats = std::move(Stats);
+  }
+  return Out;
+}
+
+std::vector<BenchmarkOutcome>
+specpre::evaluateSuite(const std::vector<BenchmarkSpec> &Suite,
+                       const EvaluationOptions &Opts) {
+  std::vector<BenchmarkOutcome> Results;
+  for (const BenchmarkSpec &Spec : Suite)
+    Results.push_back(evaluateBenchmark(Spec, Opts));
+  return Results;
+}
+
+Function specpre::compileWithIteratedPre(const Function &Prepared,
+                                         const PreOptions &Base,
+                                         const std::vector<int64_t> &TrainArgs,
+                                         unsigned MaxRounds) {
+  Function Cur = Prepared;
+  uint64_t PrevCount = UINT64_MAX;
+  for (unsigned Round = 0; Round != MaxRounds; ++Round) {
+    // Profile the current shape (blocks may have changed last round).
+    Profile Prof;
+    ExecOptions EO;
+    EO.CollectProfile = &Prof;
+    ExecResult Train = interpret(Cur, TrainArgs, EO);
+    if (Train.Trapped || Train.TimedOut)
+      reportFatalError("iterated PRE: training run failed");
+    if (Train.DynamicComputations >= PrevCount)
+      break; // the previous round changed nothing measurable
+    PrevCount = Train.DynamicComputations;
+
+    Profile NodeOnly = Prof.withoutEdgeFreqs();
+    PreOptions PO = Base;
+    PO.Prof = PO.Strategy == PreStrategy::McPre ? &Prof : &NodeOnly;
+    if (!Cur.IsSSA && (PO.Strategy == PreStrategy::SsaPre ||
+                       PO.Strategy == PreStrategy::SsaPreSpec ||
+                       PO.Strategy == PreStrategy::McSsaPre))
+      constructSsa(Cur);
+    runPre(Cur, PO);
+    if (Cur.IsSSA)
+      runCleanupPipeline(Cur);
+  }
+  return Cur;
+}

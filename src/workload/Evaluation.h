@@ -1,0 +1,91 @@
+//===- workload/Evaluation.h - FDO evaluation harness ----------*- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The end-to-end FDO evaluation pipeline reproducing the paper's
+/// experimental methodology (Section 5.1):
+///
+///   1. build the benchmark program and prepare it (loop restructuring,
+///      critical-edge splitting),
+///   2. run the *training* input to collect the execution profile,
+///   3. compile three ways: A = SSAPRE (safe, no profile),
+///      B = SSAPREsp (loop speculation, no profile),
+///      C = MC-SSAPRE (speculation under the profile),
+///   4. run the *reference* input on each output and report cost-model
+///      cycles as the "execution time".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_WORKLOAD_EVALUATION_H
+#define SPECPRE_WORKLOAD_EVALUATION_H
+
+#include "interp/Interpreter.h"
+#include "pre/PreDriver.h"
+#include "pre/PreStats.h"
+#include "workload/SpecSuite.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace specpre {
+
+/// Outcome of one strategy on one benchmark.
+struct StrategyOutcome {
+  uint64_t Cycles = 0;
+  uint64_t DynComputations = 0;
+  double CompileSeconds = 0; ///< Wall time of the PRE phase alone.
+};
+
+/// Outcome of one benchmark across strategies.
+struct BenchmarkOutcome {
+  std::string Name;
+  bool FloatSuite = false;
+  std::map<PreStrategy, StrategyOutcome> PerStrategy;
+  PreStats McSsaPreStats; ///< EFG statistics from the MC-SSAPRE compile.
+
+  /// Speedup of \p To over \p From in percent: (From - To) / From * 100.
+  double speedupPercent(PreStrategy From, PreStrategy To) const;
+};
+
+/// Evaluation knobs.
+struct EvaluationOptions {
+  std::vector<PreStrategy> Strategies = {
+      PreStrategy::SsaPre, PreStrategy::SsaPreSpec, PreStrategy::McSsaPre};
+  CostModel Costs = CostModel::standard();
+  CutPlacement Placement = CutPlacement::Latest;
+  uint64_t MaxSteps = 200'000'000;
+  bool Verify = true;
+  /// When set, the profile handed to MC-SSAPRE keeps only node
+  /// frequencies — the paper's claim is that this loses nothing.
+  bool NodeFrequenciesOnly = true;
+};
+
+/// Runs the full pipeline on one benchmark.
+BenchmarkOutcome evaluateBenchmark(const BenchmarkSpec &Spec,
+                                   const EvaluationOptions &Opts);
+
+/// Runs a whole suite.
+std::vector<BenchmarkOutcome>
+evaluateSuite(const std::vector<BenchmarkSpec> &Suite,
+              const EvaluationOptions &Opts);
+
+/// Iterated PRE: alternates PRE with the scalar cleanups
+/// (fold/copy-prop/DCE) and re-collects the profile between rounds, so
+/// second-order redundancies exposed through the PRE temporaries (e.g.
+/// `(a+b)*c` computed twice: round one shares `a+b`, the cleanup rewrites
+/// both multiplies over the same value, round two shares the multiply)
+/// are also eliminated. Stops early when a round stops improving the
+/// training-input computation count. \p Base.Prof is ignored; profiles
+/// are collected internally from \p TrainArgs.
+Function compileWithIteratedPre(const Function &Prepared,
+                                const PreOptions &Base,
+                                const std::vector<int64_t> &TrainArgs,
+                                unsigned MaxRounds = 4);
+
+} // namespace specpre
+
+#endif // SPECPRE_WORKLOAD_EVALUATION_H

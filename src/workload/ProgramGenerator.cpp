@@ -1,0 +1,281 @@
+//===- workload/ProgramGenerator.cpp - Random structured programs -------------===//
+
+#include "workload/ProgramGenerator.h"
+
+#include "ir/IrBuilder.h"
+#include "support/Random.h"
+
+#include <iterator>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace specpre;
+
+namespace {
+
+class Generator {
+public:
+  Generator(uint64_t Seed, const GeneratorConfig &Cfg, const std::string &Name)
+      : Rand(Seed), Cfg(Cfg) {
+    F.Name = Name;
+    B = std::make_unique<IrBuilder>(F);
+  }
+
+  Function run();
+
+private:
+  Operand v(VarId V) { return Operand::makeVar(V); }
+  Operand c(int64_t V) { return Operand::makeConst(V); }
+
+  VarId randomPoolVar() {
+    return Pool[Rand.nextBelow(Pool.size())];
+  }
+
+  /// Emits one statement computing a pooled expression into \p Dest.
+  void emitPoolExpr(VarId Dest) {
+    const PoolExpr &E = ExprPool[Rand.nextBelow(ExprPool.size())];
+    B->emitCompute(Dest, E.Op, v(E.A), v(E.B));
+  }
+
+  void emitStraightLine(unsigned Count);
+  void genRegion(unsigned Depth);
+  void genIf(unsigned Depth);
+  void genWhile(unsigned Depth);
+  void genDoWhile(unsigned Depth);
+
+  /// Emits a biased boolean into a fresh temp and returns it. The bias
+  /// depends on the chaos variable, so different inputs steer different
+  /// paths (and training/reference profiles can diverge).
+  Operand emitBiasedCondition();
+
+  BlockId newBlock() {
+    return B->makeBlock("b" + std::to_string(NextLabel++));
+  }
+
+  Rng Rand;
+  GeneratorConfig Cfg;
+  Function F;
+  std::unique_ptr<IrBuilder> B;
+
+  struct PoolExpr {
+    Opcode Op;
+    VarId A, B;
+  };
+  std::vector<VarId> Pool;
+  std::vector<PoolExpr> ExprPool;
+  /// Expressions over parameters only: loop-invariant everywhere, the
+  /// raw material of (speculative) loop-invariant code motion.
+  std::vector<PoolExpr> InvariantPool;
+  VarId Chaos = InvalidVar, Acc = InvalidVar, CondTmp = InvalidVar;
+  unsigned NextLabel = 1;
+  unsigned LoopCounterId = 0;
+};
+
+Operand Generator::emitBiasedCondition() {
+  // cond = ((chaos >> s) & 7) < k, with k in 1..7: a skewed,
+  // value-dependent branch.
+  int64_t Shift = Rand.nextInRange(0, 24);
+  int64_t K = Rand.nextInRange(1, 7);
+  VarId T1 = F.makeFreshVar("c$a");
+  VarId T2 = F.makeFreshVar("c$b");
+  B->emitCompute(T1, Opcode::Shr, v(Chaos), c(Shift));
+  B->emitCompute(T2, Opcode::And, v(T1), c(7));
+  B->emitCompute(CondTmp, Opcode::CmpLt, v(T2), c(K));
+  return v(CondTmp);
+}
+
+void Generator::emitStraightLine(unsigned Count) {
+  for (unsigned I = 0; I != Count; ++I) {
+    unsigned Roll = static_cast<unsigned>(Rand.nextBelow(1000));
+    if (Roll < 580 - Cfg.InvariantChance) {
+      // Reuse a pooled expression: the redundancy PRE feeds on.
+      emitPoolExpr(randomPoolVar());
+    } else if (Roll < 580) {
+      // A loop-invariant expression (operands are parameters): inside a
+      // conditional in a loop, this is what speculation hoists.
+      const PoolExpr &E = InvariantPool[Rand.nextBelow(InvariantPool.size())];
+      B->emitCompute(randomPoolVar(), E.Op, v(E.A), v(E.B));
+    } else if (Roll < 700) {
+      // Redefine a pool variable: kills downstream redundancy.
+      VarId V = randomPoolVar();
+      B->emitCompute(V, Opcode::Add, v(V), c(Rand.nextInRange(1, 9)));
+    } else if (Roll < 800) {
+      // Stir the chaos variable (drives branch outcomes).
+      B->emitCompute(Chaos, Opcode::Mul, v(Chaos), c(6364136223846793005LL));
+      B->emitCompute(Chaos, Opcode::Add, v(Chaos),
+                     c(Rand.nextInRange(1, 1 << 20)));
+    } else if (Roll < 900) {
+      // Fold into the accumulator (keeps everything observable).
+      B->emitCompute(Acc, Opcode::Xor, v(Acc), v(randomPoolVar()));
+    } else if (Cfg.AllowDiv && Roll < 950) {
+      // Guarded division: divisor in 1..8, never faults.
+      VarId D = F.makeFreshVar("d$");
+      VarId Q = randomPoolVar();
+      VarId N = randomPoolVar();
+      B->emitCompute(D, Opcode::And, v(randomPoolVar()), c(7));
+      B->emitCompute(D, Opcode::Add, v(D), c(1));
+      B->emitCompute(Q, Opcode::Div, v(N), v(D));
+    } else {
+      B->emitCompute(Acc, Opcode::Add, v(Acc), v(randomPoolVar()));
+    }
+  }
+}
+
+void Generator::genIf(unsigned Depth) {
+  Operand Cond = emitBiasedCondition();
+  BlockId Then = newBlock(), Else = newBlock(), Join = newBlock();
+  B->emitBranch(Cond, Then, Else);
+
+  B->setInsertBlock(Then);
+  genRegion(Depth + 1);
+  B->emitJump(Join);
+
+  B->setInsertBlock(Else);
+  genRegion(Depth + 1);
+  B->emitJump(Join);
+
+  B->setInsertBlock(Join);
+}
+
+void Generator::genWhile(unsigned Depth) {
+  // Top-tested loop (paper Figure 1 shape): the compiler restructures it.
+  VarId I = F.makeFreshVar("i$" + std::to_string(LoopCounterId++));
+  VarId Bound = F.makeFreshVar("n$" + std::to_string(LoopCounterId++));
+  VarId Test = F.makeFreshVar("t$w" + std::to_string(LoopCounterId++));
+  int64_t Trip = Rand.nextInRange(Cfg.MinTrip, Cfg.MaxTrip);
+  B->emitCopy(I, c(0));
+  // Bound depends mildly on the chaos state: some whiles iterate zero
+  // times on some inputs — exactly where speculation can lose.
+  VarId Mix = F.makeFreshVar("m$" + std::to_string(LoopCounterId++));
+  B->emitCompute(Mix, Opcode::And, v(Chaos), c(3));
+  B->emitCompute(Bound, Opcode::Sub, v(Mix), c(Rand.nextInRange(0, 2)));
+  B->emitCompute(Bound, Opcode::Add, v(Bound), c(Trip - 2));
+
+  BlockId Header = newBlock(), Body = newBlock(), Exit = newBlock();
+  B->emitJump(Header);
+
+  B->setInsertBlock(Header);
+  B->emitCompute(Test, Opcode::CmpLt, v(I), v(Bound));
+  B->emitBranch(v(Test), Body, Exit);
+
+  B->setInsertBlock(Body);
+  genRegion(Depth + 1);
+  B->emitCompute(I, Opcode::Add, v(I), c(1));
+  B->emitJump(Header);
+
+  B->setInsertBlock(Exit);
+}
+
+void Generator::genDoWhile(unsigned Depth) {
+  VarId I = F.makeFreshVar("i$" + std::to_string(LoopCounterId++));
+  VarId Test = F.makeFreshVar("t$d" + std::to_string(LoopCounterId++));
+  int64_t Trip = Rand.nextInRange(Cfg.MinTrip, Cfg.MaxTrip);
+  B->emitCopy(I, c(0));
+
+  BlockId Body = newBlock(), Exit = newBlock();
+  B->emitJump(Body);
+
+  B->setInsertBlock(Body);
+  genRegion(Depth + 1);
+  B->emitCompute(I, Opcode::Add, v(I), c(1));
+  B->emitCompute(Test, Opcode::CmpLt, v(I), c(Trip));
+  B->emitBranch(v(Test), Body, Exit);
+
+  B->setInsertBlock(Exit);
+}
+
+void Generator::genRegion(unsigned Depth) {
+  unsigned Regions = 1 + static_cast<unsigned>(
+                             Rand.nextBelow(Cfg.RegionsPerLevel));
+  for (unsigned R = 0; R != Regions; ++R) {
+    emitStraightLine(1 + Rand.nextBelow(Cfg.StmtsPerBlock));
+    if (Rand.nextBelow(1000) < Cfg.PrintChance)
+      B->emitPrint(v(randomPoolVar()));
+    if (Depth >= Cfg.MaxDepth)
+      continue;
+    unsigned Roll = static_cast<unsigned>(Rand.nextBelow(1000));
+    if (Roll < Cfg.IfChance)
+      genIf(Depth);
+    else if (Roll < Cfg.IfChance + Cfg.WhileChance)
+      genWhile(Depth);
+    else if (Roll < Cfg.IfChance + Cfg.WhileChance + Cfg.DoWhileChance)
+      genDoWhile(Depth);
+  }
+}
+
+Function Generator::run() {
+  // Parameters.
+  std::vector<VarId> Params;
+  for (unsigned P = 0; P != Cfg.NumParams; ++P)
+    Params.push_back(B->param("p" + std::to_string(P)));
+
+  BlockId Entry = B->makeBlock("entry");
+  B->setInsertBlock(Entry);
+
+  // Working pool, chaos and accumulator, all initialized from the
+  // parameters so behavior is input-dependent.
+  Chaos = F.makeFreshVar("chaos");
+  Acc = F.makeFreshVar("acc");
+  CondTmp = F.makeFreshVar("cond");
+  B->emitCompute(Chaos, Opcode::Mul, v(Params[0]),
+                 c(static_cast<int64_t>(0x9e3779b97f4a7c15ULL)));
+  B->emitCompute(Acc, Opcode::Add, v(Params[Params.size() - 1]), c(1));
+  for (unsigned I = 0; I != Cfg.NumVars; ++I) {
+    VarId V = F.makeFreshVar("v" + std::to_string(I));
+    Pool.push_back(V);
+    B->emitCompute(V, Opcode::Add, v(Params[I % Params.size()]),
+                   c(Rand.nextInRange(-50, 50)));
+  }
+  static const Opcode Ops[] = {Opcode::Add, Opcode::Sub, Opcode::Mul,
+                               Opcode::And, Opcode::Xor, Opcode::Or,
+                               Opcode::Min, Opcode::Max};
+  for (unsigned I = 0; I != Cfg.ExprPoolSize; ++I) {
+    PoolExpr E;
+    E.Op = Ops[Rand.nextBelow(std::size(Ops))];
+    E.A = randomPoolVar();
+    E.B = randomPoolVar();
+    ExprPool.push_back(E);
+  }
+  for (unsigned I = 0; I != 1 + Cfg.ExprPoolSize / 3; ++I) {
+    PoolExpr E;
+    E.Op = Ops[Rand.nextBelow(std::size(Ops))];
+    E.A = Params[Rand.nextBelow(Params.size())];
+    E.B = Params[Rand.nextBelow(Params.size())];
+    InvariantPool.push_back(E);
+  }
+
+  if (Cfg.OuterTrip <= 1) {
+    genRegion(0);
+  } else {
+    // Outer driver loop (bottom-tested; its trip count dominates, so its
+    // shape does not interact with the while-restructuring under test).
+    VarId I = F.makeFreshVar("outer$i");
+    B->emitCopy(I, c(0));
+    BlockId Body = newBlock(), Exit = newBlock();
+    B->emitJump(Body);
+    B->setInsertBlock(Body);
+    genRegion(0);
+    // Stir the chaos each iteration so branch outcomes vary.
+    B->emitCompute(Chaos, Opcode::Mul, v(Chaos), c(2862933555777941757LL));
+    B->emitCompute(Chaos, Opcode::Add, v(Chaos), c(3037000493LL));
+    B->emitCompute(I, Opcode::Add, v(I), c(1));
+    VarId T = F.makeFreshVar("outer$t");
+    B->emitCompute(T, Opcode::CmpLt, v(I),
+                   c(static_cast<int64_t>(Cfg.OuterTrip)));
+    B->emitBranch(v(T), Body, Exit);
+    B->setInsertBlock(Exit);
+  }
+
+  B->emitCompute(Acc, Opcode::Xor, v(Acc), v(Chaos));
+  B->emitRet(v(Acc));
+  return std::move(F);
+}
+
+} // namespace
+
+Function specpre::generateProgram(uint64_t Seed, const GeneratorConfig &Cfg,
+                                  const std::string &Name) {
+  Generator G(Seed, Cfg, Name);
+  return G.run();
+}

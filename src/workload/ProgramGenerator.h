@@ -1,0 +1,70 @@
+//===- workload/ProgramGenerator.h - Random structured programs -*- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic generator of structured IR programs, used as (a) the
+/// source of the synthetic SPEC CPU2006 stand-in suite and (b) the input
+/// fuzzer for the property tests (semantics preservation, optimality).
+///
+/// Key properties the generator guarantees:
+///  * termination — all loops are counter-bounded,
+///  * definedness — variables are initialized before any use,
+///  * fault-freedom — divisions use strictly positive divisors,
+///  * redundancy — expressions are drawn from a small per-program pool,
+///    so lexically identical computations appear on multiple paths (the
+///    raw material of PRE),
+///  * profile skew — branch conditions are value-dependent and biased,
+///    so speculation has both winning and losing placements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_WORKLOAD_PROGRAMGENERATOR_H
+#define SPECPRE_WORKLOAD_PROGRAMGENERATOR_H
+
+#include "ir/Ir.h"
+
+#include <cstdint>
+
+namespace specpre {
+
+/// Tunables describing a family of generated programs.
+struct GeneratorConfig {
+  unsigned NumParams = 2;
+  unsigned NumVars = 6;       ///< Size of the working variable pool.
+  unsigned ExprPoolSize = 8;  ///< Distinct lexical expressions to reuse.
+  unsigned MaxDepth = 3;      ///< Nesting depth of ifs/loops.
+  unsigned StmtsPerBlock = 4; ///< Straight-line statements per region.
+  unsigned RegionsPerLevel = 3; ///< Sequential sub-regions per level.
+
+  /// Per-mille probabilities when choosing the next region kind.
+  unsigned IfChance = 350;
+  unsigned WhileChance = 250; ///< Top-tested loops (exercise Figure 1).
+  unsigned DoWhileChance = 100;
+
+  unsigned MinTrip = 2, MaxTrip = 9; ///< Loop trip counts.
+  /// Per-mille share of straight-line statements drawn from the
+  /// loop-invariant pool (parameters only) — the raw material of
+  /// speculative loop-invariant motion.
+  unsigned InvariantChance = 140;
+  bool AllowDiv = false;             ///< Emit guarded divisions.
+  unsigned PrintChance = 60;         ///< Per-mille chance per region.
+
+  /// Iterations of the outer driver loop wrapping the whole body. Values
+  /// above 1 make the program do statistically stable work (branch skews
+  /// are distributional, so training and reference profiles correlate
+  /// the way long-running SPEC iterations do).
+  unsigned OuterTrip = 1;
+};
+
+/// Generates a deterministic program from \p Seed. The function takes
+/// GeneratorConfig::NumParams integer parameters and returns a value
+/// folding the whole computation, so outputs depend on inputs.
+Function generateProgram(uint64_t Seed, const GeneratorConfig &Config,
+                         const std::string &Name = "generated");
+
+} // namespace specpre
+
+#endif // SPECPRE_WORKLOAD_PROGRAMGENERATOR_H

@@ -1,0 +1,61 @@
+//===- workload/SpecSuite.h - Synthetic SPEC CPU2006 stand-in --*- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The synthetic stand-in for the SPEC CPU2006 Benchmark Suite used by
+/// the paper's evaluation (Tables 1-2, Figures 9-11). SPEC sources and
+/// reference inputs are licensed and unavailable here, so each benchmark
+/// is a deterministic generated program whose control-flow character
+/// mimics its namesake's family:
+///
+///  * CINT2006 (12 programs): branch-heavy, irregular control flow,
+///    moderate loop nesting, integer-flavored operations;
+///  * CFP2006 (17 programs): loop-nest-heavy, multiply-rich straight-line
+///    regions, fewer data-dependent branches.
+///
+/// Each benchmark carries a *training* input (FDO profile collection)
+/// and a *reference* input (measurement), drawn differently so the
+/// train/ref correlation varies across benchmarks like in real FDO.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_WORKLOAD_SPECSUITE_H
+#define SPECPRE_WORKLOAD_SPECSUITE_H
+
+#include "ir/Ir.h"
+#include "workload/ProgramGenerator.h"
+
+#include <string>
+#include <vector>
+
+namespace specpre {
+
+/// One synthetic benchmark.
+struct BenchmarkSpec {
+  std::string Name;
+  bool FloatSuite = false;
+  uint64_t Seed = 0;
+  GeneratorConfig Config;
+  std::vector<int64_t> TrainArgs;
+  std::vector<int64_t> RefArgs;
+
+  Function buildProgram() const {
+    return generateProgram(Seed, Config, Name);
+  }
+};
+
+/// The 12 CINT2006 stand-ins (perlbench ... xalancbmk).
+std::vector<BenchmarkSpec> cint2006Suite();
+
+/// The 17 CFP2006 stand-ins (bwaves ... sphinx3).
+std::vector<BenchmarkSpec> cfp2006Suite();
+
+/// Both suites, CINT first (29 programs).
+std::vector<BenchmarkSpec> fullCpu2006Suite();
+
+} // namespace specpre
+
+#endif // SPECPRE_WORKLOAD_SPECSUITE_H

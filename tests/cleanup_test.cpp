@@ -1,0 +1,300 @@
+//===- tests/cleanup_test.cpp - SSA cleanup pass tests ---------------------------===//
+
+#include "interp/Interpreter.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "opt/Cleanup.h"
+#include "pre/PreDriver.h"
+#include "ssa/SsaConstruction.h"
+#include "workload/ProgramGenerator.h"
+
+#include <gtest/gtest.h>
+
+using namespace specpre;
+
+namespace {
+
+Function ssaOf(const char *Src) {
+  Function F = parseFunctionOrDie(Src);
+  prepareFunction(F);
+  constructSsa(F);
+  return F;
+}
+
+unsigned countKind(const Function &F, StmtKind K) {
+  unsigned N = 0;
+  for (const BasicBlock &BB : F.Blocks)
+    for (const Stmt &S : BB.Stmts)
+      N += S.Kind == K;
+  return N;
+}
+
+} // namespace
+
+TEST(ConstantFold, FoldsComputes) {
+  Function F = ssaOf(R"(
+    func f(a) {
+    entry:
+      x = 2 + 3
+      y = x * a
+      ret y
+    }
+  )");
+  EXPECT_GE(foldConstants(F), 1u);
+  EXPECT_EQ(F.Blocks[0].Stmts[0].Kind, StmtKind::Copy);
+  EXPECT_EQ(F.Blocks[0].Stmts[0].Src0.Value, 5);
+  verifyFunctionOrDie(F, "after fold");
+}
+
+TEST(ConstantFold, KeepsFaultingFold) {
+  Function F = ssaOf(R"(
+    func f(a) {
+    entry:
+      x = a + 0
+      y = 1 / 0
+      ret y
+    }
+  )");
+  foldConstants(F);
+  // The division by zero must survive: the trap is observable.
+  EXPECT_EQ(countKind(F, StmtKind::Compute), 2u);
+  EXPECT_TRUE(interpret(F, {1}).Trapped);
+}
+
+TEST(ConstantFold, ConstantBranchBecomesJump) {
+  Function F = ssaOf(R"(
+    func f(a) {
+    entry:
+      br 1, t, e
+    t:
+      x = a + 1
+      jmp j
+    e:
+      x = a + 2
+      jmp j
+    j:
+      ret x
+    }
+  )");
+  unsigned Changed = foldConstants(F);
+  EXPECT_GE(Changed, 1u);
+  verifyFunctionOrDie(F, "after branch fold");
+  // Only the taken path remains; e is unreachable and removed; the join
+  // phi became a copy.
+  EXPECT_EQ(interpret(F, {10}).ReturnValue, 11);
+  EXPECT_EQ(countKind(F, StmtKind::Phi), 0u);
+}
+
+TEST(CopyPropagation, ChainsResolve) {
+  Function F = ssaOf(R"(
+    func f(a) {
+    entry:
+      x = a
+      y = x
+      z = y + 1
+      ret z
+    }
+  )");
+  EXPECT_GE(propagateCopies(F), 1u);
+  verifyFunctionOrDie(F, "after copyprop");
+  // z's operand now references `a` directly.
+  const Stmt *Z = nullptr;
+  for (const Stmt &S : F.Blocks[0].Stmts)
+    if (S.Kind == StmtKind::Compute)
+      Z = &S;
+  ASSERT_NE(Z, nullptr);
+  EXPECT_EQ(F.varName(Z->Src0.Var), "a");
+}
+
+TEST(CopyPropagation, ThroughPhiArguments) {
+  Function F = ssaOf(R"(
+    func f(a, p) {
+    entry:
+      x = a
+      br p, t, e
+    t:
+      y = x
+      jmp j
+    e:
+      y = 5
+      jmp j
+    j:
+      ret y
+    }
+  )");
+  propagateCopies(F);
+  verifyFunctionOrDie(F, "after copyprop");
+  EXPECT_EQ(interpret(F, {9, 1}).ReturnValue, 9);
+  EXPECT_EQ(interpret(F, {9, 0}).ReturnValue, 5);
+}
+
+TEST(DeadCodeElim, RemovesUnusedChains) {
+  Function F = ssaOf(R"(
+    func f(a) {
+    entry:
+      dead1 = a + 1
+      dead2 = dead1 * 3
+      live = a + 2
+      ret live
+    }
+  )");
+  EXPECT_EQ(eliminateDeadCode(F), 2u);
+  EXPECT_EQ(countKind(F, StmtKind::Compute), 1u);
+  EXPECT_EQ(interpret(F, {5}).ReturnValue, 7);
+}
+
+TEST(DeadCodeElim, KeepsFaultingComputations) {
+  Function F = ssaOf(R"(
+    func f(a, b) {
+    entry:
+      dead = a / b
+      ret a
+    }
+  )");
+  EXPECT_EQ(eliminateDeadCode(F), 0u);
+  EXPECT_TRUE(interpret(F, {1, 0}).Trapped);
+}
+
+TEST(DeadCodeElim, DeletesSafeConstantDivision) {
+  Function F = ssaOf(R"(
+    func f(a) {
+    entry:
+      dead = a / 4
+      ret a
+    }
+  )");
+  EXPECT_EQ(eliminateDeadCode(F), 1u);
+  EXPECT_EQ(countKind(F, StmtKind::Compute), 0u);
+}
+
+TEST(DeadCodeElim, KeepsPrintOperandsAlive) {
+  Function F = ssaOf(R"(
+    func f(a) {
+    entry:
+      x = a * 2
+      print x
+      ret 0
+    }
+  )");
+  EXPECT_EQ(eliminateDeadCode(F), 0u);
+}
+
+TEST(CleanupPipeline, TidiesPreOutput) {
+  // After PRE, reload copies exist; the pipeline folds them away without
+  // changing behavior or computation counts.
+  Function F = parseFunctionOrDie(R"(
+    func f(a, b, p) {
+    entry:
+      br p, t, e
+    t:
+      x = a + b
+      print x
+      jmp j
+    e:
+      print 0
+      jmp j
+    j:
+      z = a + b
+      ret z
+    }
+  )");
+  prepareFunction(F);
+  PreOptions PO;
+  PO.Strategy = PreStrategy::SsaPre;
+  Function Opt = compileWithPre(F, PO);
+  unsigned CopiesBefore = countKind(Opt, StmtKind::Copy);
+  ExecResult Before = interpret(Opt, {1, 2, 1});
+  unsigned Changes = runCleanupPipeline(Opt);
+  verifyFunctionOrDie(Opt, "after cleanup");
+  EXPECT_GT(Changes, 0u);
+  EXPECT_LT(countKind(Opt, StmtKind::Copy), CopiesBefore);
+  ExecResult After = interpret(Opt, {1, 2, 1});
+  EXPECT_TRUE(Before.sameObservableBehavior(After));
+  EXPECT_EQ(Before.DynamicComputations, After.DynamicComputations);
+}
+
+TEST(CleanupPipeline, PreservesSemanticsOnRandomPrograms) {
+  for (uint64_t Seed = 700; Seed <= 730; ++Seed) {
+    GeneratorConfig Cfg0;
+    Cfg0.AllowDiv = Seed % 2 == 0;
+    Function F = generateProgram(Seed, Cfg0);
+    prepareFunction(F);
+    Function S = F;
+    constructSsa(S);
+    Function Cleaned = S;
+    runCleanupPipeline(Cleaned);
+    std::string Error;
+    ASSERT_TRUE(verifyFunction(Cleaned, Error)) << "seed " << Seed << ": "
+                                                << Error;
+    for (int V = 0; V != 3; ++V) {
+      std::vector<int64_t> Args(F.Params.size(),
+                                static_cast<int64_t>(Seed * 11 + V * 3));
+      ExecResult A = interpret(S, Args);
+      ExecResult B = interpret(Cleaned, Args);
+      ASSERT_TRUE(A.sameObservableBehavior(B)) << "seed " << Seed;
+      // Cleanups never add computations.
+      ASSERT_LE(B.DynamicComputations, A.DynamicComputations);
+    }
+  }
+}
+
+TEST(CleanupPipeline, PreThenCleanupOnRandomPrograms) {
+  for (uint64_t Seed = 750; Seed <= 765; ++Seed) {
+    GeneratorConfig Cfg0;
+    Function F = generateProgram(Seed, Cfg0);
+    prepareFunction(F);
+    Profile Prof;
+    ExecOptions EO;
+    EO.CollectProfile = &Prof;
+    std::vector<int64_t> Args(F.Params.size(), static_cast<int64_t>(Seed));
+    interpret(F, Args, EO);
+    Profile NodeOnly = Prof.withoutEdgeFreqs();
+    PreOptions PO;
+    PO.Strategy = PreStrategy::McSsaPre;
+    PO.Prof = &NodeOnly;
+    Function Opt = compileWithPre(F, PO);
+    runCleanupPipeline(Opt);
+    std::string Error;
+    ASSERT_TRUE(verifyFunction(Opt, Error)) << "seed " << Seed << ": "
+                                            << Error;
+    ExecResult A = interpret(F, Args);
+    ExecResult B = interpret(Opt, Args);
+    ASSERT_TRUE(A.sameObservableBehavior(B)) << "seed " << Seed;
+    ASSERT_LE(B.DynamicComputations, A.DynamicComputations);
+  }
+}
+
+TEST(CopyPropagation, KeepsPhiArgumentsSameVariable) {
+  // Copy propagation must not substitute a foreign variable into a phi
+  // argument: SSAPRE's rename relies on variable phis merging versions
+  // of one variable (regression test; see opt/CopyPropagation.cpp).
+  Function F = parseFunctionOrDie(R"(
+    func f(a, p) {
+    entry:
+      w#1 = a#1 * 2
+      x#1 = w#1
+      br p#1, t, e
+    t:
+      x#2 = a#1 + 1
+      jmp j
+    e:
+      jmp j
+    j:
+      x#3 = phi [t: x#2] [e: x#1]
+      ret x#3
+    }
+  )");
+  ASSERT_TRUE(F.IsSSA);
+  propagateCopies(F);
+  verifyFunctionOrDie(F, "after copyprop");
+  const Stmt &Phi = F.Blocks[3].Stmts[0];
+  ASSERT_EQ(Phi.Kind, StmtKind::Phi);
+  for (const PhiArg &A : Phi.PhiArgs) {
+    ASSERT_TRUE(A.Val.isVar());
+    // Arguments stay versions of x, even though x#1 is a copy of w#1.
+    EXPECT_EQ(F.varName(A.Val.Var), "x");
+  }
+  EXPECT_EQ(interpret(F, {5, 0}).ReturnValue, 10);
+  EXPECT_EQ(interpret(F, {5, 1}).ReturnValue, 6);
+}

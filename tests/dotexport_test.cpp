@@ -1,0 +1,94 @@
+//===- tests/dotexport_test.cpp - Graphviz export tests --------------------------===//
+
+#include "analysis/Cfg.h"
+#include "analysis/DomTree.h"
+#include "ir/Parser.h"
+#include "pre/DotExport.h"
+#include "pre/McSsaPre.h"
+#include "ssa/SsaConstruction.h"
+
+#include <gtest/gtest.h>
+
+using namespace specpre;
+
+namespace {
+
+Function diamond() {
+  Function F = parseFunctionOrDie(R"(
+    func f(a, b, p) {
+    entry:
+      br p, t, e
+    t:
+      x = a + b
+      print x
+      jmp j
+    e:
+      print 0
+      jmp j
+    j:
+      z = a + b
+      ret z
+    }
+  )");
+  constructSsa(F);
+  return F;
+}
+
+} // namespace
+
+TEST(DotExport, CfgContainsBlocksAndEdges) {
+  Function F = diamond();
+  std::string Dot = cfgToDot(F);
+  EXPECT_NE(Dot.find("digraph \"f\""), std::string::npos);
+  EXPECT_NE(Dot.find("entry"), std::string::npos);
+  EXPECT_NE(Dot.find("b0 -> b1"), std::string::npos);
+  EXPECT_NE(Dot.find("b0 -> b2"), std::string::npos);
+  // Statements appear in labels.
+  EXPECT_NE(Dot.find("a#1 + b#1"), std::string::npos);
+}
+
+TEST(DotExport, CfgShowsFrequencies) {
+  Function F = diamond();
+  Profile Prof;
+  Prof.reset(F.numBlocks(), false);
+  Prof.BlockFreq[0] = 42;
+  std::string Dot = cfgToDot(F, &Prof);
+  EXPECT_NE(Dot.find("freq 42"), std::string::npos);
+}
+
+TEST(DotExport, FrgShowsPhiAndCut) {
+  Function F = diamond();
+  Cfg C(F);
+  DomTree DT = DomTree::buildDominators(C);
+  ExprKey E;
+  E.Op = Opcode::Add;
+  E.L.Var = F.findVar("a");
+  E.R.Var = F.findVar("b");
+  Frg G(F, C, DT, E);
+  Profile Prof;
+  Prof.reset(F.numBlocks(), false);
+  for (auto &BF : Prof.BlockFreq)
+    BF = 10;
+  Prof.BlockFreq[2] = 1; // cold ⊥ path: insertion there beats in-place
+  computeSpeculativePlacement(G, Prof);
+  std::string Dot = frgToDot(G, &Prof);
+  EXPECT_NE(Dot.find("Phi@j"), std::string::npos);
+  EXPECT_NE(Dot.find("source"), std::string::npos);
+  EXPECT_NE(Dot.find("sink"), std::string::npos);
+  // The chosen insertion is highlighted in red.
+  EXPECT_NE(Dot.find("color=red"), std::string::npos);
+  // Weights come from node frequencies.
+  EXPECT_NE(Dot.find("w=10"), std::string::npos);
+}
+
+TEST(DotExport, EscapesQuotesInLabels) {
+  Function F = diamond();
+  std::string Dot = cfgToDot(F);
+  // Every quote inside a label must be escaped: crude check that the
+  // graph is balanced enough for dot by counting unescaped quotes.
+  unsigned Quotes = 0;
+  for (unsigned I = 0; I != Dot.size(); ++I)
+    if (Dot[I] == '"' && (I == 0 || Dot[I - 1] != '\\'))
+      ++Quotes;
+  EXPECT_EQ(Quotes % 2, 0u);
+}

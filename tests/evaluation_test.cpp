@@ -1,0 +1,155 @@
+//===- tests/evaluation_test.cpp - FDO evaluation harness tests -----------------===//
+
+#include "workload/Evaluation.h"
+#include "ir/Parser.h"
+#include "workload/ProgramGenerator.h"
+
+#include <gtest/gtest.h>
+
+using namespace specpre;
+
+TEST(Evaluation, SingleBenchmarkEndToEnd) {
+  BenchmarkSpec Spec = cint2006Suite().front(); // perlbench
+  EvaluationOptions Opts;
+  BenchmarkOutcome Out = evaluateBenchmark(Spec, Opts);
+  EXPECT_EQ(Out.Name, "perlbench");
+  ASSERT_EQ(Out.PerStrategy.size(), 3u);
+  for (auto &[S, R] : Out.PerStrategy) {
+    EXPECT_GT(R.Cycles, 0u) << strategyName(S);
+    EXPECT_GT(R.DynComputations, 0u) << strategyName(S);
+  }
+}
+
+TEST(Evaluation, McSsaPreNeverLosesOnTrainingEqualInput) {
+  // With ref == train the profile is perfect: leg C must not lose to A.
+  BenchmarkSpec Spec = cfp2006Suite().front();
+  Spec.RefArgs = Spec.TrainArgs;
+  EvaluationOptions Opts;
+  BenchmarkOutcome Out = evaluateBenchmark(Spec, Opts);
+  uint64_t A = Out.PerStrategy[PreStrategy::SsaPre].DynComputations;
+  uint64_t C = Out.PerStrategy[PreStrategy::McSsaPre].DynComputations;
+  EXPECT_LE(C, A);
+}
+
+TEST(Evaluation, SpeedupPercentArithmetic) {
+  BenchmarkOutcome Out;
+  Out.PerStrategy[PreStrategy::SsaPre].Cycles = 1000;
+  Out.PerStrategy[PreStrategy::McSsaPre].Cycles = 950;
+  EXPECT_DOUBLE_EQ(Out.speedupPercent(PreStrategy::SsaPre,
+                                      PreStrategy::McSsaPre),
+                   5.0);
+  // Missing strategy or zero baseline yields 0.
+  EXPECT_DOUBLE_EQ(Out.speedupPercent(PreStrategy::McPre,
+                                      PreStrategy::McSsaPre),
+                   0.0);
+}
+
+TEST(Evaluation, CollectsEfgStatistics) {
+  BenchmarkSpec Spec = cint2006Suite()[1]; // bzip2
+  EvaluationOptions Opts;
+  BenchmarkOutcome Out = evaluateBenchmark(Spec, Opts);
+  // Some candidate expressions must have been processed.
+  EXPECT_FALSE(Out.McSsaPreStats.records().empty());
+  // Every non-empty EFG has at least 4 nodes (paper Section 5.2).
+  for (const ExprStatsRecord &R : Out.McSsaPreStats.records()) {
+    if (!R.EfgEmpty) {
+      EXPECT_GE(R.EfgNodes, 4u);
+    }
+  }
+}
+
+TEST(IteratedPre, HarvestsSecondOrderRedundancy) {
+  // (a+b)*c computed twice through distinct intermediates: round one
+  // shares a+b (u2 becomes a reload of the PRE temp), the cleanup's copy
+  // propagation rewires v2 onto u1 directly, and round two shares the
+  // multiply. Lexical PRE alone (round one) cannot relate `u1*c` and
+  // `u2*c` — they use different base variables.
+  Function F = parseFunctionOrDie(R"(
+    func f(a, b, c) {
+    entry:
+      u1 = a + b
+      v1 = u1 * c
+      print v1
+      u2 = a + b
+      v2 = u2 * c
+      ret v2
+    }
+  )");
+  prepareFunction(F);
+  PreOptions PO;
+  PO.Strategy = PreStrategy::McSsaPre;
+
+  std::vector<int64_t> Train{2, 3, 4};
+  Function OneRound = compileWithIteratedPre(F, PO, Train, 1);
+  Function ManyRounds = compileWithIteratedPre(F, PO, Train, 4);
+
+  ExecResult Base = interpret(F, Train);
+  ExecResult R1 = interpret(OneRound, Train);
+  ExecResult RN = interpret(ManyRounds, Train);
+  EXPECT_TRUE(Base.sameObservableBehavior(R1));
+  EXPECT_TRUE(Base.sameObservableBehavior(RN));
+  EXPECT_EQ(Base.DynamicComputations, 4u);
+  // Round one removes the redundant a+b; the multiply needs round two.
+  EXPECT_EQ(R1.DynamicComputations, 3u);
+  EXPECT_EQ(RN.DynamicComputations, 2u);
+}
+
+TEST(IteratedPre, ConvergesOnRandomPrograms) {
+  for (uint64_t Seed = 900; Seed <= 910; ++Seed) {
+    GeneratorConfig Cfg0;
+    Function F = generateProgram(Seed, Cfg0);
+    prepareFunction(F);
+    std::vector<int64_t> Train(F.Params.size(), static_cast<int64_t>(Seed));
+    PreOptions PO;
+    PO.Strategy = PreStrategy::McSsaPre;
+    Function Opt = compileWithIteratedPre(F, PO, Train, 5);
+    ExecResult Base = interpret(F, Train);
+    ExecResult R = interpret(Opt, Train);
+    ASSERT_TRUE(Base.sameObservableBehavior(R)) << "seed " << Seed;
+    ASSERT_LE(R.DynamicComputations, Base.DynamicComputations);
+  }
+}
+
+TEST(EfgDistribution, FrontLoadedLikeFigure11) {
+  // Regression guard for the Figure-11 headline: over a program corpus,
+  // EFGs are overwhelmingly tiny (the sparse-approach claim). We assert
+  // a conservative version of the paper's numbers on a smaller corpus.
+  PreStats Stats;
+  for (uint64_t Seed = 1; Seed <= 80; ++Seed) {
+    GeneratorConfig Cfg;
+    Cfg.MaxDepth = 2 + Seed % 3;
+    Cfg.ExprPoolSize = 6 + Seed % 6;
+    Function F = generateProgram(Seed * 131 + 7, Cfg);
+    prepareFunction(F);
+    Profile Prof;
+    ExecOptions EO;
+    EO.CollectProfile = &Prof;
+    std::vector<int64_t> Args(F.Params.size(), static_cast<int64_t>(Seed));
+    ExecResult Train = interpret(F, Args, EO);
+    if (Train.Trapped || Train.TimedOut)
+      continue;
+    Profile NodeOnly = Prof.withoutEdgeFreqs();
+    PreOptions PO;
+    PO.Strategy = PreStrategy::McSsaPre;
+    PO.Prof = &NodeOnly;
+    PO.Stats = &Stats;
+    PO.Verify = false;
+    (void)compileWithPre(F, PO);
+  }
+  ASSERT_GE(Stats.numNonEmptyEfgs(), 50u);
+  // The minimum possible EFG has 4 nodes, and it must be the mode.
+  auto Hist = Stats.efgSizeHistogram();
+  unsigned ModeSize = 0, ModeCount = 0;
+  for (auto &[Size, Count] : Hist) {
+    ASSERT_GE(Size, 4u);
+    if (Count > ModeCount) {
+      ModeCount = Count;
+      ModeSize = Size;
+    }
+  }
+  EXPECT_EQ(ModeSize, 4u);
+  // Front-loaded: most EFGs are small (paper: 86.5% <= 10; we assert a
+  // conservative 60% on the smaller corpus).
+  EXPECT_GE(Stats.cumulativePercentAtOrBelow(10), 60.0);
+  EXPECT_GE(Stats.cumulativePercentAtOrBelow(100), 99.0);
+}

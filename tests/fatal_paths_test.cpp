@@ -1,0 +1,59 @@
+//===- tests/fatal_paths_test.cpp - Abort-path coverage ---------------------------===//
+//
+// The library treats programmatic errors as fatal (abort with a
+// message); these death tests pin down that the guards actually fire.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CriticalEdges.h"
+#include "interp/Interpreter.h"
+#include "ir/Parser.h"
+#include "ssa/SsaConstruction.h"
+#include "ssa/SsaDestruction.h"
+
+#include <gtest/gtest.h>
+
+using namespace specpre;
+
+TEST(FatalPaths, ParseFunctionOrDieAborts) {
+  EXPECT_DEATH(parseFunctionOrDie("func broken( {"), "parse failed");
+}
+
+TEST(FatalPaths, InterpretArgumentMismatchAborts) {
+  Function F = parseFunctionOrDie(R"(
+    func f(a, b) {
+    entry:
+      ret a
+    }
+  )");
+  EXPECT_DEATH(interpret(F, {1}), "argument count mismatch");
+}
+
+TEST(FatalPaths, SsaConstructionRejectsUseBeforeDef) {
+  Function F = parseFunctionOrDie(R"(
+    func f(p) {
+    entry:
+      x = never_assigned + 1
+      ret x
+    }
+  )");
+  EXPECT_DEATH(constructSsa(F), "undefined variable");
+}
+
+TEST(FatalPaths, DestructSsaRequiresSplitEdges) {
+  // A critical edge into a phi block: destructSsa must refuse.
+  Function F = parseFunctionOrDie(R"(
+    func f(p) {
+    entry:
+      br p#1, t, j
+    t:
+      x#1 = p#1 + 1
+      jmp j
+    j:
+      x#2 = phi [entry: p#1] [t: x#1]
+      ret x#2
+    }
+  )");
+  ASSERT_TRUE(F.IsSSA);
+  EXPECT_DEATH(destructSsa(F), "critical edge");
+}

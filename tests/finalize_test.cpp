@@ -1,0 +1,243 @@
+//===- tests/finalize_test.cpp - Finalize/CodeMotion (steps 9-10) tests ----------===//
+
+#include "analysis/Cfg.h"
+#include "analysis/DomTree.h"
+#include "interp/Interpreter.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "pre/CodeMotion.h"
+#include "pre/Finalize.h"
+#include "pre/Frg.h"
+#include "pre/LexicalDataFlow.h"
+#include "pre/McSsaPre.h"
+#include "pre/PreDriver.h"
+#include "pre/SsaPre.h"
+#include "ssa/SsaConstruction.h"
+
+#include <gtest/gtest.h>
+
+using namespace specpre;
+
+namespace {
+
+struct Built {
+  Function F;
+  std::unique_ptr<Cfg> C;
+  std::unique_ptr<DomTree> DT;
+  ExprKey E;
+
+  explicit Built(const char *Src, Opcode Op, const char *L, const char *R) {
+    F = parseFunctionOrDie(Src);
+    prepareFunction(F);
+    constructSsa(F);
+    C = std::make_unique<Cfg>(F);
+    DT = std::make_unique<DomTree>(DomTree::buildDominators(*C));
+    E.Op = Op;
+    E.L.Var = F.findVar(L);
+    E.R.Var = F.findVar(R);
+  }
+};
+
+unsigned liveDefs(const FinalizePlan &Plan, TempDef::Kind K) {
+  unsigned N = 0;
+  for (const TempDef &D : Plan.TempDefs)
+    N += D.Live && D.K == K;
+  return N;
+}
+
+} // namespace
+
+TEST(Finalize, SingleOccurrenceProducesNoPlan) {
+  Built B(R"(
+    func f(a, b) {
+    entry:
+      x = a + b
+      ret x
+    }
+  )", Opcode::Add, "a", "b");
+  Frg G(B.F, *B.C, *B.DT, B.E);
+  std::vector<ExprKey> Exprs{B.E};
+  LexicalDataFlow LDF = solveLexicalDataFlow(B.F, *B.C, Exprs);
+  computeSafePlacement(G, LDF, 0, false, nullptr);
+  FinalizePlan Plan = finalizePlacement(G);
+  EXPECT_FALSE(Plan.hasAnyEffect());
+  EXPECT_FALSE(G.reals()[0].Reload);
+  EXPECT_FALSE(G.reals()[0].Save);
+}
+
+TEST(Finalize, StraightLineSaveAndReload) {
+  Built B(R"(
+    func f(a, b) {
+    entry:
+      x = a + b
+      y = a + b
+      ret y
+    }
+  )", Opcode::Add, "a", "b");
+  Frg G(B.F, *B.C, *B.DT, B.E);
+  std::vector<ExprKey> Exprs{B.E};
+  LexicalDataFlow LDF = solveLexicalDataFlow(B.F, *B.C, Exprs);
+  computeSafePlacement(G, LDF, 0, false, nullptr);
+  FinalizePlan Plan = finalizePlacement(G);
+  ASSERT_TRUE(Plan.hasAnyEffect());
+  // First occurrence computes and saves; second reloads.
+  EXPECT_FALSE(G.reals()[0].Reload);
+  EXPECT_TRUE(G.reals()[0].Save);
+  EXPECT_TRUE(G.reals()[1].Reload);
+  EXPECT_EQ(liveDefs(Plan, TempDef::Kind::RealSave), 1u);
+  EXPECT_EQ(liveDefs(Plan, TempDef::Kind::Phi), 0u);
+  EXPECT_EQ(liveDefs(Plan, TempDef::Kind::Insert), 0u);
+}
+
+TEST(Finalize, DiamondNeedsTempPhiAndInsert) {
+  Built B(R"(
+    func f(a, b, p) {
+    entry:
+      br p, t, e
+    t:
+      x = a + b
+      print x
+      jmp j
+    e:
+      print 0
+      jmp j
+    j:
+      z = a + b
+      ret z
+    }
+  )", Opcode::Add, "a", "b");
+  Frg G(B.F, *B.C, *B.DT, B.E);
+  std::vector<ExprKey> Exprs{B.E};
+  LexicalDataFlow LDF = solveLexicalDataFlow(B.F, *B.C, Exprs);
+  computeSafePlacement(G, LDF, 0, false, nullptr);
+  FinalizePlan Plan = finalizePlacement(G);
+  EXPECT_EQ(liveDefs(Plan, TempDef::Kind::Phi), 1u);
+  EXPECT_EQ(liveDefs(Plan, TempDef::Kind::Insert), 1u);
+  EXPECT_EQ(liveDefs(Plan, TempDef::Kind::RealSave), 1u);
+
+  VarId Temp = B.F.makeFreshVar("pre.tmp.test");
+  unsigned Changes = applyCodeMotion(B.F, G, Plan, Temp);
+  EXPECT_GE(Changes, 3u);
+  EXPECT_EQ(interpret(B.F, {2, 3, 1}).DynamicComputations, 1u);
+  EXPECT_EQ(interpret(B.F, {2, 3, 0}).DynamicComputations, 1u);
+}
+
+TEST(Finalize, DeadTempPhiIsRemoved) {
+  // Both arms compute but nothing uses the value after the join: the
+  // will_be_avail phi at the join must die in liveness (extraneous-phi
+  // elimination), leaving the function untouched.
+  Built B(R"(
+    func f(a, b, p) {
+    entry:
+      br p, t, e
+    t:
+      x = a + b
+      print x
+      jmp j
+    e:
+      y = a + b
+      print y
+      jmp j
+    j:
+      ret a
+    }
+  )", Opcode::Add, "a", "b");
+  Frg G(B.F, *B.C, *B.DT, B.E);
+  std::vector<ExprKey> Exprs{B.E};
+  LexicalDataFlow LDF = solveLexicalDataFlow(B.F, *B.C, Exprs);
+  computeSafePlacement(G, LDF, 0, false, nullptr);
+  FinalizePlan Plan = finalizePlacement(G);
+  EXPECT_EQ(liveDefs(Plan, TempDef::Kind::Phi), 0u);
+  EXPECT_FALSE(Plan.hasAnyEffect());
+  for (const RealOcc &R : G.reals()) {
+    EXPECT_FALSE(R.Reload);
+    EXPECT_FALSE(R.Save);
+  }
+}
+
+TEST(Finalize, SameVariableBothSides) {
+  // Expression `a + a`: one variable serves as both operands; the whole
+  // machinery (rename version tracking, finalize, code motion) must
+  // handle the aliasing.
+  Built B(R"(
+    func f(a, p) {
+    entry:
+      br p, t, e
+    t:
+      x = a + a
+      print x
+      jmp j
+    e:
+      print 0
+      jmp j
+    j:
+      z = a + a
+      ret z
+    }
+  )", Opcode::Add, "a", "a");
+  Frg G(B.F, *B.C, *B.DT, B.E);
+  ASSERT_EQ(G.reals().size(), 2u);
+  std::vector<ExprKey> Exprs{B.E};
+  LexicalDataFlow LDF = solveLexicalDataFlow(B.F, *B.C, Exprs);
+  computeSafePlacement(G, LDF, 0, false, nullptr);
+  FinalizePlan Plan = finalizePlacement(G);
+  VarId Temp = B.F.makeFreshVar("pre.tmp.aa");
+  applyCodeMotion(B.F, G, Plan, Temp);
+  EXPECT_EQ(interpret(B.F, {21, 1}).ReturnValue, 42);
+  EXPECT_EQ(interpret(B.F, {21, 1}).DynamicComputations, 1u);
+  EXPECT_EQ(interpret(B.F, {21, 0}).DynamicComputations, 1u);
+}
+
+TEST(Finalize, SameVariableKillRestartsClass) {
+  Function F = parseFunctionOrDie(R"(
+    func f(a) {
+    entry:
+      x = a * a
+      a = a + 1
+      y = a * a
+      ret y
+    }
+  )");
+  prepareFunction(F);
+  PreOptions PO;
+  PO.Strategy = PreStrategy::SsaPre;
+  Function Opt = compileWithPre(F, PO);
+  // Nothing to eliminate: the kill separates the occurrences.
+  EXPECT_EQ(interpret(Opt, {5}).DynamicComputations, 3u);
+  EXPECT_EQ(interpret(Opt, {5}).ReturnValue, 36);
+}
+
+TEST(Finalize, McSsaPreFeedsSameFinalize) {
+  // The design point of steps 8-10: MC-SSAPRE's cut drives the identical
+  // Finalize. Run both strategies on the same graph shape and check
+  // the plan kinds line up with their placement decisions.
+  Built B(R"(
+    func f(a, b, p) {
+    entry:
+      br p, t, e
+    t:
+      x = a + b
+      print x
+      jmp j
+    e:
+      print 0
+      jmp j
+    j:
+      z = a + b
+      ret z
+    }
+  )", Opcode::Add, "a", "b");
+  Frg G(B.F, *B.C, *B.DT, B.E);
+  Profile Prof;
+  Prof.reset(B.F.numBlocks(), false);
+  for (auto &BF : Prof.BlockFreq)
+    BF = 10;
+  for (unsigned Blk = 0; Blk != B.F.numBlocks(); ++Blk)
+    if (B.F.Blocks[Blk].Label == "e")
+      Prof.BlockFreq[Blk] = 1; // cold bottom: insertion wins
+  EfgStats S = computeSpeculativePlacement(G, Prof);
+  EXPECT_EQ(S.NumInsertions, 1u);
+  FinalizePlan Plan = finalizePlacement(G);
+  EXPECT_EQ(liveDefs(Plan, TempDef::Kind::Insert), 1u);
+  EXPECT_EQ(liveDefs(Plan, TempDef::Kind::Phi), 1u);
+}

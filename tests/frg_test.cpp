@@ -1,0 +1,264 @@
+//===- tests/frg_test.cpp - FRG construction (steps 1-2) tests ------------------===//
+
+#include "analysis/Cfg.h"
+#include "analysis/DomTree.h"
+#include "ir/Parser.h"
+#include "pre/ExprKey.h"
+#include "pre/Frg.h"
+#include "ssa/SsaConstruction.h"
+
+#include <gtest/gtest.h>
+
+using namespace specpre;
+
+namespace {
+
+/// Helper owning the analyses an Frg needs.
+struct FrgFixture {
+  Function F;
+  Cfg C;
+  DomTree DT;
+
+  explicit FrgFixture(Function Fn)
+      : F(std::move(Fn)), C((constructSsaIfNeeded(F), F)),
+        DT(DomTree::buildDominators(C)) {}
+
+  static Function &constructSsaIfNeeded(Function &F) {
+    if (!F.IsSSA)
+      constructSsa(F);
+    return F;
+  }
+
+  ExprKey key(const std::string &LName, Opcode Op, const std::string &RName) {
+    ExprKey K;
+    K.Op = Op;
+    K.L.IsConst = false;
+    K.L.Var = F.findVar(LName);
+    K.R.IsConst = false;
+    K.R.Var = F.findVar(RName);
+    return K;
+  }
+};
+
+} // namespace
+
+TEST(ExprKey, CollectsLexicalCandidates) {
+  Function F = parseFunctionOrDie(R"(
+    func f(a, b) {
+    entry:
+      x = a + b
+      y = a + b
+      z = x * y
+      w = 3 + 4
+      ret z
+    }
+  )");
+  std::vector<ExprKey> Keys = collectCandidateExprs(F);
+  // a+b (once, deduped), x*y; 3+4 is constant-folding territory.
+  ASSERT_EQ(Keys.size(), 2u);
+  EXPECT_EQ(Keys[0].toString(F), "a + b");
+  EXPECT_EQ(Keys[1].toString(F), "x * y");
+}
+
+TEST(Frg, DiamondPartialRedundancy) {
+  // The textbook strictly-partial redundancy: computed in one arm and
+  // after the join.
+  FrgFixture Fx(parseFunctionOrDie(R"(
+    func f(a, b, p) {
+    entry:
+      br p, t, e
+    t:
+      x = a + b
+      jmp j
+    e:
+      y = 1
+      jmp j
+    j:
+      z = a + b
+      ret z
+    }
+  )"));
+  Frg G(Fx.F, Fx.C, Fx.DT, Fx.key("a", Opcode::Add, "b"));
+  ASSERT_EQ(G.reals().size(), 2u);
+  ASSERT_EQ(G.phis().size(), 1u);
+  const PhiOcc &P = G.phis()[0];
+  EXPECT_EQ(Fx.F.Blocks[P.Block].Label, "j");
+  ASSERT_EQ(P.Operands.size(), 2u);
+  // Operand from 't' carries the computed value (real use); from 'e' ⊥.
+  const PhiOperand *FromT = nullptr, *FromE = nullptr;
+  for (const PhiOperand &Op : P.Operands) {
+    if (Fx.F.Blocks[Op.Pred].Label == "t")
+      FromT = &Op;
+    else
+      FromE = &Op;
+  }
+  ASSERT_NE(FromT, nullptr);
+  ASSERT_NE(FromE, nullptr);
+  EXPECT_FALSE(FromT->isBottom());
+  EXPECT_TRUE(FromT->HasRealUse);
+  EXPECT_TRUE(FromE->isBottom());
+  // The occurrence in 'j' belongs to the Φ's class.
+  const RealOcc *InJ = nullptr;
+  for (const RealOcc &R : G.reals())
+    if (Fx.F.Blocks[R.Block].Label == "j")
+      InJ = &R;
+  ASSERT_NE(InJ, nullptr);
+  EXPECT_EQ(InJ->Class, P.Class);
+  EXPECT_TRUE(InJ->Def.isPhi());
+  EXPECT_FALSE(InJ->RgExcluded);
+}
+
+TEST(Frg, FullRedundancyMarkedRgExcluded) {
+  FrgFixture Fx(parseFunctionOrDie(R"(
+    func f(a, b) {
+    entry:
+      x = a + b
+      y = a + b
+      ret y
+    }
+  )"));
+  Frg G(Fx.F, Fx.C, Fx.DT, Fx.key("a", Opcode::Add, "b"));
+  ASSERT_EQ(G.reals().size(), 2u);
+  EXPECT_FALSE(G.reals()[0].RgExcluded);
+  EXPECT_TRUE(G.reals()[1].RgExcluded);
+  EXPECT_EQ(G.reals()[0].Class, G.reals()[1].Class);
+  EXPECT_TRUE(G.phis().empty());
+}
+
+TEST(Frg, OperandRedefinitionStartsNewClass) {
+  FrgFixture Fx(parseFunctionOrDie(R"(
+    func f(a, b) {
+    entry:
+      x = a + b
+      a = a + 1
+      y = a + b
+      ret y
+    }
+  )"));
+  Frg G(Fx.F, Fx.C, Fx.DT, Fx.key("a", Opcode::Add, "b"));
+  ASSERT_EQ(G.reals().size(), 2u);
+  EXPECT_NE(G.reals()[0].Class, G.reals()[1].Class);
+  EXPECT_FALSE(G.reals()[1].RgExcluded);
+}
+
+TEST(Frg, OperandPhiForcesExpressionPhi) {
+  // A variable phi for an operand at the join forces an expression Φ
+  // there even though only one arm computes.
+  FrgFixture Fx(parseFunctionOrDie(R"(
+    func f(a, b, p) {
+    entry:
+      x = a + b
+      br p, t, e
+    t:
+      a = a * 2
+      jmp j
+    e:
+      jmp j
+    j:
+      z = a + b
+      ret z
+    }
+  )"));
+  Frg G(Fx.F, Fx.C, Fx.DT, Fx.key("a", Opcode::Add, "b"));
+  ASSERT_EQ(G.phis().size(), 1u);
+  const PhiOcc &P = G.phis()[0];
+  EXPECT_EQ(Fx.F.Blocks[P.Block].Label, "j");
+  // The arm that redefined 'a' provides ⊥; the other carries the entry
+  // computation (real use).
+  for (const PhiOperand &Op : P.Operands) {
+    if (Fx.F.Blocks[Op.Pred].Label == "t")
+      EXPECT_TRUE(Op.isBottom());
+    else
+      EXPECT_TRUE(Op.HasRealUse);
+  }
+  // The occurrence in j computes the merged value: it uses the Φ class.
+  ASSERT_EQ(G.reals().size(), 2u);
+  EXPECT_EQ(G.reals()[1].Class, P.Class);
+}
+
+TEST(Frg, LoopInvariantPhiAtHeader) {
+  FrgFixture Fx(parseFunctionOrDie(R"(
+    func f(a, b, n) {
+    entry:
+      i = 0
+      jmp h
+    h:
+      t = i < n
+      br t, body, exit
+    body:
+      x = a + b
+      i = i + 1
+      jmp h
+    exit:
+      ret i
+    }
+  )"));
+  Frg G(Fx.F, Fx.C, Fx.DT, Fx.key("a", Opcode::Add, "b"));
+  // Φ at the loop header 'h': entry operand ⊥, back-edge operand has a
+  // real use of the same class.
+  ASSERT_EQ(G.phis().size(), 1u);
+  const PhiOcc &P = G.phis()[0];
+  EXPECT_EQ(Fx.F.Blocks[P.Block].Label, "h");
+  int NumBottom = 0, NumRealUse = 0;
+  for (const PhiOperand &Op : P.Operands) {
+    NumBottom += Op.isBottom();
+    NumRealUse += Op.HasRealUse;
+  }
+  EXPECT_EQ(NumBottom, 1);
+  EXPECT_EQ(NumRealUse, 1);
+  // The in-loop occurrence is strictly partially redundant: defined by
+  // the Φ at the header.
+  ASSERT_EQ(G.reals().size(), 1u);
+  EXPECT_EQ(G.reals()[0].Class, P.Class);
+}
+
+TEST(Frg, ConstOperandExpression) {
+  FrgFixture Fx(parseFunctionOrDie(R"(
+    func f(a, p) {
+    entry:
+      br p, t, e
+    t:
+      x = a * 4
+      jmp j
+    e:
+      jmp j
+    j:
+      y = a * 4
+      ret y
+    }
+  )"));
+  ExprKey K;
+  K.Op = Opcode::Mul;
+  K.L.IsConst = false;
+  K.L.Var = Fx.F.findVar("a");
+  K.R.IsConst = true;
+  K.R.Const = 4;
+  Frg G(Fx.F, Fx.C, Fx.DT, K);
+  ASSERT_EQ(G.phis().size(), 1u);
+  ASSERT_EQ(G.reals().size(), 2u);
+  EXPECT_EQ(G.reals()[1].Class, G.phis()[0].Class);
+}
+
+TEST(Frg, ClassCountMatchesDefs) {
+  FrgFixture Fx(parseFunctionOrDie(R"(
+    func f(a, b, p) {
+    entry:
+      x = a + b
+      br p, t, e
+    t:
+      a = a + 1
+      y = a + b
+      jmp j
+    e:
+      jmp j
+    j:
+      z = a + b
+      ret z
+    }
+  )"));
+  Frg G(Fx.F, Fx.C, Fx.DT, Fx.key("a", Opcode::Add, "b"));
+  // Classes: entry occurrence, t occurrence (after kill), Φ at j.
+  EXPECT_EQ(G.numClasses(), 3);
+  for (int C = 0; C != G.numClasses(); ++C)
+    EXPECT_FALSE(G.classDef(C).isNone() && false); // classDef callable
+}

@@ -1,0 +1,232 @@
+//===- tests/gvn_test.cpp - Value numbering tests --------------------------------===//
+
+#include "interp/Interpreter.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "opt/Cleanup.h"
+#include "opt/ValueNumbering.h"
+#include "pre/PreDriver.h"
+#include "ssa/SsaConstruction.h"
+#include "workload/ProgramGenerator.h"
+
+#include <gtest/gtest.h>
+
+using namespace specpre;
+
+namespace {
+
+Function ssaOf(const char *Src) {
+  Function F = parseFunctionOrDie(Src);
+  prepareFunction(F);
+  constructSsa(F);
+  return F;
+}
+
+uint64_t computeCount(const Function &F) {
+  uint64_t N = 0;
+  for (const BasicBlock &BB : F.Blocks)
+    for (const Stmt &S : BB.Stmts)
+      N += S.Kind == StmtKind::Compute;
+  return N;
+}
+
+} // namespace
+
+TEST(Gvn, ValueRedundancyThroughDifferentVariables) {
+  // u1 and u2 hold the same value; lexical PRE cannot relate u1*c and
+  // u2*c, GVN can.
+  Function F = ssaOf(R"(
+    func f(a, b, c) {
+    entry:
+      u1 = a + b
+      v1 = u1 * c
+      u2 = a + b
+      v2 = u2 * c
+      r = v1 + v2
+      ret r
+    }
+  )");
+  unsigned N = runValueNumbering(F);
+  EXPECT_GE(N, 2u); // u2 and v2 both become copies
+  verifyFunctionOrDie(F, "after GVN");
+  EXPECT_EQ(interpret(F, {1, 2, 3}).ReturnValue, 18);
+  runCleanupPipeline(F);
+  EXPECT_EQ(computeCount(F), 3u); // a+b, u1*c, v1+v1
+}
+
+TEST(Gvn, CommutativityUnifies) {
+  Function F = ssaOf(R"(
+    func f(a, b) {
+    entry:
+      x = a + b
+      y = b + a
+      r = x ^ y
+      ret r
+    }
+  )");
+  EXPECT_GE(runValueNumbering(F), 1u);
+  runCleanupPipeline(F);
+  EXPECT_EQ(computeCount(F), 2u);
+  EXPECT_EQ(interpret(F, {3, 9}).ReturnValue, 0);
+}
+
+TEST(Gvn, NonCommutativeOpsStayDistinct) {
+  Function F = ssaOf(R"(
+    func f(a, b) {
+    entry:
+      x = a - b
+      y = b - a
+      r = x ^ y
+      ret r
+    }
+  )");
+  runValueNumbering(F);
+  runCleanupPipeline(F);
+  EXPECT_EQ(computeCount(F), 3u);
+  EXPECT_EQ(interpret(F, {5, 2}).ReturnValue, 3 ^ -3);
+}
+
+TEST(Gvn, OnlyDominatingTwinsUnify) {
+  // Computations in sibling branches do not dominate each other: GVN
+  // must not relate them (that is PRE's job).
+  Function F = ssaOf(R"(
+    func f(a, b, p) {
+    entry:
+      br p, t, e
+    t:
+      x = a + b
+      print x
+      jmp j
+    e:
+      y = a + b
+      print y
+      jmp j
+    j:
+      ret a
+    }
+  )");
+  EXPECT_EQ(runValueNumbering(F), 0u);
+  EXPECT_EQ(computeCount(F), 2u);
+}
+
+TEST(Gvn, ConstantsFoldButFaultsDoNot) {
+  Function F = ssaOf(R"(
+    func f(a) {
+    entry:
+      x = 6 * 7
+      y = x + a
+      z = 1 / 0
+      ret z
+    }
+  )");
+  runValueNumbering(F);
+  verifyFunctionOrDie(F, "after GVN");
+  // 6*7 folded; 1/0 kept (observable trap).
+  EXPECT_EQ(computeCount(F), 2u);
+  EXPECT_TRUE(interpret(F, {1}).Trapped);
+}
+
+TEST(Gvn, IdenticalPhisUnify) {
+  Function F = parseFunctionOrDie(R"(
+    func f(a, p) {
+    entry:
+      br p#1, t, e
+    t:
+      x#1 = a#1 + 1
+      jmp j
+    e:
+      x#2 = a#1 + 2
+      jmp j
+    j:
+      m#1 = phi [t: x#1] [e: x#2]
+      n#1 = phi [t: x#1] [e: x#2]
+      r#1 = m#1 * n#1
+      ret r#1
+    }
+  )");
+  EXPECT_GE(runValueNumbering(F), 1u);
+  verifyFunctionOrDie(F, "after GVN");
+  // r now multiplies the leader phi by itself.
+  EXPECT_EQ(interpret(F, {4, 1}).ReturnValue, 25);
+  EXPECT_EQ(interpret(F, {4, 0}).ReturnValue, 36);
+}
+
+TEST(Gvn, RedundantDivisionUnifiesSafely) {
+  // The second identical division is dominated by the first: if control
+  // reaches it, the first already trapped-or-not identically.
+  Function F = ssaOf(R"(
+    func f(a, b) {
+    entry:
+      x = a / b
+      y = a / b
+      r = x + y
+      ret r
+    }
+  )");
+  EXPECT_GE(runValueNumbering(F), 1u);
+  runCleanupPipeline(F);
+  EXPECT_EQ(computeCount(F), 2u);
+  EXPECT_EQ(interpret(F, {12, 3}).ReturnValue, 8);
+  EXPECT_TRUE(interpret(F, {12, 0}).Trapped);
+}
+
+TEST(Gvn, PreservesSemanticsOnRandomPrograms) {
+  for (uint64_t Seed = 1200; Seed <= 1230; ++Seed) {
+    GeneratorConfig Cfg0;
+    Cfg0.AllowDiv = Seed % 2 == 0;
+    Function F = generateProgram(Seed, Cfg0);
+    prepareFunction(F);
+    Function S = F;
+    constructSsa(S);
+    Function G = S;
+    runValueNumbering(G);
+    runCleanupPipeline(G);
+    std::string Error;
+    ASSERT_TRUE(verifyFunction(G, Error)) << "seed " << Seed << ": "
+                                          << Error;
+    for (int V = 0; V != 3; ++V) {
+      std::vector<int64_t> Args(F.Params.size(),
+                                static_cast<int64_t>(Seed * 3 + V * 17));
+      ExecResult A = interpret(S, Args);
+      ExecResult B = interpret(G, Args);
+      ASSERT_TRUE(A.sameObservableBehavior(B)) << "seed " << Seed;
+      ASSERT_LE(B.DynamicComputations, A.DynamicComputations);
+    }
+  }
+}
+
+TEST(Gvn, ComposesWithPre) {
+  // GVN then PRE then GVN: the realistic pairing. Semantics hold and
+  // counts only improve.
+  for (uint64_t Seed = 1300; Seed <= 1312; ++Seed) {
+    GeneratorConfig Cfg0;
+    Function F = generateProgram(Seed, Cfg0);
+    prepareFunction(F);
+    Profile Prof;
+    ExecOptions EO;
+    EO.CollectProfile = &Prof;
+    std::vector<int64_t> Args(F.Params.size(), static_cast<int64_t>(Seed));
+    interpret(F, Args, EO);
+    Profile NodeOnly = Prof.withoutEdgeFreqs();
+
+    Function Opt = F;
+    constructSsa(Opt);
+    runValueNumbering(Opt);
+    runCleanupPipeline(Opt);
+    PreOptions PO;
+    PO.Strategy = PreStrategy::McSsaPre;
+    PO.Prof = &NodeOnly;
+    runPre(Opt, PO);
+    runValueNumbering(Opt);
+    runCleanupPipeline(Opt);
+
+    std::string Error;
+    ASSERT_TRUE(verifyFunction(Opt, Error)) << "seed " << Seed << ": "
+                                            << Error;
+    ExecResult A = interpret(F, Args);
+    ExecResult B = interpret(Opt, Args);
+    ASSERT_TRUE(A.sameObservableBehavior(B)) << "seed " << Seed;
+    ASSERT_LE(B.DynamicComputations, A.DynamicComputations);
+  }
+}

@@ -1,0 +1,187 @@
+//===- tests/interp_test.cpp - Interpreter tests --------------------------------===//
+
+#include "interp/Interpreter.h"
+#include "ir/Parser.h"
+#include "ssa/SsaConstruction.h"
+
+#include <gtest/gtest.h>
+
+using namespace specpre;
+
+TEST(Interp, StraightLineArithmetic) {
+  Function F = parseFunctionOrDie(R"(
+    func f(a, b) {
+    entry:
+      x = a * b + 2
+      ret x
+    }
+  )");
+  ExecResult R = interpret(F, {3, 4});
+  EXPECT_EQ(R.ReturnValue, 14);
+  EXPECT_FALSE(R.Trapped);
+  EXPECT_EQ(R.DynamicComputations, 2u); // mul and add
+}
+
+TEST(Interp, BranchesAndPrints) {
+  Function F = parseFunctionOrDie(R"(
+    func f(p) {
+    entry:
+      br p > 0, pos, neg
+    pos:
+      print 1
+      jmp done
+    neg:
+      print 2
+      jmp done
+    done:
+      ret p
+    }
+  )");
+  ExecResult Pos = interpret(F, {5});
+  EXPECT_EQ(Pos.Output, (std::vector<int64_t>{1}));
+  ExecResult Neg = interpret(F, {-5});
+  EXPECT_EQ(Neg.Output, (std::vector<int64_t>{2}));
+  EXPECT_FALSE(Pos.sameObservableBehavior(Neg));
+}
+
+TEST(Interp, LoopComputesSum) {
+  Function F = parseFunctionOrDie(R"(
+    func sum(n) {
+    entry:
+      i = 0
+      s = 0
+      jmp h
+    h:
+      t = i < n
+      br t, body, exit
+    body:
+      s = s + i
+      i = i + 1
+      jmp h
+    exit:
+      ret s
+    }
+  )");
+  EXPECT_EQ(interpret(F, {5}).ReturnValue, 10);
+  EXPECT_EQ(interpret(F, {0}).ReturnValue, 0);
+  EXPECT_EQ(interpret(F, {100}).ReturnValue, 4950);
+}
+
+TEST(Interp, SsaPhiSemantics) {
+  Function F = parseFunctionOrDie(R"(
+    func sum(n) {
+    entry:
+      i = 0
+      s = 0
+      jmp h
+    h:
+      t = i < n
+      br t, body, exit
+    body:
+      s = s + i
+      i = i + 1
+      jmp h
+    exit:
+      ret s
+    }
+  )");
+  Function S = F;
+  constructSsa(S);
+  for (int64_t N : {0, 1, 5, 33})
+    EXPECT_EQ(interpret(S, {N}).ReturnValue, interpret(F, {N}).ReturnValue);
+}
+
+TEST(Interp, ParallelPhiSwap) {
+  // Classic swap via parallel phis: a,b = b,a each iteration.
+  Function F = parseFunctionOrDie(R"(
+    func swap(n) {
+    entry:
+      jmp h
+    h:
+      a#1 = phi [entry: 1] [body: b#1]
+      b#1 = phi [entry: 2] [body: a#1]
+      i#1 = phi [entry: 0] [body: i#2]
+      t#1 = i#1 < n#1
+      br t#1, body, exit
+    body:
+      i#2 = i#1 + 1
+      jmp h
+    exit:
+      u#1 = a#1 * 10
+      r#1 = u#1 + b#1
+      ret r#1
+    }
+  )");
+  // After an even number of swaps a=1,b=2; odd a=2,b=1.
+  EXPECT_EQ(interpret(F, {0}).ReturnValue, 12);
+  EXPECT_EQ(interpret(F, {1}).ReturnValue, 21);
+  EXPECT_EQ(interpret(F, {2}).ReturnValue, 12);
+}
+
+TEST(Interp, DivisionTrap) {
+  Function F = parseFunctionOrDie(R"(
+    func f(a, b) {
+    entry:
+      x = a / b
+      ret x
+    }
+  )");
+  EXPECT_EQ(interpret(F, {12, 4}).ReturnValue, 3);
+  ExecResult R = interpret(F, {12, 0});
+  EXPECT_TRUE(R.Trapped);
+}
+
+TEST(Interp, TimeoutOnInfiniteLoop) {
+  Function F = parseFunctionOrDie(R"(
+    func f(a) {
+    entry:
+      jmp spin
+    spin:
+      a = a + 1
+      jmp spin
+    }
+  )");
+  ExecOptions EO;
+  EO.MaxSteps = 1000;
+  ExecResult R = interpret(F, {0}, EO);
+  EXPECT_TRUE(R.TimedOut);
+}
+
+TEST(Interp, CostModelAccounting) {
+  Function F = parseFunctionOrDie(R"(
+    func f(a) {
+    entry:
+      x = a * a
+      y = x + 1
+      ret y
+    }
+  )");
+  ExecOptions EO;
+  EO.Costs = CostModel::standard();
+  ExecResult R = interpret(F, {3});
+  // mul=4, add=1, ret=1.
+  EXPECT_EQ(R.Cycles, 6u);
+
+  EO.Costs = CostModel::computationsOnly();
+  ExecResult R2 = interpret(F, {3}, EO);
+  EXPECT_EQ(R2.Cycles, 2u);
+  EXPECT_EQ(R2.Cycles, R2.DynamicComputations);
+}
+
+TEST(Interp, NonSsaUndefinedReadsAreZero) {
+  Function F = parseFunctionOrDie(R"(
+    func f(p) {
+    entry:
+      br p, use, def
+    use:
+      y = x + 5
+      ret y
+    def:
+      x = 1
+      ret x
+    }
+  )");
+  // Along `use`, x was never assigned: deterministic 0.
+  EXPECT_EQ(interpret(F, {1}).ReturnValue, 5);
+  EXPECT_EQ(interpret(F, {0}).ReturnValue, 1);
+}

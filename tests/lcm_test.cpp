@@ -1,0 +1,184 @@
+//===- tests/lcm_test.cpp - Lazy code motion tests and SSAPRE oracle ------------===//
+//
+// Besides exercising LCM itself, this file contains one of the strongest
+// checks in the suite: safe SSAPRE and LCM are two independent
+// implementations of the *same* unique optimum (computationally optimal
+// safe placement minimizes the computation count on every path), so the
+// two optimized programs must execute exactly the same number of dynamic
+// computations on every input.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "pre/PreDriver.h"
+#include "workload/ProgramGenerator.h"
+
+#include <gtest/gtest.h>
+
+using namespace specpre;
+
+namespace {
+
+Function optimize(const Function &Prepared, PreStrategy S) {
+  PreOptions PO;
+  PO.Strategy = S;
+  return compileWithPre(Prepared, PO);
+}
+
+uint64_t dynComputations(const Function &F, const std::vector<int64_t> &A) {
+  ExecResult R = interpret(F, A);
+  EXPECT_FALSE(R.Trapped);
+  EXPECT_FALSE(R.TimedOut);
+  return R.DynamicComputations;
+}
+
+} // namespace
+
+TEST(Lcm, FullRedundancyEliminated) {
+  Function F = parseFunctionOrDie(R"(
+    func f(a, b) {
+    entry:
+      x = a + b
+      y = a + b
+      ret y
+    }
+  )");
+  prepareFunction(F);
+  Function Opt = optimize(F, PreStrategy::Lcm);
+  EXPECT_EQ(dynComputations(Opt, {2, 3}), 1u);
+  EXPECT_EQ(interpret(Opt, {2, 3}).ReturnValue, 5);
+}
+
+TEST(Lcm, ClassicDiamondInsertion) {
+  Function F = parseFunctionOrDie(R"(
+    func f(a, b, p) {
+    entry:
+      br p, t, e
+    t:
+      x = a + b
+      print x
+      jmp j
+    e:
+      print 0
+      jmp j
+    j:
+      z = a + b
+      ret z
+    }
+  )");
+  prepareFunction(F);
+  Function Opt = optimize(F, PreStrategy::Lcm);
+  EXPECT_EQ(dynComputations(Opt, {1, 2, 1}), 1u);
+  EXPECT_EQ(dynComputations(Opt, {1, 2, 0}), 1u);
+}
+
+TEST(Lcm, SafetyNeverHoistsAboveBranch) {
+  Function F = parseFunctionOrDie(R"(
+    func f(a, b, p) {
+    entry:
+      br p, yes, no
+    yes:
+      x = a + b
+      ret x
+    no:
+      ret 0
+    }
+  )");
+  prepareFunction(F);
+  Function Opt = optimize(F, PreStrategy::Lcm);
+  EXPECT_EQ(dynComputations(Opt, {1, 2, 0}), 0u);
+  EXPECT_EQ(dynComputations(Opt, {1, 2, 1}), 1u);
+}
+
+TEST(Lcm, HandlesFaultingExpressionsSafely) {
+  // Unlike the speculative algorithms, LCM needs no fault special-case:
+  // anticipation already guarantees the division would have executed.
+  Function F = parseFunctionOrDie(R"(
+    func f(a, b, p) {
+    entry:
+      br p, t, e
+    t:
+      x = a / b
+      print x
+      jmp j
+    e:
+      print 0
+      jmp j
+    j:
+      z = a / b
+      ret z
+    }
+  )");
+  prepareFunction(F);
+  Function Opt = optimize(F, PreStrategy::Lcm);
+  EXPECT_EQ(dynComputations(Opt, {6, 2, 1}), 1u);
+  // Still traps exactly when the original trapped.
+  EXPECT_TRUE(interpret(Opt, {6, 0, 1}).Trapped);
+  EXPECT_TRUE(interpret(Opt, {6, 0, 0}).Trapped);
+}
+
+TEST(Lcm, LoopInvariantAfterRestructuring) {
+  Function F = parseFunctionOrDie(R"(
+    func f(a, b, n) {
+    entry:
+      i = 0
+      s = 0
+      jmp h
+    h:
+      t = i < n
+      br t, body, exit
+    body:
+      x = a + b
+      s = s + x
+      i = i + 1
+      jmp h
+    exit:
+      ret s
+    }
+  )");
+  prepareFunction(F);
+  Function Opt = optimize(F, PreStrategy::Lcm);
+  Function Orig = parseFunctionOrDie(printFunction(F));
+  EXPECT_EQ(dynComputations(Orig, {3, 4, 10}) -
+                dynComputations(Opt, {3, 4, 10}),
+            9u);
+}
+
+namespace {
+
+class LcmOracle : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST_P(LcmOracle, SafeSsaPreMatchesLcmOnEveryInput) {
+  uint64_t Seed = GetParam();
+  GeneratorConfig Cfg0;
+  Cfg0.AllowDiv = Seed % 3 == 0;
+  Cfg0.MaxDepth = 2 + Seed % 3;
+  Function Prepared = generateProgram(Seed, Cfg0);
+  prepareFunction(Prepared);
+
+  Function ViaSsaPre = optimize(Prepared, PreStrategy::SsaPre);
+  Function ViaLcm = optimize(Prepared, PreStrategy::Lcm);
+
+  for (int Variant = 0; Variant != 5; ++Variant) {
+    std::vector<int64_t> Args;
+    for (unsigned P = 0; P != Prepared.Params.size(); ++P)
+      Args.push_back(static_cast<int64_t>(Seed * 53 + Variant * 1009 + P));
+    ExecResult Base = interpret(Prepared, Args);
+    ExecResult A = interpret(ViaSsaPre, Args);
+    ExecResult B = interpret(ViaLcm, Args);
+    ASSERT_TRUE(Base.sameObservableBehavior(A)) << "SSAPRE, seed " << Seed;
+    ASSERT_TRUE(Base.sameObservableBehavior(B)) << "LCM, seed " << Seed;
+    // The unique safe optimum: equal counts, input by input.
+    ASSERT_EQ(A.DynamicComputations, B.DynamicComputations)
+        << "SSAPRE and LCM disagree, seed " << Seed << " variant "
+        << Variant;
+    ASSERT_LE(B.DynamicComputations, Base.DynamicComputations);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPrograms, LcmOracle,
+                         ::testing::Range<uint64_t>(500, 545));

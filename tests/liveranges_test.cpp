@@ -1,0 +1,152 @@
+//===- tests/liveranges_test.cpp - Live-range analysis tests ---------------------===//
+
+#include "analysis/LiveRanges.h"
+#include "ir/Parser.h"
+#include "ssa/SsaConstruction.h"
+
+#include <gtest/gtest.h>
+
+using namespace specpre;
+
+namespace {
+
+Function ssaOf(const char *Src) {
+  Function F = parseFunctionOrDie(Src);
+  constructSsa(F);
+  return F;
+}
+
+} // namespace
+
+TEST(LiveRanges, StraightLineExtents) {
+  Function F = ssaOf(R"(
+    func f(a) {
+    entry:
+      x = a + 1
+      y = x + 2
+      z = y + 3
+      ret z
+    }
+  )");
+  LiveRanges LR(F);
+  VarId X = F.findVar("x"), Y = F.findVar("y"), Z = F.findVar("z");
+  // x: defined at 0, last use at 1 -> 1 slot. Same for y and z.
+  EXPECT_EQ(LR.liveSlots(X, 1), 1u);
+  EXPECT_EQ(LR.liveSlots(Y, 1), 1u);
+  EXPECT_EQ(LR.liveSlots(Z, 1), 1u);
+  // a: param, used at stmt 0: live slots = 1 (position 0).
+  EXPECT_EQ(LR.liveSlots(F.findVar("a"), 1), 1u);
+}
+
+TEST(LiveRanges, GapBetweenDefAndUseCounts) {
+  Function F = ssaOf(R"(
+    func f(a) {
+    entry:
+      x = a + 1
+      u1 = a + 2
+      u2 = a + 3
+      y = x + 4
+      ret y
+    }
+  )");
+  LiveRanges LR(F);
+  // x is live across the two unrelated statements: def at 0, use at 3.
+  EXPECT_EQ(LR.liveSlots(F.findVar("x"), 1), 3u);
+}
+
+TEST(LiveRanges, AcrossBlocksAndBranches) {
+  Function F = ssaOf(R"(
+    func f(a, p) {
+    entry:
+      x = a * 2
+      br p, t, e
+    t:
+      print 1
+      jmp j
+    e:
+      print 2
+      jmp j
+    j:
+      ret x
+    }
+  )");
+  LiveRanges LR(F);
+  VarId X = F.findVar("x");
+  // x is live out of entry, through both arms, into j.
+  EXPECT_TRUE(LR.liveIn(3, X, 1));
+  EXPECT_TRUE(LR.liveIn(1, X, 1));
+  EXPECT_TRUE(LR.liveIn(2, X, 1));
+  // Pressure counting only x: 1.
+  EXPECT_EQ(LR.maxPressure([&](VarId V) { return V == X; }), 1u);
+}
+
+TEST(LiveRanges, PhiArgumentLiveAtPredEnd) {
+  Function F = ssaOf(R"(
+    func f(p) {
+    entry:
+      br p, t, e
+    t:
+      x = p + 1
+      print 0
+      jmp j
+    e:
+      x = p + 2
+      jmp j
+    j:
+      ret x
+    }
+  )");
+  LiveRanges LR(F);
+  VarId X = F.findVar("x");
+  // x#1 (from t) is live to the end of t but not into e or j (the phi
+  // takes over at j).
+  EXPECT_FALSE(LR.liveIn(3, X, 1));
+  EXPECT_FALSE(LR.liveIn(2, X, 1));
+  // The merged version is live only inside j.
+  EXPECT_GE(LR.liveSlots(X, 3), 1u);
+}
+
+TEST(LiveRanges, LoopCarriedValueLiveAroundBackEdge) {
+  Function F = ssaOf(R"(
+    func f(n) {
+    entry:
+      i = 0
+      jmp h
+    h:
+      t = i < n
+      br t, body, exit
+    body:
+      i = i + 1
+      jmp h
+    exit:
+      ret i
+    }
+  )");
+  LiveRanges LR(F);
+  VarId I = F.findVar("i");
+  // The phi version of i at h (version 2: entry's is 1, body's is 3) is
+  // live through the header and the body.
+  EXPECT_TRUE(LR.liveIn(2, I, 2));
+  // The body's increment result is live out of body back into h.
+  EXPECT_TRUE(LR.liveIn(1, I, 3) || LR.liveSlots(I, 3) >= 1u);
+}
+
+TEST(LiveRanges, TotalAndPressure) {
+  Function F = ssaOf(R"(
+    func f(a) {
+    entry:
+      x = a + 1
+      y = a + 2
+      z = x + y
+      ret z
+    }
+  )");
+  LiveRanges LR(F);
+  uint64_t All = LR.totalLiveSlots([](VarId) { return true; });
+  EXPECT_GT(All, 0u);
+  // x and y overlap at statement 1: pressure at least... pressure is
+  // block-entry granularity, so within one block it is 0 for locals;
+  // sanity-check the API instead.
+  EXPECT_GE(LR.maxPressure([](VarId) { return true; }), 0u);
+  EXPECT_EQ(LR.totalLiveSlots([](VarId) { return false; }), 0u);
+}

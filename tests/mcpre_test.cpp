@@ -1,0 +1,170 @@
+//===- tests/mcpre_test.cpp - MC-PRE baseline tests -----------------------------===//
+
+#include "interp/Interpreter.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "pre/McPre.h"
+#include "pre/PreDriver.h"
+#include "workload/ProgramGenerator.h"
+
+#include <gtest/gtest.h>
+
+using namespace specpre;
+
+namespace {
+
+struct Compiled {
+  Function Prepared;
+  Function Optimized;
+  Profile Prof;
+};
+
+Compiled compileMcPre(const char *Src, std::vector<int64_t> TrainArgs) {
+  Compiled C;
+  C.Prepared = parseFunctionOrDie(Src);
+  prepareFunction(C.Prepared);
+  ExecOptions EO;
+  EO.CollectProfile = &C.Prof;
+  interpret(C.Prepared, TrainArgs, EO);
+  PreOptions PO;
+  PO.Strategy = PreStrategy::McPre;
+  PO.Prof = &C.Prof;
+  C.Optimized = compileWithPre(C.Prepared, PO);
+  return C;
+}
+
+uint64_t dynComputations(const Function &F, std::vector<int64_t> Args) {
+  return interpret(F, Args).DynamicComputations;
+}
+
+} // namespace
+
+TEST(McPre, FullRedundancyEliminated) {
+  Compiled C = compileMcPre(R"(
+    func f(a, b) {
+    entry:
+      x = a + b
+      y = a + b
+      z = x + y
+      ret z
+    }
+  )", {2, 3});
+  EXPECT_EQ(dynComputations(C.Optimized, {2, 3}), 2u);
+  EXPECT_EQ(interpret(C.Optimized, {2, 3}).ReturnValue, 10);
+}
+
+TEST(McPre, PartialRedundancyInsertedOnEdge) {
+  Compiled C = compileMcPre(R"(
+    func f(a, b, p) {
+    entry:
+      br p, t, e
+    t:
+      x = a + b
+      print x
+      jmp j
+    e:
+      print 0
+      jmp j
+    j:
+      z = a + b
+      ret z
+    }
+  )", {1, 2, 1});
+  EXPECT_EQ(dynComputations(C.Optimized, {1, 2, 1}), 1u);
+  EXPECT_EQ(dynComputations(C.Optimized, {1, 2, 0}), 1u);
+  EXPECT_EQ(interpret(C.Optimized, {5, 6, 0}).ReturnValue, 11);
+}
+
+TEST(McPre, SpeculativeHoistOutOfHotPath) {
+  const char *Src = R"(
+    func f(a, b, n) {
+    entry:
+      i = 0
+      s = 0
+      jmp h
+    h:
+      t = i < n
+      br t, body, exit
+    body:
+      c = i & 7
+      cz = c == 0
+      br cz, cold, hot
+    cold:
+      s = s + 1
+      jmp latch
+    hot:
+      x = a * b
+      s = s + x
+      jmp latch
+    latch:
+      i = i + 1
+      jmp h
+    exit:
+      ret s
+    }
+  )";
+  Compiled C = compileMcPre(Src, {3, 4, 64});
+  Function Plain = parseFunctionOrDie(Src);
+  uint64_t Opt = dynComputations(C.Optimized, {3, 4, 64});
+  uint64_t Base = dynComputations(Plain, {3, 4, 64});
+  // a*b executed 56 times in the original; MC-PRE hoists it.
+  EXPECT_LE(Opt + 50, Base);
+  EXPECT_EQ(interpret(C.Optimized, {3, 4, 64}).ReturnValue,
+            interpret(Plain, {3, 4, 64}).ReturnValue);
+}
+
+TEST(McPre, StaysOutOfSsaForm) {
+  Compiled C = compileMcPre(R"(
+    func f(a, b) {
+    entry:
+      x = a + b
+      y = a + b
+      ret y
+    }
+  )", {1, 2});
+  EXPECT_FALSE(C.Optimized.IsSSA);
+  std::string Error;
+  EXPECT_TRUE(verifyFunction(C.Optimized, Error)) << Error;
+}
+
+TEST(McPre, NetworkSizesMeasured) {
+  GeneratorConfig Cfg0;
+  Function F = generateProgram(555, Cfg0);
+  prepareFunction(F);
+  Profile Prof;
+  ExecOptions EO;
+  EO.CollectProfile = &Prof;
+  interpret(F, std::vector<int64_t>(F.Params.size(), 99), EO);
+  std::vector<ExprStatsRecord> Sizes = measureMcPreNetworkSizes(F, Prof);
+  EXPECT_FALSE(Sizes.empty());
+  for (const ExprStatsRecord &R : Sizes) {
+    EXPECT_FALSE(R.Expr.empty());
+    // Pruned networks are either empty (no opportunity) or contain at
+    // least source and sink.
+    if (R.McPreNodes != 0) {
+      EXPECT_GE(R.McPreNodes, 2u);
+    }
+  }
+}
+
+TEST(McPre, RequiresAndUsesEdgeProfile) {
+  // With a node-only profile the driver estimates edge frequencies; the
+  // transformation must still be correct.
+  GeneratorConfig Cfg0;
+  Function F = generateProgram(808, Cfg0);
+  prepareFunction(F);
+  Profile Prof;
+  ExecOptions EO;
+  EO.CollectProfile = &Prof;
+  std::vector<int64_t> Args(F.Params.size(), 17);
+  interpret(F, Args, EO);
+  Profile NodeOnly = Prof.withoutEdgeFreqs();
+  PreOptions PO;
+  PO.Strategy = PreStrategy::McPre;
+  PO.Prof = &NodeOnly;
+  Function Opt = compileWithPre(F, PO);
+  ExecResult A = interpret(F, Args);
+  ExecResult B = interpret(Opt, Args);
+  EXPECT_TRUE(A.sameObservableBehavior(B));
+}

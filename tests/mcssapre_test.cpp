@@ -1,0 +1,445 @@
+//===- tests/mcssapre_test.cpp - MC-SSAPRE (leg C) tests ------------------------===//
+
+#include "analysis/Cfg.h"
+#include "analysis/DomTree.h"
+#include "interp/Interpreter.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "pre/Frg.h"
+#include "pre/McSsaPre.h"
+#include "pre/PreDriver.h"
+#include "ssa/SsaConstruction.h"
+
+#include <gtest/gtest.h>
+
+using namespace specpre;
+
+namespace {
+
+/// Runs the full pipeline: prepare, profile on TrainArgs, optimize with
+/// the given strategy.
+struct Compiled {
+  Function Prepared;
+  Function Optimized;
+  Profile Prof;
+};
+
+Compiled compile(const char *Src, PreStrategy Strategy,
+                 std::vector<int64_t> TrainArgs,
+                 CutPlacement Placement = CutPlacement::Latest) {
+  Compiled C;
+  C.Prepared = parseFunctionOrDie(Src);
+  prepareFunction(C.Prepared);
+  ExecOptions EO;
+  EO.CollectProfile = &C.Prof;
+  interpret(C.Prepared, TrainArgs, EO);
+  Profile NodeOnly = C.Prof.withoutEdgeFreqs();
+  PreOptions PO;
+  PO.Strategy = Strategy;
+  PO.Prof = Strategy == PreStrategy::McPre ? &C.Prof : &NodeOnly;
+  PO.Placement = Placement;
+  C.Optimized = compileWithPre(C.Prepared, PO);
+  return C;
+}
+
+uint64_t dynComputations(const Function &F, std::vector<int64_t> Args) {
+  return interpret(F, Args).DynamicComputations;
+}
+
+/// The skewed-diamond scenario: the expression is used only on the cold
+/// path, but its operands are available before the branch. Safe PRE
+/// cannot touch it; speculation under a profile moves the computation to
+/// the cold side.
+const char *SkewedDiamond = R"(
+  func f(a, b, n) {
+  entry:
+    i = 0
+    s = 0
+    jmp h
+  h:
+    t = i < n
+    br t, body, exit
+  body:
+    c = i & 7
+    cz = c == 0
+    br cz, cold, hot
+  cold:
+    x = a + b
+    s = s + x
+    jmp latch
+  hot:
+    s = s + 1
+    jmp latch
+  latch:
+    i = i + 1
+    jmp h
+  exit:
+    ret s
+  }
+)";
+
+} // namespace
+
+TEST(McSsaPre, EmptyEfgWhenNoPartialRedundancy) {
+  // Two independent computations with a kill in between: nothing
+  // strictly partial, the EFG is empty.
+  Function F = parseFunctionOrDie(R"(
+    func f(a, b) {
+    entry:
+      x = a + b
+      a = a + 1
+      y = a + b
+      ret y
+    }
+  )");
+  prepareFunction(F);
+  constructSsa(F);
+  Cfg C(F);
+  DomTree DT = DomTree::buildDominators(C);
+  ExprKey K;
+  K.Op = Opcode::Add;
+  K.L.Var = F.findVar("a");
+  K.R.Var = F.findVar("b");
+  Frg G(F, C, DT, K);
+  Profile Prof;
+  Prof.reset(F.numBlocks(), false);
+  EfgStats S = computeSpeculativePlacement(G, Prof);
+  EXPECT_TRUE(S.Empty);
+  EXPECT_EQ(S.NumInsertions, 0u);
+}
+
+TEST(McSsaPre, MinimalEfgIsFourNodes) {
+  // The paper: a non-empty EFG cannot be smaller than 4 nodes (source,
+  // sink, one Φ, one SPR occurrence). The diamond gives exactly that.
+  Function F = parseFunctionOrDie(R"(
+    func f(a, b, p) {
+    entry:
+      br p, t, e
+    t:
+      x = a + b
+      print x
+      jmp j
+    e:
+      print 0
+      jmp j
+    j:
+      z = a + b
+      ret z
+    }
+  )");
+  prepareFunction(F);
+  constructSsa(F);
+  Cfg C(F);
+  DomTree DT = DomTree::buildDominators(C);
+  ExprKey K;
+  K.Op = Opcode::Add;
+  K.L.Var = F.findVar("a");
+  K.R.Var = F.findVar("b");
+  Frg G(F, C, DT, K);
+  Profile Prof;
+  Prof.reset(F.numBlocks(), false);
+  for (auto &BF : Prof.BlockFreq)
+    BF = 10;
+  EfgStats S = computeSpeculativePlacement(G, Prof);
+  EXPECT_FALSE(S.Empty);
+  EXPECT_EQ(S.NumNodes, 4u);
+}
+
+TEST(McSsaPre, SpeculatesIntoColdPath) {
+  // Trained where the cold path runs 1/8 of iterations: speculating the
+  // computation into 'cold' (or keeping it in place — equal here since
+  // cold is the only use) must at least not lose; against SSAPREsp the
+  // invariant hoist wins. Check against safe SSAPRE.
+  Compiled Mc = compile(SkewedDiamond, PreStrategy::McSsaPre, {3, 4, 64});
+  Compiled Safe = compile(SkewedDiamond, PreStrategy::SsaPre, {3, 4, 64});
+  uint64_t McCount = dynComputations(Mc.Optimized, {3, 4, 64});
+  uint64_t SafeCount = dynComputations(Safe.Optimized, {3, 4, 64});
+  EXPECT_LE(McCount, SafeCount);
+  EXPECT_EQ(interpret(Mc.Optimized, {3, 4, 64}).ReturnValue,
+            interpret(Safe.Optimized, {3, 4, 64}).ReturnValue);
+}
+
+TEST(McSsaPre, HoistsOutOfHotLoopUnderProfile) {
+  // Invariant computed under a 7/8-hot condition inside the loop: the
+  // min cut moves it to the loop entry (cost 1) instead of computing
+  // ~7n/8 times.
+  const char *Src = R"(
+    func f(a, b, n) {
+    entry:
+      i = 0
+      s = 0
+      jmp h
+    h:
+      t = i < n
+      br t, body, exit
+    body:
+      c = i & 7
+      cz = c == 0
+      br cz, cold, hot
+    cold:
+      s = s + 1
+      jmp latch
+    hot:
+      x = a * b
+      s = s + x
+      jmp latch
+    latch:
+      i = i + 1
+      jmp h
+    exit:
+      ret s
+    }
+  )";
+  Compiled Mc = compile(Src, PreStrategy::McSsaPre, {3, 4, 64});
+  Compiled Safe = compile(Src, PreStrategy::SsaPre, {3, 4, 64});
+  uint64_t McCount = dynComputations(Mc.Optimized, {3, 4, 64});
+  uint64_t SafeCount = dynComputations(Safe.Optimized, {3, 4, 64});
+  // Safe computes a*b 56 times (hot iterations); MC computes it once.
+  EXPECT_LE(McCount + 50, SafeCount);
+  EXPECT_EQ(interpret(Mc.Optimized, {3, 4, 64}).ReturnValue,
+            interpret(Safe.Optimized, {3, 4, 64}).ReturnValue);
+}
+
+TEST(McSsaPre, RespectsProfileDirection) {
+  // The same program trained with opposite skews must place the
+  // computation differently — measured by dynamic counts on matching
+  // inputs. Program: expression used on one side of a branch whose
+  // direction depends on p.
+  const char *Src = R"(
+    func f(a, b, p, n) {
+    entry:
+      i = 0
+      s = 0
+      jmp h
+    h:
+      t = i < n
+      br t, body, exit
+    body:
+      c = i % p
+      cz = c == 0
+      br cz, use, skip
+    use:
+      x = a + b
+      s = s + x
+      jmp latch
+    skip:
+      s = s + 1
+      jmp latch
+    latch:
+      i = i + 1
+      jmp h
+    exit:
+      ret s
+    }
+  )";
+  // p=1: 'use' taken every iteration (hot use) -> hoist pays.
+  // p=1000: 'use' taken once per 1000 (cold use) -> keep in place.
+  Compiled HotUse = compile(Src, PreStrategy::McSsaPre, {3, 4, 1, 64});
+  Compiled ColdUse = compile(Src, PreStrategy::McSsaPre, {3, 4, 1000, 64});
+  // Each must be no worse than the original on its own training input.
+  EXPECT_LE(dynComputations(HotUse.Optimized, {3, 4, 1, 64}),
+            dynComputations(HotUse.Prepared, {3, 4, 1, 64}));
+  EXPECT_LE(dynComputations(ColdUse.Optimized, {3, 4, 1000, 64}),
+            dynComputations(ColdUse.Prepared, {3, 4, 1000, 64}));
+}
+
+TEST(McSsaPre, FaultingExpressionFallsBackToSafePlacement) {
+  const char *Src = R"(
+    func f(a, b, n) {
+    entry:
+      i = 0
+      s = 0
+      jmp h
+    h:
+      t = i < n
+      br t, body, exit
+    body:
+      c = i & 1
+      br c, odd, even
+    odd:
+      x = a / b
+      s = s + x
+      jmp latch
+    even:
+      s = s + 1
+      jmp latch
+    latch:
+      i = i + 1
+      jmp h
+    exit:
+      ret s
+    }
+  )";
+  Compiled Mc = compile(Src, PreStrategy::McSsaPre, {8, 2, 16});
+  // With b == 0 and only one iteration (i=0 even), the original never
+  // divides; the optimized must not introduce a trap.
+  ExecResult R = interpret(Mc.Optimized, {8, 0, 1});
+  EXPECT_FALSE(R.Trapped);
+  EXPECT_TRUE(interpret(Mc.Optimized, {8, 0, 2}).Trapped);
+}
+
+TEST(McSsaPre, Figure7WillBeAvailMatchesManualInserts) {
+  // Lemma 8: WillBeAvail == full availability after insertions. Check on
+  // a diamond by setting inserts by hand.
+  Function F = parseFunctionOrDie(R"(
+    func f(a, b, p) {
+    entry:
+      br p, t, e
+    t:
+      x = a + b
+      print x
+      jmp j
+    e:
+      print 0
+      jmp j
+    j:
+      z = a + b
+      ret z
+    }
+  )");
+  prepareFunction(F);
+  constructSsa(F);
+  Cfg C(F);
+  DomTree DT = DomTree::buildDominators(C);
+  ExprKey K;
+  K.Op = Opcode::Add;
+  K.L.Var = F.findVar("a");
+  K.R.Var = F.findVar("b");
+  Frg G(F, C, DT, K);
+  ASSERT_EQ(G.phis().size(), 1u);
+  PhiOcc &P = G.phis()[0];
+
+  // No inserts: the ⊥ operand keeps the Φ unavailable.
+  for (PhiOperand &Op : P.Operands)
+    Op.Insert = false;
+  computeWillBeAvailFromInserts(G);
+  EXPECT_FALSE(P.WillBeAvail);
+
+  // Insert at the ⊥ operand: now available.
+  for (PhiOperand &Op : P.Operands)
+    Op.Insert = Op.isBottom();
+  computeWillBeAvailFromInserts(G);
+  EXPECT_TRUE(P.WillBeAvail);
+}
+
+TEST(McSsaPre, LatestVsEarliestCutSameComputationCount) {
+  // Lifetime optimality changes placement, not the computation count.
+  Compiled Latest =
+      compile(SkewedDiamond, PreStrategy::McSsaPre, {3, 4, 64},
+              CutPlacement::Latest);
+  Compiled Earliest =
+      compile(SkewedDiamond, PreStrategy::McSsaPre, {3, 4, 64},
+              CutPlacement::Earliest);
+  EXPECT_EQ(dynComputations(Latest.Optimized, {3, 4, 64}),
+            dynComputations(Earliest.Optimized, {3, 4, 64}));
+}
+
+TEST(McSsaPre, NodeFrequenciesSufficeExactly) {
+  // Paper Sections 1/4: MC-SSAPRE needs only node frequencies. Giving it
+  // the full edge profile must not change the result.
+  Function F = parseFunctionOrDie(SkewedDiamond);
+  prepareFunction(F);
+  Profile Prof;
+  ExecOptions EO;
+  EO.CollectProfile = &Prof;
+  interpret(F, {3, 4, 64}, EO);
+  Profile NodeOnly = Prof.withoutEdgeFreqs();
+
+  PreOptions PO;
+  PO.Strategy = PreStrategy::McSsaPre;
+  PO.Prof = &Prof;
+  Function WithEdges = compileWithPre(F, PO);
+  PO.Prof = &NodeOnly;
+  Function WithNodes = compileWithPre(F, PO);
+  EXPECT_EQ(printFunction(WithEdges), printFunction(WithNodes));
+}
+
+TEST(McSsaPre, ForeignPhiArgumentBlocksBogusSpeculation) {
+  // Hand-written SSA where the variable phi at the join substitutes a
+  // *different* variable along one edge (legal SSA; arises from copy
+  // propagation). The expression value changes across that edge, so no
+  // lexical insertion can cover it: PRE must not relate the downstream
+  // occurrence to upstream computations through that phi (regression
+  // test for a miscompile found by iterated-PRE fuzzing).
+  Function F = parseFunctionOrDie(R"(
+    func f(a, b, p) {
+    entry:
+      x#1 = a#1 + 0
+      u#1 = x#1 * b#1
+      print u#1
+      br p#1, t, e
+    t:
+      y#1 = a#1 + 5
+      jmp j
+    e:
+      jmp j
+    j:
+      x#2 = phi [t: y#1] [e: x#1]
+      v#1 = x#2 * b#1
+      ret v#1
+    }
+  )");
+  ASSERT_TRUE(F.IsSSA);
+  Profile Prof;
+  Prof.reset(F.numBlocks(), false);
+  for (auto &BF : Prof.BlockFreq)
+    BF = 100;
+  PreOptions PO;
+  PO.Strategy = PreStrategy::McSsaPre;
+  PO.Prof = &Prof;
+  Function Opt = F;
+  runPre(Opt, PO);
+  // Semantics must hold on both paths; the t path in particular computes
+  // (a+5)*b at the join, which no x-based reuse can produce.
+  for (int64_t P : {0, 1}) {
+    ExecResult Base = interpret(F, {7, 3, P});
+    ExecResult O = interpret(Opt, {7, 3, P});
+    ASSERT_TRUE(Base.sameObservableBehavior(O))
+        << "p=" << P << "\n" << printFunction(Opt);
+  }
+}
+
+TEST(McSsaPre, UndefinedOperandPathNeverGetsInsertion) {
+  // `q` is defined only inside the loop; the expression q+b is partially
+  // redundant around the back edge, but the loop-entry path has no value
+  // of q at all: insertion there is blocked, so the placement must keep
+  // the in-loop computation (or place it after q's definition) and never
+  // reference an undefined version.
+  Function F = parseFunctionOrDie(R"(
+    func f(b, n) {
+    entry:
+      i = 0
+      s = 0
+      jmp h
+    h:
+      t = i < n
+      br t, body, exit
+    body:
+      q = i * 3
+      z = q + b
+      s = s + z
+      z2 = q + b
+      s = s + z2
+      i = i + 1
+      jmp h
+    exit:
+      ret s
+    }
+  )");
+  prepareFunction(F);
+  Profile Prof;
+  ExecOptions EO;
+  EO.CollectProfile = &Prof;
+  interpret(F, {4, 16}, EO);
+  Profile NodeOnly = Prof.withoutEdgeFreqs();
+  PreOptions PO;
+  PO.Strategy = PreStrategy::McSsaPre;
+  PO.Prof = &NodeOnly;
+  Function Opt = compileWithPre(F, PO);
+  for (int64_t N : {0, 1, 16}) {
+    ExecResult Base = interpret(F, {4, N});
+    ExecResult O = interpret(Opt, {4, N});
+    ASSERT_TRUE(Base.sameObservableBehavior(O)) << "n=" << N;
+    ASSERT_LE(O.DynamicComputations, Base.DynamicComputations);
+  }
+}

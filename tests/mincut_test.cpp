@@ -1,0 +1,186 @@
+//===- tests/mincut_test.cpp - Max-flow / min-cut tests -------------------------===//
+
+#include "mincut/MinCut.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace specpre;
+
+namespace {
+
+/// Random small network for oracle comparisons.
+FlowNetwork randomNetwork(Rng &R, int NumNodes, int NumEdges,
+                          int64_t MaxCap) {
+  FlowNetwork Net(NumNodes);
+  for (int E = 0; E != NumEdges; ++E) {
+    int U = static_cast<int>(R.nextBelow(NumNodes));
+    int V = static_cast<int>(R.nextBelow(NumNodes));
+    if (U == V)
+      continue;
+    Net.addEdge(U, V, R.nextInRange(0, MaxCap));
+  }
+  return Net;
+}
+
+} // namespace
+
+TEST(MaxFlow, TextbookExample) {
+  // CLRS-style example.
+  FlowNetwork Net(6);
+  Net.addEdge(0, 1, 16);
+  Net.addEdge(0, 2, 13);
+  Net.addEdge(1, 2, 10);
+  Net.addEdge(2, 1, 4);
+  Net.addEdge(1, 3, 12);
+  Net.addEdge(3, 2, 9);
+  Net.addEdge(2, 4, 14);
+  Net.addEdge(4, 3, 7);
+  Net.addEdge(3, 5, 20);
+  Net.addEdge(4, 5, 4);
+  EXPECT_EQ(computeMaxFlow(Net, 0, 5, MaxFlowAlgorithm::EdmondsKarp), 23);
+  Net.resetFlow();
+  EXPECT_EQ(computeMaxFlow(Net, 0, 5, MaxFlowAlgorithm::Dinic), 23);
+}
+
+TEST(MaxFlow, ParallelEdgesAccumulate) {
+  FlowNetwork Net(2);
+  Net.addEdge(0, 1, 3);
+  Net.addEdge(0, 1, 4);
+  EXPECT_EQ(computeMaxFlow(Net, 0, 1), 7);
+}
+
+TEST(MaxFlow, DisconnectedIsZero) {
+  FlowNetwork Net(3);
+  Net.addEdge(0, 1, 5);
+  EXPECT_EQ(computeMaxFlow(Net, 0, 2), 0);
+}
+
+TEST(MaxFlow, AlgorithmsAgreeWithBruteForceOnRandomNetworks) {
+  Rng R(2024);
+  for (int Trial = 0; Trial != 60; ++Trial) {
+    int N = 3 + static_cast<int>(R.nextBelow(6));
+    FlowNetwork Net = randomNetwork(R, N, 2 * N, 20);
+    int Source = 0, Sink = N - 1;
+    int64_t Brute = bruteForceMinCutCapacity(Net, Source, Sink);
+
+    FlowNetwork NetEk = Net;
+    int64_t Ek = computeMaxFlow(NetEk, Source, Sink,
+                                MaxFlowAlgorithm::EdmondsKarp);
+    FlowNetwork NetDi = Net;
+    int64_t Di = computeMaxFlow(NetDi, Source, Sink, MaxFlowAlgorithm::Dinic);
+    ASSERT_EQ(Ek, Brute) << "trial " << Trial;
+    ASSERT_EQ(Di, Brute) << "trial " << Trial;
+  }
+}
+
+TEST(MinCut, CutCapacityEqualsMaxFlowAndSeparates) {
+  Rng R(77);
+  for (int Trial = 0; Trial != 40; ++Trial) {
+    int N = 4 + static_cast<int>(R.nextBelow(5));
+    FlowNetwork Net = randomNetwork(R, N, 3 * N, 15);
+    int Source = 0, Sink = N - 1;
+    for (CutPlacement P : {CutPlacement::Earliest, CutPlacement::Latest}) {
+      FlowNetwork Copy = Net;
+      MinCutResult Cut = computeMinCut(Copy, Source, Sink, P);
+      EXPECT_TRUE(Cut.SourceSide[Source]);
+      EXPECT_FALSE(Cut.SourceSide[Sink]);
+      // Removing the cut edges must disconnect source from sink.
+      std::set<int> CutSet(Cut.CutEdgeIds.begin(), Cut.CutEdgeIds.end());
+      std::vector<bool> Seen(Copy.numNodes(), false);
+      std::vector<int> Work{Source};
+      Seen[Source] = true;
+      while (!Work.empty()) {
+        int U = Work.back();
+        Work.pop_back();
+        for (int E = 0; E != Copy.numOriginalEdges(); ++E) {
+          if (Copy.edgeFrom(E) != U || CutSet.count(E) ||
+              Copy.edgeCapacity(E) == 0)
+            continue;
+          int V = Copy.edgeTo(E);
+          if (!Seen[V]) {
+            Seen[V] = true;
+            Work.push_back(V);
+          }
+        }
+      }
+      EXPECT_FALSE(Seen[Sink]) << "cut does not separate, trial " << Trial;
+    }
+  }
+}
+
+TEST(MinCut, EarliestAndLatestHaveEqualCapacity) {
+  Rng R(99);
+  for (int Trial = 0; Trial != 40; ++Trial) {
+    int N = 4 + static_cast<int>(R.nextBelow(5));
+    FlowNetwork Net = randomNetwork(R, N, 3 * N, 15);
+    FlowNetwork A = Net, B = Net;
+    MinCutResult Early = computeMinCut(A, 0, N - 1, CutPlacement::Earliest);
+    MinCutResult Late = computeMinCut(B, 0, N - 1, CutPlacement::Latest);
+    EXPECT_EQ(Early.Capacity, Late.Capacity);
+    // The latest cut's source side includes the earliest cut's: every
+    // node the early cut puts in S is also in S for the late cut.
+    for (int I = 0; I != N; ++I) {
+      if (Early.SourceSide[I]) {
+        EXPECT_TRUE(Late.SourceSide[I]) << "node " << I;
+      }
+    }
+  }
+}
+
+TEST(MinCut, LatestCutIsLaterOnAChain) {
+  // source -> a -> b -> sink with equal capacities: the min cut is
+  // ambiguous; reverse labeling must pick the sink-closest edge.
+  FlowNetwork Net(4);
+  Net.addEdge(0, 1, 5);
+  int MidEdge = Net.addEdge(1, 2, 5);
+  int LastEdge = Net.addEdge(2, 3, 5);
+  (void)MidEdge;
+  FlowNetwork A = Net, B = Net;
+  MinCutResult Early = computeMinCut(A, 0, 3, CutPlacement::Earliest);
+  MinCutResult Late = computeMinCut(B, 0, 3, CutPlacement::Latest);
+  ASSERT_EQ(Early.CutEdgeIds.size(), 1u);
+  ASSERT_EQ(Late.CutEdgeIds.size(), 1u);
+  EXPECT_EQ(Early.CutEdgeIds[0], 0);
+  EXPECT_EQ(Late.CutEdgeIds[0], LastEdge);
+}
+
+TEST(MinCut, InfiniteEdgesNeverCut) {
+  // source -> a (finite) -> sink (infinite), plus a finite bypass.
+  FlowNetwork Net(4);
+  Net.addEdge(0, 1, 3);
+  Net.addEdge(1, 3, InfiniteCapacity);
+  Net.addEdge(0, 2, 2);
+  Net.addEdge(2, 3, InfiniteCapacity);
+  MinCutResult Cut = computeMinCut(Net, 0, 3, CutPlacement::Latest);
+  EXPECT_EQ(Cut.Capacity, 5);
+  for (int E : Cut.CutEdgeIds)
+    EXPECT_LT(Net.edgeCapacity(E), InfiniteCapacity);
+}
+
+TEST(MinCut, FlowConservationPerEdge) {
+  FlowNetwork Net(6);
+  Net.addEdge(0, 1, 16);
+  Net.addEdge(0, 2, 13);
+  int E12 = Net.addEdge(1, 3, 12);
+  Net.addEdge(2, 4, 14);
+  Net.addEdge(3, 5, 20);
+  Net.addEdge(4, 5, 4);
+  computeMaxFlow(Net, 0, 5);
+  for (int E = 0; E != Net.numOriginalEdges(); ++E) {
+    EXPECT_GE(Net.edgeFlow(E), 0);
+    EXPECT_LE(Net.edgeFlow(E), Net.edgeCapacity(E));
+  }
+  EXPECT_EQ(Net.edgeFlow(E12), 12); // saturated bottleneck
+}
+
+TEST(MinCut, ResetFlowRestoresCapacities) {
+  FlowNetwork Net(3);
+  Net.addEdge(0, 1, 5);
+  Net.addEdge(1, 2, 5);
+  EXPECT_EQ(computeMaxFlow(Net, 0, 2), 5);
+  Net.resetFlow();
+  EXPECT_EQ(computeMaxFlow(Net, 0, 2), 5);
+}

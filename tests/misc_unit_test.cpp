@@ -1,0 +1,346 @@
+//===- tests/misc_unit_test.cpp - Unit tests for support components --------------===//
+
+#include "analysis/Cfg.h"
+#include "analysis/DataFlow.h"
+#include "analysis/DomTree.h"
+#include "interp/CostModel.h"
+#include "interp/Interpreter.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "pre/ExprKey.h"
+#include "pre/PreDriver.h"
+#include "pre/PreStats.h"
+#include "workload/ProgramGenerator.h"
+
+#include <gtest/gtest.h>
+
+using namespace specpre;
+
+//===----------------------------------------------------------------------===//
+// BitVector
+//===----------------------------------------------------------------------===//
+
+TEST(BitVector, SetResetTest) {
+  BitVector V(130);
+  EXPECT_EQ(V.size(), 130u);
+  EXPECT_EQ(V.count(), 0u);
+  V.set(0);
+  V.set(64);
+  V.set(129);
+  EXPECT_TRUE(V.test(0));
+  EXPECT_TRUE(V.test(64));
+  EXPECT_TRUE(V.test(129));
+  EXPECT_FALSE(V.test(1));
+  EXPECT_EQ(V.count(), 3u);
+  V.reset(64);
+  EXPECT_FALSE(V.test(64));
+  EXPECT_EQ(V.count(), 2u);
+}
+
+TEST(BitVector, AllOnesRespectsPadding) {
+  BitVector V(70, true);
+  EXPECT_EQ(V.count(), 70u);
+  BitVector W(70);
+  W.setAll();
+  EXPECT_EQ(W.count(), 70u);
+  EXPECT_TRUE(V == W);
+}
+
+TEST(BitVector, AndOrSubtract) {
+  BitVector A(10), B(10);
+  A.set(1);
+  A.set(2);
+  B.set(2);
+  B.set(3);
+  BitVector C = A;
+  C &= B;
+  EXPECT_TRUE(C.test(2));
+  EXPECT_FALSE(C.test(1));
+  BitVector D = A;
+  D |= B;
+  EXPECT_EQ(D.count(), 3u);
+  BitVector E = A;
+  E.subtract(B);
+  EXPECT_TRUE(E.test(1));
+  EXPECT_FALSE(E.test(2));
+}
+
+TEST(BitVector, AssignHelper) {
+  BitVector V(4);
+  V.assign(2, true);
+  EXPECT_TRUE(V.test(2));
+  V.assign(2, false);
+  EXPECT_FALSE(V.test(2));
+}
+
+//===----------------------------------------------------------------------===//
+// CostModel
+//===----------------------------------------------------------------------===//
+
+TEST(CostModel, StandardCosts) {
+  CostModel CM = CostModel::standard();
+  EXPECT_EQ(CM.computeCost(Opcode::Add), 1u);
+  EXPECT_EQ(CM.computeCost(Opcode::Mul), 4u);
+  EXPECT_EQ(CM.computeCost(Opcode::Div), 25u);
+  EXPECT_EQ(CM.computeCost(Opcode::Min), 2u);
+}
+
+TEST(CostModel, ComputationsOnlyIsPureCounter) {
+  CostModel CM = CostModel::computationsOnly();
+  for (unsigned I = 0; I != NumOpcodes; ++I)
+    EXPECT_EQ(CM.OpCost[I], 1u);
+  EXPECT_EQ(CM.BranchCost + CM.JumpCost + CM.RetCost + CM.CopyCost +
+                CM.PhiCost + CM.PrintCost,
+            0u);
+}
+
+//===----------------------------------------------------------------------===//
+// ExprKey / OperandKey
+//===----------------------------------------------------------------------===//
+
+TEST(ExprKey, MatchingIgnoresVersions) {
+  Function F = parseFunctionOrDie(R"(
+    func f(a, b) {
+    entry:
+      x#1 = a#1 + b#1
+      a#2 = a#1 + 1
+      y#1 = a#2 + b#1
+      ret y#1
+    }
+  )");
+  ExprKey K;
+  K.Op = Opcode::Add;
+  K.L.Var = F.findVar("a");
+  K.R.Var = F.findVar("b");
+  EXPECT_TRUE(K.matches(F.Blocks[0].Stmts[0]));
+  EXPECT_TRUE(K.matches(F.Blocks[0].Stmts[2])); // different versions
+  EXPECT_FALSE(K.matches(F.Blocks[0].Stmts[1])); // a + 1
+}
+
+TEST(ExprKey, ConstOperandsDistinguished) {
+  ExprKey K1, K2;
+  K1.Op = K2.Op = Opcode::Mul;
+  K1.L.Var = 3;
+  K1.R.IsConst = true;
+  K1.R.Const = 4;
+  K2.L.Var = 3;
+  K2.R.IsConst = true;
+  K2.R.Const = 5;
+  EXPECT_NE(K1, K2);
+  EXPECT_TRUE(K1 < K2 || K2 < K1);
+}
+
+TEST(ExprKey, DependsOnVar) {
+  ExprKey K;
+  K.Op = Opcode::Sub;
+  K.L.Var = 1;
+  K.R.IsConst = true;
+  K.R.Const = 9;
+  EXPECT_TRUE(K.dependsOnVar(1));
+  EXPECT_FALSE(K.dependsOnVar(2));
+  EXPECT_FALSE(K.canFault());
+  K.Op = Opcode::Mod;
+  EXPECT_TRUE(K.canFault());
+}
+
+//===----------------------------------------------------------------------===//
+// PreStats
+//===----------------------------------------------------------------------===//
+
+TEST(PreStats, HistogramAndCumulative) {
+  PreStats S;
+  auto Add = [&](unsigned Nodes) {
+    ExprStatsRecord R;
+    R.EfgEmpty = Nodes == 0;
+    R.EfgNodes = Nodes;
+    S.addRecord(R);
+  };
+  Add(0);
+  Add(4);
+  Add(4);
+  Add(10);
+  Add(80);
+  EXPECT_EQ(S.numNonEmptyEfgs(), 4u);
+  auto H = S.efgSizeHistogram();
+  EXPECT_EQ(H[4], 2u);
+  EXPECT_EQ(H[10], 1u);
+  EXPECT_DOUBLE_EQ(S.cumulativePercentAtOrBelow(4), 50.0);
+  EXPECT_DOUBLE_EQ(S.cumulativePercentAtOrBelow(10), 75.0);
+  EXPECT_DOUBLE_EQ(S.cumulativePercentAtOrBelow(100), 100.0);
+  EXPECT_EQ(S.largestEfg(), 80u);
+
+  PreStats T;
+  T.merge(S);
+  T.merge(S);
+  EXPECT_EQ(T.numNonEmptyEfgs(), 8u);
+}
+
+TEST(PreStats, EmptyStatsDefaults) {
+  PreStats S;
+  EXPECT_EQ(S.numNonEmptyEfgs(), 0u);
+  EXPECT_EQ(S.largestEfg(), 0u);
+  EXPECT_DOUBLE_EQ(S.cumulativePercentAtOrBelow(10), 100.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Strategy names / driver odds and ends
+//===----------------------------------------------------------------------===//
+
+TEST(PreDriver, StrategyNames) {
+  EXPECT_STREQ(strategyName(PreStrategy::SsaPre), "SSAPRE");
+  EXPECT_STREQ(strategyName(PreStrategy::SsaPreSpec), "SSAPREsp");
+  EXPECT_STREQ(strategyName(PreStrategy::McSsaPre), "MC-SSAPRE");
+  EXPECT_STREQ(strategyName(PreStrategy::McPre), "MC-PRE");
+  EXPECT_STREQ(strategyName(PreStrategy::Lcm), "LCM");
+  EXPECT_STREQ(strategyName(PreStrategy::None), "none");
+}
+
+TEST(PreDriver, NoneStrategyIsIdentity) {
+  GeneratorConfig Cfg0;
+  Function F = generateProgram(77, Cfg0);
+  prepareFunction(F);
+  PreOptions PO;
+  PO.Strategy = PreStrategy::None;
+  Function Opt = compileWithPre(F, PO);
+  EXPECT_EQ(printFunction(Opt), printFunction(F));
+}
+
+//===----------------------------------------------------------------------===//
+// Printer round-trip property on generated programs
+//===----------------------------------------------------------------------===//
+
+TEST(Printer, RoundTripFixpointOnRandomPrograms) {
+  for (uint64_t Seed = 1; Seed <= 15; ++Seed) {
+    GeneratorConfig Cfg0;
+    Function F = generateProgram(Seed * 19, Cfg0);
+    std::string Once = printFunction(F);
+    Function G = parseFunctionOrDie(Once);
+    ASSERT_EQ(printFunction(G), Once) << "seed " << Seed;
+    std::string Error;
+    ASSERT_TRUE(verifyFunction(G, Error)) << Error;
+  }
+}
+
+TEST(Printer, SsaRoundTripOnOptimizedOutput) {
+  GeneratorConfig Cfg0;
+  Function F = generateProgram(5150, Cfg0);
+  prepareFunction(F);
+  Profile Prof;
+  ExecOptions EO;
+  EO.CollectProfile = &Prof;
+  std::vector<int64_t> Args(F.Params.size(), 9);
+  interpret(F, Args, EO);
+  Profile NodeOnly = Prof.withoutEdgeFreqs();
+  PreOptions PO;
+  PO.Strategy = PreStrategy::McSsaPre;
+  PO.Prof = &NodeOnly;
+  Function Opt = compileWithPre(F, PO);
+  // SSA output (with temp phis and versions) must round-trip.
+  std::string Once = printFunction(Opt);
+  Function G = parseFunctionOrDie(Once);
+  EXPECT_EQ(printFunction(G), Once);
+  EXPECT_TRUE(G.IsSSA);
+  ExecResult A = interpret(Opt, Args);
+  ExecResult B = interpret(G, Args);
+  EXPECT_TRUE(A.sameObservableBehavior(B));
+}
+
+//===----------------------------------------------------------------------===//
+// Cfg helpers
+//===----------------------------------------------------------------------===//
+
+TEST(Cfg, EdgesAreDeterministicAndComplete) {
+  Function F = parseFunctionOrDie(R"(
+    func f(p) {
+    entry:
+      br p, a, b
+    a:
+      jmp c
+    b:
+      jmp c
+    c:
+      ret p
+    }
+  )");
+  Cfg C(F);
+  auto E = C.edges();
+  ASSERT_EQ(E.size(), 4u);
+  EXPECT_EQ(E[0], (std::pair<BlockId, BlockId>{0, 1}));
+  EXPECT_EQ(E[1], (std::pair<BlockId, BlockId>{0, 2}));
+  EXPECT_EQ(E[2], (std::pair<BlockId, BlockId>{1, 3}));
+  EXPECT_EQ(E[3], (std::pair<BlockId, BlockId>{2, 3}));
+}
+
+TEST(Cfg, RpoTopologicalOnDags) {
+  Function F = parseFunctionOrDie(R"(
+    func f(p) {
+    entry:
+      br p, a, b
+    a:
+      jmp c
+    b:
+      jmp c
+    c:
+      ret p
+    }
+  )");
+  Cfg C(F);
+  // In a DAG, RPO must order every edge source before its target.
+  for (auto [U, V] : C.edges())
+    EXPECT_LT(C.rpoIndex(U), C.rpoIndex(V));
+}
+
+//===----------------------------------------------------------------------===//
+// Post-dominators vs naive oracle on random programs
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Naive post-dominance: A post-dominates B iff removing A leaves B
+/// unable to reach any exit block.
+bool naivePostDominates(const Cfg &C, BlockId A, BlockId B) {
+  if (A == B)
+    return true;
+  std::vector<bool> CanExit(C.numBlocks(), false);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned X = 0; X != C.numBlocks(); ++X) {
+      BlockId Id = static_cast<BlockId>(X);
+      if (Id == A || CanExit[X])
+        continue;
+      bool Now = C.succs(Id).empty();
+      for (BlockId S : C.succs(Id))
+        Now |= S != A && CanExit[S];
+      if (Now) {
+        CanExit[X] = true;
+        Changed = true;
+      }
+    }
+  }
+  return !CanExit[B];
+}
+
+} // namespace
+
+TEST(PostDomTree, MatchesNaiveOracleOnRandomPrograms) {
+  for (uint64_t Seed = 33; Seed <= 39; ++Seed) {
+    GeneratorConfig Cfg0;
+    Cfg0.MaxDepth = 2;
+    Function F = generateProgram(Seed, Cfg0);
+    removeUnreachableBlocks(F);
+    Cfg C(F);
+    DomTree PDT = DomTree::buildPostDominators(C);
+    for (unsigned A = 0; A != C.numBlocks(); ++A) {
+      if (!PDT.hasInfo(static_cast<BlockId>(A)))
+        continue;
+      for (unsigned B = 0; B != C.numBlocks(); ++B) {
+        if (!PDT.hasInfo(static_cast<BlockId>(B)))
+          continue;
+        ASSERT_EQ(PDT.dominates(A, B), naivePostDominates(C, A, B))
+            << "seed " << Seed << " A=" << A << " B=" << B;
+      }
+    }
+  }
+}

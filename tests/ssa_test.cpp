@@ -1,0 +1,272 @@
+//===- tests/ssa_test.cpp - SSA construction tests -----------------------------===//
+
+#include "analysis/CriticalEdges.h"
+#include "analysis/LoopRestructure.h"
+#include "interp/Interpreter.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "ssa/SsaConstruction.h"
+#include "ssa/SsaDestruction.h"
+#include "pre/PreDriver.h"
+#include "profile/Profile.h"
+#include "workload/ProgramGenerator.h"
+
+#include <gtest/gtest.h>
+
+using namespace specpre;
+
+namespace {
+
+unsigned countPhis(const Function &F) {
+  unsigned N = 0;
+  for (const BasicBlock &BB : F.Blocks)
+    for (const Stmt &S : BB.Stmts)
+      N += S.Kind == StmtKind::Phi;
+  return N;
+}
+
+} // namespace
+
+TEST(Ssa, StraightLineNeedsNoPhis) {
+  Function F = parseFunctionOrDie(R"(
+    func f(a) {
+    entry:
+      x = a + 1
+      x = x + 2
+      ret x
+    }
+  )");
+  constructSsa(F);
+  EXPECT_TRUE(F.IsSSA);
+  EXPECT_EQ(countPhis(F), 0u);
+  // x has two versions now.
+  EXPECT_EQ(F.Blocks[0].Stmts[0].DestVersion, 1);
+  EXPECT_EQ(F.Blocks[0].Stmts[1].DestVersion, 2);
+  EXPECT_EQ(F.Blocks[0].Stmts[1].Src0.Version, 1);
+  std::string Error;
+  EXPECT_TRUE(verifyFunction(F, Error)) << Error;
+}
+
+TEST(Ssa, DiamondGetsOnePhi) {
+  Function F = parseFunctionOrDie(R"(
+    func f(p) {
+    entry:
+      br p, t, e
+    t:
+      x = p + 1
+      jmp j
+    e:
+      x = p + 2
+      jmp j
+    j:
+      ret x
+    }
+  )");
+  constructSsa(F);
+  EXPECT_EQ(countPhis(F), 1u);
+  const Stmt &Phi = F.Blocks[3].Stmts[0];
+  EXPECT_EQ(Phi.Kind, StmtKind::Phi);
+  EXPECT_EQ(F.varName(Phi.Dest), "x");
+  std::string Error;
+  EXPECT_TRUE(verifyFunction(F, Error)) << Error;
+}
+
+TEST(Ssa, PrunedNoPhiForDeadVariable) {
+  Function F = parseFunctionOrDie(R"(
+    func f(p) {
+    entry:
+      br p, t, e
+    t:
+      x = p + 1
+      jmp j
+    e:
+      x = p + 2
+      jmp j
+    j:
+      ret p
+    }
+  )");
+  constructSsa(F);
+  // x is dead at the join: pruned SSA inserts no phi.
+  EXPECT_EQ(countPhis(F), 0u);
+}
+
+TEST(Ssa, LoopVariableGetsHeaderPhi) {
+  Function F = parseFunctionOrDie(R"(
+    func f(n) {
+    entry:
+      i = 0
+      jmp h
+    h:
+      t = i < n
+      br t, body, exit
+    body:
+      i = i + 1
+      jmp h
+    exit:
+      ret i
+    }
+  )");
+  constructSsa(F);
+  // i needs a phi at the loop header.
+  bool Found = false;
+  for (const Stmt &S : F.Blocks[1].Stmts)
+    if (S.Kind == StmtKind::Phi && F.varName(S.Dest) == "i")
+      Found = true;
+  EXPECT_TRUE(Found);
+  std::string Error;
+  EXPECT_TRUE(verifyFunction(F, Error)) << Error;
+}
+
+TEST(Ssa, ParamsAreVersionOne) {
+  Function F = parseFunctionOrDie(R"(
+    func f(a, b) {
+    entry:
+      x = a + b
+      ret x
+    }
+  )");
+  constructSsa(F);
+  EXPECT_EQ(F.Blocks[0].Stmts[0].Src0.Version, 1);
+  EXPECT_EQ(F.Blocks[0].Stmts[0].Src1.Version, 1);
+}
+
+TEST(Ssa, PreservesSemanticsOnRandomPrograms) {
+  for (uint64_t Seed = 100; Seed <= 130; ++Seed) {
+    GeneratorConfig Cfg0;
+    Cfg0.AllowDiv = (Seed % 2) == 0;
+    Function F = generateProgram(Seed, Cfg0);
+    Function S = F;
+    restructureWhileLoops(S);
+    splitCriticalEdges(S);
+    constructSsa(S);
+    std::string Error;
+    ASSERT_TRUE(verifyFunction(S, Error)) << "seed " << Seed << ": " << Error;
+    for (int64_t A = 0; A != 3; ++A) {
+      std::vector<int64_t> Args;
+      for (unsigned P = 0; P != F.Params.size(); ++P)
+        Args.push_back(static_cast<int64_t>(Seed * 31 + A * 7 + P));
+      ExecResult R0 = interpret(F, Args);
+      ExecResult R1 = interpret(S, Args);
+      ASSERT_TRUE(R0.sameObservableBehavior(R1)) << "seed " << Seed;
+      ASSERT_EQ(R0.DynamicComputations, R1.DynamicComputations);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Out-of-SSA translation
+//===----------------------------------------------------------------------===//
+
+TEST(SsaDestruction, RoundTripStraightLine) {
+  Function F = parseFunctionOrDie(R"(
+    func f(a) {
+    entry:
+      x = a + 1
+      x = x + 2
+      ret x
+    }
+  )");
+  Function S = F;
+  constructSsa(S);
+  destructSsa(S);
+  EXPECT_FALSE(S.IsSSA);
+  std::string Error;
+  ASSERT_TRUE(verifyFunction(S, Error)) << Error;
+  for (int64_t A : {0, 5, -3})
+    EXPECT_EQ(interpret(S, {A}).ReturnValue, interpret(F, {A}).ReturnValue);
+}
+
+TEST(SsaDestruction, SwapProblem) {
+  // The classic: two phis exchanging values each iteration. Naive copy
+  // insertion clobbers one; the parallel-copy sequentialization must use
+  // a scratch.
+  Function F = parseFunctionOrDie(R"(
+    func swap(n) {
+    entry:
+      jmp h
+    h:
+      a#1 = phi [entry: 1] [body: b#1]
+      b#1 = phi [entry: 2] [body: a#1]
+      i#1 = phi [entry: 0] [body: i#2]
+      t#1 = i#1 < n#1
+      br t#1, body, exit
+    body:
+      i#2 = i#1 + 1
+      jmp h
+    exit:
+      u#1 = a#1 * 10
+      r#1 = u#1 + b#1
+      ret r#1
+    }
+  )");
+  Function D = F;
+  destructSsa(D);
+  std::string Error;
+  ASSERT_TRUE(verifyFunction(D, Error)) << Error;
+  for (int64_t N : {0, 1, 2, 7})
+    EXPECT_EQ(interpret(D, {N}).ReturnValue, interpret(F, {N}).ReturnValue)
+        << "n=" << N;
+}
+
+TEST(SsaDestruction, LostCopyProblem) {
+  // The phi's old value is used after the back edge assigns the new one:
+  // the copy at the latch must not clobber the live old value.
+  Function F = parseFunctionOrDie(R"(
+    func lost(n) {
+    entry:
+      jmp h
+    h:
+      x#1 = phi [entry: 1] [body: x#2]
+      x#2 = x#1 + 1
+      t#1 = x#2 < n#1
+      br t#1, body, exit
+    body:
+      jmp h
+    exit:
+      ret x#1
+    }
+  )");
+  Function D = F;
+  destructSsa(D);
+  std::string Error;
+  ASSERT_TRUE(verifyFunction(D, Error)) << Error;
+  for (int64_t N : {0, 3, 10})
+    EXPECT_EQ(interpret(D, {N}).ReturnValue, interpret(F, {N}).ReturnValue)
+        << "n=" << N;
+}
+
+TEST(SsaDestruction, RandomProgramsFullCycle) {
+  // parse -> prepare -> SSA -> PRE -> out-of-SSA: the full compiler
+  // round trip, checked for behavior on several inputs.
+  for (uint64_t Seed = 1000; Seed <= 1020; ++Seed) {
+    GeneratorConfig Cfg0;
+    Cfg0.AllowDiv = Seed % 2 == 0;
+    Function F = generateProgram(Seed, Cfg0);
+    prepareFunction(F);
+    Profile Prof;
+    ExecOptions EO;
+    EO.CollectProfile = &Prof;
+    std::vector<int64_t> Args(F.Params.size(), static_cast<int64_t>(Seed));
+    interpret(F, Args, EO);
+    Profile NodeOnly = Prof.withoutEdgeFreqs();
+    PreOptions PO;
+    PO.Strategy = PreStrategy::McSsaPre;
+    PO.Prof = &NodeOnly;
+    Function Opt = compileWithPre(F, PO);
+    destructSsa(Opt);
+    std::string Error;
+    ASSERT_TRUE(verifyFunction(Opt, Error)) << "seed " << Seed << ": "
+                                            << Error;
+    for (int V = 0; V != 3; ++V) {
+      std::vector<int64_t> A(F.Params.size(),
+                             static_cast<int64_t>(Seed + V * 31));
+      ExecResult Base = interpret(F, A);
+      ExecResult O = interpret(Opt, A);
+      ASSERT_TRUE(Base.sameObservableBehavior(O)) << "seed " << Seed;
+      // Out-of-SSA adds copies, never computations.
+      ASSERT_LE(O.DynamicComputations, Base.DynamicComputations);
+    }
+  }
+}

@@ -1,0 +1,109 @@
+//===- tests/stress_test.cpp - Large-program stress ------------------------------===//
+//
+// One big generated program (hundreds of blocks, thousands of
+// statements) through every strategy plus the scalar pipeline and
+// out-of-SSA, end to end. Guards against quadratic blowups and
+// deep-recursion issues that small unit tests cannot see.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+#include "ir/Verifier.h"
+#include "opt/Cleanup.h"
+#include "opt/ValueNumbering.h"
+#include "pre/PreDriver.h"
+#include "ssa/SsaDestruction.h"
+#include "workload/ProgramGenerator.h"
+
+#include <gtest/gtest.h>
+
+using namespace specpre;
+
+TEST(Stress, LargeProgramAllStrategies) {
+  GeneratorConfig Cfg;
+  Cfg.MaxDepth = 5;
+  Cfg.RegionsPerLevel = 3;
+  Cfg.ExprPoolSize = 14;
+  Cfg.NumVars = 10;
+  Cfg.AllowDiv = true;
+  // Deterministically search for a seed of the intended size (the
+  // generator's size distribution is heavy-tailed).
+  Function Prepared;
+  for (uint64_t Seed = 0xBEEF;; ++Seed) {
+    Prepared = generateProgram(Seed, Cfg, "stress");
+    if (Prepared.numBlocks() >= 150u)
+      break;
+  }
+  prepareFunction(Prepared);
+  ASSERT_GE(Prepared.numBlocks(), 150u);
+
+  Profile Prof;
+  ExecOptions EO;
+  EO.CollectProfile = &Prof;
+  std::vector<int64_t> Args(Prepared.Params.size(), 77);
+  ExecResult Train = interpret(Prepared, Args, EO);
+  ASSERT_FALSE(Train.TimedOut);
+  ASSERT_FALSE(Train.Trapped);
+
+  for (PreStrategy S :
+       {PreStrategy::SsaPre, PreStrategy::SsaPreSpec, PreStrategy::McSsaPre,
+        PreStrategy::McPre, PreStrategy::Lcm}) {
+    PreOptions PO;
+    PO.Strategy = S;
+    PO.Prof = &Prof;
+    PO.Verify = false; // the naive O(B^2) oracle is too slow at this size
+    Function Opt = compileWithPre(Prepared, PO);
+    if (Opt.IsSSA) {
+      runValueNumbering(Opt);
+      runCleanupPipeline(Opt);
+      destructSsa(Opt);
+    }
+    std::string Error;
+    ASSERT_TRUE(verifyFunction(Opt, Error))
+        << strategyName(S) << ": " << Error;
+    ExecResult Base = interpret(Prepared, Args);
+    ExecResult O = interpret(Opt, Args);
+    ASSERT_TRUE(Base.sameObservableBehavior(O)) << strategyName(S);
+    ASSERT_LE(O.DynamicComputations, Base.DynamicComputations)
+        << strategyName(S);
+  }
+}
+
+TEST(Stress, DeepLoopNestProfileAndPre) {
+  GeneratorConfig Cfg;
+  Cfg.MaxDepth = 6;
+  Cfg.IfChance = 100;
+  Cfg.WhileChance = 400;
+  Cfg.DoWhileChance = 250;
+  Cfg.MinTrip = 2;
+  Cfg.MaxTrip = 4;
+  Function Prepared;
+  for (uint64_t Seed = 0xD00D;; ++Seed) {
+    Prepared = generateProgram(Seed, Cfg, "deep");
+    if (Prepared.numBlocks() >= 60u)
+      break;
+  }
+  prepareFunction(Prepared);
+  Profile Prof;
+  ExecOptions EO;
+  EO.MaxSteps = 500'000'000;
+  EO.CollectProfile = &Prof;
+  std::vector<int64_t> Args(Prepared.Params.size(), 5);
+  ExecResult Train = interpret(Prepared, Args, EO);
+  ASSERT_FALSE(Train.TimedOut);
+  std::string Error;
+  ASSERT_TRUE(Prof.verifyConservation(Prepared, Error)) << Error;
+
+  Profile NodeOnly = Prof.withoutEdgeFreqs();
+  PreOptions PO;
+  PO.Strategy = PreStrategy::McSsaPre;
+  PO.Prof = &NodeOnly;
+  PO.Verify = false;
+  Function Opt = compileWithPre(Prepared, PO);
+  ExecResult Base = interpret(Prepared, Args, EO);
+  ExecOptions EO2;
+  EO2.MaxSteps = 500'000'000;
+  ExecResult O = interpret(Opt, Args, EO2);
+  ASSERT_TRUE(Base.sameObservableBehavior(O));
+  ASSERT_LE(O.DynamicComputations, Base.DynamicComputations);
+}

@@ -1,0 +1,64 @@
+//===- tests/support_test.cpp - PRNG and support tests ------------------------===//
+
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+using namespace specpre;
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng A(42), B(42);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I != 64; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 4);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng R(7);
+  for (uint64_t Bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int I = 0; I != 200; ++I)
+      EXPECT_LT(R.nextBelow(Bound), Bound);
+  }
+}
+
+TEST(Rng, NextInRangeInclusive) {
+  Rng R(9);
+  std::set<int64_t> Seen;
+  for (int I = 0; I != 500; ++I) {
+    int64_t V = R.nextInRange(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 7u); // all values hit
+}
+
+TEST(Rng, RoughlyUniform) {
+  Rng R(1234);
+  std::map<uint64_t, unsigned> Counts;
+  const unsigned N = 8000;
+  for (unsigned I = 0; I != N; ++I)
+    ++Counts[R.nextBelow(8)];
+  for (auto [V, C] : Counts) {
+    EXPECT_GT(C, N / 8 - N / 32) << "value " << V;
+    EXPECT_LT(C, N / 8 + N / 32) << "value " << V;
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng R(5);
+  for (int I = 0; I != 50; ++I) {
+    EXPECT_FALSE(R.chance(0, 10));
+    EXPECT_TRUE(R.chance(10, 10));
+  }
+}

@@ -1,0 +1,149 @@
+//===- tests/workload_test.cpp - Program generator and suite tests --------------===//
+
+#include "interp/Interpreter.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "pre/ExprKey.h"
+#include "workload/ProgramGenerator.h"
+#include "workload/SpecSuite.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace specpre;
+
+TEST(Generator, ProgramsAreWellFormed) {
+  for (uint64_t Seed = 1; Seed <= 30; ++Seed) {
+    GeneratorConfig Cfg0;
+    Cfg0.AllowDiv = Seed % 2 == 0;
+    Function F = generateProgram(Seed, Cfg0);
+    std::string Error;
+    ASSERT_TRUE(verifyFunction(F, Error)) << "seed " << Seed << ": " << Error;
+  }
+}
+
+TEST(Generator, ProgramsTerminateWithoutTraps) {
+  for (uint64_t Seed = 1; Seed <= 30; ++Seed) {
+    GeneratorConfig Cfg0;
+    Cfg0.AllowDiv = true;
+    Function F = generateProgram(Seed, Cfg0);
+    std::vector<int64_t> Args(F.Params.size(),
+                              static_cast<int64_t>(Seed * 1234567));
+    ExecResult R = interpret(F, Args);
+    ASSERT_FALSE(R.TimedOut) << "seed " << Seed;
+    ASSERT_FALSE(R.Trapped) << "seed " << Seed;
+  }
+}
+
+TEST(Generator, OutputsDependOnInputs) {
+  GeneratorConfig Cfg0;
+  Function F = generateProgram(99, Cfg0);
+  std::set<int64_t> Returns;
+  for (int64_t A = 0; A != 8; ++A)
+    Returns.insert(
+        interpret(F, std::vector<int64_t>(F.Params.size(), A * 7717 + 1))
+            .ReturnValue);
+  EXPECT_GT(Returns.size(), 4u);
+}
+
+TEST(Generator, ProducesRedundancyForPre) {
+  // The point of the pool: multiple static occurrences of the same
+  // lexical expression.
+  GeneratorConfig Cfg0;
+  unsigned WithRepeats = 0;
+  for (uint64_t Seed = 1; Seed <= 10; ++Seed) {
+    Function F = generateProgram(Seed, Cfg0);
+    std::vector<ExprKey> Keys = collectCandidateExprs(F);
+    for (const ExprKey &K : Keys) {
+      unsigned Occurrences = 0;
+      for (const BasicBlock &BB : F.Blocks)
+        for (const Stmt &S : BB.Stmts)
+          Occurrences += K.matches(S);
+      if (Occurrences >= 2) {
+        ++WithRepeats;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(WithRepeats, 8u);
+}
+
+TEST(Generator, RespectsDivToggle) {
+  GeneratorConfig NoDiv;
+  NoDiv.AllowDiv = false;
+  for (uint64_t Seed = 1; Seed <= 6; ++Seed) {
+    Function F = generateProgram(Seed, NoDiv);
+    for (const BasicBlock &BB : F.Blocks) {
+      for (const Stmt &S : BB.Stmts) {
+        if (S.Kind == StmtKind::Compute) {
+          ASSERT_FALSE(opcodeCanFault(S.Op)) << "seed " << Seed;
+        }
+      }
+    }
+  }
+}
+
+TEST(SpecSuite, HasTheRightShape) {
+  std::vector<BenchmarkSpec> Cint = cint2006Suite();
+  std::vector<BenchmarkSpec> Cfp = cfp2006Suite();
+  EXPECT_EQ(Cint.size(), 12u);
+  EXPECT_EQ(Cfp.size(), 17u);
+  EXPECT_EQ(fullCpu2006Suite().size(), 29u);
+  EXPECT_EQ(Cint.front().Name, "perlbench");
+  EXPECT_EQ(Cint.back().Name, "xalancbmk");
+  EXPECT_EQ(Cfp.front().Name, "bwaves");
+  EXPECT_EQ(Cfp.back().Name, "sphinx3");
+  for (const BenchmarkSpec &S : Cint)
+    EXPECT_FALSE(S.FloatSuite);
+  for (const BenchmarkSpec &S : Cfp)
+    EXPECT_TRUE(S.FloatSuite);
+}
+
+TEST(SpecSuite, BenchmarksBuildAndRun) {
+  for (const BenchmarkSpec &S : fullCpu2006Suite()) {
+    Function F = S.buildProgram();
+    std::string Error;
+    ASSERT_TRUE(verifyFunction(F, Error)) << S.Name << ": " << Error;
+    ExecResult Train = interpret(F, S.TrainArgs);
+    ASSERT_FALSE(Train.TimedOut) << S.Name;
+    ASSERT_FALSE(Train.Trapped) << S.Name;
+    ExecResult Ref = interpret(F, S.RefArgs);
+    ASSERT_FALSE(Ref.TimedOut) << S.Name;
+    ASSERT_FALSE(Ref.Trapped) << S.Name;
+  }
+}
+
+TEST(SpecSuite, TrainAndRefDiffer) {
+  unsigned Differ = 0;
+  for (const BenchmarkSpec &S : fullCpu2006Suite())
+    Differ += S.TrainArgs != S.RefArgs;
+  // Most benchmarks drift; a few are perfectly correlated (like real FDO).
+  EXPECT_GE(Differ, 15u);
+  EXPECT_LT(Differ, 29u);
+}
+
+TEST(Generator, InvariantChanceKnob) {
+  // Higher invariant density yields more parameter-only expressions.
+  auto CountInvariantComputes = [](const Function &F) {
+    std::set<VarId> Params(F.Params.begin(), F.Params.end());
+    unsigned N = 0;
+    for (const BasicBlock &BB : F.Blocks)
+      for (const Stmt &S : BB.Stmts)
+        if (S.Kind == StmtKind::Compute && S.Src0.isVar() &&
+            S.Src1.isVar() && Params.count(S.Src0.Var) &&
+            Params.count(S.Src1.Var))
+          ++N;
+    return N;
+  };
+  unsigned LowTotal = 0, HighTotal = 0;
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    GeneratorConfig Low, High;
+    Low.InvariantChance = 0;
+    High.InvariantChance = 400;
+    LowTotal += CountInvariantComputes(generateProgram(Seed * 7, Low));
+    HighTotal += CountInvariantComputes(generateProgram(Seed * 7, High));
+  }
+  EXPECT_LT(LowTotal, HighTotal);
+  EXPECT_EQ(LowTotal, 0u);
+}

@@ -1,0 +1,352 @@
+//===- tools/specpre-opt.cpp - Command-line PRE driver --------------------------===//
+//
+// The command-line face of the library:
+//
+//   specpre-opt [options] <file>
+//
+//     --strategy=<ssapre|ssapresp|mcssapre|mcpre|lcm|none>   (default mcssapre)
+//     --train=<a,b,...>     arguments for the profile-collection run
+//     --run=<a,b,...>       interpret the result and report costs
+//     --placement=<latest|earliest>   min-cut tie-breaking
+//     --cleanup             run constant folding / copy prop / DCE after
+//     --gvn                 run dominator-scoped value numbering after
+//     --out-of-ssa          lower phis to copies (backend-ready output)
+//     --profile-out=<path>  persist the training profile
+//     --profile-in=<path>   reuse a persisted profile (skip training)
+//     --dot-cfg=<path>      append the prepared CFG as Graphviz
+//     --dot-frg=<path>      append the annotated FRGs/EFGs as Graphviz
+//     --stats               dump per-expression PRE statistics
+//     --no-emit             do not print the optimized IR
+//     --function=<name>     restrict to one function
+//
+// Input syntax: see ir/Parser.h (examples/programs/*.spre).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Cfg.h"
+#include "analysis/DomTree.h"
+#include "interp/Interpreter.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "opt/Cleanup.h"
+#include "opt/ValueNumbering.h"
+#include "pre/DotExport.h"
+#include "pre/PreDriver.h"
+#include "ssa/SsaConstruction.h"
+#include "ssa/SsaDestruction.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace specpre;
+
+namespace {
+
+struct ToolOptions {
+  PreStrategy Strategy = PreStrategy::McSsaPre;
+  std::optional<std::vector<int64_t>> TrainArgs;
+  std::optional<std::vector<int64_t>> RunArgs;
+  CutPlacement Placement = CutPlacement::Latest;
+  CutObjective Objective = CutObjective::speed();
+  bool Cleanup = false;
+  bool Gvn = false;
+  bool OutOfSsa = false;
+  bool Stats = false;
+  bool Emit = true;
+  std::string DotCfgPath;    ///< write the prepared CFG as DOT
+  std::string DotFrgPath;    ///< write annotated FRGs as DOT
+  std::string ProfileOutPath; ///< persist the training profile
+  std::string ProfileInPath;  ///< reuse a persisted profile, skip training
+  std::string OnlyFunction;
+  std::string InputPath;
+};
+
+std::optional<std::vector<int64_t>> parseIntList(const std::string &S) {
+  std::vector<int64_t> Out;
+  std::stringstream In(S);
+  std::string Item;
+  while (std::getline(In, Item, ',')) {
+    try {
+      Out.push_back(std::stoll(Item));
+    } catch (...) {
+      return std::nullopt;
+    }
+  }
+  return Out;
+}
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--strategy=S] [--train=a,b,...] [--run=a,b,...]\n"
+               "          [--placement=latest|earliest] [--cleanup] "
+               "[--stats]\n"
+               "          [--objective=speed|size|speed-then-size] [--no-emit]\n"
+               "          [--dot-cfg=PATH] [--dot-frg=PATH] [--function=NAME] <file>\n",
+               Argv0);
+  return 2;
+}
+
+bool parseArgs(int Argc, char **Argv, ToolOptions &Opts) {
+  for (int I = 1; I != Argc; ++I) {
+    std::string A = Argv[I];
+    auto Value = [&](const char *Prefix) -> std::optional<std::string> {
+      size_t N = std::strlen(Prefix);
+      if (A.rfind(Prefix, 0) == 0)
+        return A.substr(N);
+      return std::nullopt;
+    };
+    if (auto V = Value("--strategy=")) {
+      if (*V == "ssapre")
+        Opts.Strategy = PreStrategy::SsaPre;
+      else if (*V == "ssapresp")
+        Opts.Strategy = PreStrategy::SsaPreSpec;
+      else if (*V == "mcssapre")
+        Opts.Strategy = PreStrategy::McSsaPre;
+      else if (*V == "mcpre")
+        Opts.Strategy = PreStrategy::McPre;
+      else if (*V == "lcm")
+        Opts.Strategy = PreStrategy::Lcm;
+      else if (*V == "none")
+        Opts.Strategy = PreStrategy::None;
+      else {
+        std::fprintf(stderr, "error: unknown strategy '%s'\n", V->c_str());
+        return false;
+      }
+    } else if (auto V = Value("--train=")) {
+      Opts.TrainArgs = parseIntList(*V);
+      if (!Opts.TrainArgs) {
+        std::fprintf(stderr, "error: bad --train list\n");
+        return false;
+      }
+    } else if (auto V = Value("--run=")) {
+      Opts.RunArgs = parseIntList(*V);
+      if (!Opts.RunArgs) {
+        std::fprintf(stderr, "error: bad --run list\n");
+        return false;
+      }
+    } else if (auto V = Value("--placement=")) {
+      if (*V == "latest")
+        Opts.Placement = CutPlacement::Latest;
+      else if (*V == "earliest")
+        Opts.Placement = CutPlacement::Earliest;
+      else {
+        std::fprintf(stderr, "error: bad --placement\n");
+        return false;
+      }
+    } else if (auto V = Value("--objective=")) {
+      if (*V == "speed")
+        Opts.Objective = CutObjective::speed();
+      else if (*V == "size")
+        Opts.Objective = CutObjective::size();
+      else if (*V == "speed-then-size")
+        Opts.Objective = CutObjective::speedThenSize();
+      else {
+        std::fprintf(stderr, "error: bad --objective\n");
+        return false;
+      }
+    } else if (auto V = Value("--dot-cfg=")) {
+      Opts.DotCfgPath = *V;
+    } else if (auto V = Value("--dot-frg=")) {
+      Opts.DotFrgPath = *V;
+    } else if (auto V = Value("--profile-out=")) {
+      Opts.ProfileOutPath = *V;
+    } else if (auto V = Value("--profile-in=")) {
+      Opts.ProfileInPath = *V;
+    } else if (A == "--cleanup") {
+      Opts.Cleanup = true;
+    } else if (A == "--gvn") {
+      Opts.Gvn = true;
+    } else if (A == "--out-of-ssa") {
+      Opts.OutOfSsa = true;
+    } else if (A == "--stats") {
+      Opts.Stats = true;
+    } else if (A == "--no-emit") {
+      Opts.Emit = false;
+    } else if (auto V = Value("--function=")) {
+      Opts.OnlyFunction = *V;
+    } else if (!A.empty() && A[0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", A.c_str());
+      return false;
+    } else if (Opts.InputPath.empty()) {
+      Opts.InputPath = A;
+    } else {
+      std::fprintf(stderr, "error: multiple input files\n");
+      return false;
+    }
+  }
+  return !Opts.InputPath.empty();
+}
+
+void reportRun(const char *Label, const ExecResult &R) {
+  std::printf("%s: ret=%lld computations=%llu cycles=%llu%s%s\n", Label,
+              static_cast<long long>(R.ReturnValue),
+              static_cast<unsigned long long>(R.DynamicComputations),
+              static_cast<unsigned long long>(R.Cycles),
+              R.Trapped ? " [TRAPPED]" : "",
+              R.TimedOut ? " [TIMED OUT]" : "");
+}
+
+int processFunction(Function &F, const ToolOptions &Opts) {
+  prepareFunction(F);
+
+  bool NeedsProfile = Opts.Strategy == PreStrategy::McSsaPre ||
+                      Opts.Strategy == PreStrategy::McPre;
+  Profile Prof;
+  if (NeedsProfile && !Opts.ProfileInPath.empty()) {
+    std::ifstream In(Opts.ProfileInPath);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open profile '%s'\n",
+                   Opts.ProfileInPath.c_str());
+      return 1;
+    }
+    std::stringstream Buf;
+    Buf << In.rdbuf();
+    std::string Error;
+    if (!parseProfile(Buf.str(), Prof, Error)) {
+      std::fprintf(stderr, "error: %s: %s\n", Opts.ProfileInPath.c_str(),
+                   Error.c_str());
+      return 1;
+    }
+    Prof.BlockFreq.resize(F.numBlocks(), 0);
+  } else if (NeedsProfile) {
+    if (!Opts.TrainArgs) {
+      std::fprintf(stderr,
+                   "error: --strategy=%s requires --train=... arguments or "
+                   "--profile-in=...\n",
+                   strategyName(Opts.Strategy));
+      return 1;
+    }
+    if (Opts.TrainArgs->size() != F.Params.size()) {
+      std::fprintf(stderr,
+                   "error: function '%s' takes %zu arguments, --train has "
+                   "%zu\n",
+                   F.Name.c_str(), F.Params.size(), Opts.TrainArgs->size());
+      return 1;
+    }
+    ExecOptions EO;
+    EO.CollectProfile = &Prof;
+    ExecResult Train = interpret(F, *Opts.TrainArgs, EO);
+    reportRun("train", Train);
+    if (Train.Trapped || Train.TimedOut) {
+      std::fprintf(stderr, "error: training run failed\n");
+      return 1;
+    }
+  }
+  if (NeedsProfile && !Opts.ProfileOutPath.empty()) {
+    std::ofstream Out(Opts.ProfileOutPath);
+    Out << serializeProfile(Prof);
+  }
+
+  if (!Opts.DotCfgPath.empty()) {
+    std::ofstream Out(Opts.DotCfgPath, std::ios::app);
+    Out << cfgToDot(F, NeedsProfile ? &Prof : nullptr);
+  }
+  if (!Opts.DotFrgPath.empty()) {
+    // Annotated FRGs: run MC-SSAPRE's placement per candidate on a
+    // throwaway SSA copy so the DOT shows classes, reduction and the cut.
+    Function Copy = F;
+    constructSsa(Copy);
+    Cfg C(Copy);
+    DomTree DT = DomTree::buildDominators(C);
+    std::ofstream Out(Opts.DotFrgPath, std::ios::app);
+    Profile NodeProf = Prof.withoutEdgeFreqs();
+    for (const ExprKey &E : collectCandidateExprs(Copy)) {
+      Frg G(Copy, C, DT, E);
+      if (NeedsProfile && !E.canFault())
+        computeSpeculativePlacement(G, NodeProf, Opts.Placement,
+                                    MaxFlowAlgorithm::Dinic,
+                                    Opts.Objective);
+      Out << frgToDot(G, NeedsProfile ? &NodeProf : nullptr);
+    }
+  }
+
+  Profile NodeOnly = Prof.withoutEdgeFreqs();
+  PreOptions PO;
+  PO.Strategy = Opts.Strategy;
+  PO.Prof = Opts.Strategy == PreStrategy::McPre ? &Prof : &NodeOnly;
+  PO.Placement = Opts.Placement;
+  PO.Objective = Opts.Objective;
+  PreStats Stats;
+  PO.Stats = &Stats;
+
+  Function Optimized = compileWithPre(F, PO);
+  if (Opts.Gvn && Optimized.IsSSA)
+    runValueNumbering(Optimized);
+  if (Opts.Cleanup && Optimized.IsSSA)
+    runCleanupPipeline(Optimized);
+  if (Opts.OutOfSsa && Optimized.IsSSA)
+    destructSsa(Optimized);
+
+  if (Opts.Emit)
+    std::printf("%s", printFunction(Optimized).c_str());
+
+  if (Opts.Stats) {
+    std::printf("; per-expression statistics (%s):\n",
+                strategyName(Opts.Strategy));
+    for (const ExprStatsRecord &R : Stats.records())
+      std::printf(";   %-20s frg=%up+%ur efg=%s%u ins=%u reload=%u save=%u\n",
+                  R.Expr.c_str(), R.FrgPhis, R.FrgReals,
+                  R.EfgEmpty ? "-" : "", R.EfgEmpty ? 0 : R.EfgNodes,
+                  R.NumInsertions, R.NumReloads, R.NumSaves);
+  }
+
+  if (Opts.RunArgs) {
+    if (Opts.RunArgs->size() != F.Params.size()) {
+      std::fprintf(stderr, "error: --run argument count mismatch\n");
+      return 1;
+    }
+    ExecResult Before = interpret(F, *Opts.RunArgs);
+    ExecResult After = interpret(Optimized, *Opts.RunArgs);
+    reportRun("before", Before);
+    reportRun("after ", After);
+    if (!Before.sameObservableBehavior(After)) {
+      std::fprintf(stderr, "error: behavior changed!\n");
+      return 1;
+    }
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ToolOptions Opts;
+  if (!parseArgs(Argc, Argv, Opts))
+    return usage(Argv[0]);
+
+  std::ifstream In(Opts.InputPath);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open '%s'\n",
+                 Opts.InputPath.c_str());
+    return 1;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+
+  std::string Error;
+  std::optional<Module> M = parseModule(Buffer.str(), Error);
+  if (!M) {
+    std::fprintf(stderr, "error: %s: %s\n", Opts.InputPath.c_str(),
+                 Error.c_str());
+    return 1;
+  }
+
+  bool FoundAny = false;
+  for (Function &F : M->Functions) {
+    if (!Opts.OnlyFunction.empty() && F.Name != Opts.OnlyFunction)
+      continue;
+    FoundAny = true;
+    if (int Rc = processFunction(F, Opts))
+      return Rc;
+  }
+  if (!FoundAny) {
+    std::fprintf(stderr, "error: no function matched\n");
+    return 1;
+  }
+  return 0;
+}
