@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_codesize"
+  "../bench/ablation_codesize.pdb"
+  "CMakeFiles/ablation_codesize.dir/ablation_codesize.cpp.o"
+  "CMakeFiles/ablation_codesize.dir/ablation_codesize.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_codesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

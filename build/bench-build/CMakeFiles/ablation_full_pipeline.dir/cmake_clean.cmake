@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_full_pipeline"
+  "../bench/ablation_full_pipeline.pdb"
+  "CMakeFiles/ablation_full_pipeline.dir/ablation_full_pipeline.cpp.o"
+  "CMakeFiles/ablation_full_pipeline.dir/ablation_full_pipeline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_full_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_node_vs_edge_profile"
+  "../bench/ablation_node_vs_edge_profile.pdb"
+  "CMakeFiles/ablation_node_vs_edge_profile.dir/ablation_node_vs_edge_profile.cpp.o"
+  "CMakeFiles/ablation_node_vs_edge_profile.dir/ablation_node_vs_edge_profile.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_node_vs_edge_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

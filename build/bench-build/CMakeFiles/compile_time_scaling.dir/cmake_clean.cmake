@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/compile_time_scaling"
+  "../bench/compile_time_scaling.pdb"
+  "CMakeFiles/compile_time_scaling.dir/compile_time_scaling.cpp.o"
+  "CMakeFiles/compile_time_scaling.dir/compile_time_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compile_time_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

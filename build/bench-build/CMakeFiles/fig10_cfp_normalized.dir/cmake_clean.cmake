@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_cfp_normalized"
+  "../bench/fig10_cfp_normalized.pdb"
+  "CMakeFiles/fig10_cfp_normalized.dir/fig10_cfp_normalized.cpp.o"
+  "CMakeFiles/fig10_cfp_normalized.dir/fig10_cfp_normalized.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cfp_normalized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

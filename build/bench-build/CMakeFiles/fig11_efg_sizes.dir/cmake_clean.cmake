@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_efg_sizes"
+  "../bench/fig11_efg_sizes.pdb"
+  "CMakeFiles/fig11_efg_sizes.dir/fig11_efg_sizes.cpp.o"
+  "CMakeFiles/fig11_efg_sizes.dir/fig11_efg_sizes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_efg_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

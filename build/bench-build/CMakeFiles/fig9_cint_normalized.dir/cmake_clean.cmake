@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_cint_normalized"
+  "../bench/fig9_cint_normalized.pdb"
+  "CMakeFiles/fig9_cint_normalized.dir/fig9_cint_normalized.cpp.o"
+  "CMakeFiles/fig9_cint_normalized.dir/fig9_cint_normalized.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_cint_normalized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

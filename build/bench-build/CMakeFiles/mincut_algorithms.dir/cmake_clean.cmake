@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/mincut_algorithms"
+  "../bench/mincut_algorithms.pdb"
+  "CMakeFiles/mincut_algorithms.dir/mincut_algorithms.cpp.o"
+  "CMakeFiles/mincut_algorithms.dir/mincut_algorithms.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mincut_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_cint"
+  "../bench/table1_cint.pdb"
+  "CMakeFiles/table1_cint.dir/table1_cint.cpp.o"
+  "CMakeFiles/table1_cint.dir/table1_cint.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_cint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_cfp"
+  "../bench/table2_cfp.pdb"
+  "CMakeFiles/table2_cfp.dir/table2_cfp.cpp.o"
+  "CMakeFiles/table2_cfp.dir/table2_cfp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_cfp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jit_reprofile.dir/jit_reprofile.cpp.o"
+  "CMakeFiles/jit_reprofile.dir/jit_reprofile.cpp.o.d"
+  "jit_reprofile"
+  "jit_reprofile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jit_reprofile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

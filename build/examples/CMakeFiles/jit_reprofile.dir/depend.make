@@ -1,0 +1,2 @@
+# Empty dependencies file for jit_reprofile.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_mismatch.dir/profile_mismatch.cpp.o"
+  "CMakeFiles/profile_mismatch.dir/profile_mismatch.cpp.o.d"
+  "profile_mismatch"
+  "profile_mismatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_mismatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

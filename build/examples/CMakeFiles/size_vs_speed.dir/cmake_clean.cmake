@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/size_vs_speed.dir/size_vs_speed.cpp.o"
+  "CMakeFiles/size_vs_speed.dir/size_vs_speed.cpp.o.d"
+  "size_vs_speed"
+  "size_vs_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/size_vs_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/Cfg.cpp" "src/CMakeFiles/specpre.dir/analysis/Cfg.cpp.o" "gcc" "src/CMakeFiles/specpre.dir/analysis/Cfg.cpp.o.d"
+  "/root/repo/src/analysis/CriticalEdges.cpp" "src/CMakeFiles/specpre.dir/analysis/CriticalEdges.cpp.o" "gcc" "src/CMakeFiles/specpre.dir/analysis/CriticalEdges.cpp.o.d"
+  "/root/repo/src/analysis/DataFlow.cpp" "src/CMakeFiles/specpre.dir/analysis/DataFlow.cpp.o" "gcc" "src/CMakeFiles/specpre.dir/analysis/DataFlow.cpp.o.d"
+  "/root/repo/src/analysis/DomTree.cpp" "src/CMakeFiles/specpre.dir/analysis/DomTree.cpp.o" "gcc" "src/CMakeFiles/specpre.dir/analysis/DomTree.cpp.o.d"
+  "/root/repo/src/analysis/DominanceFrontier.cpp" "src/CMakeFiles/specpre.dir/analysis/DominanceFrontier.cpp.o" "gcc" "src/CMakeFiles/specpre.dir/analysis/DominanceFrontier.cpp.o.d"
+  "/root/repo/src/analysis/LiveRanges.cpp" "src/CMakeFiles/specpre.dir/analysis/LiveRanges.cpp.o" "gcc" "src/CMakeFiles/specpre.dir/analysis/LiveRanges.cpp.o.d"
+  "/root/repo/src/analysis/LoopRestructure.cpp" "src/CMakeFiles/specpre.dir/analysis/LoopRestructure.cpp.o" "gcc" "src/CMakeFiles/specpre.dir/analysis/LoopRestructure.cpp.o.d"
+  "/root/repo/src/analysis/Loops.cpp" "src/CMakeFiles/specpre.dir/analysis/Loops.cpp.o" "gcc" "src/CMakeFiles/specpre.dir/analysis/Loops.cpp.o.d"
+  "/root/repo/src/interp/CostModel.cpp" "src/CMakeFiles/specpre.dir/interp/CostModel.cpp.o" "gcc" "src/CMakeFiles/specpre.dir/interp/CostModel.cpp.o.d"
+  "/root/repo/src/interp/Interpreter.cpp" "src/CMakeFiles/specpre.dir/interp/Interpreter.cpp.o" "gcc" "src/CMakeFiles/specpre.dir/interp/Interpreter.cpp.o.d"
+  "/root/repo/src/ir/Ir.cpp" "src/CMakeFiles/specpre.dir/ir/Ir.cpp.o" "gcc" "src/CMakeFiles/specpre.dir/ir/Ir.cpp.o.d"
+  "/root/repo/src/ir/IrBuilder.cpp" "src/CMakeFiles/specpre.dir/ir/IrBuilder.cpp.o" "gcc" "src/CMakeFiles/specpre.dir/ir/IrBuilder.cpp.o.d"
+  "/root/repo/src/ir/Parser.cpp" "src/CMakeFiles/specpre.dir/ir/Parser.cpp.o" "gcc" "src/CMakeFiles/specpre.dir/ir/Parser.cpp.o.d"
+  "/root/repo/src/ir/Printer.cpp" "src/CMakeFiles/specpre.dir/ir/Printer.cpp.o" "gcc" "src/CMakeFiles/specpre.dir/ir/Printer.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "src/CMakeFiles/specpre.dir/ir/Verifier.cpp.o" "gcc" "src/CMakeFiles/specpre.dir/ir/Verifier.cpp.o.d"
+  "/root/repo/src/mincut/FlowNetwork.cpp" "src/CMakeFiles/specpre.dir/mincut/FlowNetwork.cpp.o" "gcc" "src/CMakeFiles/specpre.dir/mincut/FlowNetwork.cpp.o.d"
+  "/root/repo/src/mincut/MaxFlow.cpp" "src/CMakeFiles/specpre.dir/mincut/MaxFlow.cpp.o" "gcc" "src/CMakeFiles/specpre.dir/mincut/MaxFlow.cpp.o.d"
+  "/root/repo/src/mincut/MinCut.cpp" "src/CMakeFiles/specpre.dir/mincut/MinCut.cpp.o" "gcc" "src/CMakeFiles/specpre.dir/mincut/MinCut.cpp.o.d"
+  "/root/repo/src/opt/ConstantFold.cpp" "src/CMakeFiles/specpre.dir/opt/ConstantFold.cpp.o" "gcc" "src/CMakeFiles/specpre.dir/opt/ConstantFold.cpp.o.d"
+  "/root/repo/src/opt/CopyPropagation.cpp" "src/CMakeFiles/specpre.dir/opt/CopyPropagation.cpp.o" "gcc" "src/CMakeFiles/specpre.dir/opt/CopyPropagation.cpp.o.d"
+  "/root/repo/src/opt/DeadCodeElim.cpp" "src/CMakeFiles/specpre.dir/opt/DeadCodeElim.cpp.o" "gcc" "src/CMakeFiles/specpre.dir/opt/DeadCodeElim.cpp.o.d"
+  "/root/repo/src/opt/ValueNumbering.cpp" "src/CMakeFiles/specpre.dir/opt/ValueNumbering.cpp.o" "gcc" "src/CMakeFiles/specpre.dir/opt/ValueNumbering.cpp.o.d"
+  "/root/repo/src/pre/CodeMotion.cpp" "src/CMakeFiles/specpre.dir/pre/CodeMotion.cpp.o" "gcc" "src/CMakeFiles/specpre.dir/pre/CodeMotion.cpp.o.d"
+  "/root/repo/src/pre/DotExport.cpp" "src/CMakeFiles/specpre.dir/pre/DotExport.cpp.o" "gcc" "src/CMakeFiles/specpre.dir/pre/DotExport.cpp.o.d"
+  "/root/repo/src/pre/EdgeTransform.cpp" "src/CMakeFiles/specpre.dir/pre/EdgeTransform.cpp.o" "gcc" "src/CMakeFiles/specpre.dir/pre/EdgeTransform.cpp.o.d"
+  "/root/repo/src/pre/ExprKey.cpp" "src/CMakeFiles/specpre.dir/pre/ExprKey.cpp.o" "gcc" "src/CMakeFiles/specpre.dir/pre/ExprKey.cpp.o.d"
+  "/root/repo/src/pre/Finalize.cpp" "src/CMakeFiles/specpre.dir/pre/Finalize.cpp.o" "gcc" "src/CMakeFiles/specpre.dir/pre/Finalize.cpp.o.d"
+  "/root/repo/src/pre/Frg.cpp" "src/CMakeFiles/specpre.dir/pre/Frg.cpp.o" "gcc" "src/CMakeFiles/specpre.dir/pre/Frg.cpp.o.d"
+  "/root/repo/src/pre/FrgRename.cpp" "src/CMakeFiles/specpre.dir/pre/FrgRename.cpp.o" "gcc" "src/CMakeFiles/specpre.dir/pre/FrgRename.cpp.o.d"
+  "/root/repo/src/pre/Lcm.cpp" "src/CMakeFiles/specpre.dir/pre/Lcm.cpp.o" "gcc" "src/CMakeFiles/specpre.dir/pre/Lcm.cpp.o.d"
+  "/root/repo/src/pre/LexicalDataFlow.cpp" "src/CMakeFiles/specpre.dir/pre/LexicalDataFlow.cpp.o" "gcc" "src/CMakeFiles/specpre.dir/pre/LexicalDataFlow.cpp.o.d"
+  "/root/repo/src/pre/McPre.cpp" "src/CMakeFiles/specpre.dir/pre/McPre.cpp.o" "gcc" "src/CMakeFiles/specpre.dir/pre/McPre.cpp.o.d"
+  "/root/repo/src/pre/McSsaPre.cpp" "src/CMakeFiles/specpre.dir/pre/McSsaPre.cpp.o" "gcc" "src/CMakeFiles/specpre.dir/pre/McSsaPre.cpp.o.d"
+  "/root/repo/src/pre/PreDriver.cpp" "src/CMakeFiles/specpre.dir/pre/PreDriver.cpp.o" "gcc" "src/CMakeFiles/specpre.dir/pre/PreDriver.cpp.o.d"
+  "/root/repo/src/pre/PreStats.cpp" "src/CMakeFiles/specpre.dir/pre/PreStats.cpp.o" "gcc" "src/CMakeFiles/specpre.dir/pre/PreStats.cpp.o.d"
+  "/root/repo/src/pre/SsaPre.cpp" "src/CMakeFiles/specpre.dir/pre/SsaPre.cpp.o" "gcc" "src/CMakeFiles/specpre.dir/pre/SsaPre.cpp.o.d"
+  "/root/repo/src/profile/Profile.cpp" "src/CMakeFiles/specpre.dir/profile/Profile.cpp.o" "gcc" "src/CMakeFiles/specpre.dir/profile/Profile.cpp.o.d"
+  "/root/repo/src/ssa/SsaConstruction.cpp" "src/CMakeFiles/specpre.dir/ssa/SsaConstruction.cpp.o" "gcc" "src/CMakeFiles/specpre.dir/ssa/SsaConstruction.cpp.o.d"
+  "/root/repo/src/ssa/SsaDestruction.cpp" "src/CMakeFiles/specpre.dir/ssa/SsaDestruction.cpp.o" "gcc" "src/CMakeFiles/specpre.dir/ssa/SsaDestruction.cpp.o.d"
+  "/root/repo/src/support/Diagnostics.cpp" "src/CMakeFiles/specpre.dir/support/Diagnostics.cpp.o" "gcc" "src/CMakeFiles/specpre.dir/support/Diagnostics.cpp.o.d"
+  "/root/repo/src/support/Random.cpp" "src/CMakeFiles/specpre.dir/support/Random.cpp.o" "gcc" "src/CMakeFiles/specpre.dir/support/Random.cpp.o.d"
+  "/root/repo/src/workload/Evaluation.cpp" "src/CMakeFiles/specpre.dir/workload/Evaluation.cpp.o" "gcc" "src/CMakeFiles/specpre.dir/workload/Evaluation.cpp.o.d"
+  "/root/repo/src/workload/ProgramGenerator.cpp" "src/CMakeFiles/specpre.dir/workload/ProgramGenerator.cpp.o" "gcc" "src/CMakeFiles/specpre.dir/workload/ProgramGenerator.cpp.o.d"
+  "/root/repo/src/workload/SpecSuite.cpp" "src/CMakeFiles/specpre.dir/workload/SpecSuite.cpp.o" "gcc" "src/CMakeFiles/specpre.dir/workload/SpecSuite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cleanup_test.dir/cleanup_test.cpp.o"
+  "CMakeFiles/cleanup_test.dir/cleanup_test.cpp.o.d"
+  "cleanup_test"
+  "cleanup_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cleanup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

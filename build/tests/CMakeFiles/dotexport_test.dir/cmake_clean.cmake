@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dotexport_test.dir/dotexport_test.cpp.o"
+  "CMakeFiles/dotexport_test.dir/dotexport_test.cpp.o.d"
+  "dotexport_test"
+  "dotexport_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dotexport_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fatal_paths_test.dir/fatal_paths_test.cpp.o"
+  "CMakeFiles/fatal_paths_test.dir/fatal_paths_test.cpp.o.d"
+  "fatal_paths_test"
+  "fatal_paths_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fatal_paths_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frg_test.dir/frg_test.cpp.o"
+  "CMakeFiles/frg_test.dir/frg_test.cpp.o.d"
+  "frg_test"
+  "frg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liveranges_test.dir/liveranges_test.cpp.o"
+  "CMakeFiles/liveranges_test.dir/liveranges_test.cpp.o.d"
+  "liveranges_test"
+  "liveranges_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liveranges_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcpre_test.dir/mcpre_test.cpp.o"
+  "CMakeFiles/mcpre_test.dir/mcpre_test.cpp.o.d"
+  "mcpre_test"
+  "mcpre_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcpre_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

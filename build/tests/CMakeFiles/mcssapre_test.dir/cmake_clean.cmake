@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcssapre_test.dir/mcssapre_test.cpp.o"
+  "CMakeFiles/mcssapre_test.dir/mcssapre_test.cpp.o.d"
+  "mcssapre_test"
+  "mcssapre_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcssapre_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssapre_test.dir/ssapre_test.cpp.o"
+  "CMakeFiles/ssapre_test.dir/ssapre_test.cpp.o.d"
+  "ssapre_test"
+  "ssapre_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssapre_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specpre-opt.dir/specpre-opt.cpp.o"
+  "CMakeFiles/specpre-opt.dir/specpre-opt.cpp.o.d"
+  "specpre-opt"
+  "specpre-opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specpre-opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

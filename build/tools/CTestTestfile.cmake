@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_mcssapre_loop "/root/repo/build/tools/specpre-opt" "--strategy=mcssapre" "--train=3,4,64" "--run=5,6,32" "--stats" "/root/repo/tools/../examples/programs/loop.spre")
+set_tests_properties(tool_mcssapre_loop PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_lcm_diamond "/root/repo/build/tools/specpre-opt" "--strategy=lcm" "--run=2,3,1" "--cleanup" "/root/repo/tools/../examples/programs/diamond.spre")
+set_tests_properties(tool_lcm_diamond PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_rejects_bad_strategy "/root/repo/build/tools/specpre-opt" "--strategy=bogus" "/root/repo/tools/../examples/programs/diamond.spre")
+set_tests_properties(tool_rejects_bad_strategy PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_dot_export "/root/repo/build/tools/specpre-opt" "--strategy=mcssapre" "--train=3,4,64" "--no-emit" "--dot-cfg=tool_cfg.dot" "--dot-frg=tool_frg.dot" "/root/repo/tools/../examples/programs/loop.spre")
+set_tests_properties(tool_dot_export PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_size_objective "/root/repo/build/tools/specpre-opt" "--strategy=mcssapre" "--objective=size" "--train=3,4,64" "--run=3,4,64" "--no-emit" "/root/repo/tools/../examples/programs/loop.spre")
+set_tests_properties(tool_size_objective PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_profile_roundtrip "sh" "-c" "/root/repo/build/tools/specpre-opt --strategy=mcssapre --train=3,4,64 --no-emit --profile-out=roundtrip.prof /root/repo/tools/../examples/programs/loop.spre && /root/repo/build/tools/specpre-opt --strategy=mcssapre --profile-in=roundtrip.prof --run=3,4,64 --no-emit /root/repo/tools/../examples/programs/loop.spre")
+set_tests_properties(tool_profile_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_full_pipeline "/root/repo/build/tools/specpre-opt" "--strategy=mcssapre" "--train=3,4,64" "--run=7,9,32" "--gvn" "--cleanup" "--out-of-ssa" "--no-emit" "/root/repo/tools/../examples/programs/loop.spre")
+set_tests_properties(tool_full_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;25;add_test;/root/repo/tools/CMakeLists.txt;0;")
