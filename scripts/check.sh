@@ -1,0 +1,25 @@
+#!/bin/sh
+# Full verification sweep: builds the project under Release, ASan/UBSan,
+# and TSan, and runs the whole ctest suite under each. TSan is the build
+# that actually exercises the parallel PRE driver for data races (the
+# differential tests spin up the work-stealing pool at several worker
+# counts), so a green TSan run here is the race-freedom check the
+# parallel pipeline relies on.
+#
+# Usage: scripts/check.sh [jobs]        (default: nproc)
+
+set -eu
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+for CONFIG in Release Asan Tsan; do
+  BUILD_DIR="build-$(echo "$CONFIG" | tr '[:upper:]' '[:lower:]')"
+  echo "==== [$CONFIG] configure + build ($BUILD_DIR, -j$JOBS) ===="
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE="$CONFIG" >/dev/null
+  cmake --build "$BUILD_DIR" -j"$JOBS"
+  echo "==== [$CONFIG] ctest ===="
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
+done
+
+echo "==== all configurations passed ===="

@@ -3,6 +3,7 @@
 #include "pre/Finalize.h"
 
 #include "support/Diagnostics.h"
+#include "support/PassTimer.h"
 
 #include <cassert>
 #include <vector>
@@ -182,6 +183,8 @@ void Finalizer::markLiveness() {
 } // namespace
 
 FinalizePlan specpre::finalizePlacement(Frg &G) {
+  PassTimer Timer(PipelineStep::Finalize,
+                  G.phis().size() + G.reals().size());
   Finalizer Fz(G);
   return Fz.run();
 }

@@ -5,6 +5,7 @@
 #include "analysis/DominanceFrontier.h"
 #include "pre/FrgInternal.h"
 #include "support/Diagnostics.h"
+#include "support/PassTimer.h"
 
 #include <algorithm>
 #include <sstream>
@@ -29,8 +30,13 @@ public:
   FrgBuilder(Frg &G) : G(G) {}
 
   void run() {
-    insertPhis();
-    collectReals();
+    {
+      PassTimer T(PipelineStep::PhiInsertion);
+      insertPhis();
+      collectReals();
+      T.setProblemSize(G.Phis.size() + G.Reals.size());
+    }
+    PassTimer T(PipelineStep::Rename, G.Phis.size() + G.Reals.size());
     detail::renameFrg(G);
   }
 

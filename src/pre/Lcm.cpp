@@ -91,13 +91,15 @@ LcmSolution solveLcm(const Function &F, const Cfg &C, const ExprKey &E) {
 void specpre::runLcm(Function &F, PreStats *Stats) {
   assert(!F.IsSSA && "LCM operates on non-SSA form");
   std::vector<ExprKey> Exprs = collectCandidateExprs(F);
-  for (const ExprKey &E : Exprs) {
+  for (unsigned EI = 0; EI != Exprs.size(); ++EI) {
+    const ExprKey &E = Exprs[EI];
     Cfg C(F);
     LcmSolution Sol = solveLcm(F, C, E);
     if (Stats) {
       ExprStatsRecord R;
       R.Expr = E.toString(F);
       R.FunctionName = F.Name;
+      R.ExprIndex = EI;
       R.NumInsertions = static_cast<unsigned>(Sol.InsertEdges.size());
       Stats->addRecord(std::move(R));
     }

@@ -3,8 +3,10 @@
 #include "pre/McSsaPre.h"
 
 #include "support/Diagnostics.h"
+#include "support/PassTimer.h"
 
 #include <cassert>
+#include <optional>
 #include <vector>
 
 using namespace specpre;
@@ -149,9 +151,16 @@ EfgStats specpre::computeSpeculativePlacement(Frg &G, const Profile &Prof,
       Op.Insert = false;
   }
 
-  // Step 3: sparse data flow on the SSA graph.
-  computeFullAvailability(G);
-  computePartialAnticipability(G);
+  {
+    // Step 3: sparse data flow on the SSA graph.
+    PassTimer T(PipelineStep::DataFlow,
+                G.phis().size() + G.reals().size());
+    computeFullAvailability(G);
+    computePartialAnticipability(G);
+  }
+
+  std::optional<PassTimer> ReductionTimer(std::in_place,
+                                          PipelineStep::Reduction);
 
   // Step 4: the reduced SSA graph.
   for (PhiOcc &P : G.phis())
@@ -253,6 +262,10 @@ EfgStats specpre::computeSpeculativePlacement(Frg &G, const Profile &Prof,
   Stats.Empty = false;
   Stats.NumNodes = static_cast<unsigned>(Net.numNodes());
   Stats.NumEdges = NumEdges;
+
+  ReductionTimer->setProblemSize(Stats.NumNodes + Stats.NumEdges);
+  ReductionTimer.reset();
+  PassTimer MinCutTimer(PipelineStep::MinCut, Stats.NumNodes + NumEdges);
 
   // Step 7: minimum cut, picking later cuts on ties via reverse labeling.
   MinCutResult Cut = computeMinCut(Net, Source, Sink, Placement, Algo);

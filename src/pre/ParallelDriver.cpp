@@ -1,0 +1,280 @@
+//===- pre/ParallelDriver.cpp - Parallel PRE pipeline -------------------------===//
+
+#include "pre/ParallelDriver.h"
+
+#include "analysis/Cfg.h"
+#include "analysis/DomTree.h"
+#include "analysis/Loops.h"
+#include "ir/Verifier.h"
+#include "pre/CodeMotion.h"
+#include "pre/ExprKey.h"
+#include "pre/Finalize.h"
+#include "pre/Frg.h"
+#include "pre/LexicalDataFlow.h"
+#include "pre/SsaPre.h"
+#include "ssa/SsaConstruction.h"
+#include "support/Diagnostics.h"
+#include "support/ThreadPool.h"
+
+#include <cassert>
+
+using namespace specpre;
+
+namespace {
+
+bool isSsaStrategy(PreStrategy S) {
+  return S == PreStrategy::SsaPre || S == PreStrategy::SsaPreSpec ||
+         S == PreStrategy::McSsaPre;
+}
+
+/// The analysis half of one expression's PRE, computed against the
+/// pre-motion function, plus the structural fingerprint needed to check
+/// the commit-time FRG still matches.
+struct ExprPlacement {
+  bool HasReals = false;
+  /// Placement decisions, indexed like the FRG they were computed on.
+  std::vector<char> PhiWillBeAvail;
+  std::vector<char> OperandInsert; ///< flattened over phis' operands
+  /// Structural fingerprint of the analysis-time FRG.
+  std::vector<BlockId> PhiBlocks;
+  std::vector<unsigned> OperandCounts;
+  unsigned NumReals = 0;
+  /// Partially filled statistics (FRG/EFG sizes; the finalize counts are
+  /// added at commit time, like in the serial driver).
+  ExprStatsRecord Rec;
+};
+
+/// Runs the strategy's placement computation on \p G — the exact switch
+/// the serial driver runs (PreDriver.cpp runSsaStrategies).
+void computePlacementOnFrg(Frg &G, const PreOptions &Opts,
+                           const LexicalDataFlow &LDF, unsigned EI,
+                           const LoopInfo &LI, ExprStatsRecord &Rec) {
+  const ExprKey &E = G.expr();
+  switch (Opts.Strategy) {
+  case PreStrategy::SsaPre:
+    computeSafePlacement(G, LDF, EI, /*LoopSpeculation=*/false, nullptr);
+    break;
+  case PreStrategy::SsaPreSpec:
+    computeSafePlacement(G, LDF, EI, /*LoopSpeculation=*/!E.canFault(), &LI);
+    break;
+  case PreStrategy::McSsaPre: {
+    assert(Opts.Prof && "MC-SSAPRE requires a profile");
+    if (E.canFault()) {
+      computeSafePlacement(G, LDF, EI, false, nullptr);
+      break;
+    }
+    EfgStats ES = computeSpeculativePlacement(G, *Opts.Prof, Opts.Placement,
+                                              Opts.Algo, Opts.Objective);
+    Rec.EfgEmpty = ES.Empty;
+    Rec.EfgNodes = ES.NumNodes;
+    Rec.EfgEdges = ES.NumEdges;
+    Rec.CutWeight = ES.CutWeight;
+    break;
+  }
+  default:
+    SPECPRE_UNREACHABLE("non-SSA strategy in per-expression pipeline");
+  }
+}
+
+/// Captures \p G's placement decisions and structure into \p P.
+void capturePlacement(const Frg &G, ExprPlacement &P) {
+  P.NumReals = static_cast<unsigned>(G.reals().size());
+  P.PhiWillBeAvail.reserve(G.phis().size());
+  for (const PhiOcc &Phi : G.phis()) {
+    P.PhiBlocks.push_back(Phi.Block);
+    P.OperandCounts.push_back(static_cast<unsigned>(Phi.Operands.size()));
+    P.PhiWillBeAvail.push_back(Phi.WillBeAvail);
+    for (const PhiOperand &Op : Phi.Operands)
+      P.OperandInsert.push_back(Op.Insert);
+  }
+}
+
+/// Transfers the precomputed decisions onto a freshly rebuilt FRG.
+/// Returns false (leaving \p G untouched) if the rebuild is not
+/// structurally identical to the analysis-time FRG — the caller then
+/// recomputes the placement serially.
+bool transferPlacement(Frg &G, const ExprPlacement &P) {
+  if (G.reals().size() != P.NumReals ||
+      G.phis().size() != P.PhiBlocks.size())
+    return false;
+  for (unsigned I = 0; I != G.phis().size(); ++I)
+    if (G.phis()[I].Block != P.PhiBlocks[I] ||
+        G.phis()[I].Operands.size() != P.OperandCounts[I])
+      return false;
+  unsigned Flat = 0;
+  for (unsigned I = 0; I != G.phis().size(); ++I) {
+    PhiOcc &Phi = G.phis()[I];
+    Phi.WillBeAvail = P.PhiWillBeAvail[I];
+    for (PhiOperand &Op : Phi.Operands)
+      Op.Insert = P.OperandInsert[Flat++];
+  }
+  return true;
+}
+
+/// The parallel counterpart of runSsaStrategies: analyses fan out over
+/// \p Pool against the pre-motion function, transformations commit
+/// serially in candidate order. Output (IR mutations, stats records,
+/// fresh-variable numbering) is bit-identical to the serial driver.
+void runSsaStrategiesParallel(Function &F, const PreOptions &Opts,
+                              ThreadPool &Pool, PipelineMetrics *Metrics) {
+  assert(F.IsSSA && "SSA strategies require SSA form");
+  Cfg C(F);
+  DomTree DT = DomTree::buildDominators(C);
+  LoopInfo LI(C, DT);
+
+  std::vector<ExprKey> Exprs;
+  LexicalDataFlow LDF;
+  std::vector<ExprPlacement> Placements;
+  std::vector<PipelineMetrics> MetricShards;
+  {
+    MetricsScope Scope(Metrics);
+    Exprs = collectCandidateExprs(F);
+    LDF = solveLexicalDataFlow(F, C, Exprs);
+  }
+  Placements.resize(Exprs.size());
+  MetricShards.resize(Exprs.size());
+
+  // Analysis phase: every candidate's FRG build and placement (the
+  // min-cut hot path) runs concurrently against the shared, still
+  // unmutated F. All inputs (F, C, DT, LI, LDF, profile) are const.
+  Pool.parallelFor(Exprs.size(), [&](size_t EI) {
+    MetricsScope Scope(Metrics ? &MetricShards[EI] : nullptr);
+    ExprPlacement &P = Placements[EI];
+    Frg G(F, C, DT, Exprs[EI]);
+    if (G.reals().empty())
+      return;
+    P.HasReals = true;
+    P.Rec.Expr = Exprs[EI].toString(F);
+    P.Rec.FunctionName = F.Name;
+    P.Rec.ExprIndex = static_cast<unsigned>(EI);
+    P.Rec.FrgPhis = static_cast<unsigned>(G.phis().size());
+    P.Rec.FrgReals = static_cast<unsigned>(G.reals().size());
+    computePlacementOnFrg(G, Opts, LDF, static_cast<unsigned>(EI), LI,
+                          P.Rec);
+    capturePlacement(G, P);
+  });
+  if (Metrics)
+    for (const PipelineMetrics &Shard : MetricShards)
+      Metrics->merge(Shard);
+
+  // Commit phase: serial, in candidate order, exactly as the serial
+  // driver would transform. The FRG is rebuilt against the current F
+  // (earlier commits shifted statement indices); the placement is
+  // transferred, not recomputed.
+  MetricsScope Scope(Metrics);
+  for (unsigned EI = 0; EI != Exprs.size(); ++EI) {
+    ExprPlacement &P = Placements[EI];
+    if (!P.HasReals)
+      continue;
+    const ExprKey &E = Exprs[EI];
+    Frg G(F, C, DT, E);
+    if (!transferPlacement(G, P))
+      // Structure changed under code motion — cannot happen for distinct
+      // candidate keys (docs/PARALLELISM.md), but recomputing here keeps
+      // the commit correct and serial-identical even if it ever did.
+      computePlacementOnFrg(G, Opts, LDF, EI, LI, P.Rec);
+
+    ExprStatsRecord Rec = std::move(P.Rec);
+    FinalizePlan Plan = finalizePlacement(G);
+    for (const RealOcc &R : G.reals()) {
+      Rec.NumReloads += R.Reload;
+      Rec.NumSaves += R.Save;
+    }
+    for (const TempDef &D : Plan.TempDefs) {
+      if (!D.Live)
+        continue;
+      if (D.K == TempDef::Kind::Phi)
+        ++Rec.NumTempPhis;
+      if (D.K == TempDef::Kind::Insert)
+        ++Rec.NumInsertions;
+    }
+
+    if (Plan.hasAnyEffect()) {
+      VarId Temp = F.makeFreshVar("pre.tmp." + std::to_string(EI));
+      applyCodeMotion(F, G, Plan, Temp);
+      if (Opts.Verify) {
+        verifyFunctionOrDie(F, std::string("after parallel PRE of '") +
+                                   E.toString(F) + "' with " +
+                                   strategyName(Opts.Strategy));
+        std::vector<std::pair<ExprKey, VarId>> TempMap{{E, Temp}};
+        std::string Error;
+        if (!checkReloadsFullyAvailable(F, TempMap, Error))
+          reportFatalError("Definition-1 correctness violated by parallel " +
+                           std::string(strategyName(Opts.Strategy)) + ": " +
+                           Error);
+      }
+    }
+
+    if (Opts.Stats)
+      Opts.Stats->addRecord(std::move(Rec));
+  }
+}
+
+} // namespace
+
+ParallelPreDriver::ParallelPreDriver(const ParallelConfig &Config)
+    : Config(Config) {
+  unsigned Jobs =
+      Config.Jobs ? Config.Jobs : ThreadPool::hardwareWorkers();
+  this->Config.Jobs = Jobs;
+  if (Jobs > 1)
+    Pool = std::make_unique<ThreadPool>(Jobs);
+}
+
+ParallelPreDriver::~ParallelPreDriver() = default;
+
+unsigned ParallelPreDriver::jobs() const { return Config.Jobs; }
+
+Function ParallelPreDriver::compileFunction(const Function &Prepared,
+                                            const PreOptions &Opts,
+                                            PipelineMetrics *Metrics) {
+  assert(!Prepared.IsSSA && "compileFunction expects prepared non-SSA input");
+  Function F = Prepared;
+  if (isSsaStrategy(Opts.Strategy)) {
+    {
+      MetricsScope Scope(Metrics);
+      constructSsa(F);
+    }
+    if (Pool && Config.ParallelExpressions) {
+      runSsaStrategiesParallel(F, Opts, *Pool, Metrics);
+      return F;
+    }
+  }
+  MetricsScope Scope(Metrics);
+  runPre(F, Opts);
+  return F;
+}
+
+std::vector<Function>
+ParallelPreDriver::compileCorpus(const std::vector<CompileTask> &Tasks,
+                                 PreStats *MergedStats,
+                                 PipelineMetrics *Metrics) {
+  std::vector<Function> Results(Tasks.size());
+  std::vector<PreStats> StatShards(Tasks.size());
+  std::vector<PipelineMetrics> MetricShards(Tasks.size());
+
+  auto CompileOne = [&](size_t I) {
+    PreOptions PO = Tasks[I].Opts;
+    PO.Stats = MergedStats ? &StatShards[I] : nullptr;
+    Results[I] = compileFunction(*Tasks[I].Prepared, PO,
+                                 Metrics ? &MetricShards[I] : nullptr);
+    if (PO.Stats)
+      PO.Stats->stampFunctionIndex(static_cast<unsigned>(I));
+  };
+
+  if (Pool)
+    Pool->parallelFor(Tasks.size(), CompileOne);
+  else
+    for (size_t I = 0; I != Tasks.size(); ++I)
+      CompileOne(I);
+
+  // Deterministic reduction: shards merge in function order, and merge()
+  // itself orders records by (function, expression) key.
+  for (size_t I = 0; I != Tasks.size(); ++I) {
+    if (MergedStats)
+      MergedStats->merge(StatShards[I]);
+    if (Metrics)
+      Metrics->merge(MetricShards[I]);
+  }
+  return Results;
+}

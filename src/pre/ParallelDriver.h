@@ -1,0 +1,97 @@
+//===- pre/ParallelDriver.h - Parallel PRE pipeline ------------*- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallel compilation pipeline. Two levels of fan-out over a
+/// work-stealing pool (support/ThreadPool.h):
+///
+///  * corpus level — independent functions compile concurrently, each
+///    accumulating into a private PreStats shard; shards are stamped
+///    with the function index and merged in (function, expression)
+///    order, so the merged records equal the serial sequence exactly;
+///
+///  * expression level — within one function, the per-expression
+///    placement analyses (FRG build, data flow, reduction, min cut /
+///    DownSafety) run concurrently against the *pre-motion* function,
+///    and the transformations are then committed serially in candidate
+///    order. This is sound because distinct candidate expressions have
+///    independent FRGs: code motion for one key only introduces fresh
+///    temporaries, copies and phis of those temporaries, and never adds,
+///    removes or re-kills occurrences of another key (see
+///    docs/PARALLELISM.md for the argument). The commit phase re-derives
+///    each FRG against the current function (statement indices shift as
+///    earlier commits insert saves and reloads), checks it is
+///    structurally unchanged, and transfers the precomputed
+///    WillBeAvail/Insert decisions onto it; if the structure ever
+///    differed, it falls back to recomputing the placement serially —
+///    the exact serial pipeline — so the output is bit-identical to
+///    runPre in all cases.
+///
+/// The determinism guarantee — `--jobs=N` produces bit-identical IR and
+/// PreStats to `--jobs=1` — is asserted over the generated corpus by
+/// tests/parallel_driver_test.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_PRE_PARALLELDRIVER_H
+#define SPECPRE_PRE_PARALLELDRIVER_H
+
+#include "pre/PreDriver.h"
+#include "support/PassTimer.h"
+
+#include <memory>
+#include <vector>
+
+namespace specpre {
+
+class ThreadPool;
+
+struct ParallelConfig {
+  /// Total worker count (the calling thread included); 1 = serial,
+  /// 0 = one worker per hardware thread.
+  unsigned Jobs = 1;
+  /// Also fan out the per-expression placement analyses within each
+  /// function (MC-SSAPRE's min-cut work is the compile-time hot path).
+  bool ParallelExpressions = true;
+};
+
+/// One function's compilation request for compileCorpus.
+struct CompileTask {
+  const Function *Prepared = nullptr; ///< prepared, non-SSA (see prepareFunction)
+  PreOptions Opts; ///< Opts.Stats is ignored; stats are sharded internally.
+};
+
+class ParallelPreDriver {
+public:
+  explicit ParallelPreDriver(const ParallelConfig &Config);
+  ~ParallelPreDriver();
+
+  unsigned jobs() const;
+
+  /// Parallel equivalent of compileWithPre: per-expression fan-out for
+  /// the SSA strategies, serial otherwise. Stats go to Opts.Stats as in
+  /// the serial driver. \p Metrics, when set, receives the pipeline
+  /// step timings of this compile.
+  Function compileFunction(const Function &Prepared, const PreOptions &Opts,
+                           PipelineMetrics *Metrics = nullptr);
+
+  /// Compiles a whole corpus, fanning functions (and expressions within
+  /// them) across the pool. Results are positionally aligned with
+  /// \p Tasks. \p MergedStats, when set, receives every function's
+  /// records merged in (function, expression) order — bit-identical to
+  /// a serial loop over compileWithPre.
+  std::vector<Function> compileCorpus(const std::vector<CompileTask> &Tasks,
+                                      PreStats *MergedStats,
+                                      PipelineMetrics *Metrics = nullptr);
+
+private:
+  ParallelConfig Config;
+  std::unique_ptr<ThreadPool> Pool;
+};
+
+} // namespace specpre
+
+#endif // SPECPRE_PRE_PARALLELDRIVER_H

@@ -72,6 +72,7 @@ void runSsaStrategies(Function &F, const PreOptions &Opts) {
     ExprStatsRecord Rec;
     Rec.Expr = E.toString(F);
     Rec.FunctionName = F.Name;
+    Rec.ExprIndex = EI;
     Rec.FrgPhis = static_cast<unsigned>(G.phis().size());
     Rec.FrgReals = static_cast<unsigned>(G.reals().size());
 

@@ -44,6 +44,17 @@ unsigned PreStats::largestEfg() const {
   return Largest;
 }
 
+void PreStats::stampFunctionIndex(unsigned FuncIndex) {
+  for (ExprStatsRecord &R : Records)
+    R.FuncIndex = FuncIndex;
+}
+
 void PreStats::merge(const PreStats &Other) {
   Records.insert(Records.end(), Other.Records.begin(), Other.Records.end());
+  std::stable_sort(Records.begin(), Records.end(),
+                   [](const ExprStatsRecord &A, const ExprStatsRecord &B) {
+                     if (A.FuncIndex != B.FuncIndex)
+                       return A.FuncIndex < B.FuncIndex;
+                     return A.ExprIndex < B.ExprIndex;
+                   });
 }

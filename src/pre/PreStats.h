@@ -25,6 +25,12 @@ namespace specpre {
 struct ExprStatsRecord {
   std::string Expr;
   std::string FunctionName;
+  /// Position of the record in the serial compilation order: the
+  /// function's index in its corpus and the expression's index in the
+  /// function's candidate list. merge() orders by this key, which is
+  /// what makes per-worker shard accumulation deterministic.
+  unsigned FuncIndex = 0;
+  unsigned ExprIndex = 0;
   unsigned FrgPhis = 0;
   unsigned FrgReals = 0;
   bool EfgEmpty = true;
@@ -39,6 +45,8 @@ struct ExprStatsRecord {
   /// expression (0 unless the ablation fills it in).
   unsigned McPreNodes = 0;
   unsigned McPreEdges = 0;
+
+  bool operator==(const ExprStatsRecord &) const = default;
 };
 
 /// Aggregate statistics over many functions/expressions.
@@ -59,6 +67,16 @@ public:
 
   unsigned largestEfg() const;
 
+  /// Stamps FuncIndex on every record. Corpus drivers (serial or
+  /// parallel) call this on a per-function shard before merging, so the
+  /// merged order is independent of which worker produced which shard.
+  void stampFunctionIndex(unsigned FuncIndex);
+
+  /// Appends \p Other's records and re-establishes the deterministic
+  /// order: stable sort by (FuncIndex, ExprIndex). Shards produced by
+  /// parallel workers therefore merge to the exact record sequence the
+  /// serial pipeline emits, regardless of merge order. Records with
+  /// all-default keys keep their insertion order (the sort is stable).
   void merge(const PreStats &Other);
 
 private:

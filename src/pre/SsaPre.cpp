@@ -3,6 +3,7 @@
 #include "pre/SsaPre.h"
 
 #include "support/Diagnostics.h"
+#include "support/PassTimer.h"
 
 #include <cassert>
 #include <vector>
@@ -97,6 +98,8 @@ void markLoopSpeculation(Frg &G, const LoopInfo &LI) {
 void specpre::computeSafePlacement(Frg &G, const LexicalDataFlow &LDF,
                                    unsigned ExprIdx, bool LoopSpeculation,
                                    const LoopInfo *LI) {
+  PassTimer Timer(PipelineStep::SafePlacement,
+                  G.phis().size() + G.reals().size());
   // DownSafety: a Φ is down-safe iff the expression is fully anticipated
   // at its block entry (variable phis are transparent, so the lexical
   // ANTIN is exactly anticipation at the Φ).

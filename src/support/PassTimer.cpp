@@ -1,0 +1,87 @@
+//===- support/PassTimer.cpp - Pipeline step timing and metrics ---------------===//
+
+#include "support/PassTimer.h"
+
+#include "support/Diagnostics.h"
+
+#include <cstdio>
+
+using namespace specpre;
+
+const char *specpre::pipelineStepName(PipelineStep S) {
+  switch (S) {
+  case PipelineStep::PhiInsertion:
+    return "phi-insertion";
+  case PipelineStep::Rename:
+    return "rename";
+  case PipelineStep::DataFlow:
+    return "data-flow";
+  case PipelineStep::Reduction:
+    return "reduction";
+  case PipelineStep::MinCut:
+    return "min-cut";
+  case PipelineStep::SafePlacement:
+    return "safe-placement";
+  case PipelineStep::Finalize:
+    return "finalize";
+  case PipelineStep::CodeMotion:
+    return "code-motion";
+  case PipelineStep::Count:
+    break;
+  }
+  SPECPRE_UNREACHABLE("bad pipeline step");
+}
+
+void PipelineMetrics::note(PipelineStep S, uint64_t Nanos,
+                           uint64_t ProblemSize) {
+  StepMetrics &M = Steps[static_cast<unsigned>(S)];
+  ++M.Invocations;
+  M.Nanos += Nanos;
+  M.ProblemSize += ProblemSize;
+}
+
+uint64_t PipelineMetrics::totalNanos() const {
+  uint64_t Total = 0;
+  for (const StepMetrics &M : Steps)
+    Total += M.Nanos;
+  return Total;
+}
+
+void PipelineMetrics::merge(const PipelineMetrics &Other) {
+  for (unsigned I = 0; I != NumPipelineSteps; ++I) {
+    Steps[I].Invocations += Other.Steps[I].Invocations;
+    Steps[I].Nanos += Other.Steps[I].Nanos;
+    Steps[I].ProblemSize += Other.Steps[I].ProblemSize;
+  }
+}
+
+std::string PipelineMetrics::toJson() const {
+  std::string Out = "[";
+  for (unsigned I = 0; I != NumPipelineSteps; ++I) {
+    const StepMetrics &M = Steps[I];
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf),
+                  "%s\n  {\"step\": \"%s\", \"invocations\": %llu, "
+                  "\"millis\": %.6f, \"problem_size\": %llu}",
+                  I ? "," : "",
+                  pipelineStepName(static_cast<PipelineStep>(I)),
+                  static_cast<unsigned long long>(M.Invocations),
+                  static_cast<double>(M.Nanos) / 1e6,
+                  static_cast<unsigned long long>(M.ProblemSize));
+    Out += Buf;
+  }
+  Out += "\n]";
+  return Out;
+}
+
+namespace {
+thread_local PipelineMetrics *CurrentSink = nullptr;
+} // namespace
+
+PipelineMetrics *specpre::currentMetricsSink() { return CurrentSink; }
+
+MetricsScope::MetricsScope(PipelineMetrics *M) : Prev(CurrentSink) {
+  CurrentSink = M;
+}
+
+MetricsScope::~MetricsScope() { CurrentSink = Prev; }

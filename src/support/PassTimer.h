@@ -1,0 +1,142 @@
+//===- support/PassTimer.h - Pipeline step timing and metrics --*- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The observability layer of the PRE pipeline: wall time and problem
+/// sizes per algorithmic step (Φ-insertion, rename, the sparse data
+/// flow, graph reduction, the min cut, safe placement, finalize, code
+/// motion), accumulated into a PipelineMetrics and exportable as JSON
+/// (`specpre-opt --metrics-out=`).
+///
+/// Collection is pull-free: each step's implementation constructs a
+/// PassTimer, which records into the thread-local sink installed by the
+/// innermost MetricsScope. With no scope installed the timer is a no-op
+/// (not even a clock read), so the instrumented hot paths cost nothing
+/// in normal runs. Worker threads each install a scope over a private
+/// shard; shards are merged deterministically in task order (durations
+/// themselves are wall-clock measurements and naturally vary run to
+/// run — only the *structure* of the report is deterministic).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_SUPPORT_PASSTIMER_H
+#define SPECPRE_SUPPORT_PASSTIMER_H
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace specpre {
+
+/// The instrumented steps of the PRE pipeline, in pipeline order.
+enum class PipelineStep : unsigned {
+  PhiInsertion,  ///< FRG step 1: Φ placement + real-occurrence collection.
+  Rename,        ///< FRG step 2: redundancy classes.
+  DataFlow,      ///< MC-SSAPRE step 3: full availability / partial antic.
+  Reduction,     ///< MC-SSAPRE steps 4-6: reduced graph and EFG build.
+  MinCut,        ///< MC-SSAPRE step 7: max-flow/min-cut + cut application.
+  SafePlacement, ///< SSAPRE legs A/B: DownSafety/WillBeAvail.
+  Finalize,      ///< Step 9: reload/save decisions, temp phis.
+  CodeMotion,    ///< Step 10: applying the edit plan to the IR.
+  Count
+};
+
+constexpr unsigned NumPipelineSteps =
+    static_cast<unsigned>(PipelineStep::Count);
+
+/// Stable machine-readable step name ("phi-insertion", "min-cut", ...).
+const char *pipelineStepName(PipelineStep S);
+
+/// Accumulated measurements of one step.
+struct StepMetrics {
+  uint64_t Invocations = 0;
+  uint64_t Nanos = 0;       ///< Total wall time across invocations.
+  uint64_t ProblemSize = 0; ///< Sum of per-invocation problem sizes.
+};
+
+/// Per-step metrics for one pipeline run (or one worker's shard of it).
+class PipelineMetrics {
+public:
+  void note(PipelineStep S, uint64_t Nanos, uint64_t ProblemSize);
+
+  const StepMetrics &step(PipelineStep S) const {
+    return Steps[static_cast<unsigned>(S)];
+  }
+
+  uint64_t totalNanos() const;
+
+  /// Sums \p Other into this shard (commutative and associative, so any
+  /// merge order yields the same totals).
+  void merge(const PipelineMetrics &Other);
+
+  /// JSON array with exactly one object per pipeline step, in pipeline
+  /// order: [{"step": "phi-insertion", "invocations": N,
+  /// "millis": T, "problem_size": P}, ...].
+  std::string toJson() const;
+
+private:
+  std::array<StepMetrics, NumPipelineSteps> Steps;
+};
+
+/// Installs a thread-local metrics sink for the current scope; nesting
+/// restores the previous sink on destruction. Pass nullptr to suspend
+/// collection within the scope.
+class MetricsScope {
+public:
+  explicit MetricsScope(PipelineMetrics *M);
+  ~MetricsScope();
+
+  MetricsScope(const MetricsScope &) = delete;
+  MetricsScope &operator=(const MetricsScope &) = delete;
+
+private:
+  PipelineMetrics *Prev;
+};
+
+/// The sink installed by the innermost MetricsScope on this thread, or
+/// null when collection is off.
+PipelineMetrics *currentMetricsSink();
+
+/// RAII wall-clock timer for one step invocation. No-op (no clock read)
+/// when no sink is installed on the constructing thread.
+class PassTimer {
+public:
+  explicit PassTimer(PipelineStep S, uint64_t ProblemSize = 0)
+      : S(S), Size(ProblemSize), Sink(currentMetricsSink()) {
+    if (Sink)
+      Start = std::chrono::steady_clock::now();
+  }
+
+  ~PassTimer() {
+    if (!Sink)
+      return;
+    auto End = std::chrono::steady_clock::now();
+    Sink->note(S,
+               static_cast<uint64_t>(
+                   std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       End - Start)
+                       .count()),
+               Size);
+  }
+
+  PassTimer(const PassTimer &) = delete;
+  PassTimer &operator=(const PassTimer &) = delete;
+
+  /// For steps whose problem size is only known mid-flight (e.g. the
+  /// EFG is sized while it is built).
+  void setProblemSize(uint64_t ProblemSize) { Size = ProblemSize; }
+
+private:
+  PipelineStep S;
+  uint64_t Size;
+  PipelineMetrics *Sink;
+  std::chrono::steady_clock::time_point Start;
+};
+
+} // namespace specpre
+
+#endif // SPECPRE_SUPPORT_PASSTIMER_H

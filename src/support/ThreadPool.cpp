@@ -1,0 +1,148 @@
+//===- support/ThreadPool.cpp - Work-stealing thread pool ---------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+
+using namespace specpre;
+
+unsigned ThreadPool::hardwareWorkers() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N ? N : 1;
+}
+
+ThreadPool::ThreadPool(unsigned Workers)
+    : NumWorkers(std::max(1u, Workers)) {
+  Threads.reserve(NumWorkers - 1);
+  for (unsigned I = 1; I < NumWorkers; ++I)
+    Threads.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> L(QueueM);
+    Stopping = true;
+    ++QueueVersion;
+  }
+  QueueCv.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+bool ThreadPool::participate(Job &J) {
+  size_t Ran = 0;
+  const size_t S = J.Strips.size();
+  // Local range claimed from some strip; processed lock-free since it
+  // has been removed from the strip.
+  size_t Begin = 0, End = 0;
+  for (;;) {
+    if (Begin == End) {
+      // Claim work: prefer the front of the first non-empty strip
+      // (owner-style pop of one index), stealing the back half when the
+      // strip holds more than one.
+      bool Found = false;
+      for (size_t SI = 0; SI != S && !Found; ++SI) {
+        Job::Strip &St = *J.Strips[SI];
+        std::lock_guard<std::mutex> L(St.M);
+        size_t Left = St.End - St.Begin;
+        if (Left == 0)
+          continue;
+        if (Left == 1) {
+          Begin = St.Begin;
+          End = St.End;
+          St.Begin = St.End;
+        } else {
+          // Steal the back half; the owner keeps draining the front.
+          size_t Mid = St.Begin + (Left + 1) / 2;
+          Begin = Mid;
+          End = St.End;
+          St.End = Mid;
+        }
+        Found = true;
+      }
+      if (!Found)
+        break;
+    }
+    (*J.Body)(Begin++);
+    ++Ran;
+  }
+  if (Ran) {
+    bool Complete;
+    {
+      std::lock_guard<std::mutex> L(J.DoneM);
+      J.ItemsDone += Ran;
+      Complete = J.ItemsDone == J.N;
+    }
+    if (Complete)
+      J.DoneCv.notify_all();
+  }
+  return Ran != 0;
+}
+
+void ThreadPool::workerLoop() {
+  uint64_t SeenVersion = 0;
+  for (;;) {
+    std::vector<std::shared_ptr<Job>> Jobs;
+    {
+      std::unique_lock<std::mutex> L(QueueM);
+      QueueCv.wait(L, [&] {
+        return Stopping || QueueVersion != SeenVersion;
+      });
+      if (Stopping)
+        return;
+      SeenVersion = QueueVersion;
+      Jobs = ActiveJobs;
+    }
+    // Help every active job until none of them has claimable work, then
+    // go back to sleep until the queue changes.
+    bool Progress = true;
+    while (Progress) {
+      Progress = false;
+      for (const std::shared_ptr<Job> &J : Jobs)
+        Progress |= participate(*J);
+    }
+  }
+}
+
+void ThreadPool::parallelFor(size_t N,
+                             const std::function<void(size_t)> &Body) {
+  if (N == 0)
+    return;
+  if (NumWorkers <= 1 || N == 1) {
+    for (size_t I = 0; I != N; ++I)
+      Body(I);
+    return;
+  }
+
+  auto J = std::make_shared<Job>();
+  J->Body = &Body;
+  J->N = N;
+  size_t NumStrips = std::min<size_t>(NumWorkers, N);
+  J->Strips.reserve(NumStrips);
+  for (size_t SI = 0; SI != NumStrips; ++SI) {
+    auto St = std::make_unique<Job::Strip>();
+    St->Begin = SI * N / NumStrips;
+    St->End = (SI + 1) * N / NumStrips;
+    J->Strips.push_back(std::move(St));
+  }
+
+  {
+    std::lock_guard<std::mutex> L(QueueM);
+    ActiveJobs.push_back(J);
+    ++QueueVersion;
+  }
+  QueueCv.notify_all();
+
+  participate(*J);
+  {
+    std::unique_lock<std::mutex> L(J->DoneM);
+    J->DoneCv.wait(L, [&] { return J->ItemsDone == J->N; });
+  }
+
+  {
+    std::lock_guard<std::mutex> L(QueueM);
+    ActiveJobs.erase(std::find(ActiveJobs.begin(), ActiveJobs.end(), J));
+    ++QueueVersion;
+  }
+  QueueCv.notify_all();
+}

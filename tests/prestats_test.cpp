@@ -1,0 +1,168 @@
+//===- tests/prestats_test.cpp - PreStats merge & histogram unit tests ---------===//
+//
+// The sharded-statistics contract the parallel driver relies on: merge()
+// restores the serial (FuncIndex, ExprIndex) record order no matter how
+// records were split across shards or in which order shards merge, and
+// the histogram/cumulative-percent queries are shard-split-invariant.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pre/PreStats.h"
+
+#include <gtest/gtest.h>
+
+using namespace specpre;
+
+namespace {
+
+ExprStatsRecord rec(unsigned Func, unsigned Expr, unsigned EfgNodes = 0) {
+  ExprStatsRecord R;
+  R.Expr = "e" + std::to_string(Func) + "." + std::to_string(Expr);
+  R.FunctionName = "f" + std::to_string(Func);
+  R.FuncIndex = Func;
+  R.ExprIndex = Expr;
+  R.EfgEmpty = EfgNodes == 0;
+  R.EfgNodes = EfgNodes;
+  return R;
+}
+
+std::vector<std::pair<unsigned, unsigned>> keys(const PreStats &S) {
+  std::vector<std::pair<unsigned, unsigned>> K;
+  for (const ExprStatsRecord &R : S.records())
+    K.push_back({R.FuncIndex, R.ExprIndex});
+  return K;
+}
+
+} // namespace
+
+TEST(PreStats, MergeOrdersByFunctionThenExpression) {
+  // Shards arrive out of order, as parallel workers finish them.
+  PreStats ShardB;
+  ShardB.addRecord(rec(1, 0));
+  ShardB.addRecord(rec(1, 2));
+  PreStats ShardA;
+  ShardA.addRecord(rec(0, 1));
+  ShardA.addRecord(rec(0, 0));
+  PreStats ShardC;
+  ShardC.addRecord(rec(1, 1));
+
+  PreStats Merged;
+  Merged.merge(ShardB);
+  Merged.merge(ShardA);
+  Merged.merge(ShardC);
+
+  std::vector<std::pair<unsigned, unsigned>> Expected = {
+      {0, 0}, {0, 1}, {1, 0}, {1, 1}, {1, 2}};
+  EXPECT_EQ(keys(Merged), Expected);
+}
+
+TEST(PreStats, MergeOrderIndependentOfShardOrder) {
+  std::vector<ExprStatsRecord> All;
+  for (unsigned F = 0; F != 4; ++F)
+    for (unsigned E = 0; E != 3; ++E)
+      All.push_back(rec(F, E, (F * 3 + E) % 5));
+
+  // Split the same records into shards two different ways and merge the
+  // shards in different orders; the result must be identical.
+  PreStats A;
+  for (unsigned I = 0; I != All.size(); ++I) {
+    PreStats Shard;
+    Shard.addRecord(All[(All.size() - 1) - I]); // reverse, one per shard
+    A.merge(Shard);
+  }
+  PreStats B;
+  PreStats Odd, Even;
+  for (unsigned I = 0; I != All.size(); ++I)
+    (I % 2 ? Odd : Even).addRecord(All[I]);
+  B.merge(Odd);
+  B.merge(Even);
+
+  ASSERT_EQ(A.records().size(), B.records().size());
+  for (unsigned I = 0; I != A.records().size(); ++I)
+    EXPECT_TRUE(A.records()[I] == B.records()[I]) << "record " << I;
+}
+
+TEST(PreStats, MergeIsStableForEqualKeys) {
+  // Legacy accumulation (no corpus driver) leaves every key at the
+  // default (0, 0); merge must then preserve insertion order, which is
+  // what the pre-existing single-function callers rely on.
+  PreStats S;
+  ExprStatsRecord R1 = rec(0, 0);
+  R1.Expr = "first";
+  ExprStatsRecord R2 = rec(0, 0);
+  R2.Expr = "second";
+  S.addRecord(R1);
+  S.addRecord(R2);
+  PreStats Other;
+  ExprStatsRecord R3 = rec(0, 0);
+  R3.Expr = "third";
+  Other.addRecord(R3);
+  S.merge(Other);
+
+  ASSERT_EQ(S.records().size(), 3u);
+  EXPECT_EQ(S.records()[0].Expr, "first");
+  EXPECT_EQ(S.records()[1].Expr, "second");
+  EXPECT_EQ(S.records()[2].Expr, "third");
+}
+
+TEST(PreStats, MergeEmptyShards) {
+  PreStats S;
+  PreStats Empty;
+  S.merge(Empty); // empty into empty
+  EXPECT_TRUE(S.records().empty());
+
+  S.addRecord(rec(0, 0));
+  S.merge(Empty); // empty into non-empty
+  EXPECT_EQ(S.records().size(), 1u);
+
+  PreStats Fresh;
+  Fresh.merge(S); // non-empty into empty
+  EXPECT_EQ(Fresh.records().size(), 1u);
+  EXPECT_TRUE(Fresh.records()[0] == S.records()[0]);
+}
+
+TEST(PreStats, StampFunctionIndexRewritesAllRecords) {
+  PreStats Shard;
+  Shard.addRecord(rec(0, 0));
+  Shard.addRecord(rec(0, 5));
+  Shard.stampFunctionIndex(7);
+  for (const ExprStatsRecord &R : Shard.records())
+    EXPECT_EQ(R.FuncIndex, 7u);
+  // Expression order within the function is untouched.
+  EXPECT_EQ(Shard.records()[0].ExprIndex, 0u);
+  EXPECT_EQ(Shard.records()[1].ExprIndex, 5u);
+}
+
+TEST(PreStats, HistogramInvariantUnderSharding) {
+  // EFG sizes 3, 3, 5, 9 plus two empty EFGs, split across shards.
+  PreStats ShardA, ShardB;
+  ShardA.addRecord(rec(0, 0, 3));
+  ShardA.addRecord(rec(0, 1, 9));
+  ShardA.addRecord(rec(0, 2, 0));
+  ShardB.addRecord(rec(1, 0, 3));
+  ShardB.addRecord(rec(1, 1, 5));
+  ShardB.addRecord(rec(1, 2, 0));
+
+  PreStats Merged;
+  Merged.merge(ShardB);
+  Merged.merge(ShardA);
+
+  EXPECT_EQ(Merged.numNonEmptyEfgs(), 4u);
+  std::map<unsigned, unsigned> Expected = {{3, 2}, {5, 1}, {9, 1}};
+  EXPECT_EQ(Merged.efgSizeHistogram(), Expected);
+  EXPECT_EQ(Merged.largestEfg(), 9u);
+
+  EXPECT_DOUBLE_EQ(Merged.cumulativePercentAtOrBelow(2), 0.0);
+  EXPECT_DOUBLE_EQ(Merged.cumulativePercentAtOrBelow(3), 50.0);
+  EXPECT_DOUBLE_EQ(Merged.cumulativePercentAtOrBelow(5), 75.0);
+  EXPECT_DOUBLE_EQ(Merged.cumulativePercentAtOrBelow(9), 100.0);
+}
+
+TEST(PreStats, CumulativePercentOnEmptyStats) {
+  PreStats S;
+  EXPECT_DOUBLE_EQ(S.cumulativePercentAtOrBelow(0), 100.0);
+  S.addRecord(rec(0, 0, 0)); // only empty EFGs
+  EXPECT_DOUBLE_EQ(S.cumulativePercentAtOrBelow(0), 100.0);
+  EXPECT_EQ(S.numNonEmptyEfgs(), 0u);
+  EXPECT_EQ(S.largestEfg(), 0u);
+}

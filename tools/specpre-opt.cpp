@@ -18,6 +18,9 @@
 //     --stats               dump per-expression PRE statistics
 //     --no-emit             do not print the optimized IR
 //     --function=<name>     restrict to one function
+//     --jobs=N              parallel PRE pipeline (N workers; output is
+//                           bit-identical to --jobs=1); 0 = all cores
+//     --metrics-out=<path>  write per-step pipeline timing as JSON
 //
 // Input syntax: see ir/Parser.h (examples/programs/*.spre).
 //
@@ -31,6 +34,7 @@
 #include "opt/Cleanup.h"
 #include "opt/ValueNumbering.h"
 #include "pre/DotExport.h"
+#include "pre/ParallelDriver.h"
 #include "pre/PreDriver.h"
 #include "ssa/SsaConstruction.h"
 #include "ssa/SsaDestruction.h"
@@ -62,8 +66,10 @@ struct ToolOptions {
   std::string DotFrgPath;    ///< write annotated FRGs as DOT
   std::string ProfileOutPath; ///< persist the training profile
   std::string ProfileInPath;  ///< reuse a persisted profile, skip training
+  std::string MetricsOutPath; ///< write pipeline step timings as JSON
   std::string OnlyFunction;
   std::string InputPath;
+  unsigned Jobs = 1; ///< PRE pipeline workers; 0 = hardware concurrency
 };
 
 std::optional<std::vector<int64_t>> parseIntList(const std::string &S) {
@@ -86,6 +92,7 @@ int usage(const char *Argv0) {
                "          [--placement=latest|earliest] [--cleanup] "
                "[--stats]\n"
                "          [--objective=speed|size|speed-then-size] [--no-emit]\n"
+               "          [--jobs=N] [--metrics-out=PATH]\n"
                "          [--dot-cfg=PATH] [--dot-frg=PATH] [--function=NAME] <file>\n",
                Argv0);
   return 2;
@@ -157,6 +164,15 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Opts) {
       Opts.ProfileOutPath = *V;
     } else if (auto V = Value("--profile-in=")) {
       Opts.ProfileInPath = *V;
+    } else if (auto V = Value("--metrics-out=")) {
+      Opts.MetricsOutPath = *V;
+    } else if (auto V = Value("--jobs=")) {
+      try {
+        Opts.Jobs = static_cast<unsigned>(std::stoul(*V));
+      } catch (...) {
+        std::fprintf(stderr, "error: bad --jobs value '%s'\n", V->c_str());
+        return false;
+      }
     } else if (A == "--cleanup") {
       Opts.Cleanup = true;
     } else if (A == "--gvn") {
@@ -191,7 +207,8 @@ void reportRun(const char *Label, const ExecResult &R) {
               R.TimedOut ? " [TIMED OUT]" : "");
 }
 
-int processFunction(Function &F, const ToolOptions &Opts) {
+int processFunction(Function &F, const ToolOptions &Opts,
+                    ParallelPreDriver &Driver, PipelineMetrics *Metrics) {
   prepareFunction(F);
 
   bool NeedsProfile = Opts.Strategy == PreStrategy::McSsaPre ||
@@ -274,7 +291,7 @@ int processFunction(Function &F, const ToolOptions &Opts) {
   PreStats Stats;
   PO.Stats = &Stats;
 
-  Function Optimized = compileWithPre(F, PO);
+  Function Optimized = Driver.compileFunction(F, PO, Metrics);
   if (Opts.Gvn && Optimized.IsSSA)
     runValueNumbering(Optimized);
   if (Opts.Cleanup && Optimized.IsSSA)
@@ -336,17 +353,37 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
+  ParallelConfig PC;
+  PC.Jobs = Opts.Jobs;
+  ParallelPreDriver Driver(PC);
+  PipelineMetrics Metrics;
+  bool WantMetrics = !Opts.MetricsOutPath.empty();
+
   bool FoundAny = false;
   for (Function &F : M->Functions) {
     if (!Opts.OnlyFunction.empty() && F.Name != Opts.OnlyFunction)
       continue;
     FoundAny = true;
-    if (int Rc = processFunction(F, Opts))
+    if (int Rc = processFunction(F, Opts, Driver,
+                                 WantMetrics ? &Metrics : nullptr))
       return Rc;
   }
   if (!FoundAny) {
     std::fprintf(stderr, "error: no function matched\n");
     return 1;
+  }
+
+  if (WantMetrics) {
+    std::ofstream Out(Opts.MetricsOutPath);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   Opts.MetricsOutPath.c_str());
+      return 1;
+    }
+    char Header[64];
+    std::snprintf(Header, sizeof(Header), "{\"jobs\": %u,\n\"steps\": ",
+                  Driver.jobs());
+    Out << Header << Metrics.toJson() << "}\n";
   }
   return 0;
 }
