@@ -22,4 +22,14 @@ for CONFIG in Release Asan Tsan; do
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
 done
 
+# Bounded differential-fuzzing smoke on the Release build: replays every
+# reduced reproducer in tests/corpus/ (also covered by corpus_test) and
+# runs a fixed-seed batch of fresh cases through the oracle stack. See
+# docs/TESTING.md for the unbounded overnight invocation.
+echo "==== fuzz smoke (fixed seeds) ===="
+for f in tests/corpus/*.ir; do
+  ./build-release/tools/specpre-fuzz --replay="$f"
+done
+./build-release/tools/specpre-fuzz --cases=150 --networks=500 --seed=1
+
 echo "==== all configurations passed ===="

@@ -5,9 +5,26 @@
 #include "support/Diagnostics.h"
 
 #include <map>
+#include <sstream>
 #include <utility>
 
 using namespace specpre;
+
+std::string ExecResult::describe() const {
+  std::ostringstream OS;
+  if (Trapped)
+    OS << "trapped";
+  else if (TimedOut)
+    OS << "timed out";
+  else
+    OS << "ret " << ReturnValue;
+  OS << ", prints [";
+  for (size_t I = 0; I != Output.size(); ++I)
+    OS << (I ? " " : "") << Output[I];
+  OS << "], " << DynamicComputations << " dynamic computations, " << Cycles
+     << " cycles";
+  return OS.str();
+}
 
 bool ExecResult::sameObservableBehavior(const ExecResult &O) const {
   if (Trapped != O.Trapped || TimedOut != O.TimedOut)

@@ -24,6 +24,7 @@
 #include "profile/Profile.h"
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace specpre {
@@ -42,6 +43,10 @@ struct ExecResult {
   /// True if two runs are observationally equivalent: same trap/timeout
   /// status, same prints, and same return value (when not trapped).
   bool sameObservableBehavior(const ExecResult &O) const;
+
+  /// One-line human-readable summary (return value, prints, dynamic
+  /// computation count, trap/timeout) for differential-test diagnostics.
+  std::string describe() const;
 };
 
 /// Options for one interpreter run.

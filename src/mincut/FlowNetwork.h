@@ -25,6 +25,33 @@ namespace specpre {
 /// that summing a few infinities cannot overflow int64.
 constexpr int64_t InfiniteCapacity = int64_t(1) << 60;
 
+/// Largest capacity a finite (cuttable) edge may carry. Finite edge
+/// weights are saturated here so that no profile frequency — however
+/// large or however scaled by a cut objective — can alias the infinite
+/// (uncuttable) edges above. The cap sits 2^20 below InfiniteCapacity
+/// because a minimum cut compares *sums* of finite capacities against
+/// single infinite edges: as long as a network has fewer than 2^20
+/// finite edges, every all-finite cut stays strictly cheaper than any
+/// cut crossing an infinite edge. (Real profile frequencies are far
+/// smaller — the interpreter's step budget alone caps them near 2^26 —
+/// so saturation only ever engages on synthetic stress profiles.)
+constexpr int64_t MaxFiniteCapacity = (int64_t(1) << 40) - 1;
+
+/// Weight of a finite flow edge under a blended objective:
+/// `Freq * SpeedWeight + SizeWeight`, computed without overflow and
+/// saturated at MaxFiniteCapacity. Every weight derived from a profile
+/// frequency must go through this so finite edges stay strictly below
+/// InfiniteCapacity.
+inline int64_t saturatedEdgeWeight(uint64_t Freq, uint64_t SpeedWeight,
+                                   uint64_t SizeWeight) {
+  const uint64_t Cap = static_cast<uint64_t>(MaxFiniteCapacity);
+  if (SizeWeight >= Cap)
+    return MaxFiniteCapacity;
+  if (SpeedWeight != 0 && Freq > (Cap - SizeWeight) / SpeedWeight)
+    return MaxFiniteCapacity;
+  return static_cast<int64_t>(Freq * SpeedWeight + SizeWeight);
+}
+
 /// Adjacency-list flow network with implicit residual (reverse) edges.
 class FlowNetwork {
 public:

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cassert>
 #include <deque>
+#include <string>
 
 using namespace specpre;
 
@@ -93,6 +94,64 @@ MinCutResult specpre::computeMinCut(FlowNetwork &Net, int Source, int Sink,
   assert(R.Capacity == Flow && "max-flow/min-cut duality violated");
   (void)Flow;
   return R;
+}
+
+bool specpre::verifyMinCut(const FlowNetwork &Net, int Source, int Sink,
+                           const MinCutResult &Cut, std::string &Error) {
+  int N = Net.numNodes();
+  if (static_cast<int>(Cut.SourceSide.size()) != N) {
+    Error = "partition size " + std::to_string(Cut.SourceSide.size()) +
+            " does not match node count " + std::to_string(N);
+    return false;
+  }
+  if (!Cut.SourceSide[Source]) {
+    Error = "source is not on the source side";
+    return false;
+  }
+  if (Cut.SourceSide[Sink]) {
+    Error = "sink is on the source side";
+    return false;
+  }
+  std::vector<bool> Claimed(Net.numOriginalEdges(), false);
+  for (int E : Cut.CutEdgeIds) {
+    if (E < 0 || E >= Net.numOriginalEdges()) {
+      Error = "cut edge id " + std::to_string(E) + " out of range";
+      return false;
+    }
+    if (Claimed[E]) {
+      Error = "cut edge id " + std::to_string(E) + " listed twice";
+      return false;
+    }
+    Claimed[E] = true;
+  }
+  int64_t Cap = 0;
+  for (int E = 0; E != Net.numOriginalEdges(); ++E) {
+    bool Crosses =
+        Cut.SourceSide[Net.edgeFrom(E)] && !Cut.SourceSide[Net.edgeTo(E)];
+    if (Crosses != Claimed[E]) {
+      Error = "edge " + std::to_string(E) + " (" +
+              std::to_string(Net.edgeFrom(E)) + "->" +
+              std::to_string(Net.edgeTo(E)) + ") " +
+              (Crosses ? "crosses the cut but is not listed"
+                       : "is listed but does not cross the cut");
+      return false;
+    }
+    if (!Crosses)
+      continue;
+    int64_t EdgeCap = Net.edgeCapacity(E);
+    if (EdgeCap >= InfiniteCapacity) {
+      Error = "infinite-capacity edge " + std::to_string(E) +
+              " crosses the cut";
+      return false;
+    }
+    Cap += EdgeCap;
+  }
+  if (Cap != Cut.Capacity) {
+    Error = "stated capacity " + std::to_string(Cut.Capacity) +
+            " != sum of crossing capacities " + std::to_string(Cap);
+    return false;
+  }
+  return true;
 }
 
 int64_t specpre::bruteForceMinCutCapacity(const FlowNetwork &Net, int Source,

@@ -23,6 +23,7 @@
 #include "mincut/FlowNetwork.h"
 #include "mincut/MaxFlow.h"
 
+#include <string>
 #include <vector>
 
 namespace specpre {
@@ -48,6 +49,14 @@ MinCutResult computeMinCut(FlowNetwork &Net, int Source, int Sink,
 /// Extracts a cut from an existing max flow without recomputing it.
 MinCutResult extractMinCut(const FlowNetwork &Net, int Source, int Sink,
                            CutPlacement Placement);
+
+/// Validates that \p Cut is a well-formed s-t cut of \p Net: the source
+/// is on the source side, the sink is not, CutEdgeIds are exactly the
+/// forward edges crossing from S to T, Capacity is the sum of their
+/// original capacities, and no crossing edge carries InfiniteCapacity.
+/// On failure returns false and describes the problem in \p Error.
+bool verifyMinCut(const FlowNetwork &Net, int Source, int Sink,
+                  const MinCutResult &Cut, std::string &Error);
 
 /// Exhaustive minimum-cut search over all 2^(N-2) partitions; only for
 /// networks with at most ~20 nodes. Used by tests as an oracle. Returns

@@ -141,8 +141,27 @@ EfgStats specpre::computeSpeculativePlacement(Frg &G, const Profile &Prof,
                                               CutObjective Objective) {
   EfgStats Stats;
   auto EdgeWeight = [&](uint64_t Freq) {
-    return static_cast<int64_t>(Freq * Objective.SpeedWeight +
-                                Objective.SizeWeight);
+    int64_t W =
+        saturatedEdgeWeight(Freq, Objective.SpeedWeight, Objective.SizeWeight);
+    Stats.Saturated |= W == MaxFiniteCapacity;
+    return W;
+  };
+  // Frequency of a Φ operand edge. The flow network models an insertion
+  // on the CFG edge Pred -> Φ block, so the weight is that edge's
+  // frequency when the profile carries edge counts. With only node
+  // counts, blockFreq(Pred) is used instead — exact whenever critical
+  // edges are split (Pred then has a single successor), which is the
+  // paper's node-profiles-suffice argument; on an unsplit critical edge
+  // the block count overstates the edge count and would misprice the
+  // insertion.
+  auto OperandFreq = [&](const PhiOperand &Op, BlockId PhiBlock) {
+    return Prof.HasEdgeFreqs ? Prof.edgeFreq(Op.Pred, PhiBlock)
+                             : Prof.blockFreq(Op.Pred);
+  };
+  // Type-2 edges always pay the occurrence block's frequency; the NDEBUG
+  // consistency check below must use the same weighting.
+  auto Type2Weight = [&](const RealOcc &R) {
+    return EdgeWeight(Prof.blockFreq(R.Block));
   };
 
   for (PhiOcc &P : G.phis()) {
@@ -222,10 +241,10 @@ EfgStats specpre::computeSpeculativePlacement(Frg &G, const Profile &Prof,
       A.K = CutAction::Kind::InsertAtOperand;
       A.PhiIdx = static_cast<int>(GI);
       A.OpIdx = static_cast<int>(OI);
-      int64_t Weight = EdgeWeight(Prof.blockFreq(Op.Pred));
+      int64_t Weight = EdgeWeight(OperandFreq(Op, P.Block));
       if (Op.isBottom()) {
         // Step 5: type-1 edge from the artificial source, weighted with
-        // the node frequency of the predecessor block. Insert-blocked
+        // the frequency of the Pred -> Φ block edge. Insert-blocked
         // operands (no lexical insertion can supply the value there) get
         // infinite weight: the Φ stays unavailable and its uses pay
         // their type-2 edges instead.
@@ -252,8 +271,9 @@ EfgStats specpre::computeSpeculativePlacement(Frg &G, const Profile &Prof,
     A.K = CutAction::Kind::ComputeInPlace;
     A.RealIdx = RI;
     // Type-2 edge: cutting it means computing in place at the occurrence.
-    AddEdge(PhiNode[R.Def.Index], RealNode[RI],
-            EdgeWeight(Prof.blockFreq(R.Block)), A);
+    int64_t W = Type2Weight(R);
+    Stats.SprWeight += W;
+    AddEdge(PhiNode[R.Def.Index], RealNode[RI], W, A);
     // Step 6: infinite edge to the artificial sink (tag -1: never cut).
     Net.addEdge(RealNode[RI], Sink, InfiniteCapacity, -1);
     NumEdges += 2;
@@ -272,19 +292,35 @@ EfgStats specpre::computeSpeculativePlacement(Frg &G, const Profile &Prof,
   Stats.CutWeight = Cut.Capacity;
   Stats.NumCutEdges = static_cast<unsigned>(Cut.CutEdgeIds.size());
 
+#ifndef NDEBUG
+  {
+    std::string CutError;
+    if (!verifyMinCut(Net, Source, Sink, Cut, CutError))
+      reportFatalError("MC-SSAPRE minimum cut failed validation: " +
+                       CutError);
+  }
+#endif
+
   for (int EdgeId : Cut.CutEdgeIds) {
     int Tag = Net.edgeTag(EdgeId);
-    assert(Tag >= 0 && "infinite sink edge in the minimum cut");
+    if (Tag < 0)
+      // An infinite sink edge in the cut means a finite weight aliased
+      // InfiniteCapacity — impossible since weights saturate at
+      // MaxFiniteCapacity. Fail loudly rather than index Actions with -1.
+      reportFatalError("infinite sink edge in the MC-SSAPRE minimum cut "
+                       "(finite capacity aliased the infinite edges)");
     const CutAction &A = Actions[Tag];
     if (A.K == CutAction::Kind::InsertAtOperand) {
       assert(!G.phis()[A.PhiIdx].Operands[A.OpIdx].InsertBlocked &&
              "minimum cut crossed an insert-blocked operand");
       G.phis()[A.PhiIdx].Operands[A.OpIdx].Insert = true;
       ++Stats.NumInsertions;
+      Stats.InsertedWeight += Net.edgeCapacity(EdgeId);
     } else {
       // Compute in place: no insertion; the defining Φ simply does not
       // become available, which Figure 7 derives below.
       ++Stats.NumComputeInPlace;
+      Stats.InPlaceWeight += Net.edgeCapacity(EdgeId);
     }
   }
 
@@ -309,7 +345,7 @@ EfgStats specpre::computeSpeculativePlacement(Frg &G, const Profile &Prof,
     }
     for (int RI : SprReals) {
       const PhiOcc &DefPhi = G.phiOf(G.reals()[RI].Def);
-      if (EdgeWeight(Prof.blockFreq(G.reals()[RI].Block)) == 0)
+      if (Type2Weight(G.reals()[RI]) == 0)
         continue;
       assert(DefPhi.WillBeAvail != InPlace[RI] &&
              "cut and will_be_avail disagree on an SPR occurrence");

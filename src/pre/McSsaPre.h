@@ -51,6 +51,19 @@ struct EfgStats {
   unsigned NumCutEdges = 0;
   unsigned NumInsertions = 0;
   unsigned NumComputeInPlace = 0; ///< Type-2 edges in the cut.
+
+  // Reconciliation numbers (all in weight units of the cut objective;
+  // with CutObjective::speed() a weight is exactly a frequency). They tie
+  // the cut capacity to the dynamic evaluations the placement commits to
+  // pay for the strictly-partially-redundant occurrences:
+  //   CutWeight == InsertedWeight + InPlaceWeight  and
+  //   CutWeight <= SprWeight (the trivial everything-in-place cut).
+  // The fuzzing oracles check both (see workload/FuzzOracles.h).
+  int64_t SprWeight = 0;      ///< Sum of all type-2 edge weights.
+  int64_t InsertedWeight = 0; ///< Type-1 (insertion) cut-edge weights.
+  int64_t InPlaceWeight = 0;  ///< Type-2 (in-place) cut-edge weights.
+  bool Saturated = false;     ///< Some finite weight hit MaxFiniteCapacity;
+                              ///< exact reconciliation no longer holds.
 };
 
 /// Runs steps 3-8 on \p G under \p Prof (node frequencies only — the

@@ -34,6 +34,7 @@ struct ExprPlacement {
   bool HasReals = false;
   /// Placement decisions, indexed like the FRG they were computed on.
   std::vector<char> PhiWillBeAvail;
+  std::vector<char> PhiInReducedGraph; ///< needed for SprReloadedFreq stats
   std::vector<char> OperandInsert; ///< flattened over phis' operands
   /// Structural fingerprint of the analysis-time FRG.
   std::vector<BlockId> PhiBlocks;
@@ -65,10 +66,15 @@ void computePlacementOnFrg(Frg &G, const PreOptions &Opts,
     }
     EfgStats ES = computeSpeculativePlacement(G, *Opts.Prof, Opts.Placement,
                                               Opts.Algo, Opts.Objective);
+    Rec.Speculated = true;
     Rec.EfgEmpty = ES.Empty;
     Rec.EfgNodes = ES.NumNodes;
     Rec.EfgEdges = ES.NumEdges;
     Rec.CutWeight = ES.CutWeight;
+    Rec.SprWeight = ES.SprWeight;
+    Rec.InsertedWeight = ES.InsertedWeight;
+    Rec.InPlaceWeight = ES.InPlaceWeight;
+    Rec.Saturated = ES.Saturated;
     break;
   }
   default:
@@ -84,6 +90,7 @@ void capturePlacement(const Frg &G, ExprPlacement &P) {
     P.PhiBlocks.push_back(Phi.Block);
     P.OperandCounts.push_back(static_cast<unsigned>(Phi.Operands.size()));
     P.PhiWillBeAvail.push_back(Phi.WillBeAvail);
+    P.PhiInReducedGraph.push_back(Phi.InReducedGraph);
     for (const PhiOperand &Op : Phi.Operands)
       P.OperandInsert.push_back(Op.Insert);
   }
@@ -105,6 +112,7 @@ bool transferPlacement(Frg &G, const ExprPlacement &P) {
   for (unsigned I = 0; I != G.phis().size(); ++I) {
     PhiOcc &Phi = G.phis()[I];
     Phi.WillBeAvail = P.PhiWillBeAvail[I];
+    Phi.InReducedGraph = P.PhiInReducedGraph[I];
     for (PhiOperand &Op : Phi.Operands)
       Op.Insert = P.OperandInsert[Flat++];
   }
@@ -179,14 +187,23 @@ void runSsaStrategiesParallel(Function &F, const PreOptions &Opts,
     for (const RealOcc &R : G.reals()) {
       Rec.NumReloads += R.Reload;
       Rec.NumSaves += R.Save;
+      if (Opts.Prof && R.Reload) {
+        uint64_t Freq = Opts.Prof->blockFreq(R.Block);
+        Rec.ReloadedFreq += Freq;
+        if (!R.RgExcluded && R.Def.isPhi() && G.phiOf(R.Def).InReducedGraph)
+          Rec.SprReloadedFreq += Freq;
+      }
     }
     for (const TempDef &D : Plan.TempDefs) {
       if (!D.Live)
         continue;
       if (D.K == TempDef::Kind::Phi)
         ++Rec.NumTempPhis;
-      if (D.K == TempDef::Kind::Insert)
+      if (D.K == TempDef::Kind::Insert) {
         ++Rec.NumInsertions;
+        if (Opts.Prof)
+          Rec.InsertedFreq += Opts.Prof->blockFreq(D.Block);
+      }
     }
 
     if (Plan.hasAnyEffect()) {

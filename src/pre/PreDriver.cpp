@@ -51,6 +51,30 @@ void specpre::prepareFunction(Function &F) {
 
 namespace {
 
+/// Runs the IR verifier; on failure either aborts (default) or records
+/// the failure in Opts.VerifyErrorOut and returns false so the caller
+/// can unwind (the transformed function is in an undefined state).
+bool verifyOrReport(const Function &F, const PreOptions &Opts,
+                    const std::string &Context) {
+  std::string Error;
+  if (verifyFunction(F, Error))
+    return true;
+  if (Opts.VerifyErrorOut) {
+    *Opts.VerifyErrorOut = "IR verification failed " + Context + ": " + Error;
+    return false;
+  }
+  reportFatalError("IR verification failed " + Context + ": " + Error);
+}
+
+/// Same reporting policy for the Definition-1 availability oracle.
+bool reportOracleFailure(const PreOptions &Opts, const std::string &Message) {
+  if (Opts.VerifyErrorOut) {
+    *Opts.VerifyErrorOut = Message;
+    return false;
+  }
+  reportFatalError(Message);
+}
+
 void runSsaStrategies(Function &F, const PreOptions &Opts) {
   assert(F.IsSSA && "SSA strategies require SSA form");
   Cfg C(F);
@@ -95,10 +119,15 @@ void runSsaStrategies(Function &F, const PreOptions &Opts) {
       EfgStats ES =
           computeSpeculativePlacement(G, *Opts.Prof, Opts.Placement,
                                       Opts.Algo, Opts.Objective);
+      Rec.Speculated = true;
       Rec.EfgEmpty = ES.Empty;
       Rec.EfgNodes = ES.NumNodes;
       Rec.EfgEdges = ES.NumEdges;
       Rec.CutWeight = ES.CutWeight;
+      Rec.SprWeight = ES.SprWeight;
+      Rec.InsertedWeight = ES.InsertedWeight;
+      Rec.InPlaceWeight = ES.InPlaceWeight;
+      Rec.Saturated = ES.Saturated;
       break;
     }
     default:
@@ -109,29 +138,45 @@ void runSsaStrategies(Function &F, const PreOptions &Opts) {
     for (const RealOcc &R : G.reals()) {
       Rec.NumReloads += R.Reload;
       Rec.NumSaves += R.Save;
+      if (Opts.Prof && R.Reload) {
+        uint64_t Freq = Opts.Prof->blockFreq(R.Block);
+        Rec.ReloadedFreq += Freq;
+        // An SPR occurrence: one that participated in the EFG (its
+        // defining Φ survived graph reduction). Only those are covered
+        // by the min-cut reconciliation identities.
+        if (!R.RgExcluded && R.Def.isPhi() && G.phiOf(R.Def).InReducedGraph)
+          Rec.SprReloadedFreq += Freq;
+      }
     }
     for (const TempDef &D : Plan.TempDefs) {
       if (!D.Live)
         continue;
       if (D.K == TempDef::Kind::Phi)
         ++Rec.NumTempPhis;
-      if (D.K == TempDef::Kind::Insert)
+      if (D.K == TempDef::Kind::Insert) {
         ++Rec.NumInsertions;
+        if (Opts.Prof)
+          Rec.InsertedFreq += Opts.Prof->blockFreq(D.Block);
+      }
     }
 
     if (Plan.hasAnyEffect()) {
       VarId Temp = F.makeFreshVar("pre.tmp." + std::to_string(EI));
       applyCodeMotion(F, G, Plan, Temp);
       if (Opts.Verify) {
-        verifyFunctionOrDie(F, std::string("after PRE of '") +
-                                   E.toString(F) + "' with " +
-                                   strategyName(Opts.Strategy));
+        if (!verifyOrReport(F, Opts,
+                            std::string("after PRE of '") + E.toString(F) +
+                                "' with " + strategyName(Opts.Strategy)))
+          return;
         std::vector<std::pair<ExprKey, VarId>> TempMap{{E, Temp}};
         std::string Error;
-        if (!checkReloadsFullyAvailable(F, TempMap, Error))
-          reportFatalError("Definition-1 correctness violated by " +
-                           std::string(strategyName(Opts.Strategy)) + ": " +
-                           Error);
+        if (!checkReloadsFullyAvailable(F, TempMap, Error)) {
+          reportOracleFailure(Opts,
+                              "Definition-1 correctness violated by " +
+                                  std::string(strategyName(Opts.Strategy)) +
+                                  ": " + Error);
+          return;
+        }
       }
     }
 
@@ -158,13 +203,13 @@ void specpre::runPre(Function &F, const PreOptions &Opts) {
                            : Opts.Prof->withEstimatedEdgeFreqs(F);
     runMcPre(F, EdgeProf, Opts.Stats, Opts.Placement);
     if (Opts.Verify)
-      verifyFunctionOrDie(F, "after MC-PRE");
+      verifyOrReport(F, Opts, "after MC-PRE");
     return;
   }
   case PreStrategy::Lcm:
     runLcm(F, Opts.Stats);
     if (Opts.Verify)
-      verifyFunctionOrDie(F, "after LCM");
+      verifyOrReport(F, Opts, "after LCM");
     return;
   }
   SPECPRE_UNREACHABLE("bad strategy");

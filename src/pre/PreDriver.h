@@ -59,8 +59,14 @@ struct PreOptions {
   /// CutObjective::size() explores the Section-6 code-size direction.
   CutObjective Objective = CutObjective::speed();
   /// Run the IR verifier and the Definition-1 availability oracle on the
-  /// transformed function (aborts on violation).
+  /// transformed function (aborts on violation unless VerifyErrorOut is
+  /// set).
   bool Verify = true;
+  /// When non-null, a verification failure is described here and the run
+  /// stops instead of aborting the process. The fuzzer uses this so a
+  /// failing case can be delta-reduced in-process. Only written on
+  /// failure; callers pass an empty string and test for non-emptiness.
+  std::string *VerifyErrorOut = nullptr;
   /// Statistics sink (may be null).
   PreStats *Stats = nullptr;
 };

@@ -46,6 +46,22 @@ struct ExprStatsRecord {
   unsigned McPreNodes = 0;
   unsigned McPreEdges = 0;
 
+  // ---- Reconciliation numbers for the fuzzing oracles (see
+  // workload/FuzzOracles.h). The frequencies are filled only when the
+  // driver ran with a profile; the weights only by MC-SSAPRE, in units
+  // of its cut objective (with CutObjective::speed(), frequencies).
+  uint64_t ReloadedFreq = 0;    ///< Σ freq of reloaded real occurrences.
+  uint64_t InsertedFreq = 0;    ///< Σ freq of live inserted computations.
+  uint64_t SprReloadedFreq = 0; ///< Reloaded reals that were EFG (SPR) occs.
+  int64_t SprWeight = 0;        ///< Σ type-2 (in-place) EFG edge weights.
+  int64_t InsertedWeight = 0;   ///< Cut: type-1 (insertion) edge weights.
+  int64_t InPlaceWeight = 0;    ///< Cut: type-2 (in-place) edge weights.
+  bool Saturated = false;       ///< Some weight hit MaxFiniteCapacity.
+  /// True when MC-SSAPRE ran the min-cut placement on this expression
+  /// (it cannot fault). Faulting expressions take the safe-SSAPRE
+  /// fallback, whose records carry no cut weights to reconcile.
+  bool Speculated = false;
+
   bool operator==(const ExprStatsRecord &) const = default;
 };
 

@@ -1,0 +1,566 @@
+//===- workload/FuzzOracles.cpp - Differential fuzzing oracles -----------------===//
+
+#include "workload/FuzzOracles.h"
+
+#include "analysis/Cfg.h"
+#include "analysis/DomTree.h"
+#include "interp/Interpreter.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "mincut/MinCut.h"
+#include "pre/ExprKey.h"
+#include "pre/Frg.h"
+#include "pre/McSsaPre.h"
+#include "pre/PreDriver.h"
+#include "ssa/SsaConstruction.h"
+#include "support/Random.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace specpre;
+
+namespace {
+
+/// Mixes a seed and a case index into one PRNG seed (splitmix-style
+/// constant so nearby cases decorrelate).
+uint64_t mixSeed(uint64_t Seed, uint64_t CaseIdx) {
+  return Seed * 0x9E3779B97F4A7C15ull + CaseIdx * 0xBF58476D1CE4E5B9ull + 1;
+}
+
+OracleFailure fail(std::string Oracle, std::string Message) {
+  return OracleFailure{std::move(Oracle), std::move(Message)};
+}
+
+} // namespace
+
+GeneratorConfig specpre::fuzzGeneratorConfig(uint64_t Seed, uint64_t CaseIdx) {
+  Rng R(mixSeed(Seed, CaseIdx));
+  GeneratorConfig C;
+  C.NumParams = 2 + static_cast<unsigned>(R.nextBelow(3));
+  C.NumVars = 4 + static_cast<unsigned>(R.nextBelow(5));
+  C.ExprPoolSize = 4 + static_cast<unsigned>(R.nextBelow(6));
+  C.MaxDepth = 2 + static_cast<unsigned>(R.nextBelow(2));
+  C.StmtsPerBlock = 2 + static_cast<unsigned>(R.nextBelow(4));
+  C.RegionsPerLevel = 2 + static_cast<unsigned>(R.nextBelow(2));
+  C.AllowDiv = R.chance(1, 4);
+  C.InvariantChance = 100 + static_cast<unsigned>(R.nextBelow(150));
+  C.MinTrip = 2;
+  C.MaxTrip = 2 + static_cast<unsigned>(R.nextBelow(7));
+  return C;
+}
+
+Function specpre::fuzzProgram(uint64_t Seed, uint64_t CaseIdx) {
+  return generateProgram(mixSeed(Seed, CaseIdx),
+                         fuzzGeneratorConfig(Seed, CaseIdx), "fuzzed");
+}
+
+std::vector<int64_t> specpre::fuzzTrainArgs(const Function &F, uint64_t Seed,
+                                            uint64_t CaseIdx) {
+  Rng R(mixSeed(Seed, CaseIdx) ^ 0xA5A5A5A5A5A5A5A5ull);
+  std::vector<int64_t> Args;
+  for (unsigned P = 0; P != F.Params.size(); ++P)
+    Args.push_back(R.nextInRange(-8, 64));
+  return Args;
+}
+
+std::vector<std::vector<int64_t>>
+specpre::fuzzVariantArgs(const Function &F, uint64_t Seed, uint64_t CaseIdx) {
+  Rng R(mixSeed(Seed, CaseIdx) ^ 0x5A5A5A5A5A5A5A5Aull);
+  std::vector<std::vector<int64_t>> Out;
+  for (unsigned V = 0; V != 3; ++V) {
+    std::vector<int64_t> Args;
+    for (unsigned P = 0; P != F.Params.size(); ++P)
+      Args.push_back(R.nextInRange(-64, 512));
+    Out.push_back(std::move(Args));
+  }
+  return Out;
+}
+
+namespace {
+
+std::string joinArgs(const std::vector<int64_t> &Args) {
+  std::string S;
+  for (size_t I = 0; I != Args.size(); ++I)
+    S += (I ? "," : "") + std::to_string(Args[I]);
+  return S;
+}
+
+/// One strategy's compile + training-input run, with non-fatal verify.
+struct StrategyRun {
+  Function Opt;
+  PreStats Stats;
+  ExecResult TrainResult;
+};
+
+std::optional<OracleFailure>
+runStrategy(const Function &Prepared, PreStrategy S, const Profile *Prof,
+            const ExecResult &Reference, const std::vector<int64_t> &TrainArgs,
+            const std::vector<std::vector<int64_t>> &VariantArgs,
+            StrategyRun &Out) {
+  PreOptions PO;
+  PO.Strategy = S;
+  PO.Prof = Prof;
+  PO.Stats = &Out.Stats;
+  std::string VErr;
+  PO.VerifyErrorOut = &VErr;
+  Out.Opt = compileWithPre(Prepared, PO);
+  const char *Name = strategyName(S);
+  if (!VErr.empty())
+    return fail(std::string("verifier(") + Name + ")", VErr);
+
+  Out.TrainResult = interpret(Out.Opt, TrainArgs);
+  if (!Out.TrainResult.sameObservableBehavior(Reference))
+    return fail(std::string("semantics(") + Name + ")",
+                "training input [" + joinArgs(TrainArgs) + "]: original " +
+                    Reference.describe() + "; optimized " +
+                    Out.TrainResult.describe());
+  for (const std::vector<int64_t> &Args : VariantArgs) {
+    ExecResult Ref = interpret(Prepared, Args);
+    if (Ref.TimedOut)
+      continue;
+    ExecResult R = interpret(Out.Opt, Args);
+    if (!R.sameObservableBehavior(Ref))
+      return fail(std::string("semantics(") + Name + ")",
+                  "variant input [" + joinArgs(Args) + "]: original " +
+                      Ref.describe() + "; optimized " + R.describe());
+  }
+  return std::nullopt;
+}
+
+/// The prediction identity for one SSA strategy run under the training
+/// profile: the dynamic computations removed must equal the reloaded
+/// frequency minus the inserted frequency, summed over all expressions.
+std::optional<OracleFailure>
+checkPrediction(const char *Name, uint64_t BaseDyn, const StrategyRun &Run) {
+  int64_t Predicted = 0;
+  for (const ExprStatsRecord &R : Run.Stats.records())
+    Predicted += static_cast<int64_t>(R.ReloadedFreq) -
+                 static_cast<int64_t>(R.InsertedFreq);
+  int64_t Actual = static_cast<int64_t>(BaseDyn) -
+                   static_cast<int64_t>(Run.TrainResult.DynamicComputations);
+  if (Predicted != Actual)
+    return fail(std::string("prediction(") + Name + ")",
+                "profile-predicted saving " + std::to_string(Predicted) +
+                    " != measured saving " + std::to_string(Actual));
+  return std::nullopt;
+}
+
+/// The min-cut reconciliation identities per speculated MC-SSAPRE record
+/// (speed objective, unsaturated weights, node-only profile):
+///   CutWeight == InsertedWeight + InPlaceWeight   (cut partition)
+///   CutWeight <= SprWeight                        (trivial in-place cut)
+///   InsertedWeight == InsertedFreq                (live insertions)
+///   SprWeight == InPlaceWeight + SprReloadedFreq  (SPR reals either
+///                                                  reload or stay put)
+std::optional<OracleFailure> checkCutReconciliation(const StrategyRun &Run) {
+  for (const ExprStatsRecord &R : Run.Stats.records()) {
+    if (!R.Speculated || R.Saturated)
+      continue;
+    auto Fail = [&](const std::string &What) {
+      return fail("cut-reconciliation",
+                  "expr '" + R.Expr + "': " + What + " (cut " +
+                      std::to_string(R.CutWeight) + ", inserted-w " +
+                      std::to_string(R.InsertedWeight) + ", in-place-w " +
+                      std::to_string(R.InPlaceWeight) + ", spr-w " +
+                      std::to_string(R.SprWeight) + ", inserted-f " +
+                      std::to_string(R.InsertedFreq) + ", spr-reloaded-f " +
+                      std::to_string(R.SprReloadedFreq) + ")");
+    };
+    if (R.CutWeight != R.InsertedWeight + R.InPlaceWeight)
+      return Fail("cut weight is not the sum of its edges");
+    if (R.CutWeight > R.SprWeight)
+      return Fail("cut weight exceeds the trivial all-in-place cut");
+    if (R.InsertedWeight != static_cast<int64_t>(R.InsertedFreq))
+      return Fail("insertion edge weight disagrees with live insertions");
+    if (R.SprWeight !=
+        R.InPlaceWeight + static_cast<int64_t>(R.SprReloadedFreq))
+      return Fail("SPR occurrences neither reload nor compute in place");
+  }
+  return std::nullopt;
+}
+
+} // namespace
+
+std::optional<OracleFailure> specpre::checkPipelineOracles(
+    const Function &Unprepared, const std::vector<int64_t> &TrainArgs,
+    const std::vector<std::vector<int64_t>> &VariantArgs) {
+  Function Prepared = Unprepared;
+  prepareFunction(Prepared);
+
+  Profile Prof;
+  ExecOptions EO;
+  EO.CollectProfile = &Prof;
+  ExecResult Train = interpret(Prepared, TrainArgs, EO);
+  if (Train.TimedOut)
+    return std::nullopt; // No profile to check against: vacuous case.
+
+  // Preparation itself must preserve behavior.
+  ExecResult Orig = interpret(Unprepared, TrainArgs);
+  if (!Train.sameObservableBehavior(Orig))
+    return fail("prepare-semantics", "original " + Orig.describe() +
+                                         "; prepared " + Train.describe());
+
+  std::string ConsErr;
+  if (!Train.Trapped && !Prof.verifyConservation(Prepared, ConsErr))
+    return fail("flow-conservation", ConsErr);
+
+  Profile NodeOnly = Prof.withoutEdgeFreqs();
+
+  struct Leg {
+    PreStrategy S;
+    const Profile *Prof;
+  };
+  const Leg Legs[] = {
+      {PreStrategy::SsaPre, &NodeOnly},  {PreStrategy::SsaPreSpec, &NodeOnly},
+      {PreStrategy::McSsaPre, &NodeOnly}, {PreStrategy::McPre, &Prof},
+      {PreStrategy::Lcm, nullptr},
+  };
+  StrategyRun Runs[5];
+  uint64_t Dyn[5] = {};
+  for (unsigned I = 0; I != 5; ++I) {
+    if (auto F = runStrategy(Prepared, Legs[I].S, Legs[I].Prof, Train,
+                             TrainArgs, VariantArgs, Runs[I]))
+      return F;
+    Dyn[I] = Runs[I].TrainResult.DynamicComputations;
+  }
+  enum { ISafe = 0, ISpec = 1, IMc = 2, IMcPre = 3, ILcm = 4 };
+
+  // The remaining oracles are exact identities over the training profile;
+  // a trapped run executes blocks partially, so they only hold untrapped.
+  if (Train.Trapped)
+    return std::nullopt;
+
+  // Profile-predicted savings must reconcile with the measured counts.
+  for (unsigned I : {ISafe, ISpec, IMc})
+    if (auto F = checkPrediction(strategyName(Legs[I].S),
+                                 Train.DynamicComputations, Runs[I]))
+      return F;
+  if (auto F = checkCutReconciliation(Runs[IMc]))
+    return F;
+
+  // Optimality ordering on the training input (Theorem 7 and the safe
+  // optimum): the optimal speculative placement can never lose to the
+  // safe or heuristic ones, and safe SSAPRE must match LCM exactly.
+  auto Ordering = [&](const char *What, uint64_t A, uint64_t B, bool Exact) {
+    std::optional<OracleFailure> F;
+    if (Exact ? A != B : A > B)
+      F = fail("ordering", std::string(What) + ": " + std::to_string(A) +
+                               " vs " + std::to_string(B));
+    return F;
+  };
+  if (auto F = Ordering("dyn(SSAPRE) <= dyn(original)", Dyn[ISafe],
+                        Train.DynamicComputations, false))
+    return F;
+  if (auto F = Ordering("dyn(SSAPRE) == dyn(LCM)", Dyn[ISafe], Dyn[ILcm],
+                        true))
+    return F;
+  if (auto F =
+          Ordering("dyn(MC-SSAPRE) <= dyn(SSAPRE)", Dyn[IMc], Dyn[ISafe],
+                   false))
+    return F;
+  if (auto F = Ordering("dyn(MC-SSAPRE) <= dyn(SSAPREsp)", Dyn[IMc],
+                        Dyn[ISpec], false))
+    return F;
+
+  bool Faulting = false;
+  for (const ExprKey &K : collectCandidateExprs(Prepared))
+    Faulting |= K.canFault();
+  if (!Faulting) {
+    // Two independent optimal algorithms must agree exactly.
+    if (auto F = Ordering("dyn(MC-SSAPRE) == dyn(MC-PRE)", Dyn[IMc],
+                          Dyn[IMcPre], true))
+      return F;
+    // Section 4: once critical edges are split, the node-only profile
+    // carries the same information as the full edge profile.
+    StrategyRun EdgeRun;
+    if (auto F = runStrategy(Prepared, PreStrategy::McSsaPre, &Prof, Train,
+                             TrainArgs, VariantArgs, EdgeRun))
+      return F;
+    if (auto F = Ordering("dyn(MC-SSAPRE, edge profile) == dyn(MC-SSAPRE, "
+                          "node profile)",
+                          EdgeRun.TrainResult.DynamicComputations, Dyn[IMc],
+                          true))
+      return F;
+  }
+  return std::nullopt;
+}
+
+std::optional<OracleFailure> specpre::checkStoredProfileOracles(
+    const Function &Unprepared, const Profile &Prof,
+    const std::vector<std::vector<int64_t>> &Inputs) {
+  Function Prepared = Unprepared;
+  prepareFunction(Prepared);
+  if (Prof.BlockFreq.size() < Prepared.numBlocks())
+    return fail("corpus", "stored profile covers " +
+                              std::to_string(Prof.BlockFreq.size()) +
+                              " blocks but the prepared function has " +
+                              std::to_string(Prepared.numBlocks()) +
+                              " (reproducer must be prepare-idempotent)");
+
+  Profile NodeOnly = Prof.withoutEdgeFreqs();
+  struct Leg {
+    PreStrategy S;
+    const Profile *P;
+  };
+  const Leg Legs[] = {{PreStrategy::McSsaPre, &NodeOnly},
+                      {PreStrategy::McPre, &Prof}};
+  for (const Leg &L : Legs) {
+    PreOptions PO;
+    PO.Strategy = L.S;
+    PO.Prof = L.P;
+    PreStats Stats;
+    PO.Stats = &Stats;
+    std::string VErr;
+    PO.VerifyErrorOut = &VErr;
+    Function Opt = compileWithPre(Prepared, PO);
+    const char *Name = strategyName(L.S);
+    if (!VErr.empty())
+      return fail(std::string("verifier(") + Name + ")", VErr);
+    for (const std::vector<int64_t> &Args : Inputs) {
+      ExecResult Ref = interpret(Prepared, Args);
+      if (Ref.TimedOut)
+        continue;
+      ExecResult R = interpret(Opt, Args);
+      if (!R.sameObservableBehavior(Ref))
+        return fail(std::string("semantics(") + Name + ")",
+                    "input [" + joinArgs(Args) + "]: original " +
+                        Ref.describe() + "; optimized " + R.describe());
+    }
+    // A finite minimum cut always exists (the trivial cut computes every
+    // occurrence in place), so no recorded cut may reach the infinite
+    // capacity — that is precisely what weight saturation guarantees
+    // under arbitrarily large stored frequencies.
+    for (const ExprStatsRecord &R : Stats.records())
+      if (R.CutWeight >= InfiniteCapacity)
+        return fail("cut-capacity",
+                    std::string(Name) + " expr '" + R.Expr +
+                        "': cut weight " + std::to_string(R.CutWeight) +
+                        " reached InfiniteCapacity");
+  }
+  return std::nullopt;
+}
+
+std::optional<OracleFailure>
+specpre::checkEfgCutOracles(const Function &F, const Profile &Prof,
+                            std::optional<int64_t> ExpectCutWeight) {
+  // The FRG is built directly on the function AS WRITTEN — deliberately
+  // without prepareFunction, so reproducers can carry unsplit critical
+  // edges (the configuration where Φ-operand edge frequency and
+  // predecessor block frequency genuinely differ).
+  Function Ssa = F;
+  if (!Ssa.IsSSA)
+    constructSsa(Ssa);
+  Cfg C(Ssa);
+  DomTree DT = DomTree::buildDominators(C);
+  for (const ExprKey &E : collectCandidateExprs(Ssa)) {
+    if (E.canFault())
+      continue;
+    Frg G(Ssa, C, DT, E);
+    if (G.reals().empty())
+      continue;
+    EfgStats ES = computeSpeculativePlacement(G, Prof);
+    if (ES.Empty)
+      continue;
+    if (!ES.Saturated) {
+      if (ES.CutWeight != ES.InsertedWeight + ES.InPlaceWeight ||
+          ES.CutWeight > ES.SprWeight)
+        return fail("efg-cut-reconciliation",
+                    "expr '" + E.toString(Ssa) + "': cut " +
+                        std::to_string(ES.CutWeight) + ", inserted " +
+                        std::to_string(ES.InsertedWeight) + ", in-place " +
+                        std::to_string(ES.InPlaceWeight) + ", spr " +
+                        std::to_string(ES.SprWeight));
+    }
+    if (ExpectCutWeight && ES.CutWeight != *ExpectCutWeight)
+      return fail("efg-cut-weight",
+                  "expr '" + E.toString(Ssa) + "': cut weight " +
+                      std::to_string(ES.CutWeight) + ", expected " +
+                      std::to_string(*ExpectCutWeight));
+    return std::nullopt; // First non-faulting candidate with an EFG.
+  }
+  return fail("corpus", "no non-faulting candidate with a non-empty EFG");
+}
+
+std::optional<OracleFailure> specpre::checkRandomNetworkCase(uint64_t Seed,
+                                                             uint64_t CaseIdx) {
+  Rng R(mixSeed(Seed, CaseIdx) ^ 0x0F0F0F0F0F0F0F0Full);
+  FlowNetwork Net;
+  int Source = Net.addNode();
+  int Sink = Net.addNode();
+  unsigned Inner = 2 + static_cast<unsigned>(R.nextBelow(6));
+  std::vector<int> Nodes;
+  for (unsigned I = 0; I != Inner; ++I)
+    Nodes.push_back(Net.addNode());
+
+  // Every source edge is finite, so a finite minimum cut always exists
+  // and verifyMinCut's no-infinite-crossing check applies.
+  for (int N : Nodes)
+    if (R.chance(3, 4))
+      Net.addEdge(Source, N, static_cast<int64_t>(R.nextBelow(20)), -1);
+  for (unsigned I = 0; I != Inner; ++I)
+    for (unsigned J = 0; J != Inner; ++J) {
+      if (I == J || !R.chance(1, 3))
+        continue;
+      int64_t Cap = R.chance(1, 8) ? InfiniteCapacity
+                                   : static_cast<int64_t>(R.nextBelow(20));
+      Net.addEdge(Nodes[I], Nodes[J], Cap, -1);
+    }
+  for (int N : Nodes)
+    if (R.chance(1, 2)) {
+      int64_t Cap = R.chance(1, 6) ? InfiniteCapacity
+                                   : static_cast<int64_t>(R.nextBelow(20));
+      Net.addEdge(N, Sink, Cap, -1);
+    }
+
+  int64_t Truth = bruteForceMinCutCapacity(Net, Source, Sink);
+  for (MaxFlowAlgorithm Algo :
+       {MaxFlowAlgorithm::Dinic, MaxFlowAlgorithm::EdmondsKarp})
+    for (CutPlacement P : {CutPlacement::Earliest, CutPlacement::Latest}) {
+      Net.resetFlow();
+      MinCutResult Cut = computeMinCut(Net, Source, Sink, P, Algo);
+      std::string Context =
+          std::string(Algo == MaxFlowAlgorithm::Dinic ? "dinic" : "ek") +
+          "/" + (P == CutPlacement::Earliest ? "earliest" : "latest");
+      std::string Error;
+      if (!verifyMinCut(Net, Source, Sink, Cut, Error))
+        return fail("mincut-structure", Context + ": " + Error);
+      if (Cut.Capacity != Truth)
+        return fail("mincut-capacity",
+                    Context + ": cut " + std::to_string(Cut.Capacity) +
+                        " != brute force " + std::to_string(Truth));
+    }
+  return std::nullopt;
+}
+
+//===----------------------------------------------------------------------===//
+// Corpus replay
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct CorpusDirectives {
+  std::string Mode;
+  std::vector<int64_t> Args;
+  std::string Oracle;
+  std::optional<int64_t> ExpectCutWeight;
+};
+
+/// Parses the `// key: value` directive comments of a reproducer.
+CorpusDirectives parseDirectives(const std::string &Text) {
+  CorpusDirectives D;
+  std::istringstream In(Text);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    size_t Pos = Line.find("//");
+    if (Pos == std::string::npos)
+      continue;
+    std::string Rest = Line.substr(Pos + 2);
+    auto Value = [&](const char *Key) -> std::optional<std::string> {
+      std::string Prefix = std::string(" ") + Key + ":";
+      if (Rest.rfind(Prefix, 0) != 0)
+        return std::nullopt;
+      std::string V = Rest.substr(Prefix.size());
+      while (!V.empty() && V.front() == ' ')
+        V.erase(V.begin());
+      while (!V.empty() && (V.back() == ' ' || V.back() == '\r'))
+        V.pop_back();
+      return V;
+    };
+    if (auto V = Value("mode"))
+      D.Mode = *V;
+    else if (auto V = Value("oracle"))
+      D.Oracle = *V;
+    else if (auto V = Value("expect-cut-weight"))
+      D.ExpectCutWeight = std::stoll(*V);
+    else if (auto V = Value("args")) {
+      std::istringstream AS(*V);
+      std::string Tok;
+      while (std::getline(AS, Tok, ','))
+        if (!Tok.empty())
+          D.Args.push_back(std::stoll(Tok));
+    }
+  }
+  return D;
+}
+
+/// Deterministic exercise inputs derived from the training arguments.
+std::vector<std::vector<int64_t>>
+derivedInputs(const std::vector<int64_t> &Args) {
+  std::vector<std::vector<int64_t>> Out{Args};
+  std::vector<int64_t> A = Args, B = Args, C(Args.size(), 0);
+  for (int64_t &V : A)
+    V += 1;
+  for (int64_t &V : B)
+    V ^= 0x55;
+  Out.push_back(std::move(A));
+  Out.push_back(std::move(B));
+  Out.push_back(std::move(C));
+  return Out;
+}
+
+std::optional<std::string> slurpFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return std::nullopt;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+} // namespace
+
+std::optional<OracleFailure>
+specpre::replayCorpusFile(const std::string &IrPath) {
+  std::optional<std::string> Text = slurpFile(IrPath);
+  if (!Text)
+    return fail("corpus", "cannot read " + IrPath);
+  CorpusDirectives D = parseDirectives(*Text);
+  std::string ParseError;
+  std::optional<Module> M = parseModule(*Text, ParseError);
+  if (!M || M->Functions.empty())
+    return fail("corpus", IrPath + ": " +
+                              (ParseError.empty() ? "no function" : ParseError));
+  Function &F = M->Functions.front();
+  if (D.Args.size() != F.Params.size() && D.Mode != "efg-cut")
+    return fail("corpus", IrPath + ": args directive has " +
+                              std::to_string(D.Args.size()) +
+                              " values for " +
+                              std::to_string(F.Params.size()) + " params");
+
+  Profile Prof;
+  if (D.Mode == "profile" || D.Mode == "efg-cut") {
+    std::string ProfPath = IrPath;
+    size_t Dot = ProfPath.rfind(".ir");
+    if (Dot != std::string::npos)
+      ProfPath = ProfPath.substr(0, Dot);
+    ProfPath += ".prof";
+    std::optional<std::string> ProfText = slurpFile(ProfPath);
+    if (!ProfText)
+      return fail("corpus", "cannot read " + ProfPath);
+    std::string ProfError;
+    if (!parseProfile(*ProfText, Prof, ProfError))
+      return fail("corpus", ProfPath + ": " + ProfError);
+  }
+
+  if (D.Mode == "pipeline")
+    return checkPipelineOracles(F, D.Args, derivedInputs(D.Args));
+  if (D.Mode == "profile")
+    return checkStoredProfileOracles(F, Prof, derivedInputs(D.Args));
+  if (D.Mode == "efg-cut")
+    return checkEfgCutOracles(F, Prof, D.ExpectCutWeight);
+  return fail("corpus", IrPath + ": unknown mode '" + D.Mode + "'");
+}
+
+std::string
+specpre::formatPipelineReproducer(const Function &Unprepared,
+                                  const std::vector<int64_t> &TrainArgs,
+                                  const OracleFailure &Failure) {
+  std::string Out;
+  Out += "// specpre-fuzz reproducer\n";
+  Out += "// mode: pipeline\n";
+  Out += "// args: " + joinArgs(TrainArgs) + "\n";
+  Out += "// oracle: " + Failure.Oracle + "\n";
+  Out += printFunction(Unprepared);
+  return Out;
+}

@@ -1,0 +1,120 @@
+//===- workload/FuzzOracles.h - Differential fuzzing oracles ---*- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The oracle stack behind the `specpre-fuzz` tool and the corpus replay
+/// test. A fuzz case is a deterministically generated program (or a
+/// reproducer read back from tests/corpus/); the oracles check, per case:
+///
+///  * IR verification after every transforming pass (non-fatal, via
+///    PreOptions::VerifyErrorOut),
+///  * semantic equivalence of every strategy's output against the
+///    unoptimized program under the interpreter (training input plus
+///    variant inputs),
+///  * flow conservation of the collected profile,
+///  * cut-weight-vs-dynamic-count reconciliation: the min-cut capacity
+///    and the profile-weighted reload/insert statistics must satisfy the
+///    identities documented on ExprStatsRecord,
+///  * the optimality ordering on the training input:
+///      dyn(MC-SSAPRE) <= dyn(SSAPREsp) <= dyn(SSAPRE) == dyn(LCM)
+///    and dyn(MC-SSAPRE) == dyn(MC-PRE) when no candidate can fault,
+///  * node-vs-edge-profile equivalence of MC-SSAPRE (Section 4: node
+///    profiles suffice once critical edges are split).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_WORKLOAD_FUZZORACLES_H
+#define SPECPRE_WORKLOAD_FUZZORACLES_H
+
+#include "ir/Ir.h"
+#include "profile/Profile.h"
+#include "workload/ProgramGenerator.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace specpre {
+
+/// A tripped oracle: a stable identifier (used by the reducer to insist
+/// the *same* invariant keeps failing while shrinking) and diagnostics.
+struct OracleFailure {
+  std::string Oracle;
+  std::string Message;
+};
+
+/// Deterministic per-case derivations. The fuzzer, the reducer, the CI
+/// smoke run and the regression tests all agree that (Seed, CaseIdx)
+/// names exactly one program and input set.
+GeneratorConfig fuzzGeneratorConfig(uint64_t Seed, uint64_t CaseIdx);
+Function fuzzProgram(uint64_t Seed, uint64_t CaseIdx);
+std::vector<int64_t> fuzzTrainArgs(const Function &F, uint64_t Seed,
+                                   uint64_t CaseIdx);
+std::vector<std::vector<int64_t>> fuzzVariantArgs(const Function &F,
+                                                  uint64_t Seed,
+                                                  uint64_t CaseIdx);
+
+/// Runs the full pipeline oracle stack on an UNPREPARED non-SSA function.
+/// Returns std::nullopt when every oracle passes, or when the case is
+/// vacuous (the training run times out, so no profile exists to check
+/// against).
+std::optional<OracleFailure>
+checkPipelineOracles(const Function &Unprepared,
+                     const std::vector<int64_t> &TrainArgs,
+                     const std::vector<std::vector<int64_t>> &VariantArgs);
+
+/// Oracles for a case with a STORED profile whose frequencies need not be
+/// reproducible by any execution (this is how the capacity-overflow
+/// reproducer carries frequencies near 2^62): verifier, semantic
+/// equivalence on \p Inputs, and the cut-capacity oracle — every recorded
+/// min-cut weight must stay below InfiniteCapacity, since the trivial
+/// compute-everything-in-place cut is always finite.
+std::optional<OracleFailure>
+checkStoredProfileOracles(const Function &Unprepared, const Profile &Prof,
+                          const std::vector<std::vector<int64_t>> &Inputs);
+
+/// EFG-level oracle under an explicit profile: puts the function into SSA
+/// form as written (no preparation — critical edges stay unsplit), builds
+/// the FRG of the first non-faulting candidate expression, runs
+/// MC-SSAPRE's speculative placement, and compares the cut weight against
+/// \p ExpectCutWeight when given. Unsplit critical edges are the
+/// configuration where Φ-operand edge frequency and predecessor block
+/// frequency genuinely differ.
+std::optional<OracleFailure>
+checkEfgCutOracles(const Function &F, const Profile &Prof,
+                   std::optional<int64_t> ExpectCutWeight);
+
+/// Differential min-cut oracle on one random small flow network:
+/// Dinic vs Edmonds-Karp, Earliest vs Latest extraction, verifyMinCut on
+/// each, and the brute-force partition enumeration as ground truth.
+std::optional<OracleFailure> checkRandomNetworkCase(uint64_t Seed,
+                                                    uint64_t CaseIdx);
+
+//===----------------------------------------------------------------------===//
+// Corpus replay
+//===----------------------------------------------------------------------===//
+
+/// A reproducer is a `.ir` file with directive comments
+///
+///   // specpre-fuzz reproducer
+///   // mode: pipeline | profile | efg-cut
+///   // args: 1,2,3            (training input; pipeline/profile modes)
+///   // oracle: <identifier>   (the invariant this case once violated)
+///   // expect-cut-weight: N   (efg-cut mode golden value)
+///
+/// and, for the profile and efg-cut modes, a sibling `<stem>.prof` file
+/// in the serializeProfile format.
+std::optional<OracleFailure> replayCorpusFile(const std::string &IrPath);
+
+/// Serializes a failing pipeline case into the reproducer format.
+std::string formatPipelineReproducer(const Function &Unprepared,
+                                     const std::vector<int64_t> &TrainArgs,
+                                     const OracleFailure &Failure);
+
+} // namespace specpre
+
+#endif // SPECPRE_WORKLOAD_FUZZORACLES_H

@@ -1,0 +1,82 @@
+//===- workload/Reducer.cpp - Delta-debugging test-case reducer ----------------===//
+
+#include "workload/Reducer.h"
+
+#include "analysis/Cfg.h"
+
+using namespace specpre;
+
+namespace {
+
+/// Bounded predicate wrapper: counts probes and fails closed once the
+/// budget is spent, so every reduction loop below terminates.
+struct Budget {
+  const ReducePredicate &StillFails;
+  unsigned Remaining;
+
+  bool probe(const Function &Cand) {
+    if (Remaining == 0)
+      return false;
+    --Remaining;
+    return StillFails(Cand);
+  }
+};
+
+/// Tries removing one non-terminator statement at a time, last to first
+/// (later statements usually depend on earlier ones, so removing from the
+/// back keeps more candidates well-formed). Returns true on any progress.
+bool shrinkStatements(Function &Cur, Budget &B) {
+  bool Progress = false;
+  for (unsigned BI = 0; BI != Cur.numBlocks(); ++BI) {
+    for (int SI = static_cast<int>(Cur.Blocks[BI].Stmts.size()) - 1; SI >= 0;
+         --SI) {
+      if (Cur.Blocks[BI].Stmts[SI].isTerminator())
+        continue;
+      Function Cand = Cur;
+      Cand.Blocks[BI].Stmts.erase(Cand.Blocks[BI].Stmts.begin() + SI);
+      if (B.probe(Cand)) {
+        Cur = std::move(Cand);
+        Progress = true;
+      }
+    }
+  }
+  return Progress;
+}
+
+/// Tries collapsing each conditional branch to an unconditional jump (to
+/// either target), dropping whatever becomes unreachable.
+bool shrinkBranches(Function &Cur, Budget &B) {
+  bool Progress = false;
+  for (unsigned BI = 0; BI != Cur.numBlocks(); ++BI) {
+    const Stmt &Term = Cur.Blocks[BI].terminator();
+    if (Term.Kind != StmtKind::Branch)
+      continue;
+    for (BlockId Target : {Term.TrueTarget, Term.FalseTarget}) {
+      Function Cand = Cur;
+      Cand.Blocks[BI].Stmts.back() = Stmt::makeJump(Target);
+      removeUnreachableBlocks(Cand);
+      if (B.probe(Cand)) {
+        Cur = std::move(Cand);
+        Progress = true;
+        break; // Block ids shifted; rescan from the outer loop.
+      }
+    }
+  }
+  return Progress;
+}
+
+} // namespace
+
+Function specpre::reduceFunction(const Function &Failing,
+                                 const ReducePredicate &StillFails,
+                                 unsigned MaxProbes) {
+  Function Cur = Failing;
+  Budget B{StillFails, MaxProbes};
+  bool Progress = true;
+  while (Progress && B.Remaining != 0) {
+    Progress = false;
+    Progress |= shrinkBranches(Cur, B);
+    Progress |= shrinkStatements(Cur, B);
+  }
+  return Cur;
+}

@@ -1,0 +1,42 @@
+//===- workload/Reducer.h - Delta-debugging test-case reducer --*- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A greedy delta-debugging reducer for failing fuzz cases. Given an
+/// unprepared non-SSA function and a predicate "does this candidate still
+/// trip the same oracle?", it repeatedly tries semantics-shrinking edits
+/// (dropping statements, collapsing conditional branches to jumps,
+/// removing unreachable blocks) and keeps every edit that preserves the
+/// failure, until a fixpoint. The result is what gets committed to
+/// tests/corpus/.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_WORKLOAD_REDUCER_H
+#define SPECPRE_WORKLOAD_REDUCER_H
+
+#include "ir/Ir.h"
+
+#include <functional>
+
+namespace specpre {
+
+/// Returns true when the candidate still reproduces the original failure
+/// (same oracle identifier). The predicate must tolerate arbitrary
+/// well-formed non-SSA functions — reduction may orphan variable uses
+/// (the interpreter reads those as zero).
+using ReducePredicate = std::function<bool(const Function &)>;
+
+/// Shrinks \p Failing while \p StillFails holds. \p MaxProbes bounds the
+/// number of predicate evaluations so reduction cannot run away on large
+/// inputs; the best candidate found so far is returned when it is hit.
+Function reduceFunction(const Function &Failing,
+                        const ReducePredicate &StillFails,
+                        unsigned MaxProbes = 4000);
+
+} // namespace specpre
+
+#endif // SPECPRE_WORKLOAD_REDUCER_H

@@ -1,0 +1,50 @@
+//===- tests/corpus_test.cpp - Replay of reduced fuzz reproducers ---------------===//
+//
+// Every reproducer under tests/corpus/ is a minimal program that once
+// tripped a fuzzing oracle at a buggy revision. Replaying the whole
+// directory on each test run keeps the fixed bugs fixed; see
+// tests/corpus/README.md for the file format.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/FuzzOracles.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <vector>
+
+using namespace specpre;
+
+#ifndef SPECPRE_CORPUS_DIR
+#error "SPECPRE_CORPUS_DIR must point at tests/corpus"
+#endif
+
+namespace {
+
+std::vector<std::string> corpusFiles() {
+  std::vector<std::string> Out;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(SPECPRE_CORPUS_DIR))
+    if (Entry.path().extension() == ".ir")
+      Out.push_back(Entry.path().string());
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+} // namespace
+
+TEST(Corpus, DirectoryIsNotEmpty) {
+  EXPECT_GE(corpusFiles().size(), 2u)
+      << "expected at least the two seeded reproducers in "
+      << SPECPRE_CORPUS_DIR;
+}
+
+TEST(Corpus, EveryReproducerReplaysClean) {
+  for (const std::string &Path : corpusFiles()) {
+    std::optional<OracleFailure> F = replayCorpusFile(Path);
+    EXPECT_FALSE(F.has_value())
+        << Path << ": oracle '" << (F ? F->Oracle : "") << "': "
+        << (F ? F->Message : "");
+  }
+}

@@ -443,3 +443,147 @@ TEST(McSsaPre, UndefinedOperandPathNeverGetsInsertion) {
     ASSERT_LE(O.DynamicComputations, Base.DynamicComputations);
   }
 }
+
+//===----------------------------------------------------------------------===//
+// EFG edge-weight regressions (see tests/corpus/README.md)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// SSA form of the critical-edge reproducer, built WITHOUT preparation so
+/// the critical edge left->join stays unsplit — the one configuration
+/// where a phi-operand's edge frequency and its predecessor's block
+/// frequency genuinely differ.
+Function criticalEdgeFunction() {
+  Function F = parseFunctionOrDie(R"(
+    func f(a, b, p, q) {
+    entry:
+      br p, left, join
+    left:
+      x = a + b
+      print x
+      br q, join, out
+    out:
+      print 0
+      ret 0
+    join:
+      z = a + b
+      ret z
+    }
+  )");
+  constructSsa(F);
+  return F;
+}
+
+/// Profile for criticalEdgeFunction: blocks entry=100 left=90 out=50
+/// join=50; edges entry->left=90, entry->join=10, left->out=50,
+/// left->join=40. The insertion point for `a + b` is the phi operand
+/// along entry->join: its edge frequency is 10, but its predecessor
+/// (entry) runs 100 times.
+Profile criticalEdgeProfile() {
+  Profile P;
+  P.BlockFreq = {100, 90, 50, 50};
+  P.HasEdgeFreqs = true;
+  P.EdgeFreq[{0, 1}] = 90;
+  P.EdgeFreq[{0, 3}] = 10;
+  P.EdgeFreq[{1, 2}] = 50;
+  P.EdgeFreq[{1, 3}] = 40;
+  return P;
+}
+
+} // namespace
+
+TEST(McSsaPre, PhiOperandUsesEdgeFrequencyOnUnsplitCriticalEdges) {
+  Function F = criticalEdgeFunction();
+  Cfg C(F);
+  DomTree DT = DomTree::buildDominators(C);
+  std::vector<ExprKey> Exprs = collectCandidateExprs(F);
+  ASSERT_EQ(Exprs.size(), 1u);
+
+  // With edge frequencies the insertion costs edgeFreq(entry->join) = 10,
+  // cheaper than computing in place at join (freq 50).
+  Profile Prof = criticalEdgeProfile();
+  Frg G(F, C, DT, Exprs[0]);
+  EfgStats S = computeSpeculativePlacement(G, Prof);
+  ASSERT_FALSE(S.Empty);
+  EXPECT_EQ(S.CutWeight, 10);
+  EXPECT_EQ(S.NumInsertions, 1u);
+  EXPECT_EQ(S.NumComputeInPlace, 0u);
+
+  // Degraded to a node-only profile the weight falls back to
+  // blockFreq(entry) = 100 — a sound upper bound — and the placement
+  // rightly prefers computing in place at join (weight 50). The bug was
+  // using blockFreq even when edge frequencies were available.
+  Profile NodeOnly = Prof.withoutEdgeFreqs();
+  Frg G2(F, C, DT, Exprs[0]);
+  EfgStats S2 = computeSpeculativePlacement(G2, NodeOnly);
+  ASSERT_FALSE(S2.Empty);
+  EXPECT_EQ(S2.CutWeight, 50);
+  EXPECT_EQ(S2.NumInsertions, 0u);
+  EXPECT_EQ(S2.NumComputeInPlace, 1u);
+}
+
+TEST(McSsaPre, ZeroFrequencyTieBreaksTowardComputeInPlace) {
+  // Cold join: both cutting the insertion edge and cutting the type-2
+  // in-place edge cost 0. Latest placement must take the cut closest to
+  // the sink — compute in place — which keeps the temporary's live range
+  // empty (lifetime optimality under ties, paper Section 5).
+  Function F = parseFunctionOrDie(R"(
+    func f(a, b, p) {
+    entry:
+      br p, t, e
+    t:
+      x = a + b
+      print x
+      jmp j
+    e:
+      print 0
+      jmp j
+    j:
+      z = a + b
+      ret z
+    }
+  )");
+  constructSsa(F);
+  Cfg C(F);
+  DomTree DT = DomTree::buildDominators(C);
+  std::vector<ExprKey> Exprs = collectCandidateExprs(F);
+  ASSERT_EQ(Exprs.size(), 1u);
+
+  Profile Prof;
+  Prof.BlockFreq = {1, 1, 0, 0}; // entry, t, e, j — the join never runs
+
+  Frg GLate(F, C, DT, Exprs[0]);
+  EfgStats Late = computeSpeculativePlacement(GLate, Prof,
+                                              CutPlacement::Latest);
+  ASSERT_FALSE(Late.Empty);
+  EXPECT_EQ(Late.CutWeight, 0);
+  EXPECT_EQ(Late.NumInsertions, 0u);
+  EXPECT_EQ(Late.NumComputeInPlace, 1u);
+
+  Frg GEarly(F, C, DT, Exprs[0]);
+  EfgStats Early = computeSpeculativePlacement(GEarly, Prof,
+                                               CutPlacement::Earliest);
+  ASSERT_FALSE(Early.Empty);
+  EXPECT_EQ(Early.CutWeight, 0);
+  EXPECT_EQ(Early.NumInsertions, 1u); // same capacity, earlier placement
+}
+
+TEST(McSsaPre, HugeFrequenciesSaturateInsteadOfAliasingInfinity) {
+  Function F = criticalEdgeFunction();
+  Cfg C(F);
+  DomTree DT = DomTree::buildDominators(C);
+  std::vector<ExprKey> Exprs = collectCandidateExprs(F);
+  ASSERT_EQ(Exprs.size(), 1u);
+
+  Profile Huge;
+  Huge.BlockFreq = {uint64_t(1) << 62, (uint64_t(1) << 62) - 1, 1,
+                    uint64_t(1) << 62};
+
+  Frg G(F, C, DT, Exprs[0]);
+  EfgStats S = computeSpeculativePlacement(G, Huge);
+  ASSERT_FALSE(S.Empty);
+  EXPECT_TRUE(S.Saturated);
+  EXPECT_LT(S.CutWeight, InfiniteCapacity);
+  EXPECT_EQ(S.CutWeight, MaxFiniteCapacity);
+}

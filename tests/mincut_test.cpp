@@ -184,3 +184,93 @@ TEST(MinCut, ResetFlowRestoresCapacities) {
   Net.resetFlow();
   EXPECT_EQ(computeMaxFlow(Net, 0, 2), 5);
 }
+
+TEST(MinCut, VerifyMinCutAcceptsComputedCuts) {
+  Rng R(99);
+  for (int Trial = 0; Trial != 50; ++Trial) {
+    FlowNetwork Net = randomNetwork(R, 6, 12, 10);
+    for (CutPlacement P : {CutPlacement::Earliest, CutPlacement::Latest}) {
+      FlowNetwork Work = Net;
+      MinCutResult Cut = computeMinCut(Work, 0, 5, P);
+      std::string Error;
+      EXPECT_TRUE(verifyMinCut(Work, 0, 5, Cut, Error)) << Error;
+    }
+  }
+}
+
+TEST(MinCut, VerifyMinCutRejectsTamperedCuts) {
+  FlowNetwork Net(4);
+  int E01 = Net.addEdge(0, 1, 3);
+  Net.addEdge(1, 2, 3);
+  Net.addEdge(2, 3, 3);
+  MinCutResult Cut = computeMinCut(Net, 0, 3, CutPlacement::Earliest);
+  std::string Error;
+  ASSERT_TRUE(verifyMinCut(Net, 0, 3, Cut, Error)) << Error;
+
+  MinCutResult WrongCap = Cut;
+  WrongCap.Capacity += 1;
+  EXPECT_FALSE(verifyMinCut(Net, 0, 3, WrongCap, Error));
+
+  MinCutResult MissingEdge = Cut;
+  MissingEdge.CutEdgeIds.clear();
+  EXPECT_FALSE(verifyMinCut(Net, 0, 3, MissingEdge, Error));
+
+  MinCutResult WrongSide = Cut;
+  WrongSide.SourceSide.assign(Net.numNodes(), true); // sink on source side
+  EXPECT_FALSE(verifyMinCut(Net, 0, 3, WrongSide, Error));
+  (void)E01;
+}
+
+TEST(MinCut, VerifyMinCutRejectsInfiniteCrossings) {
+  // A "cut" that crosses an infinite edge must be rejected even when its
+  // capacity bookkeeping is self-consistent.
+  FlowNetwork Net(3);
+  int EInf = Net.addEdge(0, 1, InfiniteCapacity);
+  Net.addEdge(1, 2, 1);
+  computeMaxFlow(Net, 0, 2);
+  MinCutResult Bogus;
+  Bogus.SourceSide = {true, false, false};
+  Bogus.CutEdgeIds = {EInf};
+  Bogus.Capacity = InfiniteCapacity;
+  std::string Error;
+  EXPECT_FALSE(verifyMinCut(Net, 0, 2, Bogus, Error));
+  EXPECT_NE(Error.find("infinite"), std::string::npos) << Error;
+}
+
+TEST(MinCut, TiedWeightChainEarliestVsLatest) {
+  // source ->1 A ->1 B ->inf sink: both unit edges are minimum cuts.
+  // Earliest (forward labeling) takes the source-closest edge, Latest
+  // (reverse labeling) the sink-closest one — the tie-break MC-SSAPRE
+  // relies on for lifetime optimality.
+  FlowNetwork Net(4);
+  int ESrc = Net.addEdge(0, 1, 1);
+  int EMid = Net.addEdge(1, 2, 1);
+  Net.addEdge(2, 3, InfiniteCapacity);
+
+  FlowNetwork NetE = Net;
+  MinCutResult Early = computeMinCut(NetE, 0, 3, CutPlacement::Earliest);
+  EXPECT_EQ(Early.Capacity, 1);
+  ASSERT_EQ(Early.CutEdgeIds.size(), 1u);
+  EXPECT_EQ(Early.CutEdgeIds[0], ESrc);
+
+  FlowNetwork NetL = Net;
+  MinCutResult Late = computeMinCut(NetL, 0, 3, CutPlacement::Latest);
+  EXPECT_EQ(Late.Capacity, 1);
+  ASSERT_EQ(Late.CutEdgeIds.size(), 1u);
+  EXPECT_EQ(Late.CutEdgeIds[0], EMid);
+}
+
+TEST(MinCut, SaturatedEdgeWeightNeverAliasesInfinity) {
+  // Plain weights pass through unchanged.
+  EXPECT_EQ(saturatedEdgeWeight(100, 1, 0), 100);
+  EXPECT_EQ(saturatedEdgeWeight(100, 1u << 16, 1), (100ll << 16) + 1);
+  // Frequencies near 2^62 saturate instead of overflowing or reaching
+  // the uncuttable capacity...
+  EXPECT_EQ(saturatedEdgeWeight(uint64_t(1) << 62, 1, 0), MaxFiniteCapacity);
+  EXPECT_EQ(saturatedEdgeWeight(uint64_t(1) << 62, 1u << 16, 1),
+            MaxFiniteCapacity);
+  EXPECT_EQ(saturatedEdgeWeight(0, 0, uint64_t(1) << 63), MaxFiniteCapacity);
+  // ...and the cap leaves enough headroom that a cut summing many
+  // saturated edges still stays below a single infinite edge.
+  EXPECT_LT(MaxFiniteCapacity * (int64_t(1) << 19), InfiniteCapacity);
+}
