@@ -32,4 +32,11 @@ for f in tests/corpus/*.ir; do
 done
 ./build-release/tools/specpre-fuzz --cases=150 --networks=500 --seed=1
 
+# Fault-injection smoke (docs/ROBUSTNESS.md): with every site armed, the
+# ladder must land each function on a verified rung and exit cleanly;
+# the ASan build catches any recovery-path memory error.
+echo "==== fault-injection smoke ===="
+./build-release/tools/specpre-fuzz --cases=150 --seed=1 --inject-faults=all:0.1:7
+./build-asan/tools/specpre-fuzz --cases=60 --seed=2 --inject-faults=all:0.5:11
+
 echo "==== all configurations passed ===="

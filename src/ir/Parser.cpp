@@ -5,6 +5,7 @@
 #include "support/Diagnostics.h"
 
 #include <cctype>
+#include <cstdint>
 #include <map>
 #include <vector>
 
@@ -20,6 +21,7 @@ enum class TokKind {
   Ident,
   Number,
   Punct, // one of ( ) { } [ ] , : = # and operator spellings
+  Error, // malformed lexeme; Text holds the diagnostic
   Eof,
 };
 
@@ -28,6 +30,7 @@ struct Token {
   std::string Text;
   int64_t Value = 0;
   unsigned Line = 0;
+  unsigned Col = 0;
 };
 
 class Lexer {
@@ -36,18 +39,21 @@ public:
 
   Token next() {
     skipWhitespaceAndComments();
+    unsigned TokLine = Line;
+    unsigned TokCol = static_cast<unsigned>(Pos - LineStart) + 1;
     Token T;
-    T.Line = Line;
-    if (Pos >= Text.size()) {
-      T.Kind = TokKind::Eof;
-      return T;
+    if (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+        T = lexIdent();
+      else if (std::isdigit(static_cast<unsigned char>(C)))
+        T = lexNumber();
+      else
+        T = lexPunct();
     }
-    char C = Text[Pos];
-    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
-      return lexIdent();
-    if (std::isdigit(static_cast<unsigned char>(C)))
-      return lexNumber();
-    return lexPunct();
+    T.Line = TokLine;
+    T.Col = TokCol;
+    return T;
   }
 
 private:
@@ -57,6 +63,7 @@ private:
       if (C == '\n') {
         ++Line;
         ++Pos;
+        LineStart = Pos;
       } else if (std::isspace(static_cast<unsigned char>(C))) {
         ++Pos;
       } else if (C == '/' && Pos + 1 < Text.size() && Text[Pos + 1] == '/') {
@@ -71,7 +78,6 @@ private:
   Token lexIdent() {
     Token T;
     T.Kind = TokKind::Ident;
-    T.Line = Line;
     size_t Start = Pos;
     while (Pos < Text.size() &&
            (std::isalnum(static_cast<unsigned char>(Text[Pos])) ||
@@ -84,20 +90,31 @@ private:
   Token lexNumber() {
     Token T;
     T.Kind = TokKind::Number;
-    T.Line = Line;
     size_t Start = Pos;
+    bool Overflow = false;
+    int64_t V = 0;
     while (Pos < Text.size() &&
-           std::isdigit(static_cast<unsigned char>(Text[Pos])))
+           std::isdigit(static_cast<unsigned char>(Text[Pos]))) {
+      int64_t D = Text[Pos] - '0';
+      if (V > (INT64_MAX - D) / 10)
+        Overflow = true;
+      else
+        V = V * 10 + D;
       ++Pos;
+    }
     T.Text = std::string(Text.substr(Start, Pos - Start));
-    T.Value = std::stoll(T.Text);
+    if (Overflow) {
+      T.Kind = TokKind::Error;
+      T.Text = "integer literal '" + T.Text + "' out of range";
+    } else {
+      T.Value = V;
+    }
     return T;
   }
 
   Token lexPunct() {
     Token T;
     T.Kind = TokKind::Punct;
-    T.Line = Line;
     // Two-character operators first.
     static const char *TwoChar[] = {"==", "!=", "<=", ">=", "<<", ">>"};
     if (Pos + 1 < Text.size()) {
@@ -117,6 +134,7 @@ private:
 
   std::string_view Text;
   size_t Pos = 0;
+  size_t LineStart = 0;
   unsigned Line = 1;
 };
 
@@ -156,11 +174,18 @@ public:
   }
 
 private:
-  void advance() { Tok = Lex.next(); }
+  void advance() {
+    Tok = Lex.next();
+    // A malformed lexeme carries its own diagnostic; record it now so the
+    // inevitable downstream mismatch reports the root cause.
+    if (Tok.Kind == TokKind::Error)
+      fail(Tok.Text);
+  }
 
   bool fail(const std::string &Message) {
     if (Err.empty())
-      Err = "line " + std::to_string(Tok.Line) + ": " + Message;
+      Err = "line " + std::to_string(Tok.Line) + ", col " +
+            std::to_string(Tok.Col) + ": " + Message;
     return false;
   }
 

@@ -2,6 +2,7 @@
 
 #include "mincut/MaxFlow.h"
 
+#include "support/Budget.h"
 #include "support/Diagnostics.h"
 
 #include <algorithm>
@@ -12,10 +13,21 @@ using namespace specpre;
 
 namespace {
 
+/// Budget probe shared by both algorithms: one augmenting path (or Dinic
+/// blocking-flow push / level-graph phase) counts as one augmentation
+/// step. Throws StatusException(BudgetExhausted) when the installed
+/// budget trips; the degradation ladder catches it at the function
+/// boundary.
+void noteAugmentationStep(const char *Where) {
+  if (BudgetTracker *B = currentBudget())
+    throwIfError(B->noteAugmentation(Where));
+}
+
 int64_t runEdmondsKarp(FlowNetwork &Net, int Source, int Sink) {
   int N = Net.numNodes();
   int64_t Total = 0;
   for (;;) {
+    noteAugmentationStep("max-flow (Edmonds-Karp)");
     // BFS for the shortest augmenting path; remember the edge taken into
     // each node.
     std::vector<std::pair<int, int>> Parent(N, {-1, -1}); // (node, edge idx)
@@ -64,6 +76,7 @@ public:
     while (buildLevelGraph()) {
       NextEdge.assign(Net.numNodes(), 0);
       for (;;) {
+        noteAugmentationStep("max-flow (Dinic)");
         int64_t Pushed = blockingFlowDfs(Source, InfiniteCapacity * 2);
         if (Pushed == 0)
           break;

@@ -154,10 +154,13 @@ bool specpre::verifyMinCut(const FlowNetwork &Net, int Source, int Sink,
   return true;
 }
 
-int64_t specpre::bruteForceMinCutCapacity(const FlowNetwork &Net, int Source,
-                                          int Sink) {
+Expected<int64_t> specpre::bruteForceMinCutCapacity(const FlowNetwork &Net,
+                                                    int Source, int Sink) {
   int N = Net.numNodes();
-  assert(N <= 22 && "brute force limited to tiny networks");
+  if (N > 22)
+    return Status::error(ErrorCode::ResourceLimit,
+                         "brute-force min-cut oracle limited to 22 nodes, got " +
+                             std::to_string(N));
   // Enumerate subsets of the nodes other than source and sink.
   std::vector<int> Free;
   for (int I = 0; I != N; ++I)

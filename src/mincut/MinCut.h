@@ -22,6 +22,7 @@
 
 #include "mincut/FlowNetwork.h"
 #include "mincut/MaxFlow.h"
+#include "support/Status.h"
 
 #include <string>
 #include <vector>
@@ -59,11 +60,14 @@ bool verifyMinCut(const FlowNetwork &Net, int Source, int Sink,
                   const MinCutResult &Cut, std::string &Error);
 
 /// Exhaustive minimum-cut search over all 2^(N-2) partitions; only for
-/// networks with at most ~20 nodes. Used by tests as an oracle. Returns
+/// networks with at most 22 nodes. Used by tests as an oracle. Returns
 /// the minimum cut capacity over partitions that separate source from
-/// sink (only counting forward edges from S to T).
-int64_t bruteForceMinCutCapacity(const FlowNetwork &Net, int Source,
-                                 int Sink);
+/// sink (only counting forward edges from S to T), or a ResourceLimit
+/// error for networks too large to enumerate — a checked error rather
+/// than an assert, so a fuzzer feeding it an oversized network gets a
+/// diagnostic in every build type instead of 2^N of silent looping.
+Expected<int64_t> bruteForceMinCutCapacity(const FlowNetwork &Net, int Source,
+                                           int Sink);
 
 } // namespace specpre
 

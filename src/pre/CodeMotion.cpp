@@ -3,6 +3,7 @@
 #include "pre/CodeMotion.h"
 
 #include "support/Diagnostics.h"
+#include "support/FaultInjector.h"
 #include "support/PassTimer.h"
 
 #include <cassert>
@@ -14,6 +15,7 @@ using namespace specpre;
 unsigned specpre::applyCodeMotion(Function &F, const Frg &G,
                                   FinalizePlan &Plan, VarId TempVar) {
   PassTimer Timer(PipelineStep::CodeMotion, Plan.TempDefs.size());
+  maybeInject(FaultSite::CodeMotion, "code motion");
   const ExprKey &E = G.expr();
 
   // Assign SSA versions to the live temp definitions.

@@ -3,6 +3,7 @@
 #include "pre/Finalize.h"
 
 #include "support/Diagnostics.h"
+#include "support/FaultInjector.h"
 #include "support/PassTimer.h"
 
 #include <cassert>
@@ -185,6 +186,7 @@ void Finalizer::markLiveness() {
 FinalizePlan specpre::finalizePlacement(Frg &G) {
   PassTimer Timer(PipelineStep::Finalize,
                   G.phis().size() + G.reals().size());
+  maybeInject(FaultSite::Finalize, "finalize placement");
   Finalizer Fz(G);
   return Fz.run();
 }

@@ -4,7 +4,9 @@
 
 #include "analysis/DominanceFrontier.h"
 #include "pre/FrgInternal.h"
+#include "support/Budget.h"
 #include "support/Diagnostics.h"
+#include "support/FaultInjector.h"
 #include "support/PassTimer.h"
 
 #include <algorithm>
@@ -32,11 +34,19 @@ public:
   void run() {
     {
       PassTimer T(PipelineStep::PhiInsertion);
+      maybeInject(FaultSite::PhiInsertion, "FRG build");
       insertPhis();
       collectReals();
-      T.setProblemSize(G.Phis.size() + G.Reals.size());
+      uint64_t Occurrences = G.Phis.size() + G.Reals.size();
+      // Degenerate inputs can explode the occurrence count; the graph-node
+      // budget bounds FRG memory before Rename touches it.
+      if (BudgetTracker *B = currentBudget())
+        throwIfError(B->checkGraphNodes(Occurrences, "FRG build"));
+      maybeInject(FaultSite::Alloc, "FRG occurrence arrays");
+      T.setProblemSize(Occurrences);
     }
     PassTimer T(PipelineStep::Rename, G.Phis.size() + G.Reals.size());
+    maybeInject(FaultSite::Rename, "FRG rename");
     detail::renameFrg(G);
   }
 

@@ -7,7 +7,9 @@
 #include "pre/EdgeTransform.h"
 #include "pre/ExprKey.h"
 #include "pre/LexicalDataFlow.h"
+#include "support/Budget.h"
 #include "support/Diagnostics.h"
+#include "support/FaultInjector.h"
 
 #include <cassert>
 #include <map>
@@ -94,6 +96,9 @@ void specpre::runLcm(Function &F, PreStats *Stats) {
   for (unsigned EI = 0; EI != Exprs.size(); ++EI) {
     const ExprKey &E = Exprs[EI];
     Cfg C(F);
+    if (BudgetTracker *B = currentBudget())
+      throwIfError(B->checkDeadline("LCM data flow"));
+    maybeInject(FaultSite::DataFlow, "LCM data flow");
     LcmSolution Sol = solveLcm(F, C, E);
     if (Stats) {
       ExprStatsRecord R;

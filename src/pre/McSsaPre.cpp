@@ -2,7 +2,9 @@
 
 #include "pre/McSsaPre.h"
 
+#include "support/Budget.h"
 #include "support/Diagnostics.h"
+#include "support/FaultInjector.h"
 #include "support/PassTimer.h"
 
 #include <cassert>
@@ -174,12 +176,14 @@ EfgStats specpre::computeSpeculativePlacement(Frg &G, const Profile &Prof,
     // Step 3: sparse data flow on the SSA graph.
     PassTimer T(PipelineStep::DataFlow,
                 G.phis().size() + G.reals().size());
+    maybeInject(FaultSite::DataFlow, "availability/anticipability");
     computeFullAvailability(G);
     computePartialAnticipability(G);
   }
 
   std::optional<PassTimer> ReductionTimer(std::in_place,
                                           PipelineStep::Reduction);
+  maybeInject(FaultSite::Reduction, "reduced SSA graph");
 
   // Step 4: the reduced SSA graph.
   for (PhiOcc &P : G.phis())
@@ -286,29 +290,42 @@ EfgStats specpre::computeSpeculativePlacement(Frg &G, const Profile &Prof,
   ReductionTimer->setProblemSize(Stats.NumNodes + Stats.NumEdges);
   ReductionTimer.reset();
   PassTimer MinCutTimer(PipelineStep::MinCut, Stats.NumNodes + NumEdges);
+  if (BudgetTracker *B = currentBudget()) {
+    throwIfError(B->checkGraphNodes(Stats.NumNodes, "EFG min-cut"));
+    throwIfError(B->checkDeadline("EFG min-cut"));
+  }
+  maybeInject(FaultSite::MinCut, "EFG minimum cut");
+  maybeInject(FaultSite::Budget, "EFG min-cut boundary");
 
   // Step 7: minimum cut, picking later cuts on ties via reverse labeling.
   MinCutResult Cut = computeMinCut(Net, Source, Sink, Placement, Algo);
   Stats.CutWeight = Cut.Capacity;
   Stats.NumCutEdges = static_cast<unsigned>(Cut.CutEdgeIds.size());
 
-#ifndef NDEBUG
+  // Always-on cut validation: an invalid cut here would silently produce
+  // a wrong (though still verifier-clean) placement, so a failure is
+  // recoverable — the degradation ladder retries on a conservative
+  // strategy rather than aborting the process.
   {
     std::string CutError;
+    maybeInject(FaultSite::Verify, "min-cut validation");
     if (!verifyMinCut(Net, Source, Sink, Cut, CutError))
-      reportFatalError("MC-SSAPRE minimum cut failed validation: " +
-                       CutError);
+      throw StatusException(ErrorCode::InternalError,
+                            "MC-SSAPRE minimum cut failed validation: " +
+                                CutError);
   }
-#endif
 
   for (int EdgeId : Cut.CutEdgeIds) {
     int Tag = Net.edgeTag(EdgeId);
     if (Tag < 0)
       // An infinite sink edge in the cut means a finite weight aliased
       // InfiniteCapacity — impossible since weights saturate at
-      // MaxFiniteCapacity. Fail loudly rather than index Actions with -1.
-      reportFatalError("infinite sink edge in the MC-SSAPRE minimum cut "
-                       "(finite capacity aliased the infinite edges)");
+      // MaxFiniteCapacity. Recoverable: the ladder falls back to a
+      // strategy that does not price edges at all.
+      throw StatusException(
+          ErrorCode::InternalError,
+          "infinite sink edge in the MC-SSAPRE minimum cut "
+          "(finite capacity aliased the infinite edges)");
     const CutAction &A = Actions[Tag];
     if (A.K == CutAction::Kind::InsertAtOperand) {
       assert(!G.phis()[A.PhiIdx].Operands[A.OpIdx].InsertBlocked &&

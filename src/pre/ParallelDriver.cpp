@@ -13,10 +13,13 @@
 #include "pre/LexicalDataFlow.h"
 #include "pre/SsaPre.h"
 #include "ssa/SsaConstruction.h"
+#include "support/Budget.h"
+#include "support/CrashContext.h"
 #include "support/Diagnostics.h"
 #include "support/ThreadPool.h"
 
 #include <cassert>
+#include <exception>
 
 using namespace specpre;
 
@@ -145,7 +148,13 @@ void runSsaStrategiesParallel(Function &F, const PreOptions &Opts,
   // Analysis phase: every candidate's FRG build and placement (the
   // min-cut hot path) runs concurrently against the shared, still
   // unmutated F. All inputs (F, C, DT, LI, LDF, profile) are const.
+  // The function's budget tracker (thread-local by scope) is re-installed
+  // per invocation so pool threads share the calling thread's budget; a
+  // throwing analysis is contained by the pool and rethrown to the
+  // caller, where the ladder catches it.
+  BudgetTracker *Budget = currentBudget();
   Pool.parallelFor(Exprs.size(), [&](size_t EI) {
+    BudgetScope BScope(Budget);
     MetricsScope Scope(Metrics ? &MetricShards[EI] : nullptr);
     ExprPlacement &P = Placements[EI];
     Frg G(F, C, DT, Exprs[EI]);
@@ -210,15 +219,20 @@ void runSsaStrategiesParallel(Function &F, const PreOptions &Opts,
       VarId Temp = F.makeFreshVar("pre.tmp." + std::to_string(EI));
       applyCodeMotion(F, G, Plan, Temp);
       if (Opts.Verify) {
-        verifyFunctionOrDie(F, std::string("after parallel PRE of '") +
-                                   E.toString(F) + "' with " +
-                                   strategyName(Opts.Strategy));
-        std::vector<std::pair<ExprKey, VarId>> TempMap{{E, Temp}};
         std::string Error;
+        if (!verifyFunction(F, Error))
+          throw StatusException(ErrorCode::VerifyFailed,
+                                std::string("IR verification failed after "
+                                            "parallel PRE of '") +
+                                    E.toString(F) + "' with " +
+                                    strategyName(Opts.Strategy) + ": " +
+                                    Error);
+        std::vector<std::pair<ExprKey, VarId>> TempMap{{E, Temp}};
         if (!checkReloadsFullyAvailable(F, TempMap, Error))
-          reportFatalError("Definition-1 correctness violated by parallel " +
-                           std::string(strategyName(Opts.Strategy)) + ": " +
-                           Error);
+          throw StatusException(
+              ErrorCode::VerifyFailed,
+              "Definition-1 correctness violated by parallel " +
+                  std::string(strategyName(Opts.Strategy)) + ": " + Error);
       }
     }
 
@@ -247,9 +261,14 @@ Function ParallelPreDriver::compileFunction(const Function &Prepared,
                                             PipelineMetrics *Metrics) {
   assert(!Prepared.IsSSA && "compileFunction expects prepared non-SSA input");
   Function F = Prepared;
+  // Per-function budget, installed on the calling thread for the serial
+  // path and the commit phase; the analysis fan-out re-installs it on
+  // pool threads (runSsaStrategiesParallel).
+  BudgetTracker Tracker(Opts.Budget);
+  BudgetScope Scope(Opts.Budget.unlimited() ? nullptr : &Tracker);
   if (isSsaStrategy(Opts.Strategy)) {
     {
-      MetricsScope Scope(Metrics);
+      MetricsScope MScope(Metrics);
       constructSsa(F);
     }
     if (Pool && Config.ParallelExpressions) {
@@ -257,8 +276,88 @@ Function ParallelPreDriver::compileFunction(const Function &Prepared,
       return F;
     }
   }
-  MetricsScope Scope(Metrics);
+  MetricsScope MScope(Metrics);
   runPre(F, Opts);
+  return F;
+}
+
+Function ParallelPreDriver::compileFunctionWithFallback(
+    const Function &Prepared, const PreOptions &Opts, PipelineMetrics *Metrics,
+    CompileOutcomeRecord *OutcomeOut) {
+  CrashContext FnFrame("function", Prepared.Name);
+  CompileOutcomeRecord Outcome;
+  Outcome.FunctionName = Prepared.Name;
+  Outcome.Requested = strategyName(Opts.Strategy);
+
+  // Fast path: the requested strategy, parallel expression fan-out and
+  // all, with this rung's statistics isolated so a failed attempt leaves
+  // nothing behind.
+  Status Failure = Status::ok();
+  try {
+    CrashContext RungFrame("strategy", strategyName(Opts.Strategy));
+    PreOptions TopOpts = Opts;
+    TopOpts.VerifyErrorOut = nullptr;
+    PreStats TopStats;
+    TopOpts.Stats = Opts.Stats ? &TopStats : nullptr;
+    Function F = compileFunction(Prepared, TopOpts, Metrics);
+    Failure = checkObservableEquivalence(Prepared, F, Opts);
+    if (Failure.isOk()) {
+      Outcome.Used = Outcome.Requested;
+      if (Opts.Stats) {
+        for (const ExprStatsRecord &R : TopStats.records())
+          Opts.Stats->addRecord(R);
+        Opts.Stats->addOutcome(Outcome);
+      }
+      if (OutcomeOut)
+        *OutcomeOut = Outcome;
+      if (Metrics)
+        ++Metrics->robustness().FunctionsCompiled;
+      return F;
+    }
+  } catch (const StatusException &E) {
+    Failure = E.status();
+  } catch (const std::exception &E) {
+    // A non-Status exception escaping a worker (bad_alloc, logic_error)
+    // is contained the same way; only signals/aborts remain fatal.
+    Failure = Status::error(ErrorCode::WorkerFailed, E.what());
+  }
+
+  Outcome.Cause = errorCodeName(Failure.code());
+  Outcome.Message = Failure.message();
+
+  // Degrade: walk the remaining rungs serially (deterministic and
+  // allocation-light — the expensive strategy already failed once).
+  std::vector<PreStrategy> Ladder = degradationLadder(Opts.Strategy);
+  Function F = Prepared;
+  if (Ladder.size() > 1) {
+    PreOptions FallbackOpts = Opts;
+    FallbackOpts.Strategy = Ladder[1];
+    FallbackOpts.VerifyErrorOut = nullptr;
+    PreStats InnerStats;
+    FallbackOpts.Stats = Opts.Stats ? &InnerStats : nullptr;
+    CompileOutcomeRecord Inner;
+    F = compileWithFallback(Prepared, FallbackOpts, &Inner);
+    Outcome.Used = Inner.Used;
+    Outcome.Retries = 1 + Inner.Retries;
+    if (Opts.Stats)
+      for (const ExprStatsRecord &R : InnerStats.records())
+        Opts.Stats->addRecord(R);
+  } else {
+    Outcome.Used = strategyName(PreStrategy::None);
+    Outcome.Retries = 1;
+  }
+
+  if (Opts.Stats)
+    Opts.Stats->addOutcome(Outcome);
+  if (OutcomeOut)
+    *OutcomeOut = Outcome;
+  if (Metrics) {
+    RobustnessCounters &R = Metrics->robustness();
+    ++R.FunctionsCompiled;
+    ++R.FunctionsDegraded;
+    R.LadderRetries += Outcome.Retries;
+    ++R.WorkerFailures;
+  }
   return F;
 }
 
@@ -273,8 +372,8 @@ ParallelPreDriver::compileCorpus(const std::vector<CompileTask> &Tasks,
   auto CompileOne = [&](size_t I) {
     PreOptions PO = Tasks[I].Opts;
     PO.Stats = MergedStats ? &StatShards[I] : nullptr;
-    Results[I] = compileFunction(*Tasks[I].Prepared, PO,
-                                 Metrics ? &MetricShards[I] : nullptr);
+    Results[I] = compileFunctionWithFallback(
+        *Tasks[I].Prepared, PO, Metrics ? &MetricShards[I] : nullptr);
     if (PO.Stats)
       PO.Stats->stampFunctionIndex(static_cast<unsigned>(I));
   };

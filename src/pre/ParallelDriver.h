@@ -78,11 +78,29 @@ public:
   Function compileFunction(const Function &Prepared, const PreOptions &Opts,
                            PipelineMetrics *Metrics = nullptr);
 
+  /// Fault-isolated compileFunction: attempts the requested strategy
+  /// (parallel fast path when enabled) under Opts.Budget; any recoverable
+  /// failure — injected fault, budget exhaustion, verification failure,
+  /// contained worker exception — degrades serially down the ladder
+  /// (see degradationLadder), ending at the identity rung. Never throws
+  /// a pipeline error and never loses the function. With no failure the
+  /// result, stats and metrics are bit-identical to compileFunction.
+  /// The outcome is recorded in Opts.Stats and \p OutcomeOut (when set),
+  /// and the robustness counters of \p Metrics are updated.
+  Function
+  compileFunctionWithFallback(const Function &Prepared, const PreOptions &Opts,
+                              PipelineMetrics *Metrics = nullptr,
+                              CompileOutcomeRecord *OutcomeOut = nullptr);
+
   /// Compiles a whole corpus, fanning functions (and expressions within
   /// them) across the pool. Results are positionally aligned with
   /// \p Tasks. \p MergedStats, when set, receives every function's
   /// records merged in (function, expression) order — bit-identical to
   /// a serial loop over compileWithPre.
+  ///
+  /// Each task compiles through compileFunctionWithFallback, so one
+  /// failing function degrades (worst case to identity) without taking
+  /// down the batch or perturbing any other task's output.
   std::vector<Function> compileCorpus(const std::vector<CompileTask> &Tasks,
                                       PreStats *MergedStats,
                                       PipelineMetrics *Metrics = nullptr);

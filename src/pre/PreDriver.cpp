@@ -17,7 +17,9 @@
 #include "pre/McPre.h"
 #include "pre/McSsaPre.h"
 #include "pre/SsaPre.h"
+#include "interp/Interpreter.h"
 #include "ssa/SsaConstruction.h"
+#include "support/CrashContext.h"
 #include "support/Diagnostics.h"
 
 #include <cassert>
@@ -51,9 +53,11 @@ void specpre::prepareFunction(Function &F) {
 
 namespace {
 
-/// Runs the IR verifier; on failure either aborts (default) or records
-/// the failure in Opts.VerifyErrorOut and returns false so the caller
-/// can unwind (the transformed function is in an undefined state).
+/// Runs the IR verifier; on failure either records the failure in
+/// Opts.VerifyErrorOut and returns false so the caller can unwind (the
+/// transformed function is in an undefined state), or — with no error
+/// sink — throws StatusException(VerifyFailed), which the degradation
+/// ladder converts into a retry on a cheaper strategy.
 bool verifyOrReport(const Function &F, const PreOptions &Opts,
                     const std::string &Context) {
   std::string Error;
@@ -63,7 +67,8 @@ bool verifyOrReport(const Function &F, const PreOptions &Opts,
     *Opts.VerifyErrorOut = "IR verification failed " + Context + ": " + Error;
     return false;
   }
-  reportFatalError("IR verification failed " + Context + ": " + Error);
+  throw StatusException(ErrorCode::VerifyFailed,
+                        "IR verification failed " + Context + ": " + Error);
 }
 
 /// Same reporting policy for the Definition-1 availability oracle.
@@ -72,7 +77,7 @@ bool reportOracleFailure(const PreOptions &Opts, const std::string &Message) {
     *Opts.VerifyErrorOut = Message;
     return false;
   }
-  reportFatalError(Message);
+  throw StatusException(ErrorCode::VerifyFailed, Message);
 }
 
 void runSsaStrategies(Function &F, const PreOptions &Opts) {
@@ -95,6 +100,7 @@ void runSsaStrategies(Function &F, const PreOptions &Opts) {
 
     ExprStatsRecord Rec;
     Rec.Expr = E.toString(F);
+    CrashContext ExprFrame("expression", Rec.Expr);
     Rec.FunctionName = F.Name;
     Rec.ExprIndex = EI;
     Rec.FrgPhis = static_cast<unsigned>(G.phis().size());
@@ -225,4 +231,114 @@ Function specpre::compileWithPre(const Function &Prepared,
     constructSsa(F);
   runPre(F, Opts);
   return F;
+}
+
+Status specpre::runPreChecked(Function &F, const PreOptions &Opts) {
+  try {
+    runPre(F, Opts);
+    return Status::ok();
+  } catch (const StatusException &E) {
+    return E.status();
+  }
+}
+
+std::vector<PreStrategy> specpre::degradationLadder(PreStrategy Requested) {
+  switch (Requested) {
+  case PreStrategy::McSsaPre:
+    return {PreStrategy::McSsaPre, PreStrategy::SsaPreSpec,
+            PreStrategy::SsaPre, PreStrategy::None};
+  case PreStrategy::SsaPreSpec:
+    return {PreStrategy::SsaPreSpec, PreStrategy::SsaPre, PreStrategy::None};
+  case PreStrategy::SsaPre:
+    return {PreStrategy::SsaPre, PreStrategy::None};
+  case PreStrategy::McPre:
+    return {PreStrategy::McPre, PreStrategy::None};
+  case PreStrategy::Lcm:
+    return {PreStrategy::Lcm, PreStrategy::None};
+  case PreStrategy::None:
+    return {PreStrategy::None};
+  }
+  SPECPRE_UNREACHABLE("bad strategy");
+}
+
+Status specpre::checkObservableEquivalence(const Function &Prepared,
+                                           const Function &Optimized,
+                                           const PreOptions &Opts) {
+  if (!Opts.EquivalenceInputs)
+    return Status::ok();
+  for (const std::vector<int64_t> &Raw : *Opts.EquivalenceInputs) {
+    std::vector<int64_t> Args = Raw;
+    Args.resize(Prepared.Params.size(), 0);
+    ExecResult Before = interpret(Prepared, Args);
+    ExecResult After = interpret(Optimized, Args);
+    if (!Before.sameObservableBehavior(After))
+      return Status::error(ErrorCode::VerifyFailed,
+                           "interpreter equivalence violated: " +
+                               Before.describe() + " vs " + After.describe());
+  }
+  return Status::ok();
+}
+
+Function specpre::compileWithFallback(const Function &Prepared,
+                                      const PreOptions &Opts,
+                                      CompileOutcomeRecord *OutcomeOut) {
+  assert(!Prepared.IsSSA &&
+         "compileWithFallback expects prepared non-SSA input");
+  CrashContext FnFrame("function", Prepared.Name);
+
+  CompileOutcomeRecord Outcome;
+  Outcome.FunctionName = Prepared.Name;
+  Outcome.Requested = strategyName(Opts.Strategy);
+
+  const bool Budgeted = !Opts.Budget.unlimited();
+  BudgetTracker Tracker(Opts.Budget);
+
+  for (PreStrategy Rung : degradationLadder(Opts.Strategy)) {
+    CrashContext RungFrame("strategy", strategyName(Rung));
+    PreOptions RungOpts = Opts;
+    RungOpts.Strategy = Rung;
+    // Route verification failures through the exception path so the
+    // ladder sees them uniformly, and isolate the rung's statistics so
+    // an abandoned rung leaves no partial records behind.
+    RungOpts.VerifyErrorOut = nullptr;
+    PreStats RungStats;
+    RungOpts.Stats = Opts.Stats ? &RungStats : nullptr;
+
+    Status Failure = Status::ok();
+    try {
+      // Each rung gets the full budget: a cheap fallback must not be
+      // starved by the expensive attempt that preceded it.
+      Tracker.reset();
+      BudgetScope Scope(Budgeted ? &Tracker : nullptr);
+      Function F = compileWithPre(Prepared, RungOpts);
+      Failure = checkObservableEquivalence(Prepared, F, Opts);
+      if (Failure.isOk()) {
+        Outcome.Used = strategyName(Rung);
+        if (Opts.Stats) {
+          for (const ExprStatsRecord &R : RungStats.records())
+            Opts.Stats->addRecord(R);
+          Opts.Stats->addOutcome(Outcome);
+        }
+        if (OutcomeOut)
+          *OutcomeOut = Outcome;
+        return F;
+      }
+    } catch (const StatusException &E) {
+      Failure = E.status();
+    }
+    if (Outcome.Cause.empty()) {
+      Outcome.Cause = errorCodeName(Failure.code());
+      Outcome.Message = Failure.message();
+    }
+    ++Outcome.Retries;
+  }
+
+  // Unreachable in practice: the None rung runs no pass code and has no
+  // fault sites, so it cannot fail. Return the input unchanged anyway.
+  Outcome.Used = strategyName(PreStrategy::None);
+  if (Opts.Stats)
+    Opts.Stats->addOutcome(Outcome);
+  if (OutcomeOut)
+    *OutcomeOut = Outcome;
+  return Prepared;
 }

@@ -29,8 +29,11 @@
 #include "pre/McSsaPre.h"
 #include "pre/PreStats.h"
 #include "profile/Profile.h"
+#include "support/Budget.h"
+#include "support/Status.h"
 
 #include <string>
+#include <vector>
 
 namespace specpre {
 
@@ -63,12 +66,24 @@ struct PreOptions {
   /// set).
   bool Verify = true;
   /// When non-null, a verification failure is described here and the run
-  /// stops instead of aborting the process. The fuzzer uses this so a
+  /// stops instead of raising an error. The fuzzer uses this so a
   /// failing case can be delta-reduced in-process. Only written on
   /// failure; callers pass an empty string and test for non-emptiness.
+  /// When null, a verification failure throws StatusException
+  /// (ErrorCode::VerifyFailed) instead, which compileWithFallback
+  /// converts into a retry on the next ladder rung.
   std::string *VerifyErrorOut = nullptr;
   /// Statistics sink (may be null).
   PreStats *Stats = nullptr;
+  /// Resource limits for one function's compilation (default: none).
+  /// Exhaustion surfaces as StatusException(BudgetExhausted), which the
+  /// degradation ladder turns into a retry on a cheaper strategy.
+  CompileBudget Budget;
+  /// When non-null, compileWithFallback additionally checks interpreter
+  /// equivalence of the transformed function against the prepared input
+  /// on each argument vector before accepting a rung's result. Argument
+  /// vectors are padded/truncated to the function's arity.
+  const std::vector<std::vector<int64_t>> *EquivalenceInputs = nullptr;
 };
 
 /// Normalizes a freshly parsed (non-SSA) function for compilation:
@@ -85,6 +100,43 @@ void runPre(Function &F, const PreOptions &Opts);
 /// strategy requires it, and runs PRE. Returns the optimized function,
 /// leaving the input untouched.
 Function compileWithPre(const Function &Prepared, const PreOptions &Opts);
+
+/// Recoverable variant of runPre: catches StatusException from the
+/// pipeline (injected faults, budget exhaustion, recoverable internal
+/// errors) and returns it as a Status. On error \p F is in an undefined
+/// state and must be discarded.
+Status runPreChecked(Function &F, const PreOptions &Opts);
+
+/// The retry sequence compileWithFallback walks when \p Requested fails,
+/// most capable first, ending in PreStrategy::None (the identity rung,
+/// which runs no pass code and therefore cannot fail):
+///
+///   MC-SSAPRE -> SSAPREsp -> SSAPRE -> none
+///   SSAPREsp  -> SSAPRE -> none        MC-PRE -> none
+///   SSAPRE    -> none                  LCM    -> none
+std::vector<PreStrategy> degradationLadder(PreStrategy Requested);
+
+/// Interpreter equivalence of \p Optimized against \p Prepared on
+/// Opts.EquivalenceInputs (ok when unset). Used by the ladder drivers to
+/// gate acceptance of a rung's result.
+Status checkObservableEquivalence(const Function &Prepared,
+                                  const Function &Optimized,
+                                  const PreOptions &Opts);
+
+/// Fault-isolated compilation of one function: tries the requested
+/// strategy under Opts.Budget, and on any recoverable failure (injected
+/// fault, budget exhaustion, verification failure, recoverable internal
+/// error) retries down the degradation ladder. Each rung restarts with a
+/// fresh budget and is accepted only if the verifier (and, when
+/// EquivalenceInputs is set, interpreter equivalence with the input)
+/// passes. Never fails: the identity rung returns the input unchanged.
+///
+/// The outcome (rung used, retries, first failure) is written to
+/// \p OutcomeOut when non-null and recorded in Opts.Stats when set.
+/// Partial statistics of abandoned rungs are discarded, so with no
+/// degradation the stats stream is identical to compileWithPre's.
+Function compileWithFallback(const Function &Prepared, const PreOptions &Opts,
+                             CompileOutcomeRecord *OutcomeOut = nullptr);
 
 } // namespace specpre
 

@@ -44,9 +44,18 @@ unsigned PreStats::largestEfg() const {
   return Largest;
 }
 
+unsigned PreStats::numDegraded() const {
+  unsigned N = 0;
+  for (const CompileOutcomeRecord &O : Outcomes)
+    N += O.degraded();
+  return N;
+}
+
 void PreStats::stampFunctionIndex(unsigned FuncIndex) {
   for (ExprStatsRecord &R : Records)
     R.FuncIndex = FuncIndex;
+  for (CompileOutcomeRecord &O : Outcomes)
+    O.FuncIndex = FuncIndex;
 }
 
 void PreStats::merge(const PreStats &Other) {
@@ -56,5 +65,12 @@ void PreStats::merge(const PreStats &Other) {
                      if (A.FuncIndex != B.FuncIndex)
                        return A.FuncIndex < B.FuncIndex;
                      return A.ExprIndex < B.ExprIndex;
+                   });
+  Outcomes.insert(Outcomes.end(), Other.Outcomes.begin(),
+                  Other.Outcomes.end());
+  std::stable_sort(Outcomes.begin(), Outcomes.end(),
+                   [](const CompileOutcomeRecord &A,
+                      const CompileOutcomeRecord &B) {
+                     return A.FuncIndex < B.FuncIndex;
                    });
 }

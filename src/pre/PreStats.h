@@ -65,12 +65,41 @@ struct ExprStatsRecord {
   bool operator==(const ExprStatsRecord &) const = default;
 };
 
+/// Per-function record of where the degradation ladder landed (see
+/// compileWithFallback in pre/PreDriver.h). One record per compiled
+/// function; a clean compile has Used == Requested, zero retries and an
+/// empty Cause.
+struct CompileOutcomeRecord {
+  std::string FunctionName;
+  unsigned FuncIndex = 0;
+  std::string Requested; ///< strategyName of the requested strategy.
+  std::string Used;      ///< strategyName of the rung that succeeded.
+  unsigned Retries = 0;  ///< Rungs abandoned before the one that stuck.
+  std::string Cause;     ///< errorCodeName of the first failure, or "".
+  std::string Message;   ///< First failure's message, or "".
+
+  bool degraded() const { return Retries != 0; }
+
+  bool operator==(const CompileOutcomeRecord &) const = default;
+};
+
 /// Aggregate statistics over many functions/expressions.
 class PreStats {
 public:
   void addRecord(ExprStatsRecord R) { Records.push_back(std::move(R)); }
 
   const std::vector<ExprStatsRecord> &records() const { return Records; }
+
+  void addOutcome(CompileOutcomeRecord R) {
+    Outcomes.push_back(std::move(R));
+  }
+
+  const std::vector<CompileOutcomeRecord> &outcomes() const {
+    return Outcomes;
+  }
+
+  /// Number of functions that landed below their requested strategy.
+  unsigned numDegraded() const;
 
   /// Number of non-empty EFGs.
   unsigned numNonEmptyEfgs() const;
@@ -93,10 +122,12 @@ public:
   /// parallel workers therefore merge to the exact record sequence the
   /// serial pipeline emits, regardless of merge order. Records with
   /// all-default keys keep their insertion order (the sort is stable).
+  /// Outcome records merge under the same discipline, keyed by FuncIndex.
   void merge(const PreStats &Other);
 
 private:
   std::vector<ExprStatsRecord> Records;
+  std::vector<CompileOutcomeRecord> Outcomes;
 };
 
 } // namespace specpre

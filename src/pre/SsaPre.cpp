@@ -3,6 +3,7 @@
 #include "pre/SsaPre.h"
 
 #include "support/Diagnostics.h"
+#include "support/FaultInjector.h"
 #include "support/PassTimer.h"
 
 #include <cassert>
@@ -100,6 +101,7 @@ void specpre::computeSafePlacement(Frg &G, const LexicalDataFlow &LDF,
                                    const LoopInfo *LI) {
   PassTimer Timer(PipelineStep::SafePlacement,
                   G.phis().size() + G.reals().size());
+  maybeInject(FaultSite::SafePlacement, "down-safety placement");
   // DownSafety: a Φ is down-safe iff the expression is fully anticipated
   // at its block entry (variable phis are transparent, so the lexical
   // ANTIN is exactly anticipation at the Φ).
@@ -115,6 +117,10 @@ void specpre::computeSafePlacement(Frg &G, const LexicalDataFlow &LDF,
 
   if (LoopSpeculation) {
     assert(LI && "loop info required for loop speculation");
+    // This probe fires only on the speculative (SSAPREsp and above)
+    // rungs, so injecting here pins the ladder's SSAPREsp -> SSAPRE step
+    // without disturbing the conservative fallback.
+    maybeInject(FaultSite::Speculation, "loop speculation");
     markLoopSpeculation(G, *LI);
   }
 

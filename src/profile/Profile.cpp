@@ -105,40 +105,52 @@ std::string specpre::serializeProfile(const Profile &P) {
 
 bool specpre::parseProfile(const std::string &Text, Profile &Out,
                            std::string &Error) {
+  // Hostile inputs must not allocate unboundedly: `block 99999999999 1`
+  // would otherwise resize BlockFreq to tens of gigabytes.
+  constexpr long long MaxBlockId = 1 << 20;
   std::istringstream In(Text);
-  std::string Header;
-  if (!std::getline(In, Header) || Header != "specpre-profile v1") {
-    Error = "missing or unsupported profile header";
+  std::string LineText;
+  unsigned LineNo = 1;
+  auto lineError = [&](const std::string &Message) {
+    Error = "line " + std::to_string(LineNo) + ": " + Message;
     return false;
-  }
+  };
+  if (!std::getline(In, LineText) || LineText != "specpre-profile v1")
+    return lineError("missing or unsupported profile header");
   Out.BlockFreq.clear();
   Out.EdgeFreq.clear();
   Out.HasEdgeFreqs = false;
-  std::string Kind;
-  while (In >> Kind) {
+  while (std::getline(In, LineText)) {
+    ++LineNo;
+    std::istringstream Ln(LineText);
+    std::string Kind;
+    if (!(Ln >> Kind))
+      continue; // blank line
     if (Kind == "block") {
       long long Id;
       unsigned long long Freq;
-      if (!(In >> Id >> Freq) || Id < 0) {
-        Error = "malformed block line";
-        return false;
-      }
+      if (!(Ln >> Id >> Freq) || Id < 0)
+        return lineError("malformed block line '" + LineText + "'");
+      if (Id > MaxBlockId)
+        return lineError("block id " + std::to_string(Id) +
+                         " exceeds the limit of " +
+                         std::to_string(MaxBlockId));
       if (Out.BlockFreq.size() <= static_cast<size_t>(Id))
         Out.BlockFreq.resize(static_cast<size_t>(Id) + 1, 0);
       Out.BlockFreq[static_cast<size_t>(Id)] = Freq;
     } else if (Kind == "edge") {
       long long From, To;
       unsigned long long Freq;
-      if (!(In >> From >> To >> Freq) || From < 0 || To < 0) {
-        Error = "malformed edge line";
-        return false;
-      }
+      if (!(Ln >> From >> To >> Freq) || From < 0 || To < 0)
+        return lineError("malformed edge line '" + LineText + "'");
+      if (From > MaxBlockId || To > MaxBlockId)
+        return lineError("edge block id exceeds the limit of " +
+                         std::to_string(MaxBlockId));
       Out.EdgeFreq[{static_cast<BlockId>(From), static_cast<BlockId>(To)}] =
           Freq;
       Out.HasEdgeFreqs = true;
     } else {
-      Error = "unknown record kind '" + Kind + "'";
-      return false;
+      return lineError("unknown record kind '" + Kind + "'");
     }
   }
   return true;

@@ -7,6 +7,7 @@
 #include "analysis/DominanceFrontier.h"
 #include "analysis/DomTree.h"
 #include "support/Diagnostics.h"
+#include "support/Status.h"
 
 #include <algorithm>
 #include <cassert>
@@ -39,9 +40,11 @@ private:
       return;
     int Ver = currentVersion(O.Var);
     if (Ver == 0)
-      reportFatalError("SSA construction: use of undefined variable '" +
-                       F.varName(O.Var) + "' in " + Where + " of function '" +
-                       F.Name + "'");
+      throw StatusException(
+          ErrorCode::InvalidInput,
+          "SSA construction: use of undefined variable '" +
+              F.varName(O.Var) + "' in " + std::string(Where) +
+              " of function '" + F.Name + "'");
     O.Version = Ver;
   }
 
@@ -168,9 +171,11 @@ void SsaBuilder::renameBlock(BlockId B) {
       assert(Arg.isVar() && "freshly inserted phi args are variable refs");
       int Ver = currentVersion(Arg.Var);
       if (Ver == 0)
-        reportFatalError("SSA construction: phi argument for '" +
-                         F.varName(Arg.Var) + "' undefined along edge in '" +
-                         F.Name + "'");
+        throw StatusException(ErrorCode::InvalidInput,
+                              "SSA construction: phi argument for '" +
+                                  F.varName(Arg.Var) +
+                                  "' undefined along edge in '" + F.Name +
+                                  "'");
       Arg.Version = Ver;
     }
   }

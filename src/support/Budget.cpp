@@ -1,0 +1,74 @@
+//===- support/Budget.cpp - Per-function compile budgets -----------------===//
+
+#include "support/Budget.h"
+
+#include <string>
+
+using namespace specpre;
+
+namespace {
+
+/// Innermost installed tracker of each thread.
+thread_local BudgetTracker *ActiveBudget = nullptr;
+
+} // namespace
+
+BudgetTracker::BudgetTracker(const CompileBudget &Limits)
+    : Limits(Limits), Start(std::chrono::steady_clock::now()) {}
+
+void BudgetTracker::reset() {
+  Start = std::chrono::steady_clock::now();
+  Augmentations.store(0, std::memory_order_relaxed);
+}
+
+Status BudgetTracker::checkDeadline(const char *Where) const {
+  if (!Limits.DeadlineMillis)
+    return Status::ok();
+  auto Elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - Start)
+                     .count();
+  if (static_cast<uint64_t>(Elapsed) <= Limits.DeadlineMillis)
+    return Status::ok();
+  return Status::error(ErrorCode::BudgetExhausted,
+                       std::string("deadline of ") +
+                           std::to_string(Limits.DeadlineMillis) +
+                           "ms exceeded in " + Where);
+}
+
+Status BudgetTracker::noteAugmentation(const char *Where) {
+  uint64_t Used = Augmentations.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (Limits.MaxFlowAugmentations && Used > Limits.MaxFlowAugmentations)
+    return Status::error(ErrorCode::BudgetExhausted,
+                         std::string("max-flow augmentation cap of ") +
+                             std::to_string(Limits.MaxFlowAugmentations) +
+                             " exceeded in " + Where);
+  // Sample the clock instead of reading it every step: augmentations are
+  // the inner loop of min-cut and a syscall-per-step would dominate.
+  if ((Used & 1023) == 0)
+    return checkDeadline(Where);
+  return Status::ok();
+}
+
+Status BudgetTracker::checkGraphNodes(uint64_t Nodes,
+                                      const char *Where) const {
+  if (Limits.MaxGraphNodes && Nodes > Limits.MaxGraphNodes)
+    return Status::error(ErrorCode::BudgetExhausted,
+                         std::string("graph-node cap of ") +
+                             std::to_string(Limits.MaxGraphNodes) +
+                             " exceeded (" + std::to_string(Nodes) +
+                             " nodes) in " + Where);
+  return Status::ok();
+}
+
+BudgetScope::BudgetScope(BudgetTracker *T) : Prev(ActiveBudget) {
+  ActiveBudget = T;
+}
+
+BudgetScope::~BudgetScope() { ActiveBudget = Prev; }
+
+BudgetTracker *specpre::currentBudget() { return ActiveBudget; }
+
+void specpre::throwIfError(const Status &S) {
+  if (!S.isOk())
+    throw StatusException(S);
+}

@@ -1,0 +1,103 @@
+//===- support/CrashContext.cpp - Scoped crash context -------------------------===//
+
+#include "support/CrashContext.h"
+
+#include <csignal>
+#include <cstring>
+#include <unistd.h>
+
+using namespace specpre;
+
+namespace {
+
+/// Innermost frame of each thread's crash-context stack.
+thread_local CrashContext *TopFrame = nullptr;
+
+/// Async-signal-safe decimal formatting into \p Buf; returns the length.
+size_t formatUnsigned(unsigned V, char *Buf) {
+  char Tmp[16];
+  size_t N = 0;
+  do {
+    Tmp[N++] = static_cast<char>('0' + V % 10);
+    V /= 10;
+  } while (V);
+  for (size_t I = 0; I != N; ++I)
+    Buf[I] = Tmp[N - 1 - I];
+  return N;
+}
+
+void writeAll(int Fd, const char *P, size_t N) {
+  while (N) {
+    ssize_t W = ::write(Fd, P, N);
+    if (W <= 0)
+      return;
+    P += static_cast<size_t>(W);
+    N -= static_cast<size_t>(W);
+  }
+}
+
+extern "C" void specpreFatalSignalHandler(int Sig) {
+  const char Head[] = "specpre: fatal signal ";
+  writeAll(2, Head, sizeof(Head) - 1);
+  char Num[16];
+  writeAll(2, Num, formatUnsigned(static_cast<unsigned>(Sig), Num));
+  writeAll(2, "\n", 1);
+  printCrashContext(2);
+  // Restore default disposition and re-raise so the exit status still
+  // reflects the signal (and a core is produced where enabled).
+  std::signal(Sig, SIG_DFL);
+  ::raise(Sig);
+}
+
+} // namespace
+
+CrashContext::CrashContext(const char *Kind, std::string Detail)
+    : Kind(Kind), Detail(std::move(Detail)), Prev(TopFrame) {
+  TopFrame = this;
+}
+
+CrashContext::~CrashContext() { TopFrame = Prev; }
+
+std::string specpre::crashContextSnapshot() {
+  // Collect innermost-first, print outermost-first.
+  unsigned Depth = 0;
+  for (CrashContext *F = TopFrame; F; F = F->Prev)
+    ++Depth;
+  std::string Out;
+  unsigned I = Depth;
+  for (CrashContext *F = TopFrame; F; F = F->Prev) {
+    --I;
+    Out = "  #" + std::to_string(I) + " " + F->Kind + ": " + F->Detail +
+          "\n" + Out;
+  }
+  return Out;
+}
+
+void specpre::printCrashContext(int Fd) {
+  CrashContext *Frames[64];
+  unsigned Depth = 0;
+  for (CrashContext *F = TopFrame; F && Depth < 64; F = F->Prev)
+    Frames[Depth++] = F;
+  if (!Depth) {
+    const char None[] = "  (no crash context on this thread)\n";
+    writeAll(Fd, None, sizeof(None) - 1);
+    return;
+  }
+  for (unsigned I = Depth; I-- != 0;) {
+    const CrashContext *F = Frames[I];
+    writeAll(Fd, "  #", 3);
+    char Num[16];
+    writeAll(Fd, Num, formatUnsigned(Depth - 1 - I, Num));
+    writeAll(Fd, " ", 1);
+    writeAll(Fd, F->Kind, std::strlen(F->Kind));
+    writeAll(Fd, ": ", 2);
+    // Detail was fully built before the signal; reading it is safe.
+    writeAll(Fd, F->Detail.data(), F->Detail.size());
+    writeAll(Fd, "\n", 1);
+  }
+}
+
+void specpre::installCrashSignalHandlers() {
+  for (int Sig : {SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGABRT})
+    std::signal(Sig, specpreFatalSignalHandler);
+}

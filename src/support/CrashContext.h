@@ -1,0 +1,68 @@
+//===- support/CrashContext.h - Scoped crash context -----------*- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A per-thread stack of "where am I" frames (function, pass, expression
+/// class, fuzz case ...) that is printed when the process dies anyway:
+/// by reportFatalError / SPECPRE_UNREACHABLE, and by the fatal-signal
+/// handlers the tools install. With the context printed, a crash in a
+/// million-function batch is self-locating — the report names the exact
+/// function, pass and expression, so a corpus reproducer can be cut
+/// without re-running the batch under a debugger.
+///
+/// Usage:
+///
+///   CrashContext Frame("function", F.Name);
+///   CrashContext Pass("pass", strategyName(S));
+///
+/// Frames cost two pointer writes to install and nothing to maintain;
+/// the formatted snapshot is only built when something actually dies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_SUPPORT_CRASHCONTEXT_H
+#define SPECPRE_SUPPORT_CRASHCONTEXT_H
+
+#include <string>
+
+namespace specpre {
+
+/// RAII frame on the calling thread's crash-context stack.
+class CrashContext {
+public:
+  /// \p Kind must be a string with static storage duration ("function",
+  /// "pass", ...); \p Detail is copied.
+  CrashContext(const char *Kind, std::string Detail);
+  ~CrashContext();
+
+  CrashContext(const CrashContext &) = delete;
+  CrashContext &operator=(const CrashContext &) = delete;
+
+private:
+  friend std::string crashContextSnapshot();
+  friend void printCrashContext(int Fd);
+
+  const char *Kind;
+  std::string Detail;
+  CrashContext *Prev; ///< Next-outer frame on this thread.
+};
+
+/// Formats the calling thread's frames, outermost first, one
+/// "  #N kind: detail" line each. Empty string when no frames are live.
+std::string crashContextSnapshot();
+
+/// Signal-handler-safe variant: writes the frames of the crashing thread
+/// to \p Fd with write(2), without allocating.
+void printCrashContext(int Fd);
+
+/// Installs fatal-signal handlers (SEGV, BUS, FPE, ILL, ABRT) that print
+/// the crash context to stderr before re-raising with default
+/// disposition. Idempotent; called by the tools' main().
+void installCrashSignalHandlers();
+
+} // namespace specpre
+
+#endif // SPECPRE_SUPPORT_CRASHCONTEXT_H

@@ -2,13 +2,29 @@
 
 #include "support/Diagnostics.h"
 
+#include "support/CrashContext.h"
+
 #include <cstdio>
 #include <cstdlib>
 
 using namespace specpre;
 
+namespace {
+
+/// Prints the crash-context frames (if any) so remaining hard aborts are
+/// self-locating: the report names the function/pass/expression that was
+/// in flight (see support/CrashContext.h).
+void printContext() {
+  std::string Ctx = crashContextSnapshot();
+  if (!Ctx.empty())
+    std::fprintf(stderr, "specpre crash context:\n%s", Ctx.c_str());
+}
+
+} // namespace
+
 void specpre::reportFatalError(const std::string &Message) {
   std::fprintf(stderr, "specpre fatal error: %s\n", Message.c_str());
+  printContext();
   std::abort();
 }
 
@@ -16,5 +32,6 @@ void specpre::unreachableInternal(const char *Message, const char *File,
                                   unsigned Line) {
   std::fprintf(stderr, "specpre unreachable at %s:%u: %s\n", File, Line,
                Message);
+  printContext();
   std::abort();
 }

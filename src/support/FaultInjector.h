@@ -1,0 +1,90 @@
+//===- support/FaultInjector.h - Deterministic fault injection -*- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, seeded fault injection for exercising the recovery
+/// paths (degradation ladder, parser diagnostics, worker isolation)
+/// without hand-crafting a failing input for each one.
+///
+/// Sites are named after the pipeline steps they live in (phi-insertion,
+/// rename, data-flow, reduction, min-cut, safe-placement, speculation,
+/// finalize, code-motion, verify) plus two cross-cutting ones: `alloc`
+/// (simulated allocation failure at graph-build time) and `budget`
+/// (simulated budget exhaustion at a pass boundary). The spec string
+///
+///   site:rate[:seed][,site:rate[:seed]...]     e.g.  min-cut:0.01:7
+///
+/// arms the named sites; `all` arms every site at the given rate. A hit
+/// throws StatusException(FaultInjected), which the per-function ladder
+/// treats exactly like a real recoverable failure.
+///
+/// Determinism: each (site, hit-counter) pair is hashed with the seed,
+/// so a serial run replays bit-identically. Under the parallel driver
+/// the per-site counters are still atomic and totals are stable, but
+/// which expression observes hit #k depends on scheduling; see
+/// docs/ROBUSTNESS.md.
+///
+/// When no spec is armed (the default), maybeInject() is a single
+/// relaxed atomic load of a null pointer — cheap enough to leave the
+/// probes in release builds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_SUPPORT_FAULTINJECTOR_H
+#define SPECPRE_SUPPORT_FAULTINJECTOR_H
+
+#include "support/Status.h"
+
+#include <cstdint>
+#include <string_view>
+
+namespace specpre {
+
+/// Places a fault probe can live. Keep pipelineStepName-compatible
+/// spellings in faultSiteName().
+enum class FaultSite : unsigned {
+  PhiInsertion,
+  Rename,
+  DataFlow,
+  Reduction,
+  MinCut,
+  SafePlacement,
+  Speculation,
+  Finalize,
+  CodeMotion,
+  Verify,
+  Alloc,
+  Budget,
+};
+
+constexpr unsigned NumFaultSites = static_cast<unsigned>(FaultSite::Budget) + 1;
+
+/// Spec-string spelling of \p S ("min-cut", "alloc", ...).
+const char *faultSiteName(FaultSite S);
+
+/// Parses and arms a spec (see file comment); replaces any previous
+/// configuration. An empty spec disarms injection. Returns InvalidInput
+/// with a message naming the bad entry on malformed input.
+Status configureFaultInjection(std::string_view Spec);
+
+/// Disarms all sites (used by tests to restore a clean state).
+void disableFaultInjection();
+
+/// True when any site is armed.
+bool faultInjectionEnabled();
+
+/// Probe: if \p S is armed and the deterministic coin for this hit comes
+/// up, throws StatusException(FaultInjected) naming the site and hit
+/// index; otherwise returns. \p Detail is included in the message.
+void maybeInject(FaultSite S, const char *Detail = "");
+
+/// Total injected faults since the last configure/disable, across all
+/// sites and threads. Lets tools report how much the run was stressed.
+uint64_t faultsInjectedCount();
+
+} // namespace specpre
+
+#endif // SPECPRE_SUPPORT_FAULTINJECTOR_H

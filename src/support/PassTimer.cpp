@@ -53,6 +53,24 @@ void PipelineMetrics::merge(const PipelineMetrics &Other) {
     Steps[I].Nanos += Other.Steps[I].Nanos;
     Steps[I].ProblemSize += Other.Steps[I].ProblemSize;
   }
+  Robust.FunctionsCompiled += Other.Robust.FunctionsCompiled;
+  Robust.FunctionsDegraded += Other.Robust.FunctionsDegraded;
+  Robust.LadderRetries += Other.Robust.LadderRetries;
+  Robust.WorkerFailures += Other.Robust.WorkerFailures;
+}
+
+std::string PipelineMetrics::robustnessToJson() const {
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                "{\"functions_compiled\": %llu, "
+                "\"functions_degraded\": %llu, "
+                "\"ladder_retries\": %llu, "
+                "\"worker_failures\": %llu}",
+                static_cast<unsigned long long>(Robust.FunctionsCompiled),
+                static_cast<unsigned long long>(Robust.FunctionsDegraded),
+                static_cast<unsigned long long>(Robust.LadderRetries),
+                static_cast<unsigned long long>(Robust.WorkerFailures));
+  return Buf;
 }
 
 std::string PipelineMetrics::toJson() const {

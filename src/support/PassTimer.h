@@ -58,10 +58,26 @@ struct StepMetrics {
   uint64_t ProblemSize = 0; ///< Sum of per-invocation problem sizes.
 };
 
+/// Fault-isolation counters for one pipeline run (or one worker's
+/// shard). Not part of the per-step JSON schema; the tool exports them
+/// under a separate "robustness" key.
+struct RobustnessCounters {
+  uint64_t FunctionsCompiled = 0;
+  uint64_t FunctionsDegraded = 0; ///< Landed below the requested strategy.
+  uint64_t LadderRetries = 0;     ///< Total rungs abandoned.
+  uint64_t WorkerFailures = 0;    ///< Parallel worker errors contained.
+};
+
 /// Per-step metrics for one pipeline run (or one worker's shard of it).
 class PipelineMetrics {
 public:
   void note(PipelineStep S, uint64_t Nanos, uint64_t ProblemSize);
+
+  RobustnessCounters &robustness() { return Robust; }
+  const RobustnessCounters &robustness() const { return Robust; }
+
+  /// JSON object with one key per RobustnessCounters field.
+  std::string robustnessToJson() const;
 
   const StepMetrics &step(PipelineStep S) const {
     return Steps[static_cast<unsigned>(S)];
@@ -80,6 +96,7 @@ public:
 
 private:
   std::array<StepMetrics, NumPipelineSteps> Steps;
+  RobustnessCounters Robust;
 };
 
 /// Installs a thread-local metrics sink for the current scope; nesting

@@ -1,0 +1,35 @@
+//===- support/Status.cpp - Recoverable error values --------------------------===//
+
+#include "support/Status.h"
+
+#include "support/Diagnostics.h"
+
+using namespace specpre;
+
+const char *specpre::errorCodeName(ErrorCode C) {
+  switch (C) {
+  case ErrorCode::Ok:
+    return "ok";
+  case ErrorCode::InvalidInput:
+    return "invalid-input";
+  case ErrorCode::VerifyFailed:
+    return "verify-failed";
+  case ErrorCode::BudgetExhausted:
+    return "budget-exhausted";
+  case ErrorCode::ResourceLimit:
+    return "resource-limit";
+  case ErrorCode::FaultInjected:
+    return "fault-injected";
+  case ErrorCode::WorkerFailed:
+    return "worker-failed";
+  case ErrorCode::InternalError:
+    return "internal-error";
+  }
+  SPECPRE_UNREACHABLE("bad error code");
+}
+
+std::string Status::toString() const {
+  if (isOk())
+    return "ok";
+  return std::string(errorCodeName(C)) + ": " + Msg;
+}

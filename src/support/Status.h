@@ -1,0 +1,132 @@
+//===- support/Status.h - Recoverable error values -------------*- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recoverable errors for the per-function compilation pipeline.
+///
+/// The error model (docs/ROBUSTNESS.md) splits failures in two:
+///
+///  * Recoverable conditions — malformed input, a tripped verifier, an
+///    exhausted CompileBudget, an injected fault — travel as `Status` /
+///    `Expected<T>` values (or, across code that predates error returns,
+///    as a thrown `StatusException` that the per-function driver
+///    converts back into a Status). The degradation ladder in
+///    pre/PreDriver consumes these and retries the function on a
+///    cheaper strategy.
+///
+///  * True internal invariant violations keep `reportFatalError` /
+///    `SPECPRE_UNREACHABLE` and abort with the crash-context stack
+///    (support/CrashContext.h) so corpus reproducers are self-locating.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_SUPPORT_STATUS_H
+#define SPECPRE_SUPPORT_STATUS_H
+
+#include <exception>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace specpre {
+
+/// Coarse classification of a recoverable failure. The degradation
+/// ladder records the code of the first error that forced a retry.
+enum class ErrorCode {
+  Ok = 0,
+  InvalidInput,     ///< Malformed IR/profile text or bad tool arguments.
+  VerifyFailed,     ///< IR verifier or a semantic oracle tripped.
+  BudgetExhausted,  ///< CompileBudget deadline or work cap hit.
+  ResourceLimit,    ///< A structural cap (graph size, allocation) hit.
+  FaultInjected,    ///< A deterministic FaultInjector fault fired.
+  WorkerFailed,     ///< A parallel worker task failed.
+  InternalError,    ///< Caught-but-unclassified exception.
+};
+
+/// Stable lowercase name of \p C ("ok", "verify-failed", ...).
+const char *errorCodeName(ErrorCode C);
+
+/// A success-or-error value. Cheap to return by value; the message is
+/// only populated on error.
+class Status {
+public:
+  Status() = default;
+
+  static Status ok() { return Status(); }
+  static Status error(ErrorCode C, std::string Message) {
+    Status S;
+    S.C = C;
+    S.Msg = std::move(Message);
+    return S;
+  }
+
+  bool isOk() const { return C == ErrorCode::Ok; }
+  explicit operator bool() const { return isOk(); }
+
+  ErrorCode code() const { return C; }
+  const std::string &message() const { return Msg; }
+
+  /// "verify-failed: IR verification failed ..." (or "ok").
+  std::string toString() const;
+
+private:
+  ErrorCode C = ErrorCode::Ok;
+  std::string Msg;
+};
+
+/// A value or the Status explaining its absence.
+template <typename T> class Expected {
+public:
+  /*implicit*/ Expected(T Value) : Val(std::move(Value)) {}
+  /*implicit*/ Expected(Status S) : Err(std::move(S)) {
+    // An Ok status carries no value; treat it as a misuse downgraded to
+    // an internal error so callers always see hasValue() == false here.
+    if (Err.isOk())
+      Err = Status::error(ErrorCode::InternalError,
+                          "Expected constructed from Ok status");
+  }
+
+  bool hasValue() const { return Val.has_value(); }
+  explicit operator bool() const { return hasValue(); }
+
+  T &value() { return *Val; }
+  const T &value() const { return *Val; }
+  T &operator*() { return *Val; }
+  const T &operator*() const { return *Val; }
+  T *operator->() { return &*Val; }
+  const T *operator->() const { return &*Val; }
+
+  /// Only meaningful when !hasValue().
+  const Status &status() const { return Err; }
+
+private:
+  std::optional<T> Val;
+  Status Err;
+};
+
+/// Thrown by deep pipeline code (max-flow inner loops, FRG build, fault
+/// injection points) where threading a Status return through every
+/// frame would obscure the algorithm. The per-function drivers catch it
+/// at the pipeline boundary and convert it back into a Status; it never
+/// escapes `compileWithFallback`.
+class StatusException : public std::exception {
+public:
+  explicit StatusException(Status S)
+      : S(std::move(S)), What(this->S.toString()) {}
+  StatusException(ErrorCode C, std::string Message)
+      : StatusException(Status::error(C, std::move(Message))) {}
+
+  const Status &status() const { return S; }
+  const char *what() const noexcept override { return What.c_str(); }
+
+private:
+  Status S;
+  std::string What;
+};
+
+} // namespace specpre
+
+#endif // SPECPRE_SUPPORT_STATUS_H

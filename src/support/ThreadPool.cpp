@@ -63,7 +63,18 @@ bool ThreadPool::participate(Job &J) {
       if (!Found)
         break;
     }
-    (*J.Body)(Begin++);
+    size_t Index = Begin++;
+    try {
+      (*J.Body)(Index);
+    } catch (...) {
+      // Contain the exception: the batch keeps running, and parallelFor
+      // rethrows the smallest failing index's error after completion.
+      std::lock_guard<std::mutex> L(J.DoneM);
+      if (!J.FirstError || Index < J.FirstErrorIndex) {
+        J.FirstError = std::current_exception();
+        J.FirstErrorIndex = Index;
+      }
+    }
     ++Ran;
   }
   if (Ran) {
@@ -109,8 +120,19 @@ void ThreadPool::parallelFor(size_t N,
   if (N == 0)
     return;
   if (NumWorkers <= 1 || N == 1) {
-    for (size_t I = 0; I != N; ++I)
-      Body(I);
+    // Inline path, matching the pool path's exception contract: run every
+    // index, then rethrow the first failure.
+    std::exception_ptr FirstError;
+    for (size_t I = 0; I != N; ++I) {
+      try {
+        Body(I);
+      } catch (...) {
+        if (!FirstError)
+          FirstError = std::current_exception();
+      }
+    }
+    if (FirstError)
+      std::rethrow_exception(FirstError);
     return;
   }
 
@@ -134,9 +156,11 @@ void ThreadPool::parallelFor(size_t N,
   QueueCv.notify_all();
 
   participate(*J);
+  std::exception_ptr FirstError;
   {
     std::unique_lock<std::mutex> L(J->DoneM);
     J->DoneCv.wait(L, [&] { return J->ItemsDone == J->N; });
+    FirstError = J->FirstError;
   }
 
   {
@@ -145,4 +169,7 @@ void ThreadPool::parallelFor(size_t N,
     ++QueueVersion;
   }
   QueueCv.notify_all();
+
+  if (FirstError)
+    std::rethrow_exception(FirstError);
 }

@@ -54,9 +54,16 @@ public:
   static unsigned hardwareWorkers();
 
   /// Runs Body(I) for every I in [0, N) and returns when all calls have
-  /// completed. The calling thread participates. Body must not throw and
-  /// must tolerate concurrent invocations on distinct indices. Safe to
-  /// call from inside another parallelFor body (nested fan-out).
+  /// completed. The calling thread participates. Body must tolerate
+  /// concurrent invocations on distinct indices. Safe to call from
+  /// inside another parallelFor body (nested fan-out).
+  ///
+  /// Exceptions: a throwing Body(I) does not kill the batch — every
+  /// other index still runs, and once all indices have completed the
+  /// exception of the *smallest* failing index is rethrown on the
+  /// calling thread (the deterministic choice: jobs=1 and jobs=N report
+  /// the same error). Without this, an escaping exception on a worker
+  /// thread would std::terminate the process.
   void parallelFor(size_t N, const std::function<void(size_t)> &Body);
 
 private:
@@ -74,6 +81,10 @@ private:
     std::mutex DoneM;
     std::condition_variable DoneCv;
     size_t ItemsDone = 0; ///< under DoneM
+    /// First (smallest-index) exception thrown by Body, rethrown by
+    /// parallelFor after the batch completes. Under DoneM.
+    std::exception_ptr FirstError;
+    size_t FirstErrorIndex = 0; ///< under DoneM, valid when FirstError
   };
 
   /// Claims and runs work from \p J until no index is claimable.

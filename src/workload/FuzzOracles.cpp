@@ -13,6 +13,7 @@
 #include "pre/McSsaPre.h"
 #include "pre/PreDriver.h"
 #include "ssa/SsaConstruction.h"
+#include "support/FaultInjector.h"
 #include "support/Random.h"
 
 #include <fstream>
@@ -91,6 +92,7 @@ struct StrategyRun {
   Function Opt;
   PreStats Stats;
   ExecResult TrainResult;
+  CompileOutcomeRecord Outcome; ///< Only populated under fault injection.
 };
 
 std::optional<OracleFailure>
@@ -102,12 +104,19 @@ runStrategy(const Function &Prepared, PreStrategy S, const Profile *Prof,
   PO.Strategy = S;
   PO.Prof = Prof;
   PO.Stats = &Out.Stats;
-  std::string VErr;
-  PO.VerifyErrorOut = &VErr;
-  Out.Opt = compileWithPre(Prepared, PO);
   const char *Name = strategyName(S);
-  if (!VErr.empty())
-    return fail(std::string("verifier(") + Name + ")", VErr);
+  if (faultInjectionEnabled()) {
+    // Under injection the leg runs through the degradation ladder: a
+    // tripped verifier or injected fault degrades instead of failing the
+    // case. Semantic equivalence below still gates whatever rung landed.
+    Out.Opt = compileWithFallback(Prepared, PO, &Out.Outcome);
+  } else {
+    std::string VErr;
+    PO.VerifyErrorOut = &VErr;
+    Out.Opt = compileWithPre(Prepared, PO);
+    if (!VErr.empty())
+      return fail(std::string("verifier(") + Name + ")", VErr);
+  }
 
   Out.TrainResult = interpret(Out.Opt, TrainArgs);
   if (!Out.TrainResult.sameObservableBehavior(Reference))
@@ -231,6 +240,14 @@ std::optional<OracleFailure> specpre::checkPipelineOracles(
   if (Train.Trapped)
     return std::nullopt;
 
+  // A leg that degraded down the ladder (fault injection) did not run its
+  // requested strategy, so the cross-strategy identities below are
+  // meaningless; the verifier and semantic equivalence above already
+  // gated each leg's actual output.
+  for (const StrategyRun &Run : Runs)
+    if (Run.Outcome.degraded())
+      return std::nullopt;
+
   // Profile-predicted savings must reconcile with the measured counts.
   for (unsigned I : {ISafe, ISpec, IMc})
     if (auto F = checkPrediction(strategyName(Legs[I].S),
@@ -277,11 +294,12 @@ std::optional<OracleFailure> specpre::checkPipelineOracles(
     if (auto F = runStrategy(Prepared, PreStrategy::McSsaPre, &Prof, Train,
                              TrainArgs, VariantArgs, EdgeRun))
       return F;
-    if (auto F = Ordering("dyn(MC-SSAPRE, edge profile) == dyn(MC-SSAPRE, "
-                          "node profile)",
-                          EdgeRun.TrainResult.DynamicComputations, Dyn[IMc],
-                          true))
-      return F;
+    if (!EdgeRun.Outcome.degraded())
+      if (auto F = Ordering("dyn(MC-SSAPRE, edge profile) == dyn(MC-SSAPRE, "
+                            "node profile)",
+                            EdgeRun.TrainResult.DynamicComputations, Dyn[IMc],
+                            true))
+        return F;
   }
   return std::nullopt;
 }
@@ -413,7 +431,10 @@ std::optional<OracleFailure> specpre::checkRandomNetworkCase(uint64_t Seed,
       Net.addEdge(N, Sink, Cap, -1);
     }
 
-  int64_t Truth = bruteForceMinCutCapacity(Net, Source, Sink);
+  Expected<int64_t> TruthOrError = bruteForceMinCutCapacity(Net, Source, Sink);
+  if (!TruthOrError.hasValue())
+    return OracleFailure{"brute-force-oracle", TruthOrError.status().toString()};
+  int64_t Truth = *TruthOrError;
   for (MaxFlowAlgorithm Algo :
        {MaxFlowAlgorithm::Dinic, MaxFlowAlgorithm::EdmondsKarp})
     for (CutPlacement P : {CutPlacement::Earliest, CutPlacement::Latest}) {

@@ -2,6 +2,8 @@
 //
 // The library treats programmatic errors as fatal (abort with a
 // message); these death tests pin down that the guards actually fire.
+// Input-dependent failures are recoverable (StatusException) and are
+// pinned here too.
 //
 //===----------------------------------------------------------------------===//
 
@@ -10,6 +12,7 @@
 #include "ir/Parser.h"
 #include "ssa/SsaConstruction.h"
 #include "ssa/SsaDestruction.h"
+#include "support/Status.h"
 
 #include <gtest/gtest.h>
 
@@ -37,7 +40,17 @@ TEST(FatalPaths, SsaConstructionRejectsUseBeforeDef) {
       ret x
     }
   )");
-  EXPECT_DEATH(constructSsa(F), "undefined variable");
+  // Use-before-def is a property of the *input*, not of the library, so
+  // it surfaces as a recoverable error rather than an abort.
+  try {
+    constructSsa(F);
+    FAIL() << "expected StatusException";
+  } catch (const StatusException &E) {
+    EXPECT_EQ(E.status().code(), ErrorCode::InvalidInput);
+    EXPECT_NE(E.status().message().find("undefined variable"),
+              std::string::npos)
+        << E.status().message();
+  }
 }
 
 TEST(FatalPaths, DestructSsaRequiresSplitEdges) {

@@ -64,7 +64,9 @@ TEST(MaxFlow, AlgorithmsAgreeWithBruteForceOnRandomNetworks) {
     int N = 3 + static_cast<int>(R.nextBelow(6));
     FlowNetwork Net = randomNetwork(R, N, 2 * N, 20);
     int Source = 0, Sink = N - 1;
-    int64_t Brute = bruteForceMinCutCapacity(Net, Source, Sink);
+    Expected<int64_t> BruteOrError = bruteForceMinCutCapacity(Net, Source, Sink);
+    ASSERT_TRUE(BruteOrError.hasValue()) << BruteOrError.status().toString();
+    int64_t Brute = *BruteOrError;
 
     FlowNetwork NetEk = Net;
     int64_t Ek = computeMaxFlow(NetEk, Source, Sink,

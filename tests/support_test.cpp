@@ -62,3 +62,59 @@ TEST(Rng, ChanceExtremes) {
     EXPECT_TRUE(R.chance(10, 10));
   }
 }
+
+//===----------------------------------------------------------------------===//
+// ThreadPool exception propagation
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <stdexcept>
+
+using specpre::ThreadPool;
+
+TEST(ThreadPoolErrors, WorkerExceptionReachesCaller) {
+  ThreadPool Pool(4);
+  std::atomic<unsigned> Ran{0};
+  try {
+    Pool.parallelFor(64, [&](size_t I) {
+      ++Ran;
+      if (I == 17)
+        throw std::runtime_error("boom at 17");
+    });
+    FAIL() << "expected the worker exception to propagate";
+  } catch (const std::runtime_error &E) {
+    EXPECT_STREQ(E.what(), "boom at 17");
+  }
+  // The batch is not abandoned: every index still ran.
+  EXPECT_EQ(Ran.load(), 64u);
+}
+
+TEST(ThreadPoolErrors, SmallestFailingIndexWinsDeterministically) {
+  // With several failing indices, the reported error is the smallest
+  // index's — the same one the serial (jobs=1) path would surface.
+  for (unsigned Jobs : {1u, 4u}) {
+    ThreadPool Pool(Jobs);
+    try {
+      Pool.parallelFor(32, [&](size_t I) {
+        if (I == 5 || I == 23)
+          throw std::runtime_error("fail " + std::to_string(I));
+      });
+      FAIL() << "expected an exception (jobs=" << Jobs << ")";
+    } catch (const std::runtime_error &E) {
+      EXPECT_STREQ(E.what(), "fail 5") << "jobs=" << Jobs;
+    }
+  }
+}
+
+TEST(ThreadPoolErrors, PoolSurvivesAFailedBatch) {
+  ThreadPool Pool(4);
+  EXPECT_THROW(
+      Pool.parallelFor(8, [](size_t) { throw std::runtime_error("x"); }),
+      std::runtime_error);
+  // The next batch on the same pool runs normally.
+  std::atomic<unsigned> Ran{0};
+  Pool.parallelFor(16, [&](size_t) { ++Ran; });
+  EXPECT_EQ(Ran.load(), 16u);
+}

@@ -11,9 +11,14 @@
 //   specpre-fuzz --replay=tests/corpus/foo.ir    replay one reproducer
 //   specpre-fuzz --corpus-out=DIR                where reduced cases land
 //   specpre-fuzz --no-reduce                     report without shrinking
+//   specpre-fuzz --inject-faults=SPEC            deterministic fault
+//                                                injection (site:rate[:seed])
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/CrashContext.h"
+#include "support/FaultInjector.h"
+#include "support/Status.h"
 #include "workload/FuzzOracles.h"
 #include "workload/Reducer.h"
 
@@ -34,6 +39,7 @@ struct Options {
   uint64_t Seed = 1;
   std::string CorpusOut;
   bool Reduce = true;
+  std::string InjectFaults;
   std::vector<std::string> ReplayFiles;
 };
 
@@ -73,6 +79,8 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       O.ReplayFiles.push_back(*V);
     } else if (A == "--no-reduce") {
       O.Reduce = false;
+    } else if (auto V = Value("--inject-faults")) {
+      O.InjectFaults = *V;
     } else {
       std::fprintf(stderr, "specpre-fuzz: unknown argument '%s'\n", A.c_str());
       return false;
@@ -118,14 +126,38 @@ void emitReproducer(const Options &O, uint64_t CaseIdx,
 } // namespace
 
 int main(int Argc, char **Argv) {
+  installCrashSignalHandlers();
   Options O;
   if (!parseArgs(Argc, Argv, O))
     return 2;
 
+  if (!O.InjectFaults.empty()) {
+    Status S = configureFaultInjection(O.InjectFaults);
+    if (!S.isOk()) {
+      std::fprintf(stderr, "specpre-fuzz: --inject-faults: %s\n",
+                   S.message().c_str());
+      return 2;
+    }
+  }
+
   unsigned Failures = 0;
 
+  // Exit cleanly even if an oracle path that bypasses the degradation
+  // ladder lets a recoverable error escape (stored-profile and EFG replay
+  // modes compile without fallback).
+  auto Guarded = [](auto &&Fn) -> std::optional<OracleFailure> {
+    try {
+      return Fn();
+    } catch (const StatusException &E) {
+      return OracleFailure{"uncaught-status", E.status().toString()};
+    } catch (const std::exception &E) {
+      return OracleFailure{"uncaught-exception", E.what()};
+    }
+  };
+
   for (const std::string &Path : O.ReplayFiles) {
-    if (std::optional<OracleFailure> F = replayCorpusFile(Path)) {
+    if (std::optional<OracleFailure> F =
+            Guarded([&] { return replayCorpusFile(Path); })) {
       std::fprintf(stderr, "FAIL %s: oracle '%s': %s\n", Path.c_str(),
                    F->Oracle.c_str(), F->Message.c_str());
       ++Failures;
@@ -139,8 +171,8 @@ int main(int Argc, char **Argv) {
     std::vector<int64_t> TrainArgs = fuzzTrainArgs(F, O.Seed, C);
     std::vector<std::vector<int64_t>> VariantArgs =
         fuzzVariantArgs(F, O.Seed, C);
-    std::optional<OracleFailure> Failure =
-        checkPipelineOracles(F, TrainArgs, VariantArgs);
+    std::optional<OracleFailure> Failure = Guarded(
+        [&] { return checkPipelineOracles(F, TrainArgs, VariantArgs); });
     if (!Failure)
       continue;
     ++Failures;
@@ -152,7 +184,8 @@ int main(int Argc, char **Argv) {
   }
 
   for (uint64_t C = 0; C != O.Networks; ++C) {
-    if (std::optional<OracleFailure> F = checkRandomNetworkCase(O.Seed, C)) {
+    if (std::optional<OracleFailure> F =
+            Guarded([&] { return checkRandomNetworkCase(O.Seed, C); })) {
       ++Failures;
       std::fprintf(stderr, "FAIL network %llu (seed %llu): oracle '%s': %s\n",
                    static_cast<unsigned long long>(C),

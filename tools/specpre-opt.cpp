@@ -21,6 +21,15 @@
 //     --jobs=N              parallel PRE pipeline (N workers; output is
 //                           bit-identical to --jobs=1); 0 = all cores
 //     --metrics-out=<path>  write per-step pipeline timing as JSON
+//     --budget-ms=N         per-function compile deadline (degrades on
+//                           exhaustion instead of failing)
+//     --max-augmentations=N per-function max-flow augmentation cap
+//     --max-graph-nodes=N   per-function FRG/EFG node cap
+//     --inject-faults=SPEC  deterministic fault injection, SPEC =
+//                           site:rate[:seed][,site:rate...] or all:rate
+//     --report-outcomes     always report the ladder outcome per function
+//                           (degradations are reported regardless, on
+//                           stderr, so stdout stays bit-identical)
 //
 // Input syntax: see ir/Parser.h (examples/programs/*.spre).
 //
@@ -38,6 +47,8 @@
 #include "pre/PreDriver.h"
 #include "ssa/SsaConstruction.h"
 #include "ssa/SsaDestruction.h"
+#include "support/CrashContext.h"
+#include "support/FaultInjector.h"
 
 #include <cstdio>
 #include <cstring>
@@ -70,6 +81,9 @@ struct ToolOptions {
   std::string OnlyFunction;
   std::string InputPath;
   unsigned Jobs = 1; ///< PRE pipeline workers; 0 = hardware concurrency
+  CompileBudget Budget;     ///< per-function resource limits
+  std::string InjectFaults; ///< fault-injection spec ("" = disabled)
+  bool ReportOutcomes = false; ///< report ladder outcome per function
 };
 
 std::optional<std::vector<int64_t>> parseIntList(const std::string &S) {
@@ -93,6 +107,9 @@ int usage(const char *Argv0) {
                "[--stats]\n"
                "          [--objective=speed|size|speed-then-size] [--no-emit]\n"
                "          [--jobs=N] [--metrics-out=PATH]\n"
+               "          [--budget-ms=N] [--max-augmentations=N] "
+               "[--max-graph-nodes=N]\n"
+               "          [--inject-faults=SPEC] [--report-outcomes]\n"
                "          [--dot-cfg=PATH] [--dot-frg=PATH] [--function=NAME] <file>\n",
                Argv0);
   return 2;
@@ -173,6 +190,34 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Opts) {
         std::fprintf(stderr, "error: bad --jobs value '%s'\n", V->c_str());
         return false;
       }
+    } else if (auto V = Value("--budget-ms=")) {
+      try {
+        Opts.Budget.DeadlineMillis = std::stoull(*V);
+      } catch (...) {
+        std::fprintf(stderr, "error: bad --budget-ms value '%s'\n",
+                     V->c_str());
+        return false;
+      }
+    } else if (auto V = Value("--max-augmentations=")) {
+      try {
+        Opts.Budget.MaxFlowAugmentations = std::stoull(*V);
+      } catch (...) {
+        std::fprintf(stderr, "error: bad --max-augmentations value '%s'\n",
+                     V->c_str());
+        return false;
+      }
+    } else if (auto V = Value("--max-graph-nodes=")) {
+      try {
+        Opts.Budget.MaxGraphNodes = std::stoull(*V);
+      } catch (...) {
+        std::fprintf(stderr, "error: bad --max-graph-nodes value '%s'\n",
+                     V->c_str());
+        return false;
+      }
+    } else if (auto V = Value("--inject-faults=")) {
+      Opts.InjectFaults = *V;
+    } else if (A == "--report-outcomes") {
+      Opts.ReportOutcomes = true;
     } else if (A == "--cleanup") {
       Opts.Cleanup = true;
     } else if (A == "--gvn") {
@@ -288,10 +333,24 @@ int processFunction(Function &F, const ToolOptions &Opts,
   PO.Prof = Opts.Strategy == PreStrategy::McPre ? &Prof : &NodeOnly;
   PO.Placement = Opts.Placement;
   PO.Objective = Opts.Objective;
+  PO.Budget = Opts.Budget;
   PreStats Stats;
   PO.Stats = &Stats;
 
-  Function Optimized = Driver.compileFunction(F, PO, Metrics);
+  CompileOutcomeRecord Outcome;
+  Function Optimized = Driver.compileFunctionWithFallback(F, PO, Metrics,
+                                                          &Outcome);
+  // Degradations go to stderr so stdout stays bit-identical to a clean
+  // run; --report-outcomes forces a line even for clean compiles.
+  if (Outcome.degraded() || Opts.ReportOutcomes) {
+    std::fprintf(stderr, "outcome: %s requested=%s used=%s retries=%u",
+                 F.Name.c_str(), Outcome.Requested.c_str(),
+                 Outcome.Used.c_str(), Outcome.Retries);
+    if (!Outcome.Cause.empty())
+      std::fprintf(stderr, " cause=%s (%s)", Outcome.Cause.c_str(),
+                   Outcome.Message.c_str());
+    std::fprintf(stderr, "\n");
+  }
   if (Opts.Gvn && Optimized.IsSSA)
     runValueNumbering(Optimized);
   if (Opts.Cleanup && Optimized.IsSSA)
@@ -332,9 +391,19 @@ int processFunction(Function &F, const ToolOptions &Opts,
 } // namespace
 
 int main(int Argc, char **Argv) {
+  installCrashSignalHandlers();
   ToolOptions Opts;
   if (!parseArgs(Argc, Argv, Opts))
     return usage(Argv[0]);
+
+  if (!Opts.InjectFaults.empty()) {
+    Status S = configureFaultInjection(Opts.InjectFaults);
+    if (!S.isOk()) {
+      std::fprintf(stderr, "error: --inject-faults: %s\n",
+                   S.message().c_str());
+      return 2;
+    }
+  }
 
   std::ifstream In(Opts.InputPath);
   if (!In) {
@@ -383,7 +452,8 @@ int main(int Argc, char **Argv) {
     char Header[64];
     std::snprintf(Header, sizeof(Header), "{\"jobs\": %u,\n\"steps\": ",
                   Driver.jobs());
-    Out << Header << Metrics.toJson() << "}\n";
+    Out << Header << Metrics.toJson() << ",\n\"robustness\": "
+        << Metrics.robustnessToJson() << "}\n";
   }
   return 0;
 }
