@@ -39,4 +39,21 @@ echo "==== fault-injection smoke ===="
 ./build-release/tools/specpre-fuzz --cases=150 --seed=1 --inject-faults=all:0.1:7
 ./build-asan/tools/specpre-fuzz --cases=60 --seed=2 --inject-faults=all:0.5:11
 
+# Compilation-cache smoke (docs/CACHING.md): cold populate, warm replay,
+# then verify mode, which recompiles every hit and exits nonzero on any
+# bit difference. All three stdouts must be identical.
+echo "==== cache verify smoke ===="
+CACHE_DIR="$(mktemp -d)"
+trap 'rm -rf "$CACHE_DIR"' EXIT
+for f in examples/programs/*.spre; do
+  ./build-release/tools/specpre-opt --strategy=mcssapre --train=3,4,64 \
+    --cache-dir="$CACHE_DIR" "$f" > "$CACHE_DIR/cold.out"
+  ./build-release/tools/specpre-opt --strategy=mcssapre --train=3,4,64 \
+    --cache-dir="$CACHE_DIR" "$f" > "$CACHE_DIR/warm.out"
+  ./build-release/tools/specpre-opt --strategy=mcssapre --train=3,4,64 \
+    --cache-dir="$CACHE_DIR" --cache=verify "$f" > "$CACHE_DIR/verify.out"
+  cmp "$CACHE_DIR/cold.out" "$CACHE_DIR/warm.out"
+  cmp "$CACHE_DIR/cold.out" "$CACHE_DIR/verify.out"
+done
+
 echo "==== all configurations passed ===="

@@ -223,11 +223,17 @@ VarId Function::getOrAddVar(const std::string &VarName) {
   return static_cast<VarId>(VarNames.size() - 1);
 }
 
+void Function::syncVarIndex() const {
+  for (unsigned I = IndexedVars, E = static_cast<unsigned>(VarNames.size());
+       I != E; ++I)
+    VarIndex.emplace(VarNames[I], static_cast<VarId>(I));
+  IndexedVars = static_cast<unsigned>(VarNames.size());
+}
+
 VarId Function::findVar(const std::string &VarName) const {
-  for (unsigned I = 0, E = static_cast<unsigned>(VarNames.size()); I != E; ++I)
-    if (VarNames[I] == VarName)
-      return static_cast<VarId>(I);
-  return InvalidVar;
+  syncVarIndex();
+  auto It = VarIndex.find(VarName);
+  return It == VarIndex.end() ? InvalidVar : It->second;
 }
 
 VarId Function::makeFreshVar(const std::string &Hint) {

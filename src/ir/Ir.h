@@ -22,6 +22,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -244,6 +245,20 @@ public:
     assert(V >= 0 && V < static_cast<VarId>(VarNames.size()));
     return VarNames[V];
   }
+
+private:
+  /// Catches the index up with names appended to VarNames since the last
+  /// lookup.
+  void syncVarIndex() const;
+
+  /// Lazily-grown name -> id index behind findVar. Without it the parser
+  /// is super-linear: every materialized temporary probes makeFreshVar's
+  /// candidate names with a full linear scan of the table. Entries are
+  /// only ever appended to VarNames (never renamed or removed), so
+  /// growing the index incrementally keeps it exact; emplace preserves
+  /// findVar's first-match semantics should a duplicate ever appear.
+  mutable std::map<std::string, VarId> VarIndex;
+  mutable unsigned IndexedVars = 0;
 };
 
 /// A translation unit: a list of functions.

@@ -256,6 +256,12 @@ private:
   Token Tok;
   std::string Err;
   Function *CurF = nullptr;
+  /// The temp most recently created by materialize(). The assignment
+  /// parser retargets a just-materialized top-level Compute onto the
+  /// assignment's destination; tracking the temp by id (not by its "t$"
+  /// name prefix) keeps a source program's own t$-named variables safe
+  /// from that peephole.
+  VarId LastMaterialized = InvalidVar;
 };
 
 int Parser::currentBinop(Opcode &Op) const {
@@ -336,6 +342,7 @@ Operand Parser::materialize(PendingBlock &PB, Opcode Op, Operand L,
   PS.S = Stmt::makeCompute(Temp, Op, L, R);
   PS.Line = Tok.Line;
   PB.Stmts.push_back(std::move(PS));
+  LastMaterialized = Temp;
   return Operand::makeVar(Temp);
 }
 
@@ -474,10 +481,9 @@ bool Parser::parseAssignmentRhs(PendingBlock &PB, VarId Dest,
   // If the expression parser just materialized a temp for the top-level
   // operation, retarget that Compute to the destination instead of adding
   // a Copy — keeps parsed code in the canonical three-address shape.
-  if (Val.isVar() && !PB.Stmts.empty() &&
+  if (Val.isVar() && Val.Var == LastMaterialized && !PB.Stmts.empty() &&
       PB.Stmts.back().S.Kind == StmtKind::Compute &&
-      PB.Stmts.back().S.Dest == Val.Var &&
-      CurF->varName(Val.Var).starts_with("t$")) {
+      PB.Stmts.back().S.Dest == Val.Var) {
     PB.Stmts.back().S.Dest = Dest;
     PB.Stmts.back().S.DestVersion = DestVersion;
     return true;

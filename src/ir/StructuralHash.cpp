@@ -1,0 +1,128 @@
+//===- ir/StructuralHash.cpp - Deterministic IR content hashing -----------===//
+
+#include "ir/StructuralHash.h"
+
+using namespace specpre;
+
+namespace {
+
+/// splitmix64 — the same reproducible mixer FaultInjector uses; chosen
+/// for portability, not cryptographic strength (a cache collision is a
+/// correctness hazard only if an adversary controls the corpus, and the
+/// verify mode exists exactly to audit that).
+uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+} // namespace
+
+std::string Hash128::toHex() const {
+  static const char *Digits = "0123456789abcdef";
+  std::string Out(32, '0');
+  for (unsigned I = 0; I != 16; ++I)
+    Out[15 - I] = Digits[(Hi >> (4 * I)) & 0xf];
+  for (unsigned I = 0; I != 16; ++I)
+    Out[31 - I] = Digits[(Lo >> (4 * I)) & 0xf];
+  return Out;
+}
+
+// Distinct nonzero lane seeds so the two 64-bit halves are not trivially
+// correlated.
+HashBuilder::HashBuilder()
+    : Hi(0x5a1fb7c9d3e8a642ULL), Lo(0xc3a5c85c97cb3127ULL) {}
+
+void HashBuilder::addU64(uint64_t V) {
+  Hi = mix64(Hi ^ V);
+  Lo = mix64(Lo ^ mix64(V));
+}
+
+void HashBuilder::addString(std::string_view S) {
+  addU64(static_cast<uint64_t>(S.size()));
+  uint64_t Word = 0;
+  unsigned Fill = 0;
+  for (char C : S) {
+    Word |= static_cast<uint64_t>(static_cast<unsigned char>(C))
+            << (8 * Fill);
+    if (++Fill == 8) {
+      addU64(Word);
+      Word = 0;
+      Fill = 0;
+    }
+  }
+  if (Fill)
+    addU64(Word);
+}
+
+namespace {
+
+void hashOperand(HashBuilder &H, const Function &F, const Operand &O) {
+  if (O.isConst()) {
+    H.addU64(1);
+    H.addI64(O.Value);
+  } else {
+    H.addU64(2);
+    H.addString(F.varName(O.Var));
+    H.addI64(O.Version);
+  }
+}
+
+void hashStmt(HashBuilder &H, const Function &F, const Stmt &S) {
+  H.addU64(static_cast<uint64_t>(S.Kind));
+  if (S.definesValue()) {
+    H.addString(F.varName(S.Dest));
+    H.addI64(S.DestVersion);
+  }
+  switch (S.Kind) {
+  case StmtKind::Copy:
+  case StmtKind::Ret:
+  case StmtKind::Print:
+    hashOperand(H, F, S.Src0);
+    break;
+  case StmtKind::Compute:
+    H.addU64(static_cast<uint64_t>(S.Op));
+    hashOperand(H, F, S.Src0);
+    hashOperand(H, F, S.Src1);
+    break;
+  case StmtKind::Phi:
+    H.addU64(static_cast<uint64_t>(S.PhiArgs.size()));
+    for (const PhiArg &A : S.PhiArgs) {
+      H.addI64(A.Pred);
+      hashOperand(H, F, A.Val);
+    }
+    break;
+  case StmtKind::Branch:
+    hashOperand(H, F, S.Src0);
+    H.addI64(S.TrueTarget);
+    H.addI64(S.FalseTarget);
+    break;
+  case StmtKind::Jump:
+    H.addI64(S.TrueTarget);
+    break;
+  }
+}
+
+} // namespace
+
+void specpre::hashFunctionInto(HashBuilder &H, const Function &F) {
+  H.addString(F.Name);
+  H.addBool(F.IsSSA);
+  H.addU64(static_cast<uint64_t>(F.Params.size()));
+  for (VarId P : F.Params)
+    H.addString(F.varName(P));
+  H.addU64(static_cast<uint64_t>(F.Blocks.size()));
+  for (const BasicBlock &BB : F.Blocks) {
+    H.addString(BB.Label);
+    H.addU64(static_cast<uint64_t>(BB.Stmts.size()));
+    for (const Stmt &S : BB.Stmts)
+      hashStmt(H, F, S);
+  }
+}
+
+Hash128 specpre::structuralHash(const Function &F) {
+  HashBuilder H;
+  hashFunctionInto(H, F);
+  return H.digest();
+}

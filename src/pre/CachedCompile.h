@@ -1,0 +1,96 @@
+//===- pre/CachedCompile.h - Content-addressed compile caching -*- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The layer that turns support/CompileCache.h's dumb key→payload store
+/// into a *compilation* cache (docs/CACHING.md). It knows three things
+/// the store deliberately does not:
+///
+///  * **what identifies a compilation** — compileCacheKey() folds the
+///    structural IR hash (ir/StructuralHash.h) together with every input
+///    that can change the output: the strategy, the placement/algorithm/
+///    objective knobs, the verification and budget settings, the
+///    equivalence-check inputs, and the *relevant slice* of the profile
+///    (node frequencies for MC-SSAPRE, node+edge for MC-PRE, nothing for
+///    the profile-free legs — so touching a profile never invalidates a
+///    compile that would not have read it);
+///
+///  * **what a result is** — encode/decodeCachePayload() serialize the
+///    optimized function (printed IR plus the IsSSA flag, which the
+///    printed form alone cannot always recover), the per-expression
+///    ExprStatsRecords, and the ladder's CompileOutcomeRecord, so a hit
+///    replays the *entire* observable effect of the compile, stats
+///    stream included, bit-identically;
+///
+///  * **when caching is sound** — compileThroughCache() skips the cache
+///    entirely under fault injection (outcomes depend on a global
+///    fault-site counter) and refuses to store degraded results (their
+///    shape depends on which rung happened to fail). In Verify mode a
+///    hit additionally recompiles and cross-checks bit-for-bit — the
+///    end-to-end oracle that the key really captures every input.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_PRE_CACHEDCOMPILE_H
+#define SPECPRE_PRE_CACHEDCOMPILE_H
+
+#include "pre/PreDriver.h"
+#include "support/CompileCache.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace specpre {
+
+/// Content address of compiling \p Prepared under \p Opts. Deterministic
+/// across runs, platforms and --jobs settings; any single-token change
+/// to the function or to the consumed profile slice changes the key
+/// (tests/cache_test.cpp).
+CacheKey compileCacheKey(const Function &Prepared, const PreOptions &Opts);
+
+/// Serializes one compilation result: printed optimized IR, the explicit
+/// SSA flag, the stats records and the ladder outcome. The format is a
+/// line-oriented text with percent-escaped string fields; see the .cpp.
+std::string encodeCachePayload(const Function &Optimized,
+                               const std::vector<ExprStatsRecord> &Records,
+                               const CompileOutcomeRecord &Outcome);
+
+/// Inverse of encodeCachePayload. Returns false (outputs untouched or
+/// partially written, to be discarded) on any malformed input — a
+/// corrupt or stale cache entry degrades to a miss, never to an error.
+bool decodeCachePayload(const std::string &Payload, Function &OptimizedOut,
+                        std::vector<ExprStatsRecord> &RecordsOut,
+                        CompileOutcomeRecord &OutcomeOut);
+
+/// The uncached fallback compiler a cache protocol wraps — the signature
+/// of compileWithFallback.
+using UncachedCompileFn = std::function<Function(
+    const Function &, const PreOptions &, CompileOutcomeRecord *)>;
+
+/// Cache protocol shared by the serial and parallel drivers:
+///
+///  * ineligible (no cache, mode Off, fault injection active) — calls
+///    \p Compile directly, unchanged semantics;
+///  * miss — compiles via \p Compile into an isolated stats shard,
+///    forwards the shard to Opts.Stats, and stores the result unless the
+///    compile degraded;
+///  * hit (mode On) — replays the decoded function, records and outcome
+///    without running any pass code; *ReplayedHitOut is set to true;
+///  * hit (mode Verify) — recompiles anyway, counts a verify mismatch if
+///    the cached entry is not bit-identical (printed IR, every stats
+///    record, the outcome), and returns the fresh result.
+///
+/// \p Compile is always invoked with Opts.Cache cleared so a wrapped
+/// driver cannot re-enter the protocol.
+Function compileThroughCache(const Function &Prepared, const PreOptions &Opts,
+                             CompileOutcomeRecord *OutcomeOut,
+                             const UncachedCompileFn &Compile,
+                             bool *ReplayedHitOut = nullptr);
+
+} // namespace specpre
+
+#endif // SPECPRE_PRE_CACHEDCOMPILE_H

@@ -6,6 +6,7 @@
 #include "analysis/DomTree.h"
 #include "analysis/Loops.h"
 #include "ir/Verifier.h"
+#include "pre/CachedCompile.h"
 #include "pre/CodeMotion.h"
 #include "pre/ExprKey.h"
 #include "pre/Finalize.h"
@@ -282,6 +283,24 @@ Function ParallelPreDriver::compileFunction(const Function &Prepared,
 }
 
 Function ParallelPreDriver::compileFunctionWithFallback(
+    const Function &Prepared, const PreOptions &Opts, PipelineMetrics *Metrics,
+    CompileOutcomeRecord *OutcomeOut) {
+  bool Replayed = false;
+  Function F = compileThroughCache(
+      Prepared, Opts, OutcomeOut,
+      [&](const Function &P, const PreOptions &O, CompileOutcomeRecord *Out) {
+        return compileFunctionWithFallbackUncached(P, O, Metrics, Out);
+      },
+      &Replayed);
+  // A replayed hit is a compiled function the ladder never saw; keep the
+  // robustness counters identical to what the cold run reported (hits
+  // replay only non-degraded compiles, so no other counter moves).
+  if (Replayed && Metrics)
+    ++Metrics->robustness().FunctionsCompiled;
+  return F;
+}
+
+Function ParallelPreDriver::compileFunctionWithFallbackUncached(
     const Function &Prepared, const PreOptions &Opts, PipelineMetrics *Metrics,
     CompileOutcomeRecord *OutcomeOut) {
   CrashContext FnFrame("function", Prepared.Name);

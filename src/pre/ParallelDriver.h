@@ -106,6 +106,14 @@ public:
                                       PipelineMetrics *Metrics = nullptr);
 
 private:
+  /// The fault-isolation ladder itself, cache-oblivious; the public
+  /// compileFunctionWithFallback wraps it in the cache protocol
+  /// (pre/CachedCompile.h) when Opts.Cache is set.
+  Function compileFunctionWithFallbackUncached(const Function &Prepared,
+                                               const PreOptions &Opts,
+                                               PipelineMetrics *Metrics,
+                                               CompileOutcomeRecord *OutcomeOut);
+
   ParallelConfig Config;
   std::unique_ptr<ThreadPool> Pool;
 };

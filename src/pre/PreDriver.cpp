@@ -8,6 +8,7 @@
 #include "analysis/LoopRestructure.h"
 #include "analysis/Loops.h"
 #include "ir/Verifier.h"
+#include "pre/CachedCompile.h"
 #include "pre/CodeMotion.h"
 #include "pre/ExprKey.h"
 #include "pre/Finalize.h"
@@ -279,9 +280,13 @@ Status specpre::checkObservableEquivalence(const Function &Prepared,
   return Status::ok();
 }
 
-Function specpre::compileWithFallback(const Function &Prepared,
-                                      const PreOptions &Opts,
-                                      CompileOutcomeRecord *OutcomeOut) {
+namespace {
+
+/// The degradation-ladder walk itself, cache-oblivious; the public
+/// compileWithFallback wraps it in the cache protocol.
+Function compileWithFallbackUncached(const Function &Prepared,
+                                     const PreOptions &Opts,
+                                     CompileOutcomeRecord *OutcomeOut) {
   assert(!Prepared.IsSSA &&
          "compileWithFallback expects prepared non-SSA input");
   CrashContext FnFrame("function", Prepared.Name);
@@ -341,4 +346,13 @@ Function specpre::compileWithFallback(const Function &Prepared,
   if (OutcomeOut)
     *OutcomeOut = Outcome;
   return Prepared;
+}
+
+} // namespace
+
+Function specpre::compileWithFallback(const Function &Prepared,
+                                      const PreOptions &Opts,
+                                      CompileOutcomeRecord *OutcomeOut) {
+  return compileThroughCache(Prepared, Opts, OutcomeOut,
+                             compileWithFallbackUncached);
 }

@@ -37,6 +37,8 @@
 
 namespace specpre {
 
+class CompileCache;
+
 enum class PreStrategy {
   None,       ///< No PRE at all (sanity baseline).
   SsaPre,     ///< Leg A: safe SSAPRE.
@@ -84,6 +86,12 @@ struct PreOptions {
   /// on each argument vector before accepting a rung's result. Argument
   /// vectors are padded/truncated to the function's arity.
   const std::vector<std::vector<int64_t>> *EquivalenceInputs = nullptr;
+  /// Content-addressed compilation cache consulted by the fallback
+  /// drivers (serial compileWithFallback and the parallel driver's
+  /// compileFunctionWithFallback); see pre/CachedCompile.h for the
+  /// protocol and docs/CACHING.md for the design. Null (the default)
+  /// compiles uncached.
+  CompileCache *Cache = nullptr;
 };
 
 /// Normalizes a freshly parsed (non-SSA) function for compilation:

@@ -1,0 +1,134 @@
+//===- support/CompileCache.cpp - Content-addressed compile cache ---------===//
+
+#include "support/CompileCache.h"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#if defined(_WIN32)
+#include <process.h>
+#define SPECPRE_GETPID _getpid
+#else
+#include <unistd.h>
+#define SPECPRE_GETPID getpid
+#endif
+
+using namespace specpre;
+
+std::string CacheKey::toHex() const {
+  static const char *Digits = "0123456789abcdef";
+  std::string Out(32, '0');
+  for (unsigned I = 0; I != 16; ++I)
+    Out[15 - I] = Digits[(Hi >> (4 * I)) & 0xf];
+  for (unsigned I = 0; I != 16; ++I)
+    Out[31 - I] = Digits[(Lo >> (4 * I)) & 0xf];
+  return Out;
+}
+
+CompileCache::CompileCache(Config C) : Cfg(std::move(C)) {
+  if (Cfg.MaxEntries == 0)
+    Cfg.MaxEntries = 1;
+}
+
+std::string CompileCache::diskPathFor(const CacheKey &Key) const {
+  return Cfg.DiskDir + "/" + Key.toHex() + ".sprc";
+}
+
+std::optional<std::string> CompileCache::lookup(const CacheKey &Key) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Index.find(Key);
+  if (It != Index.end()) {
+    Lru.splice(Lru.begin(), Lru, It->second);
+    ++Stats.Hits;
+    return It->second->second;
+  }
+  if (!Cfg.DiskDir.empty()) {
+    std::ifstream In(diskPathFor(Key), std::ios::binary);
+    if (In) {
+      std::ostringstream Buf;
+      Buf << In.rdbuf();
+      std::string Payload = std::move(Buf).str();
+      ++Stats.Hits;
+      ++Stats.DiskHits;
+      // Promote into the LRU so repeated lookups stay in memory.
+      Lru.emplace_front(Key, Payload);
+      Index[Key] = Lru.begin();
+      while (Lru.size() > Cfg.MaxEntries) {
+        Index.erase(Lru.back().first);
+        Lru.pop_back();
+        ++Stats.Evictions;
+      }
+      return Payload;
+    }
+  }
+  ++Stats.Misses;
+  return std::nullopt;
+}
+
+void CompileCache::insert(const CacheKey &Key, std::string Payload) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++Stats.Stores;
+  auto It = Index.find(Key);
+  if (It != Index.end()) {
+    It->second->second = Payload;
+    Lru.splice(Lru.begin(), Lru, It->second);
+  } else {
+    Lru.emplace_front(Key, Payload);
+    Index[Key] = Lru.begin();
+    while (Lru.size() > Cfg.MaxEntries) {
+      Index.erase(Lru.back().first);
+      Lru.pop_back();
+      ++Stats.Evictions;
+    }
+  }
+  if (Cfg.DiskDir.empty())
+    return;
+  std::error_code Ec;
+  std::filesystem::create_directories(Cfg.DiskDir, Ec);
+  // Atomic publish: write a private temp file, then rename onto the
+  // final name. Concurrent writers of the same key race benignly (both
+  // bodies are identical by construction — the key is a content hash of
+  // the inputs and compilation is deterministic); a reader only ever
+  // sees a complete file.
+  static std::atomic<uint64_t> TmpCounter{0};
+  std::string Final = diskPathFor(Key);
+  std::string Tmp = Final + ".tmp." +
+                    std::to_string(static_cast<uint64_t>(SPECPRE_GETPID())) +
+                    "." + std::to_string(TmpCounter.fetch_add(1));
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out)
+      return; // Unwritable cache dir: degrade to memory-only silently.
+    Out << Payload;
+    if (!Out.good()) {
+      Out.close();
+      std::filesystem::remove(Tmp, Ec);
+      return;
+    }
+  }
+  std::filesystem::rename(Tmp, Final, Ec);
+  if (Ec) {
+    std::filesystem::remove(Tmp, Ec);
+    return;
+  }
+  ++Stats.DiskWrites;
+}
+
+void CompileCache::noteVerifyMismatch() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++Stats.VerifyMismatches;
+}
+
+CacheCounters CompileCache::counters() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Stats;
+}
+
+uint64_t CompileCache::entriesInMemory() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return static_cast<uint64_t>(Lru.size());
+}

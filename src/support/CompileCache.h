@@ -1,0 +1,121 @@
+//===- support/CompileCache.h - Content-addressed compile cache *- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A content-addressed store for per-function compilation results
+/// (docs/CACHING.md). The cache itself is deliberately dumb: it maps a
+/// 128-bit key to an opaque text payload. Key composition (structural IR
+/// hash + profile slice + strategy + options + budget) and payload
+/// encoding (printed optimized IR + replayable PreStats records + the
+/// ladder outcome) live in pre/CachedCompile, the layer that knows what
+/// a compilation *is*; this layer only knows how to remember one.
+///
+/// Storage is two-tier:
+///
+///  * an in-memory LRU bounded by Config.MaxEntries — one batch compile
+///    touching the same function twice pays the disk at most once;
+///  * an optional on-disk directory (Config.DiskDir) holding one file
+///    per entry, named `<hex key>.sprc`, written atomically via a
+///    temp-file rename so a crashed or concurrent writer can never leave
+///    a torn entry for a later reader.
+///
+/// All operations are thread-safe: the parallel driver's workers share
+/// one cache across the corpus fan-out. Counters are cheap and always
+/// on; the tool exports them under the "cache" key of the metrics JSON.
+///
+/// Modes: On serves hits; Verify treats every hit as a cross-check — the
+/// caller recompiles and compares bit-for-bit, reporting disagreement
+/// via noteVerifyMismatch() (the cache's end-to-end integrity oracle).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_SUPPORT_COMPILECACHE_H
+#define SPECPRE_SUPPORT_COMPILECACHE_H
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace specpre {
+
+enum class CacheMode {
+  Off,    ///< Never look up or store (the default without a cache).
+  On,     ///< Serve hits, populate on miss.
+  Verify, ///< Hits are audited: recompile and assert bit-identical.
+};
+
+/// Content address of one compilation (see compileCacheKey). A plain
+/// value so support/ needs no knowledge of how it is derived.
+struct CacheKey {
+  uint64_t Hi = 0;
+  uint64_t Lo = 0;
+
+  std::string toHex() const;
+
+  auto operator<=>(const CacheKey &) const = default;
+};
+
+/// Monotonic event counts since construction. Snapshot via counters().
+struct CacheCounters {
+  uint64_t Hits = 0;             ///< Lookups served (memory or disk).
+  uint64_t Misses = 0;           ///< Lookups that found nothing.
+  uint64_t Stores = 0;           ///< Entries inserted.
+  uint64_t Evictions = 0;        ///< In-memory LRU evictions.
+  uint64_t DiskHits = 0;         ///< Hits that had to read the directory.
+  uint64_t DiskWrites = 0;       ///< Entries persisted to the directory.
+  uint64_t VerifyMismatches = 0; ///< Verify-mode hit/recompile diffs.
+};
+
+class CompileCache {
+public:
+  struct Config {
+    /// On-disk cache directory; empty for a memory-only cache. Created
+    /// (with parents) on first store if missing.
+    std::string DiskDir;
+    /// In-memory LRU capacity, in entries.
+    uint64_t MaxEntries = 4096;
+    CacheMode Mode = CacheMode::On;
+  };
+
+  explicit CompileCache(Config C);
+
+  CacheMode mode() const { return Cfg.Mode; }
+
+  /// Returns the payload stored under \p Key, consulting memory first,
+  /// then the disk directory (promoting a disk hit into the LRU).
+  std::optional<std::string> lookup(const CacheKey &Key);
+
+  /// Stores \p Payload under \p Key in memory and, when configured, on
+  /// disk. Re-inserting an existing key refreshes its LRU position.
+  void insert(const CacheKey &Key, std::string Payload);
+
+  /// Verify-mode bookkeeping, called by the compile layer when a cached
+  /// entry disagrees with a fresh recompile.
+  void noteVerifyMismatch();
+
+  CacheCounters counters() const;
+
+  uint64_t entriesInMemory() const;
+
+private:
+  std::string diskPathFor(const CacheKey &Key) const;
+
+  Config Cfg;
+  mutable std::mutex Mu;
+  /// Most-recently-used entries at the front.
+  std::list<std::pair<CacheKey, std::string>> Lru;
+  std::map<CacheKey, std::list<std::pair<CacheKey, std::string>>::iterator>
+      Index;
+  CacheCounters Stats;
+};
+
+} // namespace specpre
+
+#endif // SPECPRE_SUPPORT_COMPILECACHE_H

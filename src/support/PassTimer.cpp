@@ -57,6 +57,29 @@ void PipelineMetrics::merge(const PipelineMetrics &Other) {
   Robust.FunctionsDegraded += Other.Robust.FunctionsDegraded;
   Robust.LadderRetries += Other.Robust.LadderRetries;
   Robust.WorkerFailures += Other.Robust.WorkerFailures;
+  Cache.Hits += Other.Cache.Hits;
+  Cache.Misses += Other.Cache.Misses;
+  Cache.Stores += Other.Cache.Stores;
+  Cache.Evictions += Other.Cache.Evictions;
+  Cache.DiskHits += Other.Cache.DiskHits;
+  Cache.DiskWrites += Other.Cache.DiskWrites;
+  Cache.VerifyMismatches += Other.Cache.VerifyMismatches;
+}
+
+std::string PipelineMetrics::cacheToJson() const {
+  char Buf[320];
+  std::snprintf(Buf, sizeof(Buf),
+                "{\"hits\": %llu, \"misses\": %llu, \"stores\": %llu, "
+                "\"evictions\": %llu, \"disk_hits\": %llu, "
+                "\"disk_writes\": %llu, \"verify_mismatches\": %llu}",
+                static_cast<unsigned long long>(Cache.Hits),
+                static_cast<unsigned long long>(Cache.Misses),
+                static_cast<unsigned long long>(Cache.Stores),
+                static_cast<unsigned long long>(Cache.Evictions),
+                static_cast<unsigned long long>(Cache.DiskHits),
+                static_cast<unsigned long long>(Cache.DiskWrites),
+                static_cast<unsigned long long>(Cache.VerifyMismatches));
+  return Buf;
 }
 
 std::string PipelineMetrics::robustnessToJson() const {

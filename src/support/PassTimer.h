@@ -25,6 +25,8 @@
 #ifndef SPECPRE_SUPPORT_PASSTIMER_H
 #define SPECPRE_SUPPORT_PASSTIMER_H
 
+#include "support/CompileCache.h"
+
 #include <array>
 #include <chrono>
 #include <cstdint>
@@ -79,6 +81,16 @@ public:
   /// JSON object with one key per RobustnessCounters field.
   std::string robustnessToJson() const;
 
+  /// Compilation-cache counters of this run (hit/miss/evict/...). The
+  /// drivers do not fill these incrementally; the tool snapshots its
+  /// CompileCache's counters here before export, so the JSON reflects
+  /// the whole process. merge() sums field-wise like every other shard.
+  CacheCounters &cache() { return Cache; }
+  const CacheCounters &cache() const { return Cache; }
+
+  /// JSON object with one key per CacheCounters field.
+  std::string cacheToJson() const;
+
   const StepMetrics &step(PipelineStep S) const {
     return Steps[static_cast<unsigned>(S)];
   }
@@ -97,6 +109,7 @@ public:
 private:
   std::array<StepMetrics, NumPipelineSteps> Steps;
   RobustnessCounters Robust;
+  CacheCounters Cache;
 };
 
 /// Installs a thread-local metrics sink for the current scope; nesting

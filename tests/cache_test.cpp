@@ -1,0 +1,389 @@
+//===- tests/cache_test.cpp - Compilation-cache property tests ------------------===//
+//
+// End-to-end properties of the content-addressed compilation cache
+// (pre/CachedCompile.h, docs/CACHING.md) over a generated corpus:
+//
+//  * a warm compile replays printed IR, PreStats records and ladder
+//    outcomes bit-identically to the cold compile, serially and through
+//    the parallel driver at any --jobs;
+//  * the key is sensitive to exactly the inputs a leg consumes — node
+//    frequencies for MC-SSAPRE, node+edge for MC-PRE, no profile at all
+//    for the heuristic legs;
+//  * unsound situations never populate the cache: degraded ladder
+//    outcomes are not stored, fault injection bypasses the cache
+//    entirely, and a corrupt disk entry decodes to a miss, not an error;
+//  * Verify mode audits hits without ever flagging a false mismatch.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+#include "ir/Printer.h"
+#include "pre/CachedCompile.h"
+#include "pre/ParallelDriver.h"
+#include "pre/PreDriver.h"
+#include "support/CompileCache.h"
+#include "support/FaultInjector.h"
+#include "workload/ProgramGenerator.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace specpre;
+
+namespace {
+
+struct CorpusEntry {
+  Function Prepared;
+  Profile Prof;     ///< Full training profile (node + edge).
+  Profile NodeOnly; ///< The MC-SSAPRE slice.
+};
+
+/// A small deterministic fuzz corpus with real training profiles.
+std::vector<CorpusEntry> makeCorpus(unsigned N) {
+  GeneratorConfig Cfg;
+  Cfg.NumParams = 3;
+  std::vector<CorpusEntry> Corpus;
+  for (unsigned Seed = 1; Seed <= N; ++Seed) {
+    CorpusEntry E;
+    E.Prepared = generateProgram(Seed, Cfg, "gen" + std::to_string(Seed));
+    prepareFunction(E.Prepared);
+    ExecOptions EO;
+    EO.CollectProfile = &E.Prof;
+    interpret(E.Prepared, {3, 4, 5}, EO);
+    E.NodeOnly = E.Prof.withoutEdgeFreqs();
+    Corpus.push_back(std::move(E));
+  }
+  return Corpus;
+}
+
+struct CompileResult {
+  std::vector<std::string> Printed;
+  PreStats Stats;
+};
+
+/// One serial pass over the corpus under \p Strategy through \p Cache.
+CompileResult compileSerial(const std::vector<CorpusEntry> &Corpus,
+                            PreStrategy Strategy, CompileCache *Cache) {
+  CompileResult R;
+  for (const CorpusEntry &E : Corpus) {
+    PreOptions PO;
+    PO.Strategy = Strategy;
+    PO.Prof = Strategy == PreStrategy::McPre ? &E.Prof : &E.NodeOnly;
+    PO.Stats = &R.Stats;
+    PO.Cache = Cache;
+    R.Printed.push_back(printFunction(compileWithFallback(E.Prepared, PO)));
+  }
+  return R;
+}
+
+void expectSameResults(const CompileResult &A, const CompileResult &B,
+                       const char *What) {
+  ASSERT_EQ(A.Printed.size(), B.Printed.size()) << What;
+  for (size_t I = 0; I != A.Printed.size(); ++I)
+    EXPECT_EQ(A.Printed[I], B.Printed[I]) << What << ": function " << I;
+  EXPECT_TRUE(A.Stats.records() == B.Stats.records())
+      << What << ": stats records diverge";
+  EXPECT_TRUE(A.Stats.outcomes() == B.Stats.outcomes())
+      << What << ": outcome records diverge";
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Warm == cold, serial and parallel
+//===----------------------------------------------------------------------===//
+
+TEST(CompileCacheTest, WarmReplayIsBitIdenticalSerially) {
+  auto Corpus = makeCorpus(6);
+  for (PreStrategy S : {PreStrategy::SsaPre, PreStrategy::SsaPreSpec,
+                        PreStrategy::McSsaPre, PreStrategy::McPre}) {
+    CompileCache Cache({});
+    CompileResult Cold = compileSerial(Corpus, S, &Cache);
+    CacheCounters AfterCold = Cache.counters();
+    EXPECT_EQ(AfterCold.Hits, 0u);
+    EXPECT_EQ(AfterCold.Misses, Corpus.size());
+    EXPECT_EQ(AfterCold.Stores, Corpus.size());
+
+    CompileResult Warm = compileSerial(Corpus, S, &Cache);
+    CacheCounters AfterWarm = Cache.counters();
+    EXPECT_EQ(AfterWarm.Hits, Corpus.size()) << strategyName(S);
+    EXPECT_EQ(AfterWarm.Misses, Corpus.size());
+    expectSameResults(Cold, Warm, strategyName(S));
+  }
+}
+
+TEST(CompileCacheTest, WarmParallelMatchesColdSerialAtAnyJobs) {
+  auto Corpus = makeCorpus(6);
+  CompileCache Cache({});
+
+  auto CorpusTasks = [&](CompileCache *C) {
+    std::vector<CompileTask> Tasks;
+    for (const CorpusEntry &E : Corpus) {
+      CompileTask T;
+      T.Prepared = &E.Prepared;
+      T.Opts.Strategy = PreStrategy::McSsaPre;
+      T.Opts.Prof = &E.NodeOnly;
+      T.Opts.Cache = C;
+      Tasks.push_back(T);
+    }
+    return Tasks;
+  };
+
+  // Cold reference: the corpus pipeline at --jobs=1, uncached.
+  CompileResult Reference;
+  {
+    ParallelConfig PC;
+    PC.Jobs = 1;
+    ParallelPreDriver Driver(PC);
+    for (const Function &F :
+         Driver.compileCorpus(CorpusTasks(nullptr), &Reference.Stats))
+      Reference.Printed.push_back(printFunction(F));
+  }
+
+  for (unsigned Jobs : {1u, 4u}) {
+    for (int Round = 0; Round != 2; ++Round) { // miss round, then hit round
+      ParallelConfig PC;
+      PC.Jobs = Jobs;
+      ParallelPreDriver Driver(PC);
+      CompileResult Got;
+      std::vector<Function> Out =
+          Driver.compileCorpus(CorpusTasks(&Cache), &Got.Stats);
+      for (const Function &F : Out)
+        Got.Printed.push_back(printFunction(F));
+      expectSameResults(Reference, Got,
+                        Round ? "warm parallel" : "cold parallel");
+    }
+  }
+  // 4 corpus passes through one cache: 1 miss round + 3 hit rounds.
+  CacheCounters C = Cache.counters();
+  EXPECT_EQ(C.Misses, Corpus.size());
+  EXPECT_EQ(C.Hits, 3 * Corpus.size());
+}
+
+//===----------------------------------------------------------------------===//
+// Key sensitivity: exactly the consumed inputs
+//===----------------------------------------------------------------------===//
+
+TEST(CompileCacheTest, KeyTracksTheConsumedProfileSlice) {
+  auto Corpus = makeCorpus(1);
+  const CorpusEntry &E = Corpus.front();
+  ASSERT_TRUE(E.Prof.HasEdgeFreqs);
+
+  auto KeyFor = [&](PreStrategy S, const Profile &P) {
+    PreOptions PO;
+    PO.Strategy = S;
+    PO.Prof = &P;
+    return compileCacheKey(E.Prepared, PO);
+  };
+
+  Profile NodeBumped = E.Prof;
+  ASSERT_FALSE(NodeBumped.BlockFreq.empty());
+  ++NodeBumped.BlockFreq.back();
+  Profile EdgeBumped = E.Prof;
+  ASSERT_FALSE(EdgeBumped.EdgeFreq.empty());
+  ++EdgeBumped.EdgeFreq.begin()->second;
+
+  // MC-SSAPRE consumes node frequencies only.
+  EXPECT_NE(KeyFor(PreStrategy::McSsaPre, E.Prof),
+            KeyFor(PreStrategy::McSsaPre, NodeBumped));
+  EXPECT_EQ(KeyFor(PreStrategy::McSsaPre, E.Prof),
+            KeyFor(PreStrategy::McSsaPre, EdgeBumped));
+
+  // MC-PRE consumes both.
+  EXPECT_NE(KeyFor(PreStrategy::McPre, E.Prof),
+            KeyFor(PreStrategy::McPre, NodeBumped));
+  EXPECT_NE(KeyFor(PreStrategy::McPre, E.Prof),
+            KeyFor(PreStrategy::McPre, EdgeBumped));
+
+  // The heuristic legs consume no profile at all.
+  EXPECT_EQ(KeyFor(PreStrategy::SsaPre, E.Prof),
+            KeyFor(PreStrategy::SsaPre, NodeBumped));
+  EXPECT_EQ(KeyFor(PreStrategy::SsaPreSpec, E.Prof),
+            KeyFor(PreStrategy::SsaPreSpec, EdgeBumped));
+
+  // Distinct legs never share an address.
+  EXPECT_NE(KeyFor(PreStrategy::McSsaPre, E.Prof),
+            KeyFor(PreStrategy::McPre, E.Prof));
+  EXPECT_NE(KeyFor(PreStrategy::SsaPre, E.Prof),
+            KeyFor(PreStrategy::SsaPreSpec, E.Prof));
+}
+
+TEST(CompileCacheTest, KeyTracksIrAndOptions) {
+  auto Corpus = makeCorpus(1);
+  const CorpusEntry &E = Corpus.front();
+  PreOptions PO;
+  PO.Strategy = PreStrategy::McSsaPre;
+  PO.Prof = &E.NodeOnly;
+  const CacheKey Base = compileCacheKey(E.Prepared, PO);
+
+  // Any single-token IR mutation (renaming one variable everywhere)
+  // changes the address.
+  Function Renamed = E.Prepared;
+  Renamed.VarNames[Renamed.Params.front()] += "x";
+  EXPECT_NE(compileCacheKey(Renamed, PO), Base);
+
+  PreOptions Alt = PO;
+  Alt.Placement = CutPlacement::Earliest;
+  EXPECT_NE(compileCacheKey(E.Prepared, Alt), Base);
+
+  Alt = PO;
+  Alt.Budget.MaxGraphNodes = 10000;
+  EXPECT_NE(compileCacheKey(E.Prepared, Alt), Base);
+
+  Alt = PO;
+  Alt.Verify = !Alt.Verify;
+  EXPECT_NE(compileCacheKey(E.Prepared, Alt), Base);
+
+  // And the key is a pure function: same inputs, same address.
+  EXPECT_EQ(compileCacheKey(E.Prepared, PO), Base);
+}
+
+//===----------------------------------------------------------------------===//
+// Soundness: what must never be cached
+//===----------------------------------------------------------------------===//
+
+TEST(CompileCacheTest, DegradedOutcomesAreNeverStored) {
+  auto Corpus = makeCorpus(2);
+  CompileCache Cache({});
+  for (int Round = 0; Round != 2; ++Round) {
+    for (const CorpusEntry &E : Corpus) {
+      PreOptions PO;
+      PO.Strategy = PreStrategy::McSsaPre;
+      PO.Prof = &E.NodeOnly;
+      PO.Cache = &Cache;
+      // A one-node graph cap fails every analysis rung; the ladder ends
+      // on a degraded rung whose shape depends on where it gave up —
+      // never a sound thing to replay later.
+      PO.Budget.MaxGraphNodes = 1;
+      CompileOutcomeRecord Outcome;
+      compileWithFallback(E.Prepared, PO, &Outcome);
+      EXPECT_TRUE(Outcome.degraded());
+    }
+  }
+  CacheCounters C = Cache.counters();
+  EXPECT_EQ(C.Stores, 0u);
+  EXPECT_EQ(C.Hits, 0u);
+  EXPECT_EQ(C.Misses, 2 * Corpus.size());
+}
+
+TEST(CompileCacheTest, FaultInjectionBypassesTheCacheEntirely) {
+  auto Corpus = makeCorpus(1);
+  CompileCache Cache({});
+  // Armed at rate zero: no fault ever fires, but outcomes *could* depend
+  // on the global fault-site counters, so the cache must stand aside.
+  ASSERT_TRUE(configureFaultInjection("min-cut:0.0:1").isOk());
+  ASSERT_TRUE(faultInjectionEnabled());
+  PreOptions PO;
+  PO.Strategy = PreStrategy::McSsaPre;
+  PO.Prof = &Corpus.front().NodeOnly;
+  PO.Cache = &Cache;
+  Function Opt = compileWithFallback(Corpus.front().Prepared, PO);
+  disableFaultInjection();
+
+  CacheCounters C = Cache.counters();
+  EXPECT_EQ(C.Hits + C.Misses + C.Stores, 0u);
+  // And the bypass really compiled: same output as an uncached run.
+  PO.Cache = nullptr;
+  EXPECT_EQ(printFunction(Opt),
+            printFunction(compileWithFallback(Corpus.front().Prepared, PO)));
+}
+
+TEST(CompileCacheTest, CorruptDiskEntriesDegradeToMisses) {
+  namespace fs = std::filesystem;
+  fs::path Dir = fs::temp_directory_path() / "specpre-cache-test-corrupt";
+  fs::remove_all(Dir);
+
+  auto Corpus = makeCorpus(2);
+  CompileCache::Config CC;
+  CC.DiskDir = Dir.string();
+  CompileResult Cold;
+  {
+    CompileCache Cache(CC);
+    Cold = compileSerial(Corpus, PreStrategy::McSsaPre, &Cache);
+    EXPECT_EQ(Cache.counters().DiskWrites, Corpus.size());
+  }
+  // Vandalize every on-disk entry a different way: one truncated to
+  // nothing, one replaced by a header that lies about its contents.
+  unsigned I = 0;
+  for (const fs::directory_entry &F : fs::directory_iterator(Dir)) {
+    std::ofstream Out(F.path(), std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(Out) << F.path();
+    if (I++ % 2)
+      Out << "specpre-cache v1\nssa 2\ngarbage\n";
+  }
+  // A fresh process over the same directory: the store still serves the
+  // torn bytes (it cannot decode them), but the compile layer must fall
+  // through to a full recompile with the same bits — and overwrite the
+  // entry — never error out or return garbage.
+  CompileCache Cache(CC);
+  CompileResult Warm = compileSerial(Corpus, PreStrategy::McSsaPre, &Cache);
+  expectSameResults(Cold, Warm, "recompile after corruption");
+  EXPECT_EQ(Cache.counters().Stores, Corpus.size());
+  EXPECT_EQ(Cache.counters().VerifyMismatches, 0u);
+
+  // The overwritten entries are whole again: a third pass replays them.
+  CompileCache Healed(CC);
+  CacheCounters Before = Healed.counters();
+  CompileResult Replayed =
+      compileSerial(Corpus, PreStrategy::McSsaPre, &Healed);
+  expectSameResults(Cold, Replayed, "replay after heal");
+  EXPECT_EQ(Healed.counters().Hits - Before.Hits, Corpus.size());
+  fs::remove_all(Dir);
+}
+
+//===----------------------------------------------------------------------===//
+// Verify mode and payload round-trip
+//===----------------------------------------------------------------------===//
+
+TEST(CompileCacheTest, VerifyModeAuditsHitsWithoutFalseMismatches) {
+  auto Corpus = makeCorpus(4);
+  CompileCache::Config CC;
+  CC.Mode = CacheMode::Verify;
+  CompileCache Cache(CC);
+  CompileResult Cold = compileSerial(Corpus, PreStrategy::McSsaPre, &Cache);
+  CompileResult Warm = compileSerial(Corpus, PreStrategy::McSsaPre, &Cache);
+  expectSameResults(Cold, Warm, "verify mode");
+  CacheCounters C = Cache.counters();
+  EXPECT_EQ(C.Hits, Corpus.size());
+  EXPECT_EQ(C.VerifyMismatches, 0u);
+}
+
+TEST(CompileCacheTest, PayloadRoundTripsExactly) {
+  auto Corpus = makeCorpus(3);
+  for (const CorpusEntry &E : Corpus) {
+    PreStats Stats;
+    PreOptions PO;
+    PO.Strategy = PreStrategy::McSsaPre;
+    PO.Prof = &E.NodeOnly;
+    PO.Stats = &Stats;
+    CompileOutcomeRecord Outcome;
+    Function Opt = compileWithFallback(E.Prepared, PO, &Outcome);
+
+    std::string Payload =
+        encodeCachePayload(Opt, Stats.records(), Outcome);
+    Function Decoded;
+    std::vector<ExprStatsRecord> Records;
+    CompileOutcomeRecord DecodedOutcome;
+    ASSERT_TRUE(decodeCachePayload(Payload, Decoded, Records,
+                                   DecodedOutcome));
+    EXPECT_EQ(printFunction(Decoded), printFunction(Opt));
+    EXPECT_EQ(Decoded.IsSSA, Opt.IsSSA);
+    EXPECT_TRUE(Records == Stats.records());
+    EXPECT_TRUE(DecodedOutcome == Outcome);
+
+    // Truncating the payload anywhere must fail cleanly, never decode to
+    // a different result.
+    for (size_t Cut : {Payload.size() - 1, Payload.size() / 2, size_t{0}}) {
+      Function Junk;
+      std::vector<ExprStatsRecord> JunkRecords;
+      CompileOutcomeRecord JunkOutcome;
+      EXPECT_FALSE(decodeCachePayload(Payload.substr(0, Cut), Junk,
+                                      JunkRecords, JunkOutcome))
+          << "truncation at " << Cut << " decoded";
+    }
+  }
+}

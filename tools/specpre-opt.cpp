@@ -30,6 +30,11 @@
 //     --report-outcomes     always report the ladder outcome per function
 //                           (degradations are reported regardless, on
 //                           stderr, so stdout stays bit-identical)
+//     --cache-dir=PATH      on-disk compilation cache directory (implies
+//                           --cache=on); see docs/CACHING.md
+//     --cache=on|off|verify content-addressed compilation cache; verify
+//                           recompiles every hit and asserts the cached
+//                           entry is bit-identical (exit 1 on mismatch)
 //
 // Input syntax: see ir/Parser.h (examples/programs/*.spre).
 //
@@ -47,12 +52,14 @@
 #include "pre/PreDriver.h"
 #include "ssa/SsaConstruction.h"
 #include "ssa/SsaDestruction.h"
+#include "support/CompileCache.h"
 #include "support/CrashContext.h"
 #include "support/FaultInjector.h"
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -84,6 +91,8 @@ struct ToolOptions {
   CompileBudget Budget;     ///< per-function resource limits
   std::string InjectFaults; ///< fault-injection spec ("" = disabled)
   bool ReportOutcomes = false; ///< report ladder outcome per function
+  std::string CacheDir;        ///< on-disk cache directory ("" = memory-only)
+  std::optional<CacheMode> Cache; ///< unset = on iff --cache-dir given
 };
 
 std::optional<std::vector<int64_t>> parseIntList(const std::string &S) {
@@ -110,6 +119,7 @@ int usage(const char *Argv0) {
                "          [--budget-ms=N] [--max-augmentations=N] "
                "[--max-graph-nodes=N]\n"
                "          [--inject-faults=SPEC] [--report-outcomes]\n"
+               "          [--cache-dir=PATH] [--cache=on|off|verify]\n"
                "          [--dot-cfg=PATH] [--dot-frg=PATH] [--function=NAME] <file>\n",
                Argv0);
   return 2;
@@ -216,6 +226,19 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Opts) {
       }
     } else if (auto V = Value("--inject-faults=")) {
       Opts.InjectFaults = *V;
+    } else if (auto V = Value("--cache-dir=")) {
+      Opts.CacheDir = *V;
+    } else if (auto V = Value("--cache=")) {
+      if (*V == "on")
+        Opts.Cache = CacheMode::On;
+      else if (*V == "off")
+        Opts.Cache = CacheMode::Off;
+      else if (*V == "verify")
+        Opts.Cache = CacheMode::Verify;
+      else {
+        std::fprintf(stderr, "error: bad --cache mode '%s'\n", V->c_str());
+        return false;
+      }
     } else if (A == "--report-outcomes") {
       Opts.ReportOutcomes = true;
     } else if (A == "--cleanup") {
@@ -253,7 +276,8 @@ void reportRun(const char *Label, const ExecResult &R) {
 }
 
 int processFunction(Function &F, const ToolOptions &Opts,
-                    ParallelPreDriver &Driver, PipelineMetrics *Metrics) {
+                    ParallelPreDriver &Driver, PipelineMetrics *Metrics,
+                    CompileCache *Cache) {
   prepareFunction(F);
 
   bool NeedsProfile = Opts.Strategy == PreStrategy::McSsaPre ||
@@ -334,6 +358,7 @@ int processFunction(Function &F, const ToolOptions &Opts,
   PO.Placement = Opts.Placement;
   PO.Objective = Opts.Objective;
   PO.Budget = Opts.Budget;
+  PO.Cache = Cache;
   PreStats Stats;
   PO.Stats = &Stats;
 
@@ -428,18 +453,49 @@ int main(int Argc, char **Argv) {
   PipelineMetrics Metrics;
   bool WantMetrics = !Opts.MetricsOutPath.empty();
 
+  // --cache-dir alone implies --cache=on; --cache=off wins regardless.
+  CacheMode Mode = Opts.Cache.value_or(Opts.CacheDir.empty()
+                                           ? CacheMode::Off
+                                           : CacheMode::On);
+  std::unique_ptr<CompileCache> Cache;
+  if (Mode != CacheMode::Off) {
+    CompileCache::Config CC;
+    CC.DiskDir = Opts.CacheDir;
+    CC.Mode = Mode;
+    Cache = std::make_unique<CompileCache>(CC);
+  }
+
   bool FoundAny = false;
   for (Function &F : M->Functions) {
     if (!Opts.OnlyFunction.empty() && F.Name != Opts.OnlyFunction)
       continue;
     FoundAny = true;
     if (int Rc = processFunction(F, Opts, Driver,
-                                 WantMetrics ? &Metrics : nullptr))
+                                 WantMetrics ? &Metrics : nullptr,
+                                 Cache.get()))
       return Rc;
   }
   if (!FoundAny) {
     std::fprintf(stderr, "error: no function matched\n");
     return 1;
+  }
+
+  CacheCounters CacheStats;
+  if (Cache) {
+    CacheStats = Cache->counters();
+    Metrics.cache() = CacheStats;
+    // Summary on stderr so stdout stays bit-identical with and without
+    // the cache.
+    std::fprintf(stderr,
+                 "cache: hits=%llu misses=%llu stores=%llu evictions=%llu "
+                 "disk_hits=%llu disk_writes=%llu verify_mismatches=%llu\n",
+                 static_cast<unsigned long long>(CacheStats.Hits),
+                 static_cast<unsigned long long>(CacheStats.Misses),
+                 static_cast<unsigned long long>(CacheStats.Stores),
+                 static_cast<unsigned long long>(CacheStats.Evictions),
+                 static_cast<unsigned long long>(CacheStats.DiskHits),
+                 static_cast<unsigned long long>(CacheStats.DiskWrites),
+                 static_cast<unsigned long long>(CacheStats.VerifyMismatches));
   }
 
   if (WantMetrics) {
@@ -453,7 +509,17 @@ int main(int Argc, char **Argv) {
     std::snprintf(Header, sizeof(Header), "{\"jobs\": %u,\n\"steps\": ",
                   Driver.jobs());
     Out << Header << Metrics.toJson() << ",\n\"robustness\": "
-        << Metrics.robustnessToJson() << "}\n";
+        << Metrics.robustnessToJson() << ",\n\"cache\": "
+        << Metrics.cacheToJson() << "}\n";
+  }
+
+  if (CacheStats.VerifyMismatches) {
+    std::fprintf(stderr,
+                 "error: --cache=verify found %llu mismatching cache "
+                 "entr%s\n",
+                 static_cast<unsigned long long>(CacheStats.VerifyMismatches),
+                 CacheStats.VerifyMismatches == 1 ? "y" : "ies");
+    return 1;
   }
   return 0;
 }
