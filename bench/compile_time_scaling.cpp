@@ -16,6 +16,7 @@
 #include "workload/ProgramGenerator.h"
 
 #include <chrono>
+#include <iterator>
 #include <cstdio>
 
 using namespace specpre;
@@ -24,8 +25,8 @@ using namespace specpre::benchreport;
 int main() {
   printTitle("Compile-time scaling: MC-SSAPRE vs MC-PRE (paper Section "
              "3.3)");
-  std::printf("%8s %8s %8s %12s %12s %10s\n", "blocks", "stmts", "exprs",
-              "MC-SSAPRE", "MC-PRE", "max EFG");
+  std::printf("%8s %8s %8s %12s %12s %12s %12s %10s\n", "blocks", "stmts",
+              "exprs", "MC-SSAPRE", "(ek)", "(pr)", "MC-PRE", "max EFG");
   for (unsigned Scale = 1; Scale <= 4; ++Scale) {
     GeneratorConfig Cfg;
     Cfg.MaxDepth = 2 + Scale;
@@ -62,19 +63,35 @@ int main() {
     Profile NodeOnly = Prof.withoutEdgeFreqs();
 
     PreStats Stats;
-    double McSsa, McCfg;
-    size_t NumExprs;
-    {
+    double McCfg;
+    size_t NumExprs = 0;
+    // MC-SSAPRE once per max-flow algorithm: the EFGs are identical, so
+    // any spread between the columns is solver cost alone.
+    double McSsaBy[std::size(AllMaxFlowAlgorithms)] = {};
+    for (size_t AI = 0; AI != std::size(AllMaxFlowAlgorithms); ++AI) {
       PreOptions PO;
       PO.Strategy = PreStrategy::McSsaPre;
       PO.Prof = &NodeOnly;
-      PO.Stats = &Stats;
+      PO.Algo = AllMaxFlowAlgorithms[AI];
       PO.Verify = false;
+      if (AllMaxFlowAlgorithms[AI] == MaxFlowAlgorithm::Dinic)
+        PO.Stats = &Stats;
       auto T0 = std::chrono::steady_clock::now();
       (void)compileWithPre(Prepared, PO);
       auto T1 = std::chrono::steady_clock::now();
-      McSsa = std::chrono::duration<double, std::milli>(T1 - T0).count();
-      NumExprs = Stats.records().size();
+      McSsaBy[AI] =
+          std::chrono::duration<double, std::milli>(T1 - T0).count();
+      if (PO.Stats)
+        NumExprs = Stats.records().size();
+    }
+    double McSsa = 0, McSsaEk = 0, McSsaPr = 0;
+    for (size_t AI = 0; AI != std::size(AllMaxFlowAlgorithms); ++AI) {
+      if (AllMaxFlowAlgorithms[AI] == MaxFlowAlgorithm::Dinic)
+        McSsa = McSsaBy[AI];
+      else if (AllMaxFlowAlgorithms[AI] == MaxFlowAlgorithm::EdmondsKarp)
+        McSsaEk = McSsaBy[AI];
+      else if (AllMaxFlowAlgorithms[AI] == MaxFlowAlgorithm::PushRelabel)
+        McSsaPr = McSsaBy[AI];
     }
     {
       auto T0 = std::chrono::steady_clock::now();
@@ -83,9 +100,9 @@ int main() {
       auto T1 = std::chrono::steady_clock::now();
       McCfg = std::chrono::duration<double, std::milli>(T1 - T0).count();
     }
-    std::printf("%8u %8u %8zu %10.2fms %10.2fms %10u\n",
-                Prepared.numBlocks(), Stmts, NumExprs, McSsa, McCfg,
-                Stats.largestEfg());
+    std::printf("%8u %8u %8zu %10.2fms %10.2fms %10.2fms %10.2fms %10u\n",
+                Prepared.numBlocks(), Stmts, NumExprs, McSsa, McSsaEk,
+                McSsaPr, McCfg, Stats.largestEfg());
   }
   printRule();
   std::printf("Expected shape: MC-SSAPRE grows gently with program size "

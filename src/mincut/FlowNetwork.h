@@ -10,13 +10,26 @@
 /// (MC-SSAPRE's EFG can have several bottom-operand edges from the
 /// artificial source into the same phi).
 ///
+/// The network is built incrementally (addNode/addEdge append to flat
+/// per-edge arrays with no per-node allocation) and then frozen into a
+/// compressed sparse row (CSR) layout: one contiguous Edge array ordered
+/// by source node plus an offset table, so the solvers' inner loops walk
+/// adjacent memory instead of chasing a vector-of-vectors. freeze() is
+/// idempotent and is invoked by the solvers; adding an edge to a frozen
+/// network unfreezes it (losing any flow) and the next freeze rebuilds.
+///
+/// All storage can be drawn from a BumpArena (support/Arena.h), which
+/// the PRE legs reset per candidate expression — steady-state network
+/// construction then performs no heap allocation at all.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPECPRE_MINCUT_FLOWNETWORK_H
 #define SPECPRE_MINCUT_FLOWNETWORK_H
 
+#include "support/Arena.h"
+
 #include <cstdint>
-#include <vector>
 
 namespace specpre {
 
@@ -52,58 +65,127 @@ inline int64_t saturatedEdgeWeight(uint64_t Freq, uint64_t SpeedWeight,
   return static_cast<int64_t>(Freq * SpeedWeight + SizeWeight);
 }
 
-/// Adjacency-list flow network with implicit residual (reverse) edges.
+/// CSR flow network with implicit residual (reverse) edges.
 class FlowNetwork {
 public:
   struct Edge {
     int To = -1;
     int64_t Cap = 0;   ///< Remaining capacity (residual).
-    int RevIndex = -1; ///< Index of the reverse edge in Adj[To].
+    int RevIndex = -1; ///< Index of the reverse edge within edgesFrom(To).
     bool IsForward = false; ///< True for original edges, false for residuals.
     int UserTag = -1;       ///< Caller-defined id for original edges.
   };
 
-  explicit FlowNetwork(int NumNodes = 0) : Adj(NumNodes) {}
+  /// Contiguous slice of a node's residual edges in the CSR array.
+  template <typename E> class EdgeSpan {
+  public:
+    EdgeSpan(E *B, E *End) : B(B), E_(End) {}
+    E *begin() const { return B; }
+    E *end() const { return E_; }
+    size_t size() const { return static_cast<size_t>(E_ - B); }
+    bool empty() const { return B == E_; }
+    E &operator[](size_t I) const { return B[I]; }
+
+  private:
+    E *B;
+    E *E_;
+  };
+  using EdgeRange = EdgeSpan<Edge>;
+  using ConstEdgeRange = EdgeSpan<const Edge>;
+
+  explicit FlowNetwork(int NumNodes = 0, BumpArena *A = nullptr)
+      : Arena(A), NumNodes_(NumNodes), Orig(A), Csr(A), Start(A),
+        FwdSlot(A) {}
 
   int addNode() {
-    Adj.emplace_back();
-    return static_cast<int>(Adj.size()) - 1;
+    assert(!Frozen && "addNode on a frozen network");
+    return NumNodes_++;
   }
 
-  int numNodes() const { return static_cast<int>(Adj.size()); }
+  int numNodes() const { return NumNodes_; }
 
   /// Adds a directed edge From->To with capacity \p Cap and an optional
   /// caller tag (used to map cut edges back to FRG edges). Returns an
   /// opaque id usable with edgeFlow().
   int addEdge(int From, int To, int64_t Cap, int UserTag = -1);
 
-  const std::vector<Edge> &edgesFrom(int Node) const { return Adj[Node]; }
-  std::vector<Edge> &edgesFrom(int Node) { return Adj[Node]; }
+  /// Pre-sizes the original-edge array (arena users reserve up front so
+  /// construction never abandons a grown buffer inside the arena).
+  void reserveEdges(size_t N) { Orig.reserve(N); }
+
+  /// Builds the CSR layout; idempotent. Solvers call this on entry, so
+  /// callers only need it when walking edgesFrom() on a never-solved
+  /// network.
+  void freeze();
+  bool isFrozen() const { return Frozen; }
+
+  ConstEdgeRange edgesFrom(int Node) const {
+    assert(Frozen && "edgesFrom requires a frozen network");
+    return {Csr.data() + Start[static_cast<size_t>(Node)],
+            Csr.data() + Start[static_cast<size_t>(Node) + 1]};
+  }
+  EdgeRange edgesFrom(int Node) {
+    assert(Frozen && "edgesFrom requires a frozen network");
+    return {Csr.data() + Start[static_cast<size_t>(Node)],
+            Csr.data() + Start[static_cast<size_t>(Node) + 1]};
+  }
+
+  /// The reverse (residual partner) of a CSR edge, given the node it
+  /// leaves from. Equivalent to edgesFrom(E.To)[E.RevIndex].
+  Edge &reverseOf(const Edge &E) {
+    return Csr[Start[static_cast<size_t>(E.To)] +
+               static_cast<size_t>(E.RevIndex)];
+  }
+
+  /// Raw CSR access for the solvers' inner loops: edge slots of node N
+  /// are csrEdges()[csrStart(N) .. csrStart(N+1)).
+  size_t csrStart(int Node) const {
+    return Start[static_cast<size_t>(Node)];
+  }
+  Edge *csrEdges() { return Csr.data(); }
+  const Edge *csrEdges() const { return Csr.data(); }
 
   /// Flow currently pushed through the original edge with id \p EdgeId
   /// (== capacity consumed on the forward edge).
   int64_t edgeFlow(int EdgeId) const;
 
   /// Original capacity of the edge with id \p EdgeId.
-  int64_t edgeCapacity(int EdgeId) const;
+  int64_t edgeCapacity(int EdgeId) const {
+    return Orig[static_cast<size_t>(EdgeId)].Cap;
+  }
 
-  /// Endpoints and tag of the original edge with id \p EdgeId.
-  int edgeFrom(int EdgeId) const { return EdgeIndex[EdgeId].first; }
-  int edgeTo(int EdgeId) const;
-  int edgeTag(int EdgeId) const;
+  /// Endpoints and tag of the original edge with id \p EdgeId. Valid
+  /// frozen or not.
+  int edgeFrom(int EdgeId) const {
+    return Orig[static_cast<size_t>(EdgeId)].From;
+  }
+  int edgeTo(int EdgeId) const {
+    return Orig[static_cast<size_t>(EdgeId)].To;
+  }
+  int edgeTag(int EdgeId) const {
+    return Orig[static_cast<size_t>(EdgeId)].Tag;
+  }
 
-  int numOriginalEdges() const { return static_cast<int>(EdgeIndex.size()); }
+  int numOriginalEdges() const { return static_cast<int>(Orig.size()); }
 
   /// Resets all flow to zero (restores residual capacities).
   void resetFlow();
 
 private:
-  friend class MaxFlowSolver;
+  struct OrigEdge {
+    int From;
+    int To;
+    int Tag;
+    int64_t Cap;
+  };
 
-  std::vector<std::vector<Edge>> Adj;
-  /// Original-edge id -> (from node, index within Adj[from]).
-  std::vector<std::pair<int, int>> EdgeIndex;
-  std::vector<int64_t> OrigCap;
+  BumpArena *Arena;
+  int NumNodes_ = 0;
+  bool Frozen = false;
+  ArenaVector<OrigEdge> Orig;    ///< One record per addEdge call.
+  ArenaVector<Edge> Csr;         ///< 2 * Orig.size() residual edge slots.
+  ArenaVector<uint32_t> Start;   ///< numNodes+1 CSR offsets.
+  ArenaVector<uint32_t> FwdSlot; ///< Original edge id -> forward CSR slot.
 };
 
 } // namespace specpre

@@ -6,6 +6,7 @@
 #include "support/Diagnostics.h"
 
 #include <algorithm>
+#include <cstring>
 #include <deque>
 #include <vector>
 
@@ -13,11 +14,11 @@ using namespace specpre;
 
 namespace {
 
-/// Budget probe shared by both algorithms: one augmenting path (or Dinic
-/// blocking-flow push / level-graph phase) counts as one augmentation
-/// step. Throws StatusException(BudgetExhausted) when the installed
-/// budget trips; the degradation ladder catches it at the function
-/// boundary.
+/// Budget probe shared by the algorithms: one augmenting path (or Dinic
+/// blocking-flow push / push-relabel global-relabel round) counts as one
+/// augmentation step. Throws StatusException(BudgetExhausted) when the
+/// installed budget trips; the degradation ladder catches it at the
+/// function boundary.
 void noteAugmentationStep(const char *Where) {
   if (BudgetTracker *B = currentBudget())
     throwIfError(B->noteAugmentation(Where));
@@ -36,7 +37,7 @@ int64_t runEdmondsKarp(FlowNetwork &Net, int Source, int Sink) {
     while (!Queue.empty() && Parent[Sink].first == -1) {
       int U = Queue.front();
       Queue.pop_front();
-      const std::vector<FlowNetwork::Edge> &Edges = Net.edgesFrom(U);
+      FlowNetwork::EdgeRange Edges = Net.edgesFrom(U);
       for (int I = 0; I != static_cast<int>(Edges.size()); ++I) {
         const FlowNetwork::Edge &E = Edges[I];
         if (E.Cap <= 0 || Parent[E.To].first != -1)
@@ -59,7 +60,7 @@ int64_t runEdmondsKarp(FlowNetwork &Net, int Source, int Sink) {
       auto [U, I] = Parent[V];
       FlowNetwork::Edge &E = Net.edgesFrom(U)[I];
       E.Cap -= Bottleneck;
-      Net.edgesFrom(E.To)[E.RevIndex].Cap += Bottleneck;
+      Net.reverseOf(E).Cap += Bottleneck;
       V = U;
     }
     Total += Bottleneck;
@@ -107,7 +108,7 @@ private:
   int64_t blockingFlowDfs(int U, int64_t Limit) {
     if (U == Sink)
       return Limit;
-    std::vector<FlowNetwork::Edge> &Edges = Net.edgesFrom(U);
+    FlowNetwork::EdgeRange Edges = Net.edgesFrom(U);
     for (int &I = NextEdge[U]; I < static_cast<int>(Edges.size()); ++I) {
       FlowNetwork::Edge &E = Edges[I];
       if (E.Cap <= 0 || Level[E.To] != Level[U] + 1)
@@ -115,7 +116,7 @@ private:
       int64_t Pushed = blockingFlowDfs(E.To, std::min(Limit, E.Cap));
       if (Pushed > 0) {
         E.Cap -= Pushed;
-        Net.edgesFrom(E.To)[E.RevIndex].Cap += Pushed;
+        Net.reverseOf(E).Cap += Pushed;
         return Pushed;
       }
     }
@@ -130,15 +131,47 @@ private:
 
 } // namespace
 
+const char *specpre::maxFlowAlgorithmName(MaxFlowAlgorithm Algo) {
+  switch (Algo) {
+  case MaxFlowAlgorithm::EdmondsKarp:
+    return "edmonds-karp";
+  case MaxFlowAlgorithm::Dinic:
+    return "dinic";
+  case MaxFlowAlgorithm::PushRelabel:
+    return "push-relabel";
+  }
+  SPECPRE_UNREACHABLE("bad max-flow algorithm");
+}
+
+bool specpre::parseMaxFlowAlgorithm(const char *Name,
+                                    MaxFlowAlgorithm &Out) {
+  if (!std::strcmp(Name, "edmonds-karp") || !std::strcmp(Name, "ek")) {
+    Out = MaxFlowAlgorithm::EdmondsKarp;
+    return true;
+  }
+  if (!std::strcmp(Name, "dinic")) {
+    Out = MaxFlowAlgorithm::Dinic;
+    return true;
+  }
+  if (!std::strcmp(Name, "push-relabel") || !std::strcmp(Name, "pr")) {
+    Out = MaxFlowAlgorithm::PushRelabel;
+    return true;
+  }
+  return false;
+}
+
 int64_t specpre::computeMaxFlow(FlowNetwork &Net, int Source, int Sink,
                                 MaxFlowAlgorithm Algo) {
   if (Source == Sink)
     return 0;
+  Net.freeze();
   switch (Algo) {
   case MaxFlowAlgorithm::EdmondsKarp:
     return runEdmondsKarp(Net, Source, Sink);
   case MaxFlowAlgorithm::Dinic:
     return Dinic(Net, Source, Sink).run();
+  case MaxFlowAlgorithm::PushRelabel:
+    return runPushRelabel(Net, Source, Sink);
   }
   SPECPRE_UNREACHABLE("bad max-flow algorithm");
 }

@@ -5,11 +5,14 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Max-flow solvers: Edmonds-Karp (BFS augmenting paths) and Dinic's
-/// algorithm (level graph + blocking flow). The paper uses an
-/// O(V^2 sqrt(E)) algorithm and cites Chekuri et al.'s experimental study
-/// of min-cut algorithms; we implement two so the mincut_algorithms bench
-/// can compare them on EFG-shaped inputs.
+/// Max-flow solvers: Edmonds-Karp (BFS augmenting paths), Dinic's
+/// algorithm (level graph + blocking flow), and highest-label
+/// push-relabel (Goldberg-Tarjan) with the gap and global-relabeling
+/// heuristics (mincut/PushRelabel.cpp). The paper uses an
+/// O(V^2 sqrt(E)) algorithm and cites Chekuri et al.'s experimental
+/// study of min-cut algorithms; we implement three so the
+/// mincut_algorithms bench can compare them on EFG-shaped inputs and the
+/// equivalence tests can cross-check them edge for edge.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -20,13 +23,36 @@
 
 namespace specpre {
 
-enum class MaxFlowAlgorithm { EdmondsKarp, Dinic };
+enum class MaxFlowAlgorithm { EdmondsKarp, Dinic, PushRelabel };
+
+/// Stable machine-readable name ("edmonds-karp", "dinic",
+/// "push-relabel"), used by tool flags and the bench JSON.
+const char *maxFlowAlgorithmName(MaxFlowAlgorithm Algo);
+
+/// Inverse of maxFlowAlgorithmName (also accepts "ek" and "pr").
+/// Returns false on an unknown name.
+bool parseMaxFlowAlgorithm(const char *Name, MaxFlowAlgorithm &Out);
+
+/// All implemented algorithms, for test/fuzz matrices.
+constexpr MaxFlowAlgorithm AllMaxFlowAlgorithms[] = {
+    MaxFlowAlgorithm::EdmondsKarp, MaxFlowAlgorithm::Dinic,
+    MaxFlowAlgorithm::PushRelabel};
 
 /// Runs the chosen max-flow algorithm from \p Source to \p Sink, leaving
-/// the flow in the network's residual capacities. Returns the max-flow
-/// value.
+/// the flow in the network's residual capacities. Freezes the network
+/// into its CSR layout first if needed. Returns the max-flow value.
+///
+/// Every algorithm leaves a *maximum flow* (not a preflow) in the
+/// residual network, so min-cut extraction by residual reachability is
+/// valid after any of them — and since the source-reachable and
+/// sink-co-reachable sets are the same for every maximum flow, the
+/// extracted cuts are identical edge for edge across algorithms.
 int64_t computeMaxFlow(FlowNetwork &Net, int Source, int Sink,
                        MaxFlowAlgorithm Algo = MaxFlowAlgorithm::Dinic);
+
+/// The push-relabel solver (defined in PushRelabel.cpp; dispatched to by
+/// computeMaxFlow). Requires a frozen network.
+int64_t runPushRelabel(FlowNetwork &Net, int Source, int Sink);
 
 } // namespace specpre
 

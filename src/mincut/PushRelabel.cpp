@@ -1,0 +1,338 @@
+//===- mincut/PushRelabel.cpp - Goldberg-Tarjan max flow ----------------------===//
+//
+// Highest-label push-relabel with the two classic heuristics:
+//
+//  * gap relabeling — when a distance label in (0, N) goes empty, every
+//    node above the gap (and below N) can no longer reach the sink, so
+//    all of them are lifted past N at once and route their excess back
+//    to the source;
+//  * periodic global relabeling — a reverse BFS that resets every label
+//    to its exact residual distance (to the sink, or N + distance to the
+//    source for nodes on the source side), run once at start and again
+//    after roughly an edge-scan's worth of work.
+//
+// The solver runs the one-phase variant: discharging continues until no
+// node holds excess, so the terminal state is a maximum *flow* (not a
+// preflow) and min-cut extraction by residual reachability is valid.
+// Because the source-reachable set of the residual graph is identical
+// for every maximum flow, the cuts extracted after this solver are
+// bit-identical to those after Edmonds-Karp or Dinic — the property the
+// cross-solver equivalence tests pin down.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mincut/MaxFlow.h"
+
+#include "support/Budget.h"
+#include "support/Diagnostics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+using namespace specpre;
+
+namespace {
+
+class PushRelabelSolver {
+public:
+  PushRelabelSolver(FlowNetwork &Net, int Source, int Sink)
+      : Net(Net), S(Source), T(Sink), N(Net.numNodes()),
+        Unreached(2 * N + 1), Edges(Net.csrEdges()) {
+    Excess.assign(N, 0);
+    Label.assign(N, Unreached);
+    Cur.assign(N, 0);
+    LabelCount.assign(static_cast<size_t>(Unreached) + 1, 0);
+    BucketHead.assign(static_cast<size_t>(Unreached) + 1, -1);
+    NextInBucket.assign(N, -1);
+    InBucket.assign(N, 0);
+    AllHead.assign(static_cast<size_t>(Unreached) + 1, -1);
+    AllNext.assign(N, -1);
+    AllPrev.assign(N, -1);
+    // One global relabel costs about one residual-edge scan; amortize it
+    // against a few scans' worth of discharge work.
+    WorkThreshold = 6 * static_cast<uint64_t>(Net.numOriginalEdges()) +
+                    static_cast<uint64_t>(N) + 1;
+  }
+
+  int64_t run() {
+    // Saturate the source's out-edges first: the initial BFS must see
+    // the post-saturation residual graph, so that a node whose only
+    // connection is a source edge is labeled through its new reverse
+    // edge instead of being stranded with excess it cannot return.
+    for (size_t I = Net.csrStart(S), E = Net.csrStart(S + 1); I != E; ++I) {
+      FlowNetwork::Edge &Ed = Edges[I];
+      if (Ed.Cap <= 0 || Ed.To == S)
+        continue;
+      int64_t Delta = Ed.Cap;
+      Ed.Cap = 0;
+      Net.reverseOf(Ed).Cap += Delta;
+      Excess[Ed.To] += Delta;
+    }
+    globalRelabel();
+
+    int U;
+    while ((U = popHighestActive()) != -1) {
+      discharge(U);
+      if (Work >= WorkThreshold) {
+        Work = 0;
+        noteStep();
+        globalRelabel();
+      }
+    }
+#ifndef NDEBUG
+    for (int V = 0; V != N; ++V)
+      assert((V == S || V == T || Excess[V] == 0) &&
+             "push-relabel terminated with stranded excess");
+#endif
+    return Excess[T];
+  }
+
+private:
+  /// Budget probe: one global-relabel round counts as one augmentation
+  /// step (comparable magnitude to one Dinic phase).
+  void noteStep() {
+    if (BudgetTracker *B = currentBudget())
+      throwIfError(B->noteAugmentation("max-flow (push-relabel)"));
+  }
+
+  size_t startOf(int V) const { return Net.csrStart(V); }
+  size_t endOf(int V) const { return Net.csrStart(V + 1); }
+
+  void addActive(int V) {
+    if (InBucket[V])
+      return;
+    InBucket[V] = 1;
+    NextInBucket[V] = BucketHead[static_cast<size_t>(Label[V])];
+    BucketHead[static_cast<size_t>(Label[V])] = V;
+    // Two highest-label pointers, one per band: labels >= N (excess
+    // returning to the source) and labels < N (flow headed to the
+    // sink). A single pointer would walk the entire empty stretch
+    // between the bands every time excess resurfaces on the source
+    // side — O(N) per crossing on long chains.
+    if (Label[V] >= N)
+      HighestHi = std::max(HighestHi, Label[V]);
+    else
+      HighestLo = std::max(HighestLo, Label[V]);
+  }
+
+  /// Exact per-label membership lists for the gap heuristic: every node
+  /// is linked into the list of its current label, and moved on every
+  /// label change. The lists must be doubly linked and exact — a lazy
+  /// single-linked scheme that leaves stale entries behind shares one
+  /// Next slot per node, so a stale entry's Next points into whatever
+  /// list the node was re-filed under, letting a walk cross lists and
+  /// even cycle (found by the network fuzzer; pinned by
+  /// tests/corpus/network-pr-gap-hang.ir).
+  void linkToLabel(int V, int L) {
+    AllPrev[V] = -1;
+    AllNext[V] = AllHead[static_cast<size_t>(L)];
+    if (AllNext[V] != -1)
+      AllPrev[AllNext[V]] = V;
+    AllHead[static_cast<size_t>(L)] = V;
+  }
+
+  void unlinkFromLabel(int V, int L) {
+    if (AllPrev[V] != -1)
+      AllNext[AllPrev[V]] = AllNext[V];
+    else
+      AllHead[static_cast<size_t>(L)] = AllNext[V];
+    if (AllNext[V] != -1)
+      AllPrev[AllNext[V]] = AllPrev[V];
+  }
+
+  /// Pops the active node with the highest label. Entries whose label
+  /// changed while queued are lazily re-filed; entries that lost their
+  /// excess are dropped.
+  int popHighestActive() {
+    if (int V = popFromBand(HighestHi, N); V != -1)
+      return V;
+    return popFromBand(HighestLo, 0);
+  }
+
+  int popFromBand(int &Ptr, int Floor) {
+    while (Ptr >= Floor) {
+      int V = BucketHead[static_cast<size_t>(Ptr)];
+      if (V == -1) {
+        --Ptr;
+        continue;
+      }
+      BucketHead[static_cast<size_t>(Ptr)] = NextInBucket[V];
+      InBucket[V] = 0;
+      if (Excess[V] <= 0 || V == S || V == T || Label[V] >= Unreached)
+        continue;
+      if (Label[V] != Ptr) {
+        addActive(V); // stale: re-file under the current label
+        continue;
+      }
+      return V;
+    }
+    Ptr = Floor - 1;
+    return -1;
+  }
+
+  /// Exact distance labels from a reverse BFS of the residual graph:
+  /// dist-to-sink for the sink side, N + dist-to-source for everyone
+  /// else. Rebuilds the label counts, current-arc pointers and active
+  /// buckets.
+  void globalRelabel() {
+    std::fill(Label.begin(), Label.end(), Unreached);
+    std::fill(LabelCount.begin(), LabelCount.end(), 0);
+    std::fill(BucketHead.begin(), BucketHead.end(), -1);
+    std::fill(InBucket.begin(), InBucket.end(), 0);
+    std::fill(AllHead.begin(), AllHead.end(), -1);
+    HighestHi = HighestLo = -1;
+    Bfs.clear();
+
+    // A node U can reach V through a residual edge U->V; walking
+    // backwards from V means checking the paired slot at U for capacity.
+    auto GrowFrom = [&](int Root, int Base) {
+      size_t Head = Bfs.size();
+      Bfs.push_back(Root);
+      while (Head != Bfs.size()) {
+        int V = Bfs[Head++];
+        for (size_t I = startOf(V), E = endOf(V); I != E; ++I) {
+          const FlowNetwork::Edge &Ed = Edges[I];
+          int U = Ed.To;
+          if (Label[U] != Unreached ||
+              Edges[startOf(U) + static_cast<size_t>(Ed.RevIndex)].Cap <= 0)
+            continue;
+          Label[U] = Label[V] + 1;
+          Bfs.push_back(U);
+        }
+      }
+      (void)Base;
+    };
+    Label[T] = 0;
+    GrowFrom(T, 0);
+    // The source keeps its invariant label N even when it can reach the
+    // sink; nodes cut off from the sink are labeled relative to it.
+    Label[S] = N;
+    if (Label[S] == N) {
+      size_t Head = Bfs.size();
+      Bfs.push_back(S);
+      while (Head != Bfs.size()) {
+        int V = Bfs[Head++];
+        for (size_t I = startOf(V), E = endOf(V); I != E; ++I) {
+          const FlowNetwork::Edge &Ed = Edges[I];
+          int U = Ed.To;
+          if (Label[U] != Unreached || U == T ||
+              Edges[startOf(U) + static_cast<size_t>(Ed.RevIndex)].Cap <= 0)
+            continue;
+          Label[U] = Label[V] + 1;
+          Bfs.push_back(U);
+        }
+      }
+    }
+
+    for (int V = 0; V != N; ++V) {
+      ++LabelCount[static_cast<size_t>(Label[V])];
+      Cur[V] = startOf(V);
+      linkToLabel(V, Label[V]);
+      if (V != S && V != T && Excess[V] > 0 && Label[V] < Unreached)
+        addActive(V);
+    }
+  }
+
+  /// Raises V to one above its lowest admissible residual neighbor, and
+  /// fires the gap heuristic when V's old label ran dry below N.
+  void relabel(int V) {
+    int Old = Label[V];
+    int NewLabel = Unreached;
+    for (size_t I = startOf(V), E = endOf(V); I != E; ++I) {
+      const FlowNetwork::Edge &Ed = Edges[I];
+      if (Ed.Cap > 0)
+        NewLabel = std::min(NewLabel, Label[Ed.To] + 1);
+    }
+    Work += endOf(V) - startOf(V);
+    NewLabel = std::min(NewLabel, Unreached);
+    --LabelCount[static_cast<size_t>(Old)];
+    unlinkFromLabel(V, Old);
+    Label[V] = NewLabel;
+    ++LabelCount[static_cast<size_t>(NewLabel)];
+    linkToLabel(V, NewLabel);
+    if (Old < N && LabelCount[static_cast<size_t>(Old)] == 0)
+      liftAboveGap(Old);
+  }
+
+  /// Gap relabeling: no node holds label \p Gap (< N), so every node in
+  /// (Gap, N) is disconnected from the sink — lift them to N + 1 so they
+  /// immediately start returning excess toward the source. Walks only
+  /// the exact per-label lists of the emptied range, so the cost is the
+  /// range length plus the nodes actually lifted, never a full node
+  /// scan. S (label N) and T (label 0) can never appear in the range.
+  void liftAboveGap(int Gap) {
+    for (int L = Gap + 1; L < N; ++L) {
+      int V;
+      while ((V = AllHead[static_cast<size_t>(L)]) != -1) {
+        assert(V != S && V != T && Label[V] == L);
+        AllHead[static_cast<size_t>(L)] = AllNext[V];
+        if (AllNext[V] != -1)
+          AllPrev[AllNext[V]] = -1;
+        --LabelCount[static_cast<size_t>(L)];
+        Label[V] = N + 1;
+        ++LabelCount[static_cast<size_t>(Label[V])];
+        linkToLabel(V, Label[V]);
+        if (Excess[V] > 0)
+          addActive(V); // the active-bucket entry re-files lazily
+      }
+    }
+  }
+
+  void discharge(int V) {
+    while (Excess[V] > 0) {
+      if (Cur[V] == endOf(V)) {
+        relabel(V);
+        if (Label[V] >= Unreached)
+          break; // no residual edges at all; cannot happen with excess
+        Cur[V] = startOf(V);
+        continue;
+      }
+      FlowNetwork::Edge &Ed = Edges[Cur[V]];
+      if (Ed.Cap > 0 && Label[V] == Label[Ed.To] + 1) {
+        int64_t Delta = std::min(Excess[V], Ed.Cap);
+        Ed.Cap -= Delta;
+        Net.reverseOf(Ed).Cap += Delta;
+        Excess[V] -= Delta;
+        Excess[Ed.To] += Delta;
+        ++Work;
+        if (Ed.To != S && Ed.To != T)
+          addActive(Ed.To);
+      } else {
+        ++Cur[V];
+        ++Work;
+      }
+    }
+  }
+
+  FlowNetwork &Net;
+  const int S, T;
+  const int N;
+  const int Unreached; ///< Label marker for nodes with no residual path.
+  FlowNetwork::Edge *Edges;
+
+  std::vector<int64_t> Excess;
+  std::vector<int> Label;
+  std::vector<size_t> Cur;       ///< Current-arc pointer (global CSR index).
+  std::vector<int> LabelCount;   ///< Nodes per label, for gap detection.
+  std::vector<int> BucketHead;   ///< Intrusive active lists per label.
+  std::vector<int> NextInBucket;
+  std::vector<char> InBucket;
+  std::vector<int> AllHead;      ///< Exact all-nodes lists per label (gap).
+  std::vector<int> AllNext;      ///< Doubly-linked: shared slots per node
+  std::vector<int> AllPrev;      ///< require unlink-on-relabel (see above).
+  std::vector<int> Bfs;          ///< Scratch queue for global relabeling.
+  int HighestHi = -1; ///< Highest active label in the >= N band.
+  int HighestLo = -1; ///< Highest active label in the < N band.
+  uint64_t Work = 0;
+  uint64_t WorkThreshold;
+};
+
+} // namespace
+
+int64_t specpre::runPushRelabel(FlowNetwork &Net, int Source, int Sink) {
+  assert(Net.isFrozen() && "push-relabel requires a frozen network");
+  if (Source == Sink)
+    return 0;
+  return PushRelabelSolver(Net, Source, Sink).run();
+}

@@ -85,14 +85,6 @@ void computePartialAnticipability(Frg &G) {
   }
 }
 
-/// The action a cut edge maps back to.
-struct CutAction {
-  enum class Kind { InsertAtOperand, ComputeInPlace };
-  Kind K = Kind::InsertAtOperand;
-  int PhiIdx = -1, OpIdx = -1; ///< InsertAtOperand
-  int RealIdx = -1;            ///< ComputeInPlace
-};
-
 } // namespace
 
 void specpre::computeWillBeAvailFromInserts(Frg &G) {
@@ -137,15 +129,13 @@ void specpre::computeWillBeAvailFromInserts(Frg &G) {
   }
 }
 
-EfgStats specpre::computeSpeculativePlacement(Frg &G, const Profile &Prof,
-                                              CutPlacement Placement,
-                                              MaxFlowAlgorithm Algo,
-                                              CutObjective Objective) {
-  EfgStats Stats;
+EfgBuild specpre::buildEfgNetwork(Frg &G, const Profile &Prof,
+                                  CutObjective Objective, BumpArena *Arena) {
+  EfgBuild B(Arena);
   auto EdgeWeight = [&](uint64_t Freq) {
     int64_t W =
         saturatedEdgeWeight(Freq, Objective.SpeedWeight, Objective.SizeWeight);
-    Stats.Saturated |= W == MaxFiniteCapacity;
+    B.Saturated |= W == MaxFiniteCapacity;
     return W;
   };
   // Frequency of a Φ operand edge. The flow network models an insertion
@@ -209,40 +199,48 @@ EfgStats specpre::computeSpeculativePlacement(Frg &G, const Profile &Prof,
 
   if (SprReals.empty()) {
     // No strictly partial redundancy: no flow network is formed (the
-    // paper's empty-EFG case). Full redundancies are still harvested by
-    // Finalize through will_be_avail.
-    computeWillBeAvailFromInserts(G);
-    return Stats;
+    // paper's empty-EFG case).
+    ReductionTimer->setProblemSize(0);
+    return B;
   }
 
-  // Steps 5-6: the essential flow graph with artificial source and sink.
-  FlowNetwork Net;
-  int Source = Net.addNode();
-  int Sink = Net.addNode();
-  std::vector<int> PhiNode(G.phis().size(), -1);
+  // One network serves the remaining build steps: graph reduction chose
+  // its nodes, the single-source step adds the type-1 edges, the
+  // single-sink step the infinite sink edges. Reserve up front so the
+  // arena never strands a grown buffer.
+  B.Source = B.Net.addNode();
+  B.Sink = B.Net.addNode();
+  ArenaVector<int> PhiNode(Arena), RealNode(Arena);
+  PhiNode.resize(G.phis().size(), -1);
   for (unsigned I = 0; I != G.phis().size(); ++I)
     if (G.phis()[I].InReducedGraph)
-      PhiNode[I] = Net.addNode();
-  std::vector<int> RealNode(G.reals().size(), -1);
+      PhiNode[I] = B.Net.addNode();
+  RealNode.resize(G.reals().size(), -1);
   for (int RI : SprReals)
-    RealNode[RI] = Net.addNode();
+    RealNode[RI] = B.Net.addNode();
 
-  std::vector<CutAction> Actions;
-  auto AddEdge = [&](int From, int To, int64_t Weight, CutAction A) {
-    int Id = Net.addEdge(From, To, Weight, static_cast<int>(Actions.size()));
-    (void)Id;
-    Actions.push_back(A);
+  {
+    size_t MaxEdges = 2 * SprReals.size();
+    for (const PhiOcc &P : G.phis())
+      if (P.InReducedGraph)
+        MaxEdges += P.Operands.size();
+    B.Net.reserveEdges(MaxEdges);
+    B.Actions.reserve(MaxEdges);
+  }
+
+  auto AddEdge = [&](int From, int To, int64_t Weight, EfgBuild::Action A) {
+    B.Net.addEdge(From, To, Weight, static_cast<int>(B.Actions.size()));
+    B.Actions.push_back(A);
   };
 
-  unsigned NumEdges = 0;
   for (unsigned GI = 0; GI != G.phis().size(); ++GI) {
     PhiOcc &P = G.phis()[GI];
     if (!P.InReducedGraph)
       continue;
     for (unsigned OI = 0; OI != P.Operands.size(); ++OI) {
       const PhiOperand &Op = P.Operands[OI];
-      CutAction A;
-      A.K = CutAction::Kind::InsertAtOperand;
+      EfgBuild::Action A;
+      A.K = EfgBuild::Action::Kind::InsertAtOperand;
       A.PhiIdx = static_cast<int>(GI);
       A.OpIdx = static_cast<int>(OI);
       int64_t Weight = EdgeWeight(OperandFreq(Op, P.Block));
@@ -252,9 +250,9 @@ EfgStats specpre::computeSpeculativePlacement(Frg &G, const Profile &Prof,
         // operands (no lexical insertion can supply the value there) get
         // infinite weight: the Φ stays unavailable and its uses pay
         // their type-2 edges instead.
-        AddEdge(Source, PhiNode[GI],
+        AddEdge(B.Source, PhiNode[GI],
                 Op.InsertBlocked ? InfiniteCapacity : Weight, A);
-        ++NumEdges;
+        ++B.NumEdges;
         continue;
       }
       if (Op.HasRealUse)
@@ -266,39 +264,69 @@ EfgStats specpre::computeSpeculativePlacement(Frg &G, const Profile &Prof,
         continue; // value arrives for free
       }
       AddEdge(PhiNode[Op.Def.Index], PhiNode[GI], Weight, A);
-      ++NumEdges;
+      ++B.NumEdges;
     }
   }
   for (int RI : SprReals) {
     const RealOcc &R = G.reals()[RI];
-    CutAction A;
-    A.K = CutAction::Kind::ComputeInPlace;
+    EfgBuild::Action A;
+    A.K = EfgBuild::Action::Kind::ComputeInPlace;
     A.RealIdx = RI;
     // Type-2 edge: cutting it means computing in place at the occurrence.
     int64_t W = Type2Weight(R);
-    Stats.SprWeight += W;
+    B.SprWeight += W;
     AddEdge(PhiNode[R.Def.Index], RealNode[RI], W, A);
     // Step 6: infinite edge to the artificial sink (tag -1: never cut).
-    Net.addEdge(RealNode[RI], Sink, InfiniteCapacity, -1);
-    NumEdges += 2;
+    B.Net.addEdge(RealNode[RI], B.Sink, InfiniteCapacity, -1);
+    B.NumEdges += 2;
+  }
+
+  for (int RI : SprReals)
+    B.SprReals.push_back(RI);
+  B.Empty = false;
+  ReductionTimer->setProblemSize(B.Net.numNodes() + B.NumEdges);
+  return B;
+}
+
+EfgStats specpre::computeSpeculativePlacement(Frg &G, const Profile &Prof,
+                                              CutPlacement Placement,
+                                              MaxFlowAlgorithm Algo,
+                                              CutObjective Objective) {
+  EfgStats Stats;
+
+  // One arena per worker thread backs every network this thread builds;
+  // reset (not freed) per expression, so in steady state the build makes
+  // no heap allocation at all.
+  static thread_local BumpArena EfgArena;
+  EfgArena.reset();
+
+  EfgBuild B = buildEfgNetwork(G, Prof, Objective, &EfgArena);
+  Stats.Saturated = B.Saturated;
+  Stats.SprWeight = B.SprWeight;
+  if (B.Empty) {
+    // Full redundancies are still harvested by Finalize through
+    // will_be_avail.
+    computeWillBeAvailFromInserts(G);
+    return Stats;
   }
 
   Stats.Empty = false;
-  Stats.NumNodes = static_cast<unsigned>(Net.numNodes());
-  Stats.NumEdges = NumEdges;
+  Stats.NumNodes = static_cast<unsigned>(B.Net.numNodes());
+  Stats.NumEdges = B.NumEdges;
+  FlowNetwork &Net = B.Net;
+  if (PipelineMetrics *M = currentMetricsSink())
+    M->noteNetworkArena(EfgArena.peakBytes(), EfgArena.chunkAllocations());
 
-  ReductionTimer->setProblemSize(Stats.NumNodes + Stats.NumEdges);
-  ReductionTimer.reset();
-  PassTimer MinCutTimer(PipelineStep::MinCut, Stats.NumNodes + NumEdges);
-  if (BudgetTracker *B = currentBudget()) {
-    throwIfError(B->checkGraphNodes(Stats.NumNodes, "EFG min-cut"));
-    throwIfError(B->checkDeadline("EFG min-cut"));
+  PassTimer MinCutTimer(PipelineStep::MinCut, Stats.NumNodes + B.NumEdges);
+  if (BudgetTracker *Bt = currentBudget()) {
+    throwIfError(Bt->checkGraphNodes(Stats.NumNodes, "EFG min-cut"));
+    throwIfError(Bt->checkDeadline("EFG min-cut"));
   }
   maybeInject(FaultSite::MinCut, "EFG minimum cut");
   maybeInject(FaultSite::Budget, "EFG min-cut boundary");
 
   // Step 7: minimum cut, picking later cuts on ties via reverse labeling.
-  MinCutResult Cut = computeMinCut(Net, Source, Sink, Placement, Algo);
+  MinCutResult Cut = computeMinCut(Net, B.Source, B.Sink, Placement, Algo);
   Stats.CutWeight = Cut.Capacity;
   Stats.NumCutEdges = static_cast<unsigned>(Cut.CutEdgeIds.size());
 
@@ -309,7 +337,7 @@ EfgStats specpre::computeSpeculativePlacement(Frg &G, const Profile &Prof,
   {
     std::string CutError;
     maybeInject(FaultSite::Verify, "min-cut validation");
-    if (!verifyMinCut(Net, Source, Sink, Cut, CutError))
+    if (!verifyMinCut(Net, B.Source, B.Sink, Cut, CutError))
       throw StatusException(ErrorCode::InternalError,
                             "MC-SSAPRE minimum cut failed validation: " +
                                 CutError);
@@ -326,8 +354,8 @@ EfgStats specpre::computeSpeculativePlacement(Frg &G, const Profile &Prof,
           ErrorCode::InternalError,
           "infinite sink edge in the MC-SSAPRE minimum cut "
           "(finite capacity aliased the infinite edges)");
-    const CutAction &A = Actions[Tag];
-    if (A.K == CutAction::Kind::InsertAtOperand) {
+    const EfgBuild::Action &A = B.Actions[Tag];
+    if (A.K == EfgBuild::Action::Kind::InsertAtOperand) {
       assert(!G.phis()[A.PhiIdx].Operands[A.OpIdx].InsertBlocked &&
              "minimum cut crossed an insert-blocked operand");
       G.phis()[A.PhiIdx].Operands[A.OpIdx].Insert = true;
@@ -355,14 +383,22 @@ EfgStats specpre::computeSpeculativePlacement(Frg &G, const Profile &Prof,
   // (availability) then wins and the occurrence reloads.
   {
     std::vector<bool> InPlace(G.reals().size(), false);
+    std::vector<int64_t> Type2Weight(G.reals().size(), -1);
+    for (int E = 0; E != Net.numOriginalEdges(); ++E) {
+      int Tag = Net.edgeTag(E);
+      if (Tag >= 0 &&
+          B.Actions[Tag].K == EfgBuild::Action::Kind::ComputeInPlace)
+        Type2Weight[B.Actions[Tag].RealIdx] = Net.edgeCapacity(E);
+    }
     for (int EdgeId : Cut.CutEdgeIds) {
       int Tag = Net.edgeTag(EdgeId);
-      if (Tag >= 0 && Actions[Tag].K == CutAction::Kind::ComputeInPlace)
-        InPlace[Actions[Tag].RealIdx] = true;
+      if (Tag >= 0 &&
+          B.Actions[Tag].K == EfgBuild::Action::Kind::ComputeInPlace)
+        InPlace[B.Actions[Tag].RealIdx] = true;
     }
-    for (int RI : SprReals) {
+    for (int RI : B.SprReals) {
       const PhiOcc &DefPhi = G.phiOf(G.reals()[RI].Def);
-      if (Type2Weight(G.reals()[RI]) == 0)
+      if (Type2Weight[RI] == 0)
         continue;
       assert(DefPhi.WillBeAvail != InPlace[RI] &&
              "cut and will_be_avail disagree on an SPR occurrence");

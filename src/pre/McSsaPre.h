@@ -66,6 +66,49 @@ struct EfgStats {
                               ///< exact reconciliation no longer holds.
 };
 
+/// The essential flow graph of one candidate expression, together with
+/// the mapping from finite edges back to placement actions. Produced by
+/// buildEfgNetwork (steps 3-6) and solved by computeSpeculativePlacement
+/// (steps 7-8); exposed so the equivalence tests and the fuzzer can run
+/// every max-flow algorithm over the very networks the placement step
+/// forms. All storage can draw from a BumpArena, which the placement
+/// step resets per expression.
+struct EfgBuild {
+  explicit EfgBuild(BumpArena *A = nullptr)
+      : Net(0, A), Actions(A), SprReals(A) {}
+
+  FlowNetwork Net;
+  int Source = -1, Sink = -1;
+  bool Empty = true;     ///< No strictly partial redundancy: Net unused.
+  unsigned NumEdges = 0; ///< Original (non-residual) edges added.
+
+  /// What cutting a finite edge means, indexed by the edge's UserTag.
+  struct Action {
+    enum class Kind { InsertAtOperand, ComputeInPlace };
+    Kind K = Kind::InsertAtOperand;
+    int PhiIdx = -1, OpIdx = -1; ///< InsertAtOperand
+    int RealIdx = -1;            ///< ComputeInPlace
+  };
+  ArenaVector<Action> Actions;
+
+  /// Strictly-partially-redundant real occurrences (their type-2 edges
+  /// are the network's compute-in-place options).
+  ArenaVector<int> SprReals;
+
+  int64_t SprWeight = 0; ///< Sum of all type-2 edge weights.
+  bool Saturated = false; ///< Some finite weight hit MaxFiniteCapacity.
+};
+
+/// Steps 3-6 on \p G: the sparse data flow (full availability, partial
+/// anticipability), graph reduction, and — over the same network, built
+/// once — the single-source step (type-1 edges from the artificial
+/// source) and the single-sink step (infinite edges into the artificial
+/// sink). Resets the Insert/WillBeAvail flags of \p G. The returned
+/// network draws its storage from \p Arena when one is given.
+EfgBuild buildEfgNetwork(Frg &G, const Profile &Prof,
+                         CutObjective Objective = CutObjective::speed(),
+                         BumpArena *Arena = nullptr);
+
 /// Runs steps 3-8 on \p G under \p Prof (node frequencies only — the
 /// paper's point in Section 4). Sets WillBeAvail and operand Insert flags.
 EfgStats computeSpeculativePlacement(

@@ -1,0 +1,82 @@
+//===- support/Arena.cpp - Bump allocation for graph construction -------------===//
+
+#include "support/Arena.h"
+
+#include <algorithm>
+
+using namespace specpre;
+
+BumpArena::~BumpArena() {
+  Chunk *C = Chunks;
+  while (C) {
+    Chunk *Next = C->Next;
+    ::operator delete(C);
+    C = Next;
+  }
+}
+
+BumpArena::Chunk *BumpArena::newChunk(size_t AtLeast) {
+  size_t Size = std::max(MinChunkBytes, AtLeast);
+  // Double the footprint each time so a growing workload settles after
+  // O(log n) chunk allocations.
+  if (Current)
+    Size = std::max(Size, Current->Size * 2);
+  void *Mem = ::operator new(sizeof(Chunk) + Size);
+  Chunk *C = new (Mem) Chunk;
+  C->Size = Size;
+  C->Next = Chunks;
+  Chunks = C;
+  ++ChunkAllocs;
+  return C;
+}
+
+void *BumpArena::allocate(size_t Size, size_t Align) {
+  assert((Align & (Align - 1)) == 0 && "alignment must be a power of two");
+  uintptr_t P = reinterpret_cast<uintptr_t>(Ptr);
+  uintptr_t Aligned = (P + Align - 1) & ~uintptr_t(Align - 1);
+  if (!Current || Aligned + Size > reinterpret_cast<uintptr_t>(End)) {
+    // reset() rewinds to the first chunk; walk forward through retained
+    // chunks before asking the heap for a new one.
+    Chunk *Next = nullptr;
+    if (Current) {
+      // Chunks is a most-recent-first list, so the chunk *pointing at*
+      // Current is the one allocated after it.
+      for (Chunk *C = Chunks; C; C = C->Next)
+        if (C->Next == Current) {
+          Next = C;
+          break;
+        }
+    } else {
+      // Find the oldest chunk (tail of the list).
+      for (Chunk *C = Chunks; C; C = C->Next)
+        Next = C;
+    }
+    while (Next && Next->Size < Size + Align)
+      Next = nullptr; // Retained chunk too small for this allocation.
+    Current = Next ? Next : newChunk(Size + Align);
+    Ptr = reinterpret_cast<char *>(Current) + sizeof(Chunk);
+    End = Ptr + Current->Size;
+    P = reinterpret_cast<uintptr_t>(Ptr);
+    Aligned = (P + Align - 1) & ~uintptr_t(Align - 1);
+  }
+  Ptr = reinterpret_cast<char *>(Aligned + Size);
+  Used += Size + (Aligned - P);
+  Peak = std::max(Peak, Used);
+  return reinterpret_cast<void *>(Aligned);
+}
+
+void BumpArena::reset() {
+  // Rewind to the oldest chunk; allocate() walks forward through the
+  // retained list before touching the heap.
+  Chunk *Oldest = nullptr;
+  for (Chunk *C = Chunks; C; C = C->Next)
+    Oldest = C;
+  Current = Oldest;
+  if (Current) {
+    Ptr = reinterpret_cast<char *>(Current) + sizeof(Chunk);
+    End = Ptr + Current->Size;
+  } else {
+    Ptr = End = nullptr;
+  }
+  Used = 0;
+}

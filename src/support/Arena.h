@@ -1,0 +1,211 @@
+//===- support/Arena.h - Bump allocation for graph construction *- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A chunked bump allocator and a flat vector drawing from it, used by
+/// the per-expression flow-network construction (FlowNetwork, the EFG
+/// build in McSsaPre, the MC-PRE network build). The placement step
+/// forms one small network per candidate expression; building each out
+/// of node-granular heap allocations made malloc the dominant cost of
+/// network construction. The idiom instead is a single temporary arena
+/// per expression, reset (not freed) between expressions, so steady
+/// state performs no heap traffic at all: the arena's chunks are
+/// retained across reset() and peak usage stabilizes after the largest
+/// expression has been seen.
+///
+/// BumpArena::peakBytes() feeds the "arena" section of the metrics JSON
+/// (support/PassTimer.h) so tests can assert that building thousands of
+/// networks does not grow peak network-build allocation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_SUPPORT_ARENA_H
+#define SPECPRE_SUPPORT_ARENA_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace specpre {
+
+/// Chunked bump allocator. Individual allocations cannot be freed;
+/// reset() recycles everything at once while keeping the chunks, so a
+/// reused arena reaches a steady state with zero heap traffic.
+class BumpArena {
+public:
+  BumpArena() = default;
+  ~BumpArena();
+
+  BumpArena(const BumpArena &) = delete;
+  BumpArena &operator=(const BumpArena &) = delete;
+
+  /// Returns \p Size bytes aligned to \p Align (a power of two).
+  void *allocate(size_t Size, size_t Align);
+
+  template <typename T> T *allocateArray(size_t Count) {
+    return static_cast<T *>(allocate(Count * sizeof(T), alignof(T)));
+  }
+
+  /// Recycles all allocations. Chunks are retained for reuse; only the
+  /// high-water mark and the bump pointers are reset.
+  void reset();
+
+  /// Bytes handed out since the last reset().
+  size_t bytesUsed() const { return Used; }
+  /// Largest bytesUsed() observed over the arena's lifetime.
+  size_t peakBytes() const { return Peak; }
+  /// Number of chunks ever requested from the heap. Stable once the
+  /// arena has grown to its working-set size.
+  uint64_t chunkAllocations() const { return ChunkAllocs; }
+
+private:
+  struct Chunk {
+    Chunk *Next = nullptr;
+    size_t Size = 0; ///< Usable bytes following the header.
+  };
+
+  static constexpr size_t MinChunkBytes = size_t(64) << 10;
+
+  Chunk *newChunk(size_t AtLeast);
+
+  Chunk *Chunks = nullptr;  ///< All chunks, most recent first.
+  Chunk *Current = nullptr; ///< Chunk the bump pointer lives in.
+  char *Ptr = nullptr;      ///< Next free byte in Current.
+  char *End = nullptr;      ///< One past Current's usable bytes.
+  size_t Used = 0;
+  size_t Peak = 0;
+  uint64_t ChunkAllocs = 0;
+};
+
+/// A minimal flat vector for trivially copyable elements that can draw
+/// its storage from a BumpArena (or the heap when constructed without
+/// one). Grown storage is abandoned inside the arena rather than freed —
+/// acceptable because arenas are reset per expression, and callers
+/// reserve() up front where counts are known.
+template <typename T> class ArenaVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "ArenaVector elements are moved with memcpy");
+  static_assert(std::is_trivially_destructible_v<T>,
+                "ArenaVector never runs destructors");
+
+public:
+  ArenaVector() = default;
+  explicit ArenaVector(BumpArena *A) : Arena(A) {}
+
+  ArenaVector(const ArenaVector &Other) { *this = Other; }
+  ArenaVector &operator=(const ArenaVector &Other) {
+    if (this == &Other)
+      return *this;
+    // A fresh vector adopts the source's backing; one that already owns
+    // storage keeps its own (allocators do not propagate on copy).
+    if (!Data)
+      Arena = Other.Arena;
+    if (!Other.Count) {
+      clear();
+      return *this;
+    }
+    if (Capacity < Other.Count)
+      reallocate(Other.Count);
+    std::memcpy(Data, Other.Data, Other.Count * sizeof(T));
+    Count = Other.Count;
+    return *this;
+  }
+
+  ArenaVector(ArenaVector &&Other) noexcept { swap(Other); }
+  ArenaVector &operator=(ArenaVector &&Other) noexcept {
+    swap(Other);
+    return *this;
+  }
+
+  ~ArenaVector() {
+    if (!Arena)
+      ::operator delete(Data);
+  }
+
+  /// Rebinds an empty vector to \p A. Only valid before any allocation.
+  void setArena(BumpArena *A) {
+    assert(!Data && "setArena after allocation");
+    Arena = A;
+  }
+
+  size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+  T *data() { return Data; }
+  const T *data() const { return Data; }
+  T &operator[](size_t I) {
+    assert(I < Count);
+    return Data[I];
+  }
+  const T &operator[](size_t I) const {
+    assert(I < Count);
+    return Data[I];
+  }
+  T *begin() { return Data; }
+  T *end() { return Data + Count; }
+  const T *begin() const { return Data; }
+  const T *end() const { return Data + Count; }
+  T &back() {
+    assert(Count);
+    return Data[Count - 1];
+  }
+
+  void reserve(size_t N) {
+    if (N > Capacity)
+      reallocate(N);
+  }
+
+  void push_back(const T &V) {
+    if (Count == Capacity)
+      reallocate(Capacity ? Capacity * 2 : 16);
+    Data[Count++] = V;
+  }
+
+  void resize(size_t N, const T &Fill = T()) {
+    reserve(N);
+    for (size_t I = Count; I < N; ++I)
+      Data[I] = Fill;
+    Count = N;
+  }
+
+  void assign(size_t N, const T &Fill) {
+    Count = 0;
+    resize(N, Fill);
+  }
+
+  void clear() { Count = 0; }
+
+private:
+  void reallocate(size_t NewCap) {
+    T *NewData = Arena ? Arena->allocateArray<T>(NewCap)
+                       : static_cast<T *>(::operator new(NewCap * sizeof(T)));
+    if (Count)
+      std::memcpy(NewData, Data, Count * sizeof(T));
+    if (!Arena)
+      ::operator delete(Data);
+    Data = NewData;
+    Capacity = NewCap;
+  }
+
+  void swap(ArenaVector &Other) noexcept {
+    std::swap(Arena, Other.Arena);
+    std::swap(Data, Other.Data);
+    std::swap(Count, Other.Count);
+    std::swap(Capacity, Other.Capacity);
+  }
+
+  BumpArena *Arena = nullptr;
+  T *Data = nullptr;
+  size_t Count = 0;
+  size_t Capacity = 0;
+};
+
+} // namespace specpre
+
+#endif // SPECPRE_SUPPORT_ARENA_H

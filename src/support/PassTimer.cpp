@@ -4,6 +4,7 @@
 
 #include "support/Diagnostics.h"
 
+#include <algorithm>
 #include <cstdio>
 
 using namespace specpre;
@@ -64,6 +65,29 @@ void PipelineMetrics::merge(const PipelineMetrics &Other) {
   Cache.DiskHits += Other.Cache.DiskHits;
   Cache.DiskWrites += Other.Cache.DiskWrites;
   Cache.VerifyMismatches += Other.Cache.VerifyMismatches;
+  Arena.NetworkBuilds += Other.Arena.NetworkBuilds;
+  Arena.PeakBytes = std::max(Arena.PeakBytes, Other.Arena.PeakBytes);
+  Arena.ChunkAllocations =
+      std::max(Arena.ChunkAllocations, Other.Arena.ChunkAllocations);
+}
+
+void PipelineMetrics::noteNetworkArena(uint64_t PeakBytes,
+                                       uint64_t ChunkAllocations) {
+  ++Arena.NetworkBuilds;
+  Arena.PeakBytes = std::max(Arena.PeakBytes, PeakBytes);
+  Arena.ChunkAllocations =
+      std::max(Arena.ChunkAllocations, ChunkAllocations);
+}
+
+std::string PipelineMetrics::arenaToJson() const {
+  char Buf[192];
+  std::snprintf(Buf, sizeof(Buf),
+                "{\"network_builds\": %llu, \"peak_bytes\": %llu, "
+                "\"chunk_allocations\": %llu}",
+                static_cast<unsigned long long>(Arena.NetworkBuilds),
+                static_cast<unsigned long long>(Arena.PeakBytes),
+                static_cast<unsigned long long>(Arena.ChunkAllocations));
+  return Buf;
 }
 
 std::string PipelineMetrics::cacheToJson() const {

@@ -70,6 +70,16 @@ struct RobustnessCounters {
   uint64_t WorkerFailures = 0;    ///< Parallel worker errors contained.
 };
 
+/// Allocation counters of the per-expression network-build arenas
+/// (support/Arena.h). Exported under the metrics JSON "arena" key; the
+/// network stress test asserts PeakBytes does not grow while thousands
+/// of networks are built and torn down.
+struct ArenaCounters {
+  uint64_t NetworkBuilds = 0;     ///< Networks built through an arena.
+  uint64_t PeakBytes = 0;         ///< Max arena high-water mark observed.
+  uint64_t ChunkAllocations = 0;  ///< Max heap chunks any arena requested.
+};
+
 /// Per-step metrics for one pipeline run (or one worker's shard of it).
 class PipelineMetrics {
 public:
@@ -91,6 +101,16 @@ public:
   /// JSON object with one key per CacheCounters field.
   std::string cacheToJson() const;
 
+  /// Records one arena-backed network build: bumps NetworkBuilds and
+  /// folds the arena's high-water mark / chunk count in by max.
+  void noteNetworkArena(uint64_t PeakBytes, uint64_t ChunkAllocations);
+
+  ArenaCounters &arena() { return Arena; }
+  const ArenaCounters &arena() const { return Arena; }
+
+  /// JSON object with one key per ArenaCounters field.
+  std::string arenaToJson() const;
+
   const StepMetrics &step(PipelineStep S) const {
     return Steps[static_cast<unsigned>(S)];
   }
@@ -110,6 +130,7 @@ private:
   std::array<StepMetrics, NumPipelineSteps> Steps;
   RobustnessCounters Robust;
   CacheCounters Cache;
+  ArenaCounters Arena;
 };
 
 /// Installs a thread-local metrics sink for the current scope; nesting

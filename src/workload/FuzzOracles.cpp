@@ -400,58 +400,146 @@ specpre::checkEfgCutOracles(const Function &F, const Profile &Prof,
   return fail("corpus", "no non-faulting candidate with a non-empty EFG");
 }
 
-std::optional<OracleFailure> specpre::checkRandomNetworkCase(uint64_t Seed,
-                                                             uint64_t CaseIdx) {
+NetworkCase specpre::fuzzNetworkCase(uint64_t Seed, uint64_t CaseIdx) {
   Rng R(mixSeed(Seed, CaseIdx) ^ 0x0F0F0F0F0F0F0F0Full);
-  FlowNetwork Net;
-  int Source = Net.addNode();
-  int Sink = Net.addNode();
+  NetworkCase C;
+  C.Source = C.Net.addNode();
+  C.Sink = C.Net.addNode();
   unsigned Inner = 2 + static_cast<unsigned>(R.nextBelow(6));
   std::vector<int> Nodes;
   for (unsigned I = 0; I != Inner; ++I)
-    Nodes.push_back(Net.addNode());
+    Nodes.push_back(C.Net.addNode());
+
+  // An inner capacity mixes the adversarial extremes: zero (a present
+  // but unusable edge), the finite saturation cap (one step below the
+  // infinite band), the infinite band itself, and ordinary small values.
+  auto InnerCap = [&](unsigned InfChance) {
+    if (R.chance(1, InfChance))
+      return InfiniteCapacity;
+    if (R.chance(1, 16))
+      return MaxFiniteCapacity;
+    return static_cast<int64_t>(R.nextBelow(20)); // 1-in-20 chance of 0
+  };
 
   // Every source edge is finite, so a finite minimum cut always exists
   // and verifyMinCut's no-infinite-crossing check applies.
   for (int N : Nodes)
     if (R.chance(3, 4))
-      Net.addEdge(Source, N, static_cast<int64_t>(R.nextBelow(20)), -1);
+      C.Net.addEdge(C.Source, N,
+                    R.chance(1, 16) ? MaxFiniteCapacity
+                                    : static_cast<int64_t>(R.nextBelow(20)),
+                    -1);
   for (unsigned I = 0; I != Inner; ++I)
     for (unsigned J = 0; J != Inner; ++J) {
       if (I == J || !R.chance(1, 3))
         continue;
-      int64_t Cap = R.chance(1, 8) ? InfiniteCapacity
-                                   : static_cast<int64_t>(R.nextBelow(20));
-      Net.addEdge(Nodes[I], Nodes[J], Cap, -1);
+      C.Net.addEdge(Nodes[I], Nodes[J], InnerCap(8), -1);
     }
   for (int N : Nodes)
-    if (R.chance(1, 2)) {
-      int64_t Cap = R.chance(1, 6) ? InfiniteCapacity
-                                   : static_cast<int64_t>(R.nextBelow(20));
-      Net.addEdge(N, Sink, Cap, -1);
-    }
+    if (R.chance(1, 2))
+      C.Net.addEdge(N, C.Sink, InnerCap(6), -1);
+  return C;
+}
 
-  Expected<int64_t> TruthOrError = bruteForceMinCutCapacity(Net, Source, Sink);
+std::optional<OracleFailure>
+specpre::checkNetworkOracles(NetworkCase &C,
+                             std::optional<int64_t> ExpectCutWeight) {
+  Expected<int64_t> TruthOrError =
+      bruteForceMinCutCapacity(C.Net, C.Source, C.Sink);
   if (!TruthOrError.hasValue())
-    return OracleFailure{"brute-force-oracle", TruthOrError.status().toString()};
+    return OracleFailure{"brute-force-oracle",
+                         TruthOrError.status().toString()};
   int64_t Truth = *TruthOrError;
-  for (MaxFlowAlgorithm Algo :
-       {MaxFlowAlgorithm::Dinic, MaxFlowAlgorithm::EdmondsKarp})
+  if (ExpectCutWeight && Truth != *ExpectCutWeight)
+    return fail("mincut-expected-weight",
+                "brute force " + std::to_string(Truth) + " != expected " +
+                    std::to_string(*ExpectCutWeight));
+  // Earliest/latest cuts are properties of the residual graph, which is
+  // the same for every maximum flow — so beyond capacity agreement, the
+  // cut edge lists must match the first algorithm's exactly.
+  std::vector<int> RefCut[2];
+  bool HaveRef[2] = {false, false};
+  for (MaxFlowAlgorithm Algo : AllMaxFlowAlgorithms)
     for (CutPlacement P : {CutPlacement::Earliest, CutPlacement::Latest}) {
-      Net.resetFlow();
-      MinCutResult Cut = computeMinCut(Net, Source, Sink, P, Algo);
+      C.Net.resetFlow();
+      MinCutResult Cut = computeMinCut(C.Net, C.Source, C.Sink, P, Algo);
+      int PI = P == CutPlacement::Earliest ? 0 : 1;
       std::string Context =
-          std::string(Algo == MaxFlowAlgorithm::Dinic ? "dinic" : "ek") +
-          "/" + (P == CutPlacement::Earliest ? "earliest" : "latest");
+          std::string(maxFlowAlgorithmName(Algo)) + "/" +
+          (P == CutPlacement::Earliest ? "earliest" : "latest");
       std::string Error;
-      if (!verifyMinCut(Net, Source, Sink, Cut, Error))
+      if (!verifyMinCut(C.Net, C.Source, C.Sink, Cut, Error))
         return fail("mincut-structure", Context + ": " + Error);
       if (Cut.Capacity != Truth)
         return fail("mincut-capacity",
                     Context + ": cut " + std::to_string(Cut.Capacity) +
                         " != brute force " + std::to_string(Truth));
+      if (!HaveRef[PI]) {
+        HaveRef[PI] = true;
+        RefCut[PI] = Cut.CutEdgeIds;
+      } else if (Cut.CutEdgeIds != RefCut[PI]) {
+        return fail("mincut-cut-identity",
+                    Context + ": cut edges differ from " +
+                        maxFlowAlgorithmName(AllMaxFlowAlgorithms[0]) +
+                        "'s (" + std::to_string(Cut.CutEdgeIds.size()) +
+                        " vs " + std::to_string(RefCut[PI].size()) +
+                        " edges)");
+      }
     }
   return std::nullopt;
+}
+
+std::optional<OracleFailure> specpre::checkRandomNetworkCase(uint64_t Seed,
+                                                             uint64_t CaseIdx) {
+  NetworkCase C = fuzzNetworkCase(Seed, CaseIdx);
+  return checkNetworkOracles(C, std::nullopt);
+}
+
+std::string specpre::formatNetworkReproducer(const NetworkCase &C,
+                                             const OracleFailure &Failure) {
+  std::string Out;
+  Out += "// specpre-fuzz reproducer\n";
+  Out += "// mode: network\n";
+  Out += "// oracle: " + Failure.Oracle + "\n";
+  Out += "// nodes: " + std::to_string(C.Net.numNodes()) + "\n";
+  Out += "// source: " + std::to_string(C.Source) + "\n";
+  Out += "// sink: " + std::to_string(C.Sink) + "\n";
+  for (int E = 0; E != C.Net.numOriginalEdges(); ++E) {
+    int64_t Cap = C.Net.edgeCapacity(E);
+    Out += "// edge: " + std::to_string(C.Net.edgeFrom(E)) + " " +
+           std::to_string(C.Net.edgeTo(E)) + " " +
+           (Cap >= InfiniteCapacity ? std::string("inf")
+                                    : std::to_string(Cap)) +
+           "\n";
+  }
+  return Out;
+}
+
+NetworkCase specpre::reduceNetworkCase(const NetworkCase &C,
+                                       const OracleFailure &Failure) {
+  NetworkCase Cur = C;
+  bool Shrunk = true;
+  while (Shrunk) {
+    Shrunk = false;
+    for (int Drop = 0; Drop != Cur.Net.numOriginalEdges(); ++Drop) {
+      NetworkCase Cand;
+      Cand.Source = Cur.Source;
+      Cand.Sink = Cur.Sink;
+      while (Cand.Net.numNodes() != Cur.Net.numNodes())
+        Cand.Net.addNode();
+      for (int E = 0; E != Cur.Net.numOriginalEdges(); ++E)
+        if (E != Drop)
+          Cand.Net.addEdge(Cur.Net.edgeFrom(E), Cur.Net.edgeTo(E),
+                           Cur.Net.edgeCapacity(E), -1);
+      std::optional<OracleFailure> F = checkNetworkOracles(Cand, std::nullopt);
+      if (F && F->Oracle == Failure.Oracle) {
+        Cur = std::move(Cand);
+        Shrunk = true;
+        break;
+      }
+    }
+  }
+  return Cur;
 }
 
 //===----------------------------------------------------------------------===//
@@ -465,6 +553,14 @@ struct CorpusDirectives {
   std::vector<int64_t> Args;
   std::string Oracle;
   std::optional<int64_t> ExpectCutWeight;
+
+  // Network mode: the case is the network itself.
+  int Nodes = 0, Source = -1, Sink = -1;
+  struct NetEdge {
+    int From = 0, To = 0;
+    int64_t Cap = 0;
+  };
+  std::vector<NetEdge> NetEdges;
 };
 
 /// Parses the `// key: value` directive comments of a reproducer.
@@ -500,6 +596,20 @@ CorpusDirectives parseDirectives(const std::string &Text) {
       while (std::getline(AS, Tok, ','))
         if (!Tok.empty())
           D.Args.push_back(std::stoll(Tok));
+    } else if (auto V = Value("nodes"))
+      D.Nodes = static_cast<int>(std::stoll(*V));
+    else if (auto V = Value("source"))
+      D.Source = static_cast<int>(std::stoll(*V));
+    else if (auto V = Value("sink"))
+      D.Sink = static_cast<int>(std::stoll(*V));
+    else if (auto V = Value("edge")) {
+      std::istringstream ES(*V);
+      CorpusDirectives::NetEdge E;
+      std::string Cap;
+      if (ES >> E.From >> E.To >> Cap) {
+        E.Cap = Cap == "inf" ? InfiniteCapacity : std::stoll(Cap);
+        D.NetEdges.push_back(E);
+      }
     }
   }
   return D;
@@ -537,6 +647,26 @@ specpre::replayCorpusFile(const std::string &IrPath) {
   if (!Text)
     return fail("corpus", "cannot read " + IrPath);
   CorpusDirectives D = parseDirectives(*Text);
+
+  // Network-mode reproducers carry no IR: the flow network lives entirely
+  // in the directives. Handle them before attempting to parse a module.
+  if (D.Mode == "network") {
+    NetworkCase C;
+    if (D.Nodes < 2 || D.Source < 0 || D.Source >= D.Nodes || D.Sink < 0 ||
+        D.Sink >= D.Nodes)
+      return fail("corpus", IrPath + ": malformed network directives");
+    while (C.Net.numNodes() != D.Nodes)
+      C.Net.addNode();
+    C.Source = D.Source;
+    C.Sink = D.Sink;
+    for (const CorpusDirectives::NetEdge &E : D.NetEdges) {
+      if (E.From < 0 || E.From >= D.Nodes || E.To < 0 || E.To >= D.Nodes)
+        return fail("corpus", IrPath + ": edge endpoint out of range");
+      C.Net.addEdge(E.From, E.To, E.Cap, -1);
+    }
+    return checkNetworkOracles(C, D.ExpectCutWeight);
+  }
+
   std::string ParseError;
   std::optional<Module> M = parseModule(*Text, ParseError);
   if (!M || M->Functions.empty())

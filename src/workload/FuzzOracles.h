@@ -30,6 +30,7 @@
 #define SPECPRE_WORKLOAD_FUZZORACLES_H
 
 #include "ir/Ir.h"
+#include "mincut/FlowNetwork.h"
 #include "profile/Profile.h"
 #include "workload/ProgramGenerator.h"
 
@@ -88,11 +89,44 @@ std::optional<OracleFailure>
 checkEfgCutOracles(const Function &F, const Profile &Prof,
                    std::optional<int64_t> ExpectCutWeight);
 
-/// Differential min-cut oracle on one random small flow network:
-/// Dinic vs Edmonds-Karp, Earliest vs Latest extraction, verifyMinCut on
-/// each, and the brute-force partition enumeration as ground truth.
+/// A serializable min-cut fuzz case: one flow network with its two
+/// terminals. Built by fuzzNetworkCase, checked by checkNetworkOracles,
+/// written to tests/corpus/ by formatNetworkReproducer and replayed
+/// through `// mode: network` reproducer files.
+struct NetworkCase {
+  FlowNetwork Net;
+  int Source = 0, Sink = 1;
+};
+
+/// Deterministic random network for (Seed, CaseIdx): a mix of finite,
+/// infinite, saturated (MaxFiniteCapacity) and zero capacities, small
+/// enough (<= 22 nodes) that the brute-force oracle always applies.
+NetworkCase fuzzNetworkCase(uint64_t Seed, uint64_t CaseIdx);
+
+/// Differential min-cut oracle on one network: the full matrix of every
+/// max-flow algorithm x both cut placements, verifyMinCut on each cut,
+/// capacity against the brute-force partition enumeration, and cut
+/// identity — the same CutEdgeIds, edge for edge — across algorithms per
+/// placement (earliest/latest residual cuts are flow-independent).
+/// \p ExpectCutWeight additionally pins the capacity when replaying a
+/// checked-in reproducer.
+std::optional<OracleFailure>
+checkNetworkOracles(NetworkCase &C, std::optional<int64_t> ExpectCutWeight);
+
+/// fuzzNetworkCase + checkNetworkOracles for (Seed, CaseIdx).
 std::optional<OracleFailure> checkRandomNetworkCase(uint64_t Seed,
                                                     uint64_t CaseIdx);
+
+/// Serializes a failing network case into the reproducer format: a
+/// `// mode: network` file whose network lives entirely in `// nodes:`,
+/// `// source:`, `// sink:` and `// edge: U V CAP` directives.
+std::string formatNetworkReproducer(const NetworkCase &C,
+                                    const OracleFailure &Failure);
+
+/// Greedy edge-dropping reducer: removes original edges one at a time
+/// while checkNetworkOracles keeps failing with the same oracle.
+NetworkCase reduceNetworkCase(const NetworkCase &C,
+                              const OracleFailure &Failure);
 
 //===----------------------------------------------------------------------===//
 // Corpus replay
@@ -101,13 +135,15 @@ std::optional<OracleFailure> checkRandomNetworkCase(uint64_t Seed,
 /// A reproducer is a `.ir` file with directive comments
 ///
 ///   // specpre-fuzz reproducer
-///   // mode: pipeline | profile | efg-cut
+///   // mode: pipeline | profile | efg-cut | network
 ///   // args: 1,2,3            (training input; pipeline/profile modes)
 ///   // oracle: <identifier>   (the invariant this case once violated)
-///   // expect-cut-weight: N   (efg-cut mode golden value)
+///   // expect-cut-weight: N   (efg-cut/network golden value)
+///   // nodes/source/sink/edge (network mode: the flow network itself)
 ///
 /// and, for the profile and efg-cut modes, a sibling `<stem>.prof` file
-/// in the serializeProfile format.
+/// in the serializeProfile format. Network-mode files carry no IR at
+/// all — the case is the network in the directives.
 std::optional<OracleFailure> replayCorpusFile(const std::string &IrPath);
 
 /// Serializes a failing pipeline case into the reproducer format.

@@ -184,13 +184,27 @@ int main(int Argc, char **Argv) {
   }
 
   for (uint64_t C = 0; C != O.Networks; ++C) {
-    if (std::optional<OracleFailure> F =
-            Guarded([&] { return checkRandomNetworkCase(O.Seed, C); })) {
-      ++Failures;
-      std::fprintf(stderr, "FAIL network %llu (seed %llu): oracle '%s': %s\n",
-                   static_cast<unsigned long long>(C),
-                   static_cast<unsigned long long>(O.Seed),
-                   F->Oracle.c_str(), F->Message.c_str());
+    NetworkCase Case = fuzzNetworkCase(O.Seed, C);
+    std::optional<OracleFailure> F =
+        Guarded([&] { return checkNetworkOracles(Case, std::nullopt); });
+    if (!F)
+      continue;
+    ++Failures;
+    std::fprintf(stderr, "FAIL network %llu (seed %llu): oracle '%s': %s\n",
+                 static_cast<unsigned long long>(C),
+                 static_cast<unsigned long long>(O.Seed),
+                 F->Oracle.c_str(), F->Message.c_str());
+    NetworkCase Reduced = O.Reduce ? reduceNetworkCase(Case, *F) : Case;
+    std::string Text = formatNetworkReproducer(Reduced, *F);
+    if (O.CorpusOut.empty()) {
+      std::fprintf(stderr, "---- reproducer (network %llu) ----\n%s",
+                   static_cast<unsigned long long>(C), Text.c_str());
+    } else {
+      std::string Path = O.CorpusOut + "/fuzz-seed" + std::to_string(O.Seed) +
+                         "-net" + std::to_string(C) + ".ir";
+      std::ofstream Out(Path);
+      Out << Text;
+      std::fprintf(stderr, "wrote reproducer %s\n", Path.c_str());
     }
   }
 

@@ -74,6 +74,7 @@ struct ToolOptions {
   std::optional<std::vector<int64_t>> TrainArgs;
   std::optional<std::vector<int64_t>> RunArgs;
   CutPlacement Placement = CutPlacement::Latest;
+  MaxFlowAlgorithm Algo = MaxFlowAlgorithm::Dinic;
   CutObjective Objective = CutObjective::speed();
   bool Cleanup = false;
   bool Gvn = false;
@@ -112,8 +113,9 @@ std::optional<std::vector<int64_t>> parseIntList(const std::string &S) {
 int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--strategy=S] [--train=a,b,...] [--run=a,b,...]\n"
-               "          [--placement=latest|earliest] [--cleanup] "
-               "[--stats]\n"
+               "          [--placement=latest|earliest] "
+               "[--mincut-algo=dinic|ek|pr]\n"
+               "          [--cleanup] [--stats]\n"
                "          [--objective=speed|size|speed-then-size] [--no-emit]\n"
                "          [--jobs=N] [--metrics-out=PATH]\n"
                "          [--budget-ms=N] [--max-augmentations=N] "
@@ -170,6 +172,13 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Opts) {
         Opts.Placement = CutPlacement::Earliest;
       else {
         std::fprintf(stderr, "error: bad --placement\n");
+        return false;
+      }
+    } else if (auto V = Value("--mincut-algo=")) {
+      if (!parseMaxFlowAlgorithm(V->c_str(), Opts.Algo)) {
+        std::fprintf(stderr,
+                     "error: bad --mincut-algo (want dinic, "
+                     "edmonds-karp/ek or push-relabel/pr)\n");
         return false;
       }
     } else if (auto V = Value("--objective=")) {
@@ -344,8 +353,7 @@ int processFunction(Function &F, const ToolOptions &Opts,
     for (const ExprKey &E : collectCandidateExprs(Copy)) {
       Frg G(Copy, C, DT, E);
       if (NeedsProfile && !E.canFault())
-        computeSpeculativePlacement(G, NodeProf, Opts.Placement,
-                                    MaxFlowAlgorithm::Dinic,
+        computeSpeculativePlacement(G, NodeProf, Opts.Placement, Opts.Algo,
                                     Opts.Objective);
       Out << frgToDot(G, NeedsProfile ? &NodeProf : nullptr);
     }
@@ -356,6 +364,7 @@ int processFunction(Function &F, const ToolOptions &Opts,
   PO.Strategy = Opts.Strategy;
   PO.Prof = Opts.Strategy == PreStrategy::McPre ? &Prof : &NodeOnly;
   PO.Placement = Opts.Placement;
+  PO.Algo = Opts.Algo;
   PO.Objective = Opts.Objective;
   PO.Budget = Opts.Budget;
   PO.Cache = Cache;
@@ -509,7 +518,8 @@ int main(int Argc, char **Argv) {
     std::snprintf(Header, sizeof(Header), "{\"jobs\": %u,\n\"steps\": ",
                   Driver.jobs());
     Out << Header << Metrics.toJson() << ",\n\"robustness\": "
-        << Metrics.robustnessToJson() << ",\n\"cache\": "
+        << Metrics.robustnessToJson() << ",\n\"arena\": "
+        << Metrics.arenaToJson() << ",\n\"cache\": "
         << Metrics.cacheToJson() << "}\n";
   }
 
