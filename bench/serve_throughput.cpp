@@ -1,0 +1,270 @@
+//===- bench/serve_throughput.cpp - Compilation service load test ---------------===//
+//
+// Usage:
+//   serve_throughput [--clients=N] [--json-out=PATH] [--smoke]
+//
+// Drives an in-process specpre-serve instance (real Unix socket, real
+// frame protocol — only the process boundary is elided) with N
+// concurrent clients, each walking the CPU2006 stand-in suite. Two
+// waves: the first populates the shared cache, the second must be
+// served warm from it. Reports requests/sec, p50/p99 latency and the
+// cache hit rate, and *fails* (exit 1) if
+//
+//  * any served response differs from a local specpre-opt-equivalent
+//    compile of the same request (the bit-identity contract), or
+//  * the warm wave's cache hit rate is zero (clients are not actually
+//    sharing the cache tier).
+//
+// On a single-core container the clients mostly measure queueing, not
+// parallel speedup; the numbers still exercise the full contended path
+// (accept loop, per-connection readers, request queue, shared cache).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchReport.h"
+#include "ir/Printer.h"
+#include "pre/CompileService.h"
+#include "workload/SpecSuite.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace specpre;
+using namespace specpre::benchreport;
+
+namespace {
+
+struct WorkItem {
+  std::string Name;
+  ServeRequest Req;
+  std::string WantStdout; ///< Local reference for bit-identity.
+  int WantExit = 0;
+};
+
+/// Latencies of one wave, in milliseconds, across all clients.
+struct WaveResult {
+  std::vector<double> LatMs;
+  double WallMs = 0;
+  uint64_t Mismatches = 0;
+};
+
+double percentile(std::vector<double> V, double P) {
+  if (V.empty())
+    return 0;
+  std::sort(V.begin(), V.end());
+  size_t I = static_cast<size_t>(P * (V.size() - 1) + 0.5);
+  return V[I];
+}
+
+/// One client: connect once, run every item through the daemon, record
+/// per-request latency, compare against the local reference.
+void runClient(const std::string &SocketPath,
+               const std::vector<WorkItem> &Items, WaveResult &Out,
+               std::mutex &OutMu) {
+  Expected<Socket> Conn = connectUnix(SocketPath, 5000);
+  if (!Conn) {
+    std::fprintf(stderr, "client connect failed: %s\n",
+                 Conn.status().toString().c_str());
+    std::lock_guard<std::mutex> Lock(OutMu);
+    Out.Mismatches += Items.size();
+    return;
+  }
+  std::vector<double> Lat;
+  uint64_t Bad = 0;
+  for (const WorkItem &W : Items) {
+    auto T0 = std::chrono::steady_clock::now();
+    ServeResponse Resp;
+    Frame F;
+    bool PeerClosed = false;
+    std::string Error;
+    if (!writeFrame(*Conn, 'C', encodeServeRequest(W.Req), 30000) ||
+        !readFrame(*Conn, F, PeerClosed, 120000) || PeerClosed ||
+        F.Type != 'R' || !decodeServeResponse(F.Payload, Resp, Error)) {
+      ++Bad;
+      continue;
+    }
+    auto T1 = std::chrono::steady_clock::now();
+    Lat.push_back(
+        std::chrono::duration<double, std::milli>(T1 - T0).count());
+    if (!Resp.Ok || Resp.ExitCode != W.WantExit ||
+        Resp.StdoutText != W.WantStdout) {
+      std::fprintf(stderr, "MISMATCH on %s (exit %d vs %d)\n",
+                   W.Name.c_str(), Resp.ExitCode, W.WantExit);
+      ++Bad;
+    }
+  }
+  std::lock_guard<std::mutex> Lock(OutMu);
+  Out.LatMs.insert(Out.LatMs.end(), Lat.begin(), Lat.end());
+  Out.Mismatches += Bad;
+}
+
+WaveResult runWave(const std::string &SocketPath, unsigned Clients,
+                   const std::vector<WorkItem> &Items) {
+  WaveResult R;
+  std::mutex Mu;
+  auto T0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> Threads;
+  for (unsigned C = 0; C != Clients; ++C)
+    Threads.emplace_back(runClient, std::cref(SocketPath), std::cref(Items),
+                         std::ref(R), std::ref(Mu));
+  for (std::thread &T : Threads)
+    T.join();
+  R.WallMs = std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - T0)
+                 .count();
+  return R;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  unsigned Clients = 8;
+  std::string JsonOut;
+  bool Smoke = false;
+  for (int I = 1; I != argc; ++I) {
+    if (std::strncmp(argv[I], "--clients=", 10) == 0)
+      Clients = static_cast<unsigned>(std::atoi(argv[I] + 10));
+    else if (std::strncmp(argv[I], "--json-out=", 11) == 0)
+      JsonOut = argv[I] + 11;
+    else if (std::strcmp(argv[I], "--smoke") == 0)
+      Smoke = true;
+    else {
+      std::fprintf(stderr,
+                   "usage: serve_throughput [--clients=N] "
+                   "[--json-out=PATH] [--smoke]\n");
+      return 2;
+    }
+  }
+  if (Clients == 0)
+    Clients = 1;
+
+  printTitle("specpre-serve throughput: concurrent clients, shared cache");
+
+  // The workload: each suite program as a full serve request, with its
+  // local (daemon-free) compile as the bit-identity reference.
+  std::vector<WorkItem> Items;
+  {
+    ParallelConfig PC;
+    PC.Jobs = 1;
+    ParallelPreDriver Local(PC);
+    std::vector<BenchmarkSpec> Suite = fullCpu2006Suite();
+    if (Smoke)
+      Suite.resize(std::min<size_t>(Suite.size(), 4));
+    for (const BenchmarkSpec &Spec : Suite) {
+      WorkItem W;
+      W.Name = Spec.Name;
+      W.Req.ModuleText = printFunction(Spec.buildProgram());
+      W.Req.Strategy = PreStrategy::McSsaPre;
+      W.Req.TrainArgs = Spec.TrainArgs;
+      ServeResponse Ref = processServeRequest(W.Req, Local, nullptr, nullptr);
+      W.WantStdout = Ref.StdoutText;
+      W.WantExit = Ref.ExitCode;
+      Items.push_back(std::move(W));
+    }
+  }
+  std::printf("workload: %zu programs x %u clients, 2 waves\n\n",
+              Items.size(), Clients);
+
+  ServeServer::Config Cfg;
+  Cfg.SocketPath =
+      "/tmp/specpre-serve-bench-" + std::to_string(getpid()) + ".sock";
+  Cfg.Service.RequestWorkers = std::max(2u, Clients / 2);
+  ServeServer Server(Cfg);
+  Status St = Server.start();
+  if (!St) {
+    std::fprintf(stderr, "server start failed: %s\n", St.toString().c_str());
+    return 1;
+  }
+
+  WaveResult Cold = runWave(Cfg.SocketPath, Clients, Items);
+  CacheCounters AfterCold = Server.service().cache()->counters();
+  WaveResult Warm = runWave(Cfg.SocketPath, Clients, Items);
+  CacheCounters AfterWarm = Server.service().cache()->counters();
+  PipelineMetrics Metrics = Server.service().metricsSnapshot();
+  Server.stop();
+  ::unlink(Cfg.SocketPath.c_str());
+
+  uint64_t WarmHits = AfterWarm.Hits - AfterCold.Hits;
+  uint64_t WarmLookups =
+      (AfterWarm.Hits + AfterWarm.Misses) - (AfterCold.Hits + AfterCold.Misses);
+  double WarmHitRate = WarmLookups ? double(WarmHits) / WarmLookups : 0;
+
+  std::printf("%8s %10s %10s %10s %10s %10s\n", "wave", "req/s", "p50 ms",
+              "p99 ms", "wall ms", "hit rate");
+  auto Row = [&](const char *Name, const WaveResult &W, double HitRate) {
+    double Rps = W.WallMs > 0 ? 1000.0 * W.LatMs.size() / W.WallMs : 0;
+    std::printf("%8s %10.1f %10.2f %10.2f %10.1f %9.0f%%\n", Name, Rps,
+                percentile(W.LatMs, 0.50), percentile(W.LatMs, 0.99),
+                W.WallMs, HitRate * 100);
+  };
+  uint64_t ColdLookups = AfterCold.Hits + AfterCold.Misses;
+  Row("cold", Cold,
+      ColdLookups ? double(AfterCold.Hits) / ColdLookups : 0);
+  Row("warm", Warm, WarmHitRate);
+  printRule();
+  std::printf("served: %llu requests, queue depth peak %llu, "
+              "degraded %llu, failed %llu\n",
+              (unsigned long long)Metrics.service().RequestsReceived,
+              (unsigned long long)Metrics.service().QueueDepthPeak,
+              (unsigned long long)Metrics.service().RequestsDegraded,
+              (unsigned long long)Metrics.service().RequestsFailed);
+
+  if (!JsonOut.empty()) {
+    std::string Json = "{\n  \"smoke\": ";
+    Json += Smoke ? "true" : "false";
+    Json += ",\n  \"clients\": " + std::to_string(Clients);
+    Json += ",\n  \"programs\": " + std::to_string(Items.size());
+    auto Wave = [&](const char *Name, const WaveResult &W) {
+      char Buf[256];
+      double Rps = W.WallMs > 0 ? 1000.0 * W.LatMs.size() / W.WallMs : 0;
+      std::snprintf(Buf, sizeof(Buf),
+                    ",\n  \"%s\": {\"requests\": %zu, "
+                    "\"requests_per_sec\": %.2f, \"p50_ms\": %.3f, "
+                    "\"p99_ms\": %.3f, \"wall_ms\": %.1f}",
+                    Name, W.LatMs.size(), Rps, percentile(W.LatMs, 0.50),
+                    percentile(W.LatMs, 0.99), W.WallMs);
+      Json += Buf;
+    };
+    Wave("cold", Cold);
+    Wave("warm", Warm);
+    char Buf[128];
+    std::snprintf(Buf, sizeof(Buf), ",\n  \"warm_hit_rate\": %.4f",
+                  WarmHitRate);
+    Json += Buf;
+    Json += ",\n  \"cache\": " + Metrics.cacheToJson();
+    Json += ",\n  \"service\": " + Metrics.serviceToJson();
+    Json += "\n}\n";
+    std::FILE *Out = std::fopen(JsonOut.c_str(), "w");
+    if (!Out) {
+      std::fprintf(stderr, "cannot write %s\n", JsonOut.c_str());
+      return 1;
+    }
+    std::fwrite(Json.data(), 1, Json.size(), Out);
+    std::fclose(Out);
+    std::printf("wrote %s\n", JsonOut.c_str());
+  }
+
+  uint64_t Mismatches = Cold.Mismatches + Warm.Mismatches;
+  if (Mismatches) {
+    std::fprintf(stderr,
+                 "FATAL: %llu response(s) diverged from the local compile\n",
+                 (unsigned long long)Mismatches);
+    return 1;
+  }
+  if (WarmHitRate <= 0) {
+    std::fprintf(stderr, "FATAL: warm wave never hit the shared cache\n");
+    return 1;
+  }
+  std::printf("all %zu responses bit-identical to local compiles; "
+              "warm hit rate %.0f%%\n",
+              (size_t)(Items.size() * Clients * 2), WarmHitRate * 100);
+  return 0;
+}

@@ -56,4 +56,44 @@ for f in examples/programs/*.spre; do
   cmp "$CACHE_DIR/cold.out" "$CACHE_DIR/verify.out"
 done
 
+# Serve smoke (docs/SERVING.md): start the daemon (Release and ASan),
+# submit each example through the client mode, require bit-identical
+# stdout to the direct batch run, then SIGTERM and require a clean,
+# drained exit (status 0).
+echo "==== serve smoke ===="
+for BUILD in build-release build-asan; do
+  SERVE_DIR="$(mktemp -d)"
+  SOCK="$SERVE_DIR/serve.sock"
+  "./$BUILD/tools/specpre-serve" --socket="$SOCK" \
+    --cache-dir="$SERVE_DIR/cache" --metrics-out="$SERVE_DIR/metrics.json" &
+  SERVE_PID=$!
+  for i in $(seq 1 50); do
+    [ -S "$SOCK" ] && break
+    sleep 0.1
+  done
+  [ -S "$SOCK" ] || { echo "daemon never bound $SOCK"; exit 1; }
+  for f in examples/programs/loop.spre examples/programs/diamond.spre; do
+    "./$BUILD/tools/specpre-opt" --strategy=mcssapre --train=3,4,64 \
+      "$f" > "$SERVE_DIR/local.out"
+    "./$BUILD/tools/specpre-opt" --strategy=mcssapre --train=3,4,64 \
+      --connect="$SOCK" "$f" > "$SERVE_DIR/remote.out"
+    cmp "$SERVE_DIR/local.out" "$SERVE_DIR/remote.out"
+    # Warm replay through the shared cache must stay bit-identical.
+    "./$BUILD/tools/specpre-opt" --strategy=mcssapre --train=3,4,64 \
+      --connect="$SOCK" "$f" > "$SERVE_DIR/remote2.out"
+    cmp "$SERVE_DIR/local.out" "$SERVE_DIR/remote2.out"
+  done
+  kill -TERM "$SERVE_PID"
+  wait "$SERVE_PID" || { echo "daemon exited nonzero on SIGTERM"; exit 1; }
+  grep -q '"requests_received": 4' "$SERVE_DIR/metrics.json" || {
+    echo "daemon metrics missing served requests"; exit 1; }
+  rm -rf "$SERVE_DIR"
+done
+
+# Service load smoke: 8 concurrent clients over the suite, asserting
+# warm-wave cache hits and per-response bit-identity (exit 1 inside the
+# bench on any violation).
+./build-release/bench/serve_throughput --smoke --clients=8 \
+  --json-out="$CACHE_DIR/serve_bench.json"
+
 echo "==== all configurations passed ===="

@@ -1,0 +1,629 @@
+//===- pre/CompileService.cpp - Long-lived compilation service ------------===//
+
+#include "pre/CompileService.h"
+
+#include "interp/Interpreter.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "opt/Cleanup.h"
+#include "opt/ValueNumbering.h"
+#include "profile/Profile.h"
+#include "ssa/SsaDestruction.h"
+#include "support/LineCodec.h"
+
+#include <cstdio>
+
+using namespace specpre;
+using namespace specpre::linecodec;
+
+//===----------------------------------------------------------------------===//
+// Request / response codec
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *RequestHeader = "specpre-serve-request v1";
+const char *ResponseHeader = "specpre-serve-response v1";
+
+/// Flag-spelling names for the wire (strategyName() returns display
+/// names like "MC-SSAPRE"; the protocol reuses the --strategy= values
+/// so a request reads like the command line that produced it).
+const char *strategyFlagName(PreStrategy S) {
+  switch (S) {
+  case PreStrategy::None:
+    return "none";
+  case PreStrategy::SsaPre:
+    return "ssapre";
+  case PreStrategy::SsaPreSpec:
+    return "ssapresp";
+  case PreStrategy::McSsaPre:
+    return "mcssapre";
+  case PreStrategy::McPre:
+    return "mcpre";
+  case PreStrategy::Lcm:
+    return "lcm";
+  }
+  return "mcssapre";
+}
+
+bool parseStrategyFlag(const std::string &Name, PreStrategy &Out) {
+  if (Name == "none")
+    Out = PreStrategy::None;
+  else if (Name == "ssapre")
+    Out = PreStrategy::SsaPre;
+  else if (Name == "ssapresp")
+    Out = PreStrategy::SsaPreSpec;
+  else if (Name == "mcssapre")
+    Out = PreStrategy::McSsaPre;
+  else if (Name == "mcpre")
+    Out = PreStrategy::McPre;
+  else if (Name == "lcm")
+    Out = PreStrategy::Lcm;
+  else
+    return false;
+  return true;
+}
+
+} // namespace
+
+std::string specpre::encodeServeRequest(const ServeRequest &R) {
+  std::string Out = RequestHeader;
+  Out += "\n";
+  Out += "strategy ";
+  Out += strategyFlagName(R.Strategy);
+  Out += "\nplacement ";
+  Out += R.Placement == CutPlacement::Earliest ? "earliest" : "latest";
+  Out += "\nalgo ";
+  Out += maxFlowAlgorithmName(R.Algo);
+  // The objective travels as its raw weights, not a preset name, so any
+  // CutObjective round-trips (speedThenSize and custom weights alike).
+  Out += "\nobjective " + std::to_string(R.Objective.SpeedWeight) + " " +
+         std::to_string(R.Objective.SizeWeight);
+  Out += "\nbudget " + std::to_string(R.Budget.DeadlineMillis) + " " +
+         std::to_string(R.Budget.MaxFlowAugmentations) + " " +
+         std::to_string(R.Budget.MaxGraphNodes);
+  Out += "\nflags " + std::string(R.Emit ? "1" : "0") + " " +
+         (R.Cleanup ? "1" : "0") + " " + (R.Gvn ? "1" : "0") + " " +
+         (R.OutOfSsa ? "1" : "0") + " " + (R.ReportOutcomes ? "1" : "0");
+  if (R.TrainArgs) {
+    Out += "\ntrain";
+    for (int64_t A : *R.TrainArgs)
+      Out += " " + std::to_string(A);
+  }
+  if (!R.OnlyFunction.empty())
+    Out += "\nfunction " + esc(R.OnlyFunction);
+  if (!R.ProfileText.empty())
+    Out += "\nprofile " + esc(R.ProfileText);
+  Out += "\nir " + esc(R.ModuleText) + "\n";
+  return Out;
+}
+
+bool specpre::decodeServeRequest(const std::string &Payload,
+                                 ServeRequest &Out, std::string &Error) {
+  Out = ServeRequest();
+  size_t Pos = 0;
+  std::string Line;
+  auto Bad = [&](const std::string &Msg) {
+    Error = Msg;
+    return false;
+  };
+  if (!nextLine(Payload, Pos, Line) || Line != RequestHeader)
+    return Bad("bad request header");
+  bool SawIr = false;
+  while (nextLine(Payload, Pos, Line)) {
+    std::vector<std::string> Tok = splitTokens(Line);
+    if (Tok.empty())
+      continue; // blank (or all-space) lines are harmless padding
+    const std::string &Key = Tok[0];
+    if (Key == "strategy") {
+      if (Tok.size() != 2 || !parseStrategyFlag(Tok[1], Out.Strategy))
+        return Bad("bad strategy directive");
+    } else if (Key == "placement") {
+      if (Tok.size() != 2)
+        return Bad("bad placement directive");
+      if (Tok[1] == "latest")
+        Out.Placement = CutPlacement::Latest;
+      else if (Tok[1] == "earliest")
+        Out.Placement = CutPlacement::Earliest;
+      else
+        return Bad("bad placement '" + Tok[1] + "'");
+    } else if (Key == "algo") {
+      if (Tok.size() != 2 || !parseMaxFlowAlgorithm(Tok[1].c_str(), Out.Algo))
+        return Bad("bad algo directive");
+    } else if (Key == "objective") {
+      if (Tok.size() != 3 || !parseU64(Tok[1], Out.Objective.SpeedWeight) ||
+          !parseU64(Tok[2], Out.Objective.SizeWeight))
+        return Bad("bad objective directive");
+    } else if (Key == "budget") {
+      if (Tok.size() != 4 || !parseU64(Tok[1], Out.Budget.DeadlineMillis) ||
+          !parseU64(Tok[2], Out.Budget.MaxFlowAugmentations) ||
+          !parseU64(Tok[3], Out.Budget.MaxGraphNodes))
+        return Bad("bad budget directive");
+    } else if (Key == "flags") {
+      if (Tok.size() != 6 || !parseBool(Tok[1], Out.Emit) ||
+          !parseBool(Tok[2], Out.Cleanup) || !parseBool(Tok[3], Out.Gvn) ||
+          !parseBool(Tok[4], Out.OutOfSsa) ||
+          !parseBool(Tok[5], Out.ReportOutcomes))
+        return Bad("bad flags directive");
+    } else if (Key == "train") {
+      std::vector<int64_t> Args;
+      for (size_t I = 1; I != Tok.size(); ++I) {
+        int64_t V;
+        if (!parseI64(Tok[I], V))
+          return Bad("bad integer '" + Tok[I] + "' in train directive");
+        Args.push_back(V);
+      }
+      Out.TrainArgs = std::move(Args);
+    } else if (Key == "function") {
+      if (Tok.size() != 2 || !unesc(Tok[1], Out.OnlyFunction))
+        return Bad("bad function directive");
+    } else if (Key == "profile") {
+      if (Tok.size() != 2 || !unesc(Tok[1], Out.ProfileText))
+        return Bad("bad profile directive");
+    } else if (Key == "ir") {
+      if (Tok.size() != 2 || !unesc(Tok[1], Out.ModuleText))
+        return Bad("bad ir directive");
+      SawIr = true;
+    } else {
+      return Bad("unknown directive '" + Key + "'");
+    }
+  }
+  if (!SawIr)
+    return Bad("missing ir directive");
+  return true;
+}
+
+std::string specpre::encodeServeResponse(const ServeResponse &R) {
+  std::string Out = ResponseHeader;
+  Out += "\nok ";
+  Out += R.Ok ? "1" : "0";
+  Out += "\nexit " + std::to_string(R.ExitCode);
+  Out += "\nerror " + esc(R.Error);
+  Out += "\nstdout " + esc(R.StdoutText);
+  Out += "\nstderr " + esc(R.StderrText) + "\n";
+  return Out;
+}
+
+bool specpre::decodeServeResponse(const std::string &Payload,
+                                  ServeResponse &Out, std::string &Error) {
+  Out = ServeResponse();
+  size_t Pos = 0;
+  std::string Line;
+  auto Bad = [&](const std::string &Msg) {
+    Error = Msg;
+    return false;
+  };
+  if (!nextLine(Payload, Pos, Line) || Line != ResponseHeader)
+    return Bad("bad response header");
+  bool SawOk = false, SawExit = false;
+  while (nextLine(Payload, Pos, Line)) {
+    std::vector<std::string> Tok = splitTokens(Line);
+    if (Tok.empty())
+      continue; // blank (or all-space) lines are harmless padding
+    const std::string &Key = Tok[0];
+    if (Key == "ok") {
+      if (Tok.size() != 2 || !parseBool(Tok[1], Out.Ok))
+        return Bad("bad ok directive");
+      SawOk = true;
+    } else if (Key == "exit") {
+      int64_t V;
+      if (Tok.size() != 2 || !parseI64(Tok[1], V) || V < 0 || V > 255)
+        return Bad("bad exit directive");
+      Out.ExitCode = static_cast<int>(V);
+      SawExit = true;
+    } else if (Key == "error") {
+      if (Tok.size() != 2 || !unesc(Tok[1], Out.Error))
+        return Bad("bad error directive");
+    } else if (Key == "stdout") {
+      if (Tok.size() != 2 || !unesc(Tok[1], Out.StdoutText))
+        return Bad("bad stdout directive");
+    } else if (Key == "stderr") {
+      if (Tok.size() != 2 || !unesc(Tok[1], Out.StderrText))
+        return Bad("bad stderr directive");
+    } else {
+      return Bad("unknown directive '" + Key + "'");
+    }
+  }
+  if (!SawOk || !SawExit)
+    return Bad("missing ok/exit directive");
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Request execution
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void appendRunReport(std::string &Out, const char *Label,
+                     const ExecResult &R) {
+  char Buf[192];
+  std::snprintf(Buf, sizeof(Buf),
+                "%s: ret=%lld computations=%llu cycles=%llu%s%s\n", Label,
+                static_cast<long long>(R.ReturnValue),
+                static_cast<unsigned long long>(R.DynamicComputations),
+                static_cast<unsigned long long>(R.Cycles),
+                R.Trapped ? " [TRAPPED]" : "",
+                R.TimedOut ? " [TIMED OUT]" : "");
+  Out += Buf;
+}
+
+/// One function of the request, mirroring specpre-opt's processFunction
+/// byte-for-byte on stdout (the bit-identity contract of the daemon).
+int processServeFunction(Function &F, const ServeRequest &R,
+                         ParallelPreDriver &Driver, CompileCache *Cache,
+                         PipelineMetrics *Metrics, ServeResponse &Resp) {
+  prepareFunction(F);
+
+  bool NeedsProfile = R.Strategy == PreStrategy::McSsaPre ||
+                      R.Strategy == PreStrategy::McPre;
+  Profile Prof;
+  if (NeedsProfile && !R.ProfileText.empty()) {
+    std::string Error;
+    if (!parseProfile(R.ProfileText, Prof, Error)) {
+      Resp.StderrText += "error: profile: " + Error + "\n";
+      return 1;
+    }
+    Prof.BlockFreq.resize(F.numBlocks(), 0);
+  } else if (NeedsProfile) {
+    if (!R.TrainArgs) {
+      Resp.StderrText += "error: --strategy=";
+      Resp.StderrText += strategyName(R.Strategy);
+      Resp.StderrText += " requires --train=... arguments or a profile\n";
+      return 1;
+    }
+    if (R.TrainArgs->size() != F.Params.size()) {
+      char Buf[192];
+      std::snprintf(Buf, sizeof(Buf),
+                    "error: function '%s' takes %zu arguments, --train has "
+                    "%zu\n",
+                    F.Name.c_str(), F.Params.size(), R.TrainArgs->size());
+      Resp.StderrText += Buf;
+      return 1;
+    }
+    ExecOptions EO;
+    EO.CollectProfile = &Prof;
+    ExecResult Train = interpret(F, *R.TrainArgs, EO);
+    appendRunReport(Resp.StdoutText, "train", Train);
+    if (Train.Trapped || Train.TimedOut) {
+      Resp.StderrText += "error: training run failed\n";
+      return 1;
+    }
+  }
+
+  Profile NodeOnly = Prof.withoutEdgeFreqs();
+  PreOptions PO;
+  PO.Strategy = R.Strategy;
+  PO.Prof = R.Strategy == PreStrategy::McPre ? &Prof : &NodeOnly;
+  PO.Placement = R.Placement;
+  PO.Algo = R.Algo;
+  PO.Objective = R.Objective;
+  PO.Budget = R.Budget;
+  PO.Cache = Cache;
+  PreStats Stats;
+  PO.Stats = &Stats;
+
+  CompileOutcomeRecord Outcome;
+  Function Optimized =
+      Driver.compileFunctionWithFallback(F, PO, Metrics, &Outcome);
+  if (Outcome.degraded() || R.ReportOutcomes) {
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf),
+                  "outcome: %s requested=%s used=%s retries=%u",
+                  F.Name.c_str(), Outcome.Requested.c_str(),
+                  Outcome.Used.c_str(), Outcome.Retries);
+    Resp.StderrText += Buf;
+    if (!Outcome.Cause.empty())
+      Resp.StderrText +=
+          " cause=" + Outcome.Cause + " (" + Outcome.Message + ")";
+    Resp.StderrText += "\n";
+  }
+  if (R.Gvn && Optimized.IsSSA)
+    runValueNumbering(Optimized);
+  if (R.Cleanup && Optimized.IsSSA)
+    runCleanupPipeline(Optimized);
+  if (R.OutOfSsa && Optimized.IsSSA)
+    destructSsa(Optimized);
+
+  if (R.Emit)
+    Resp.StdoutText += printFunction(Optimized);
+  return 0;
+}
+
+} // namespace
+
+ServeResponse specpre::processServeRequest(const ServeRequest &R,
+                                           ParallelPreDriver &Driver,
+                                           CompileCache *Cache,
+                                           PipelineMetrics *Metrics) {
+  ServeResponse Resp;
+  Resp.Ok = true;
+
+  std::string Error;
+  std::optional<Module> M = parseModule(R.ModuleText, Error);
+  if (!M) {
+    Resp.StderrText += "error: " + Error + "\n";
+    Resp.ExitCode = 1;
+    return Resp;
+  }
+
+  bool FoundAny = false;
+  for (Function &F : M->Functions) {
+    if (!R.OnlyFunction.empty() && F.Name != R.OnlyFunction)
+      continue;
+    FoundAny = true;
+    if (int Rc = processServeFunction(F, R, Driver, Cache, Metrics, Resp)) {
+      Resp.ExitCode = Rc;
+      return Resp;
+    }
+  }
+  if (!FoundAny) {
+    Resp.StderrText += "error: no function matched\n";
+    Resp.ExitCode = 1;
+  }
+  return Resp;
+}
+
+//===----------------------------------------------------------------------===//
+// CompileService: the request queue
+//===----------------------------------------------------------------------===//
+
+CompileService::CompileService(const Config &C)
+    : Cfg(C), Driver([&] {
+        ParallelConfig PC;
+        PC.Jobs = C.Jobs;
+        return PC;
+      }()) {
+  if (Cfg.RequestWorkers == 0)
+    Cfg.RequestWorkers = 1;
+  if (Cfg.Mode != CacheMode::Off) {
+    CompileCache::Config CC;
+    CC.DiskDir = Cfg.CacheDir;
+    CC.MaxEntries = Cfg.CacheMaxEntries;
+    CC.MaxDiskBytes = Cfg.CacheMaxDiskBytes;
+    CC.Mode = Cfg.Mode;
+    Cache = std::make_unique<CompileCache>(CC);
+  }
+  Workers.reserve(Cfg.RequestWorkers);
+  for (unsigned I = 0; I != Cfg.RequestWorkers; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+CompileService::~CompileService() { shutdown(); }
+
+std::future<ServeResponse> CompileService::submit(ServeRequest R) {
+  auto P = std::make_unique<Pending>();
+  P->Req = std::move(R);
+  P->Submitted = std::chrono::steady_clock::now();
+  std::future<ServeResponse> Fut = P->Result.get_future();
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Stopping) {
+      ServeResponse Rej;
+      Rej.Ok = false;
+      Rej.Error = "service is shutting down";
+      Rej.ExitCode = 1;
+      P->Result.set_value(std::move(Rej));
+      return Fut;
+    }
+    ++Metrics.service().RequestsReceived;
+    Queue.push_back(std::move(P));
+    uint64_t Depth = Queue.size() + InFlight;
+    Metrics.service().QueueDepthPeak =
+        std::max(Metrics.service().QueueDepthPeak, Depth);
+  }
+  QueueCv.notify_one();
+  return Fut;
+}
+
+void CompileService::noteProtocolFailure() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++Metrics.service().RequestsReceived;
+  ++Metrics.service().RequestsFailed;
+}
+
+void CompileService::workerLoop() {
+  for (;;) {
+    std::unique_ptr<Pending> Work;
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      QueueCv.wait(Lock, [this] { return !Queue.empty() || Stopping; });
+      if (Queue.empty())
+        return; // Stopping with a drained queue: worker retires.
+      Work = std::move(Queue.front());
+      Queue.pop_front();
+      ++InFlight;
+    }
+    auto Started = std::chrono::steady_clock::now();
+    PipelineMetrics Shard;
+    ServeResponse Resp =
+        processServeRequest(Work->Req, Driver, Cache.get(), &Shard);
+    auto Finished = std::chrono::steady_clock::now();
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      ServiceCounters &S = Shard.service();
+      S.QueueWaitNanos = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              Started - Work->Submitted)
+              .count());
+      S.CompileNanos = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Finished -
+                                                               Started)
+              .count());
+      if (Resp.Ok && Resp.ExitCode == 0)
+        ++S.RequestsSucceeded;
+      else
+        ++S.RequestsFailed;
+      if (Shard.robustness().FunctionsDegraded)
+        ++S.RequestsDegraded;
+      Metrics.merge(Shard);
+      --InFlight;
+      if (Queue.empty() && InFlight == 0)
+        IdleCv.notify_all();
+    }
+    // Resolve the future outside the lock: a continuation on the waiting
+    // thread must not run under the service mutex.
+    Work->Result.set_value(std::move(Resp));
+  }
+}
+
+void CompileService::drain() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  IdleCv.wait(Lock, [this] { return Queue.empty() && InFlight == 0; });
+}
+
+void CompileService::shutdown() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Stopping && Workers.empty())
+      return;
+    Stopping = true;
+  }
+  // Workers drain the remaining queue before retiring (they only exit
+  // on an empty queue), so every accepted request still gets a result.
+  QueueCv.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+  Workers.clear();
+  if (Cache)
+    Cache->sweepDiskTier();
+}
+
+PipelineMetrics CompileService::metricsSnapshot() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  PipelineMetrics Out = Metrics;
+  if (Cache)
+    Out.cache() = Cache->counters();
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// ServeServer: the socket front end
+//===----------------------------------------------------------------------===//
+
+ServeServer::ServeServer(const Config &C) : Cfg(C), Service(C.Service) {}
+
+ServeServer::~ServeServer() { stop(); }
+
+Status ServeServer::start() {
+  Expected<Socket> L = listenUnix(Cfg.SocketPath);
+  if (!L)
+    return L.status();
+  Listener = std::move(*L);
+  Acceptor = std::thread([this] { acceptLoop(); });
+  return Status::ok();
+}
+
+void ServeServer::acceptLoop() {
+  while (!StopRequested.load()) {
+    Expected<Socket> Conn = acceptOn(Listener, 200);
+    if (!Conn) {
+      if (StopRequested.load())
+        return;
+      continue; // transient accept error; keep serving
+    }
+    if (!Conn->valid())
+      continue; // poll timeout: re-check the stop flag
+    std::lock_guard<std::mutex> Lock(ConnMu);
+    ConnThreads.emplace_back(
+        [this](Socket S) { handleConnection(std::move(S)); },
+        std::move(*Conn));
+  }
+}
+
+std::string ServeServer::statsJson() const {
+  PipelineMetrics M = Service.metricsSnapshot();
+  return "{\"cache\": " + M.cacheToJson() +
+         ",\n\"service\": " + M.serviceToJson() + "}\n";
+}
+
+void ServeServer::handleConnection(Socket Conn) {
+  for (;;) {
+    // Idle-wait in short slices so a graceful stop is noticed between
+    // frames; readFrame itself is only entered once bytes are pending.
+    for (;;) {
+      bool Ready = false;
+      if (!waitReadable(Conn, 200, Ready))
+        return;
+      if (Ready)
+        break;
+      if (StopRequested.load())
+        return; // idle connection at shutdown: close at frame boundary
+    }
+    Frame F;
+    bool PeerClosed = false;
+    Status St = readFrame(Conn, F, PeerClosed, Cfg.IoTimeoutMs);
+    if (!St) {
+      // Malformed or truncated frame: answer with an error frame if the
+      // socket still works, then drop the connection — after a framing
+      // error the stream position is unrecoverable.
+      (void)writeFrame(Conn, 'E', St.message(), Cfg.IoTimeoutMs);
+      return;
+    }
+    if (PeerClosed)
+      return;
+    switch (F.Type) {
+    case 'P': // ping: echo the payload
+      if (!writeFrame(Conn, 'P', F.Payload, Cfg.IoTimeoutMs))
+        return;
+      break;
+    case 'C': {
+      CompileRequests.fetch_add(1);
+      ServeRequest Req;
+      std::string Error;
+      if (!decodeServeRequest(F.Payload, Req, Error)) {
+        Service.noteProtocolFailure();
+        if (!writeFrame(Conn, 'E', "bad compile request: " + Error,
+                        Cfg.IoTimeoutMs))
+          return;
+        break; // connection stays usable: the *frame* was well-formed
+      }
+      ServeResponse Resp = Service.submit(std::move(Req)).get();
+      if (!writeFrame(Conn, 'R', encodeServeResponse(Resp), Cfg.IoTimeoutMs))
+        return;
+      break;
+    }
+    case 'S':
+      if (!writeFrame(Conn, 'T', statsJson(), Cfg.IoTimeoutMs))
+        return;
+      break;
+    default:
+      if (!writeFrame(Conn, 'E',
+                      std::string("unknown frame type '") + F.Type + "'",
+                      Cfg.IoTimeoutMs))
+        return;
+      break;
+    }
+  }
+}
+
+bool ServeServer::servedEnough() const {
+  return Cfg.MaxRequests && CompileRequests.load() >= Cfg.MaxRequests;
+}
+
+void ServeServer::wait() {
+  while (!Stopped.load())
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+}
+
+void ServeServer::stop() {
+  std::lock_guard<std::mutex> StopLock(StopMu);
+  if (Stopped.load())
+    return;
+  StopRequested.store(true);
+  if (Acceptor.joinable())
+    Acceptor.join();
+  Listener.close();
+  // Connection handlers notice the stop flag at their next frame
+  // boundary; one mid-flight compile per connection still completes and
+  // its response is written before the handler returns.
+  std::vector<std::thread> Conns;
+  {
+    std::lock_guard<std::mutex> Lock(ConnMu);
+    Conns.swap(ConnThreads);
+  }
+  for (std::thread &T : Conns)
+    T.join();
+  Service.shutdown();
+  Stopped.store(true);
+}

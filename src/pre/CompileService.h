@@ -1,0 +1,232 @@
+//===- pre/CompileService.h - Long-lived compilation service ---*- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compilation service behind specpre-serve (docs/SERVING.md): a
+/// long-lived front end over the batch pipeline that lets many clients
+/// share one warm process — one work-stealing ThreadPool, one
+/// content-addressed CompileCache (memory LRU + shared disk tier) — so
+/// repeat compilations of the same function/profile/options are served
+/// from cache no matter which client asks.
+///
+/// Three layers, separable for testing:
+///
+///  * ServeRequest / ServeResponse — the payload schema of the 'C'/'R'
+///    frames, encoded with the same checked line codec the cache
+///    payloads use (support/LineCodec.h). A request is a whole module
+///    plus the exact options surface of specpre-opt's batch mode; the
+///    response carries the tool's stdout/stderr byte-for-byte, which is
+///    what makes the daemon bit-identical to a local run: the client
+///    just replays the streams.
+///
+///  * CompileService — the request queue. submit() enqueues and returns
+///    a future; a small pool of request workers dequeues and runs each
+///    request through ParallelPreDriver::compileFunctionWithFallback
+///    (full degradation ladder, budgets, metrics). Request workers only
+///    orchestrate — per-expression parallelism inside one compile still
+///    comes from the shared ThreadPool, which is safe to drive from
+///    several requests at once.
+///
+///  * ServeServer — the socket front end: accept loop, per-connection
+///    reader threads, frame dispatch ('P' ping, 'C' compile, 'S' stats),
+///    graceful drain on stop (in-flight requests finish, their
+///    responses are delivered, then connections close).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_PRE_COMPILESERVICE_H
+#define SPECPRE_PRE_COMPILESERVICE_H
+
+#include "pre/ParallelDriver.h"
+#include "support/CompileCache.h"
+#include "support/Socket.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace specpre {
+
+/// One compile request: a module plus the batch-tool options that affect
+/// its output. Mirrors specpre-opt's surface minus the purely local
+/// concerns (file paths, DOT export, fault injection).
+struct ServeRequest {
+  std::string ModuleText;
+  PreStrategy Strategy = PreStrategy::McSsaPre;
+  CutPlacement Placement = CutPlacement::Latest;
+  MaxFlowAlgorithm Algo = MaxFlowAlgorithm::Dinic;
+  CutObjective Objective = CutObjective::speed();
+  CompileBudget Budget;
+  /// Arguments for the profile-collection run; required by the
+  /// profile-guided strategies unless ProfileText is given.
+  std::optional<std::vector<int64_t>> TrainArgs;
+  /// A serialized profile (profile/Profile.h) to use instead of
+  /// training; empty = train.
+  std::string ProfileText;
+  std::string OnlyFunction; ///< Restrict to one function; empty = all.
+  bool Emit = true;
+  bool Cleanup = false;
+  bool Gvn = false;
+  bool OutOfSsa = false;
+  bool ReportOutcomes = false;
+};
+
+/// The result of one request: the streams a local specpre-opt run with
+/// the same options would have produced, plus its exit code.
+struct ServeResponse {
+  bool Ok = false;          ///< Request was understood and executed.
+  std::string Error;        ///< Decode/validation failure (when !Ok).
+  std::string StdoutText;   ///< Byte-identical to the batch tool's stdout.
+  std::string StderrText;   ///< Diagnostics (degradations, errors).
+  int ExitCode = 0;         ///< The batch tool's exit code.
+};
+
+/// Request payload codec for the 'C' frame. decode rejects unknown
+/// directives, bad integers and missing sections with a diagnostic.
+std::string encodeServeRequest(const ServeRequest &R);
+bool decodeServeRequest(const std::string &Payload, ServeRequest &Out,
+                        std::string &Error);
+
+/// Response payload codec for the 'R' frame.
+std::string encodeServeResponse(const ServeResponse &R);
+bool decodeServeResponse(const std::string &Payload, ServeResponse &Out,
+                         std::string &Error);
+
+/// Runs \p R exactly as specpre-opt's batch loop would, against the
+/// given driver/cache. The synchronous core of CompileService, exposed
+/// so tests and the bench can assert bit-identity without a socket.
+ServeResponse processServeRequest(const ServeRequest &R,
+                                  ParallelPreDriver &Driver,
+                                  CompileCache *Cache,
+                                  PipelineMetrics *Metrics);
+
+class CompileService {
+public:
+  struct Config {
+    /// Compile-pipeline workers of the shared ThreadPool (0 = cores).
+    unsigned Jobs = 1;
+    /// Concurrent requests in execution; queue beyond that.
+    unsigned RequestWorkers = 2;
+    /// Shared cache tier: directory (empty = memory-only), capacities.
+    std::string CacheDir;
+    uint64_t CacheMaxEntries = 4096;
+    uint64_t CacheMaxDiskBytes = 0;
+    CacheMode Mode = CacheMode::On;
+  };
+
+  explicit CompileService(const Config &C);
+  ~CompileService();
+
+  /// Enqueues \p R; the future resolves when a request worker finishes
+  /// it. Never blocks on compilation. Fails the future with Ok=false
+  /// after shutdown() has begun.
+  std::future<ServeResponse> submit(ServeRequest R);
+
+  /// Blocks until every submitted request has completed.
+  void drain();
+
+  /// Drains, then stops the request workers. Idempotent.
+  void shutdown();
+
+  /// Counts a request that failed before reaching the queue (an
+  /// undecodable 'C' payload), so the service counters cover every
+  /// request a client sent, not just the well-formed ones.
+  void noteProtocolFailure();
+
+  /// Snapshot of the merged pipeline metrics (steps, robustness, cache,
+  /// service counters) across all requests so far.
+  PipelineMetrics metricsSnapshot() const;
+
+  /// The cache shared by all requests; null when Mode is Off.
+  CompileCache *cache() { return Cache.get(); }
+
+  unsigned jobs() const { return Driver.jobs(); }
+
+private:
+  struct Pending {
+    ServeRequest Req;
+    std::promise<ServeResponse> Result;
+    std::chrono::steady_clock::time_point Submitted;
+  };
+
+  void workerLoop();
+
+  Config Cfg;
+  ParallelPreDriver Driver;
+  std::unique_ptr<CompileCache> Cache;
+
+  mutable std::mutex Mu;
+  std::condition_variable QueueCv; ///< Signals workers: work or stop.
+  std::condition_variable IdleCv;  ///< Signals drain(): all quiet.
+  std::deque<std::unique_ptr<Pending>> Queue;
+  unsigned InFlight = 0; ///< Dequeued, not yet completed.
+  bool Stopping = false;
+  PipelineMetrics Metrics; ///< Merged shards of finished requests.
+  std::vector<std::thread> Workers;
+};
+
+/// The socket front end: owns a CompileService and serves the framed
+/// protocol on a Unix-domain socket.
+class ServeServer {
+public:
+  struct Config {
+    std::string SocketPath;
+    int IoTimeoutMs = 10000; ///< Per-frame read/write budget.
+    /// Exit after this many compile requests (0 = unlimited); the
+    /// smoke tests use it to bound a daemon's lifetime.
+    uint64_t MaxRequests = 0;
+    CompileService::Config Service;
+  };
+
+  explicit ServeServer(const Config &C);
+  ~ServeServer();
+
+  /// Binds and starts the accept loop. InvalidInput/InternalError on
+  /// socket failures.
+  Status start();
+
+  /// Initiates a graceful stop: stop accepting, let in-flight requests
+  /// finish and their responses flush, close connections. Safe to call
+  /// from a signal-triggered watcher thread. Returns once fully stopped.
+  void stop();
+
+  /// True once MaxRequests has been reached (the main loop then stops).
+  bool servedEnough() const;
+
+  /// Blocks until stop() completes (or MaxRequests triggers one).
+  void wait();
+
+  CompileService &service() { return Service; }
+
+private:
+  void acceptLoop();
+  void handleConnection(Socket Conn);
+  std::string statsJson() const;
+
+  Config Cfg;
+  CompileService Service;
+  Socket Listener;
+  std::atomic<bool> StopRequested{false};
+  std::atomic<bool> Stopped{false};
+  std::atomic<uint64_t> CompileRequests{0};
+  std::thread Acceptor;
+  std::mutex ConnMu;
+  std::vector<std::thread> ConnThreads;
+  std::mutex StopMu; ///< Serializes stop() callers.
+};
+
+} // namespace specpre
+
+#endif // SPECPRE_PRE_COMPILESERVICE_H

@@ -2,12 +2,14 @@
 
 #include "support/CompileCache.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <system_error>
+#include <vector>
 
 #if defined(_WIN32)
 #include <process.h>
@@ -18,6 +20,8 @@
 #endif
 
 using namespace specpre;
+
+namespace fs = std::filesystem;
 
 std::string CacheKey::toHex() const {
   static const char *Digits = "0123456789abcdef";
@@ -32,63 +36,82 @@ std::string CacheKey::toHex() const {
 CompileCache::CompileCache(Config C) : Cfg(std::move(C)) {
   if (Cfg.MaxEntries == 0)
     Cfg.MaxEntries = 1;
+  // A daemon restarting over a pre-populated directory must see its real
+  // size, or the cap would only bite after MaxDiskBytes of *new* writes.
+  if (!Cfg.DiskDir.empty() && Cfg.MaxDiskBytes)
+    sweepDiskTier();
 }
 
 std::string CompileCache::diskPathFor(const CacheKey &Key) const {
   return Cfg.DiskDir + "/" + Key.toHex() + ".sprc";
 }
 
-std::optional<std::string> CompileCache::lookup(const CacheKey &Key) {
-  std::lock_guard<std::mutex> Lock(Mu);
+void CompileCache::rememberInMemory(const CacheKey &Key,
+                                    const std::string &Payload) {
   auto It = Index.find(Key);
   if (It != Index.end()) {
+    It->second->second = Payload;
     Lru.splice(Lru.begin(), Lru, It->second);
-    ++Stats.Hits;
-    return It->second->second;
+    return;
   }
-  if (!Cfg.DiskDir.empty()) {
-    std::ifstream In(diskPathFor(Key), std::ios::binary);
-    if (In) {
-      std::ostringstream Buf;
-      Buf << In.rdbuf();
-      std::string Payload = std::move(Buf).str();
+  Lru.emplace_front(Key, Payload);
+  Index[Key] = Lru.begin();
+  while (Lru.size() > Cfg.MaxEntries) {
+    Index.erase(Lru.back().first);
+    Lru.pop_back();
+    ++Stats.Evictions;
+  }
+}
+
+std::optional<std::string> CompileCache::lookup(const CacheKey &Key) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Index.find(Key);
+    if (It != Index.end()) {
+      Lru.splice(Lru.begin(), Lru, It->second);
       ++Stats.Hits;
-      ++Stats.DiskHits;
-      // Promote into the LRU so repeated lookups stay in memory.
-      Lru.emplace_front(Key, Payload);
-      Index[Key] = Lru.begin();
-      while (Lru.size() > Cfg.MaxEntries) {
-        Index.erase(Lru.back().first);
-        Lru.pop_back();
-        ++Stats.Evictions;
-      }
-      return Payload;
+      return It->second->second;
+    }
+    if (Cfg.DiskDir.empty()) {
+      ++Stats.Misses;
+      return std::nullopt;
     }
   }
+  // Disk read outside the lock: a slow read must not stall other
+  // clients' memory hits. Concurrent lookups of the same cold key may
+  // both read the file; rememberInMemory coalesces the promotions.
+  std::string DiskPath = diskPathFor(Key);
+  std::ifstream In(DiskPath, std::ios::binary);
+  if (In) {
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    std::string Payload = std::move(Buf).str();
+    // Touch the entry so disk-tier eviction is LRU, not FIFO: recency
+    // earned by reads (possibly from another process) survives sweeps.
+    std::error_code Ec;
+    fs::last_write_time(DiskPath, fs::file_time_type::clock::now(), Ec);
+    std::lock_guard<std::mutex> Lock(Mu);
+    ++Stats.Hits;
+    ++Stats.DiskHits;
+    rememberInMemory(Key, Payload);
+    return Payload;
+  }
+  std::lock_guard<std::mutex> Lock(Mu);
   ++Stats.Misses;
   return std::nullopt;
 }
 
 void CompileCache::insert(const CacheKey &Key, std::string Payload) {
-  std::lock_guard<std::mutex> Lock(Mu);
-  ++Stats.Stores;
-  auto It = Index.find(Key);
-  if (It != Index.end()) {
-    It->second->second = Payload;
-    Lru.splice(Lru.begin(), Lru, It->second);
-  } else {
-    Lru.emplace_front(Key, Payload);
-    Index[Key] = Lru.begin();
-    while (Lru.size() > Cfg.MaxEntries) {
-      Index.erase(Lru.back().first);
-      Lru.pop_back();
-      ++Stats.Evictions;
-    }
+  bool SweepNeeded = false;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ++Stats.Stores;
+    rememberInMemory(Key, Payload);
   }
   if (Cfg.DiskDir.empty())
     return;
   std::error_code Ec;
-  std::filesystem::create_directories(Cfg.DiskDir, Ec);
+  fs::create_directories(Cfg.DiskDir, Ec);
   // Atomic publish: write a private temp file, then rename onto the
   // final name. Concurrent writers of the same key race benignly (both
   // bodies are identical by construction — the key is a content hash of
@@ -106,16 +129,99 @@ void CompileCache::insert(const CacheKey &Key, std::string Payload) {
     Out << Payload;
     if (!Out.good()) {
       Out.close();
-      std::filesystem::remove(Tmp, Ec);
+      fs::remove(Tmp, Ec);
       return;
     }
   }
-  std::filesystem::rename(Tmp, Final, Ec);
+  fs::rename(Tmp, Final, Ec);
   if (Ec) {
-    std::filesystem::remove(Tmp, Ec);
+    fs::remove(Tmp, Ec);
     return;
   }
-  ++Stats.DiskWrites;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ++Stats.DiskWrites;
+    ApproxDiskBytes += Payload.size();
+    SweepNeeded = Cfg.MaxDiskBytes && ApproxDiskBytes > Cfg.MaxDiskBytes;
+  }
+  if (SweepNeeded)
+    sweepDiskTier();
+}
+
+void CompileCache::sweepDiskTier() {
+  if (Cfg.DiskDir.empty() || !Cfg.MaxDiskBytes)
+    return;
+  // One sweeper at a time per process; a concurrent trigger returns
+  // immediately — the running sweep already covers its bytes.
+  std::unique_lock<std::mutex> Sweep(SweepMu, std::try_to_lock);
+  if (!Sweep.owns_lock())
+    return;
+
+  struct Entry {
+    fs::path Path;
+    uint64_t Size = 0;
+    fs::file_time_type MTime;
+  };
+  std::vector<Entry> Entries;
+  uint64_t Total = 0;
+  const auto Now = fs::file_time_type::clock::now();
+  std::error_code Ec;
+  for (fs::directory_iterator It(Cfg.DiskDir, Ec), End; !Ec && It != End;
+       It.increment(Ec)) {
+    const fs::path &P = It->path();
+    std::string Name = P.filename().string();
+    uint64_t Size = It->file_size(Ec);
+    if (Ec) { // vanished mid-scan (concurrent sweep/writer): skip
+      Ec.clear();
+      continue;
+    }
+    fs::file_time_type MTime = It->last_write_time(Ec);
+    if (Ec) {
+      Ec.clear();
+      continue;
+    }
+    if (Name.find(".tmp.") != std::string::npos) {
+      // Orphaned temp file from a crashed writer. Only reap stale ones:
+      // a live writer's temp exists for milliseconds, so ten minutes of
+      // age means its process is gone.
+      if (Now - MTime > std::chrono::minutes(10))
+        fs::remove(P, Ec);
+      Ec.clear();
+      continue;
+    }
+    if (Name.size() < 5 || Name.substr(Name.size() - 5) != ".sprc")
+      continue; // not ours; never touch foreign files
+    Total += Size;
+    Entries.push_back(Entry{P, Size, MTime});
+  }
+
+  uint64_t Evicted = 0;
+  if (Total > Cfg.MaxDiskBytes) {
+    // Oldest-first down to 90% of the cap, so back-to-back inserts do
+    // not each pay a full directory scan. Ties (coarse mtime clocks)
+    // break by path for determinism.
+    std::sort(Entries.begin(), Entries.end(),
+              [](const Entry &A, const Entry &B) {
+                if (A.MTime != B.MTime)
+                  return A.MTime < B.MTime;
+                return A.Path < B.Path;
+              });
+    const uint64_t Target = Cfg.MaxDiskBytes - Cfg.MaxDiskBytes / 10;
+    for (const Entry &E : Entries) {
+      if (Total <= Target)
+        break;
+      // remove() is idempotent across processes: if a concurrent sweep
+      // already unlinked this entry, Ec reports ENOENT and the bytes
+      // were freed either way.
+      if (fs::remove(E.Path, Ec))
+        ++Evicted;
+      Total -= std::min(Total, E.Size);
+    }
+  }
+
+  std::lock_guard<std::mutex> Lock(Mu);
+  Stats.DiskEvictions += Evicted;
+  ApproxDiskBytes = Total;
 }
 
 void CompileCache::noteVerifyMismatch() {

@@ -20,11 +20,22 @@
 ///  * an optional on-disk directory (Config.DiskDir) holding one file
 ///    per entry, named `<hex key>.sprc`, written atomically via a
 ///    temp-file rename so a crashed or concurrent writer can never leave
-///    a torn entry for a later reader.
+///    a torn entry for a later reader. The directory is safely shared by
+///    multiple *processes* (the serve daemon plus any specpre-opt runs):
+///    see docs/CACHING.md "Multi-process semantics" for the guarantees.
 ///
-/// All operations are thread-safe: the parallel driver's workers share
-/// one cache across the corpus fan-out. Counters are cheap and always
-/// on; the tool exports them under the "cache" key of the metrics JSON.
+/// The disk tier is bounded by Config.MaxDiskBytes: when the directory
+/// grows past the cap, a sweep evicts least-recently-used entries (disk
+/// hits touch the entry's mtime, so recency survives process restarts)
+/// down to 90% of the cap and clears orphaned temp files left by
+/// crashed writers. Sweeps are concurrent-safe: eviction only unlinks,
+/// and a reader that loses the race sees a plain miss, never torn data.
+///
+/// All operations are thread-safe: the parallel driver's workers and the
+/// serve daemon's request workers share one cache. Disk I/O happens
+/// outside the in-memory mutex so a slow disk read cannot stall every
+/// other client's memory hits. Counters are cheap and always on; the
+/// tools export them under the "cache" key of the metrics JSON.
 ///
 /// Modes: On serves hits; Verify treats every hit as a cross-check — the
 /// caller recompiles and compares bit-for-bit, reporting disagreement
@@ -70,6 +81,7 @@ struct CacheCounters {
   uint64_t Evictions = 0;        ///< In-memory LRU evictions.
   uint64_t DiskHits = 0;         ///< Hits that had to read the directory.
   uint64_t DiskWrites = 0;       ///< Entries persisted to the directory.
+  uint64_t DiskEvictions = 0;    ///< On-disk entries removed by sweeps.
   uint64_t VerifyMismatches = 0; ///< Verify-mode hit/recompile diffs.
 };
 
@@ -81,6 +93,12 @@ public:
     std::string DiskDir;
     /// In-memory LRU capacity, in entries.
     uint64_t MaxEntries = 4096;
+    /// Disk-tier size cap in bytes; 0 = unbounded. When the directory
+    /// exceeds this, least-recently-used .sprc entries are evicted down
+    /// to 90% of the cap. The cap is per-sweep advisory under
+    /// multi-process sharing (each process sweeps on its own writes),
+    /// so transient overshoot by one payload is possible.
+    uint64_t MaxDiskBytes = 0;
     CacheMode Mode = CacheMode::On;
   };
 
@@ -104,8 +122,18 @@ public:
 
   uint64_t entriesInMemory() const;
 
+  /// Forces a disk-tier sweep (normally triggered automatically when the
+  /// approximate directory size crosses MaxDiskBytes). No-op without a
+  /// disk directory or a cap. Exposed for tests and for the daemon's
+  /// shutdown path.
+  void sweepDiskTier();
+
 private:
   std::string diskPathFor(const CacheKey &Key) const;
+
+  /// Inserts/refreshes \p Key in the LRU under Mu and applies the
+  /// MaxEntries bound.
+  void rememberInMemory(const CacheKey &Key, const std::string &Payload);
 
   Config Cfg;
   mutable std::mutex Mu;
@@ -114,6 +142,13 @@ private:
   std::map<CacheKey, std::list<std::pair<CacheKey, std::string>>::iterator>
       Index;
   CacheCounters Stats;
+  /// Running estimate of the disk directory's size, maintained under Mu
+  /// and corrected to the scanned truth by every sweep. Only a trigger —
+  /// eviction decisions come from the scan, never from this number.
+  uint64_t ApproxDiskBytes = 0;
+  /// Serializes sweeps within this process; a sweep already in progress
+  /// makes concurrent triggers no-ops instead of queueing.
+  std::mutex SweepMu;
 };
 
 } // namespace specpre

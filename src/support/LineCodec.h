@@ -1,0 +1,59 @@
+//===- support/LineCodec.h - Checked line-oriented text codec --*- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared codec for the project's line-oriented wire formats: the
+/// compile-cache payload (pre/CachedCompile.cpp), the serve protocol
+/// request/response bodies (pre/CompileService.cpp) and the corpus
+/// reproducer directives (workload/FuzzOracles.cpp). One line is a
+/// sequence of space-separated tokens; string-valued tokens are
+/// percent-escaped so they can never contain a separator.
+///
+/// Every numeric parser here is *checked*: it rejects empty tokens,
+/// leading whitespace or '+' signs (strtoll would silently skip/accept
+/// them), trailing garbage, and out-of-range values (ERANGE). A payload
+/// that fails any of these degrades to "malformed", never to a silently
+/// wrong number — the property the cache's corruption-corpus tests and
+/// the fuzzer's malformed-case tests pin.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_SUPPORT_LINECODEC_H
+#define SPECPRE_SUPPORT_LINECODEC_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace specpre {
+namespace linecodec {
+
+/// Percent-escapes '%', whitespace and control bytes; the empty string
+/// becomes the single token "%".
+std::string esc(const std::string &S);
+
+/// Inverse of esc. Returns false on a malformed escape sequence.
+bool unesc(const std::string &T, std::string &Out);
+
+/// Splits \p Line on runs of spaces; never yields empty tokens.
+std::vector<std::string> splitTokens(const std::string &Line);
+
+/// Pulls the next LF-terminated line out of \p Text at \p Pos. Returns
+/// false at end of input or on a final unterminated fragment.
+bool nextLine(const std::string &Text, size_t &Pos, std::string &Line);
+
+/// Strict decimal parsers: [0-9]+ (or -?[0-9]+ for the signed one),
+/// full-token consumption, overflow rejected. No sign prefix, no
+/// leading/trailing whitespace, no hex/octal.
+bool parseU64(const std::string &T, uint64_t &Out);
+bool parseI64(const std::string &T, int64_t &Out);
+bool parseU32(const std::string &T, unsigned &Out);
+bool parseBool(const std::string &T, bool &Out); ///< exactly "0" or "1"
+
+} // namespace linecodec
+} // namespace specpre
+
+#endif // SPECPRE_SUPPORT_LINECODEC_H

@@ -64,7 +64,16 @@ void PipelineMetrics::merge(const PipelineMetrics &Other) {
   Cache.Evictions += Other.Cache.Evictions;
   Cache.DiskHits += Other.Cache.DiskHits;
   Cache.DiskWrites += Other.Cache.DiskWrites;
+  Cache.DiskEvictions += Other.Cache.DiskEvictions;
   Cache.VerifyMismatches += Other.Cache.VerifyMismatches;
+  Service.RequestsReceived += Other.Service.RequestsReceived;
+  Service.RequestsSucceeded += Other.Service.RequestsSucceeded;
+  Service.RequestsFailed += Other.Service.RequestsFailed;
+  Service.RequestsDegraded += Other.Service.RequestsDegraded;
+  Service.QueueDepthPeak =
+      std::max(Service.QueueDepthPeak, Other.Service.QueueDepthPeak);
+  Service.QueueWaitNanos += Other.Service.QueueWaitNanos;
+  Service.CompileNanos += Other.Service.CompileNanos;
   Arena.NetworkBuilds += Other.Arena.NetworkBuilds;
   Arena.PeakBytes = std::max(Arena.PeakBytes, Other.Arena.PeakBytes);
   Arena.ChunkAllocations =
@@ -91,18 +100,38 @@ std::string PipelineMetrics::arenaToJson() const {
 }
 
 std::string PipelineMetrics::cacheToJson() const {
-  char Buf[320];
+  char Buf[384];
   std::snprintf(Buf, sizeof(Buf),
                 "{\"hits\": %llu, \"misses\": %llu, \"stores\": %llu, "
                 "\"evictions\": %llu, \"disk_hits\": %llu, "
-                "\"disk_writes\": %llu, \"verify_mismatches\": %llu}",
+                "\"disk_writes\": %llu, \"disk_evictions\": %llu, "
+                "\"verify_mismatches\": %llu}",
                 static_cast<unsigned long long>(Cache.Hits),
                 static_cast<unsigned long long>(Cache.Misses),
                 static_cast<unsigned long long>(Cache.Stores),
                 static_cast<unsigned long long>(Cache.Evictions),
                 static_cast<unsigned long long>(Cache.DiskHits),
                 static_cast<unsigned long long>(Cache.DiskWrites),
+                static_cast<unsigned long long>(Cache.DiskEvictions),
                 static_cast<unsigned long long>(Cache.VerifyMismatches));
+  return Buf;
+}
+
+std::string PipelineMetrics::serviceToJson() const {
+  char Buf[384];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "{\"requests_received\": %llu, \"requests_succeeded\": %llu, "
+      "\"requests_failed\": %llu, \"requests_degraded\": %llu, "
+      "\"queue_depth_peak\": %llu, \"queue_wait_millis\": %.6f, "
+      "\"compile_millis\": %.6f}",
+      static_cast<unsigned long long>(Service.RequestsReceived),
+      static_cast<unsigned long long>(Service.RequestsSucceeded),
+      static_cast<unsigned long long>(Service.RequestsFailed),
+      static_cast<unsigned long long>(Service.RequestsDegraded),
+      static_cast<unsigned long long>(Service.QueueDepthPeak),
+      static_cast<double>(Service.QueueWaitNanos) / 1e6,
+      static_cast<double>(Service.CompileNanos) / 1e6);
   return Buf;
 }
 

@@ -70,6 +70,19 @@ struct RobustnessCounters {
   uint64_t WorkerFailures = 0;    ///< Parallel worker errors contained.
 };
 
+/// Request-level counters of the compilation service (specpre-serve).
+/// Exported under the metrics JSON "service" key; zero-valued and absent
+/// from exports in plain batch runs.
+struct ServiceCounters {
+  uint64_t RequestsReceived = 0;
+  uint64_t RequestsSucceeded = 0;
+  uint64_t RequestsFailed = 0;   ///< Rejected or errored end-to-end.
+  uint64_t RequestsDegraded = 0; ///< Succeeded below the requested rung.
+  uint64_t QueueDepthPeak = 0;   ///< Max in-flight requests observed.
+  uint64_t QueueWaitNanos = 0;   ///< Total submit-to-start latency.
+  uint64_t CompileNanos = 0;     ///< Total start-to-finish compile time.
+};
+
 /// Allocation counters of the per-expression network-build arenas
 /// (support/Arena.h). Exported under the metrics JSON "arena" key; the
 /// network stress test asserts PeakBytes does not grow while thousands
@@ -101,6 +114,14 @@ public:
   /// JSON object with one key per CacheCounters field.
   std::string cacheToJson() const;
 
+  /// Serve-daemon request counters; filled by pre/CompileService, zero
+  /// elsewhere. merge() sums, except QueueDepthPeak which folds by max.
+  ServiceCounters &service() { return Service; }
+  const ServiceCounters &service() const { return Service; }
+
+  /// JSON object with one key per ServiceCounters field.
+  std::string serviceToJson() const;
+
   /// Records one arena-backed network build: bumps NetworkBuilds and
   /// folds the arena's high-water mark / chunk count in by max.
   void noteNetworkArena(uint64_t PeakBytes, uint64_t ChunkAllocations);
@@ -130,6 +151,7 @@ private:
   std::array<StepMetrics, NumPipelineSteps> Steps;
   RobustnessCounters Robust;
   CacheCounters Cache;
+  ServiceCounters Service;
   ArenaCounters Arena;
 };
 

@@ -1,0 +1,235 @@
+//===- support/Socket.cpp - Unix-domain sockets and framing ---------------===//
+
+#include "support/Socket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
+using namespace specpre;
+
+void Socket::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+namespace {
+
+Status osError(const char *What) {
+  return Status::error(ErrorCode::InternalError,
+                       std::string(What) + ": " + std::strerror(errno));
+}
+
+/// Waits until \p Fd is ready for \p Events (POLLIN/POLLOUT). Returns 1
+/// ready, 0 timeout, -1 error.
+int waitReady(int Fd, short Events, int TimeoutMs) {
+  struct pollfd P;
+  P.fd = Fd;
+  P.events = Events;
+  P.revents = 0;
+  for (;;) {
+    int R = ::poll(&P, 1, TimeoutMs);
+    if (R < 0 && errno == EINTR)
+      continue;
+    return R < 0 ? -1 : (R == 0 ? 0 : 1);
+  }
+}
+
+bool fillSockaddr(const std::string &Path, sockaddr_un &Addr) {
+  if (Path.empty() || Path.size() >= sizeof(Addr.sun_path))
+    return false;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  return true;
+}
+
+Status sendAll(int Fd, const char *Data, size_t Len, int TimeoutMs) {
+  size_t Sent = 0;
+  while (Sent < Len) {
+    int R = waitReady(Fd, POLLOUT, TimeoutMs);
+    if (R < 0)
+      return osError("poll");
+    if (R == 0)
+      return Status::error(ErrorCode::ResourceLimit, "socket write timed out");
+    ssize_t N = ::send(Fd, Data + Sent, Len - Sent, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+        continue;
+      return osError("send");
+    }
+    Sent += static_cast<size_t>(N);
+  }
+  return Status::ok();
+}
+
+/// Reads exactly \p Len bytes. \p SawAnyByte distinguishes "peer closed
+/// before the first byte" (a clean frame-boundary EOF for the caller to
+/// interpret) from truncation mid-read.
+Status recvAll(int Fd, char *Data, size_t Len, int TimeoutMs,
+               bool &SawAnyByte, bool &Eof) {
+  Eof = false;
+  size_t Got = 0;
+  while (Got < Len) {
+    int R = waitReady(Fd, POLLIN, TimeoutMs);
+    if (R < 0)
+      return osError("poll");
+    if (R == 0)
+      return Status::error(ErrorCode::ResourceLimit, "socket read timed out");
+    ssize_t N = ::recv(Fd, Data + Got, Len - Got, 0);
+    if (N < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+        continue;
+      return osError("recv");
+    }
+    if (N == 0) {
+      Eof = true;
+      return Status::ok();
+    }
+    SawAnyByte = true;
+    Got += static_cast<size_t>(N);
+  }
+  return Status::ok();
+}
+
+} // namespace
+
+Expected<Socket> specpre::listenUnix(const std::string &Path) {
+  sockaddr_un Addr;
+  if (!fillSockaddr(Path, Addr))
+    return Status::error(ErrorCode::InvalidInput,
+                         "socket path empty or too long: " + Path);
+  ::unlink(Path.c_str());
+  Socket S(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!S.valid())
+    return osError("socket");
+  if (::bind(S.fd(), reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0)
+    return osError("bind");
+  if (::listen(S.fd(), 64) < 0)
+    return osError("listen");
+  return S;
+}
+
+Expected<Socket> specpre::connectUnix(const std::string &Path,
+                                      int TimeoutMs) {
+  sockaddr_un Addr;
+  if (!fillSockaddr(Path, Addr))
+    return Status::error(ErrorCode::InvalidInput,
+                         "socket path empty or too long: " + Path);
+  Socket S(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!S.valid())
+    return osError("socket");
+  // Unix-domain connect() completes or fails immediately in practice,
+  // but retry briefly on ECONNREFUSED: a daemon that has bound but not
+  // yet called listen(), or whose backlog is momentarily full, refuses.
+  int Waited = 0;
+  for (;;) {
+    if (::connect(S.fd(), reinterpret_cast<sockaddr *>(&Addr),
+                  sizeof(Addr)) == 0)
+      return S;
+    if (errno == EINTR)
+      continue;
+    if ((errno == ECONNREFUSED || errno == ENOENT) && Waited < TimeoutMs) {
+      struct timespec Ts = {0, 20 * 1000 * 1000};
+      ::nanosleep(&Ts, nullptr);
+      Waited += 20;
+      continue;
+    }
+    return osError("connect");
+  }
+}
+
+Expected<Socket> specpre::acceptOn(const Socket &Listener, int TimeoutMs) {
+  int R = waitReady(Listener.fd(), POLLIN, TimeoutMs);
+  if (R < 0)
+    return osError("poll");
+  if (R == 0)
+    return Socket(); // timeout: invalid socket, Ok — caller polls again
+  int Fd = ::accept(Listener.fd(), nullptr, nullptr);
+  if (Fd < 0) {
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||
+        errno == ECONNABORTED)
+      return Socket();
+    return osError("accept");
+  }
+  return Socket(Fd);
+}
+
+Status specpre::waitReadable(const Socket &S, int TimeoutMs, bool &Ready) {
+  int R = waitReady(S.fd(), POLLIN, TimeoutMs);
+  if (R < 0)
+    return osError("poll");
+  Ready = R > 0;
+  return Status::ok();
+}
+
+Status specpre::writeFrame(const Socket &S, char Type,
+                           const std::string &Payload, int TimeoutMs) {
+  if (Payload.size() > MaxFramePayloadBytes)
+    return Status::error(ErrorCode::ResourceLimit,
+                         "frame payload exceeds 64 MiB cap");
+  uint32_t Len = static_cast<uint32_t>(Payload.size());
+  char Header[9] = {'S', 'P', 'V', '1', Type,
+                    static_cast<char>(Len & 0xff),
+                    static_cast<char>((Len >> 8) & 0xff),
+                    static_cast<char>((Len >> 16) & 0xff),
+                    static_cast<char>((Len >> 24) & 0xff)};
+  if (Status St = sendAll(S.fd(), Header, sizeof(Header), TimeoutMs); !St)
+    return St;
+  return sendAll(S.fd(), Payload.data(), Payload.size(), TimeoutMs);
+}
+
+Status specpre::readFrame(const Socket &S, Frame &Out, bool &PeerClosed,
+                          int TimeoutMs) {
+  PeerClosed = false;
+  char Header[9];
+  bool SawAnyByte = false, Eof = false;
+  if (Status St = recvAll(S.fd(), Header, sizeof(Header), TimeoutMs,
+                          SawAnyByte, Eof);
+      !St)
+    return St;
+  if (Eof) {
+    if (!SawAnyByte) {
+      PeerClosed = true;
+      return Status::ok();
+    }
+    return Status::error(ErrorCode::InvalidInput,
+                         "peer closed mid-frame (truncated header)");
+  }
+  if (Header[0] != 'S' || Header[1] != 'P' || Header[2] != 'V' ||
+      Header[3] != '1')
+    return Status::error(ErrorCode::InvalidInput, "bad frame magic");
+  uint32_t Len = static_cast<uint32_t>(static_cast<unsigned char>(Header[5])) |
+                 (static_cast<uint32_t>(static_cast<unsigned char>(Header[6]))
+                  << 8) |
+                 (static_cast<uint32_t>(static_cast<unsigned char>(Header[7]))
+                  << 16) |
+                 (static_cast<uint32_t>(static_cast<unsigned char>(Header[8]))
+                  << 24);
+  if (Len > MaxFramePayloadBytes)
+    return Status::error(ErrorCode::ResourceLimit,
+                         "frame payload exceeds 64 MiB cap");
+  Out.Type = Header[4];
+  Out.Payload.assign(Len, '\0');
+  if (Len) {
+    if (Status St = recvAll(S.fd(), Out.Payload.data(), Len, TimeoutMs,
+                            SawAnyByte, Eof);
+        !St)
+      return St;
+    if (Eof)
+      return Status::error(ErrorCode::InvalidInput,
+                           "peer closed mid-frame (truncated payload)");
+  }
+  return Status::ok();
+}

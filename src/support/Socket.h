@@ -1,0 +1,116 @@
+//===- support/Socket.h - Unix-domain sockets and framing ------*- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transport layer of the compilation service (docs/SERVING.md):
+/// Unix-domain stream sockets plus a length-prefixed frame protocol.
+///
+/// A frame on the wire is:
+///
+///   'S' 'P' 'V' '1'   magic (protocol version 1)
+///   <type>            one byte, e.g. 'C' compile request, 'R' response
+///   <len>             payload length, u32 little-endian, <= 64 MiB
+///   <payload>         len opaque bytes
+///
+/// The framing layer knows nothing about payload contents — request and
+/// response encodings live in pre/CompileService, next to the code that
+/// produces them. All socket I/O here is timeout-bounded via poll(), so
+/// a stalled or malicious peer can never wedge a daemon thread; timeouts
+/// and malformed frames surface as Status errors, never exceptions.
+///
+/// Frames are written with a single send loop per frame, but the
+/// protocol does not rely on message boundaries: readFrame reassembles
+/// from an arbitrary byte stream. A peer that closes cleanly *between*
+/// frames yields PeerClosed rather than an error, so connection teardown
+/// is distinguishable from truncation mid-frame.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_SUPPORT_SOCKET_H
+#define SPECPRE_SUPPORT_SOCKET_H
+
+#include "support/Status.h"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace specpre {
+
+/// Largest payload either side will frame or accept. Caps memory a
+/// hostile peer can make the daemon allocate from one length prefix.
+constexpr uint32_t MaxFramePayloadBytes = 64u << 20;
+
+/// RAII owner of one socket file descriptor. Move-only.
+class Socket {
+public:
+  Socket() = default;
+  explicit Socket(int Fd) : Fd(Fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket &&Other) noexcept : Fd(Other.Fd) { Other.Fd = -1; }
+  Socket &operator=(Socket &&Other) noexcept {
+    if (this != &Other) {
+      close();
+      Fd = Other.Fd;
+      Other.Fd = -1;
+    }
+    return *this;
+  }
+  Socket(const Socket &) = delete;
+  Socket &operator=(const Socket &) = delete;
+
+  bool valid() const { return Fd >= 0; }
+  int fd() const { return Fd; }
+
+  void close();
+
+private:
+  int Fd = -1;
+};
+
+/// One frame off the wire: a type byte and its opaque payload.
+struct Frame {
+  char Type = 0;
+  std::string Payload;
+};
+
+/// Creates a listening Unix-domain socket at \p Path. An existing socket
+/// file at the path is unlinked first (a daemon restarting over its own
+/// stale socket must not need manual cleanup). Fails with InvalidInput
+/// if the path exceeds sockaddr_un limits, InternalError on OS errors.
+Expected<Socket> listenUnix(const std::string &Path);
+
+/// Connects to the Unix-domain socket at \p Path, waiting up to
+/// \p TimeoutMs for the connection to complete.
+Expected<Socket> connectUnix(const std::string &Path, int TimeoutMs);
+
+/// Accepts one connection, waiting up to \p TimeoutMs. A timeout is not
+/// an error state for an accept loop, so it is reported separately: Ok
+/// status with an invalid Socket means "nothing arrived, poll again".
+Expected<Socket> acceptOn(const Socket &Listener, int TimeoutMs);
+
+/// Writes one frame. Partial writes are retried until the frame is fully
+/// sent or \p TimeoutMs elapses with no progress.
+Status writeFrame(const Socket &S, char Type, const std::string &Payload,
+                  int TimeoutMs);
+
+/// Waits up to \p TimeoutMs for \p S to become readable, setting
+/// \p Ready. Lets a server poll an idle connection in short slices (so a
+/// stop flag is noticed promptly) without committing to a blocking
+/// readFrame that could consume partial bytes before timing out.
+Status waitReadable(const Socket &S, int TimeoutMs, bool &Ready);
+
+/// Reads one frame into \p Out. On a clean EOF at a frame boundary,
+/// returns Ok with \p PeerClosed set true and \p Out untouched; EOF
+/// mid-frame, a bad magic, or an oversized length prefix are
+/// InvalidInput errors.
+Status readFrame(const Socket &S, Frame &Out, bool &PeerClosed,
+                 int TimeoutMs);
+
+} // namespace specpre
+
+#endif // SPECPRE_SUPPORT_SOCKET_H

@@ -14,8 +14,10 @@
 #include "pre/PreDriver.h"
 #include "ssa/SsaConstruction.h"
 #include "support/FaultInjector.h"
+#include "support/LineCodec.h"
 #include "support/Random.h"
 
+#include <climits>
 #include <fstream>
 #include <sstream>
 
@@ -564,11 +566,34 @@ struct CorpusDirectives {
 };
 
 /// Parses the `// key: value` directive comments of a reproducer.
-CorpusDirectives parseDirectives(const std::string &Text) {
+/// Numeric directive values go through the checked linecodec parsers: a
+/// malformed or fuzzer-mutated value (`cap=junk`, overflow digits) sets
+/// \p Error with the offending directive and the caller reports a parse
+/// diagnostic instead of aborting on an uncaught std::stoll exception.
+CorpusDirectives parseDirectives(const std::string &Text,
+                                 std::string &Error) {
   CorpusDirectives D;
   std::istringstream In(Text);
   std::string Line;
+  unsigned LineNo = 0;
+  auto Bad = [&](const char *Key, const std::string &V) {
+    if (Error.empty())
+      Error = "line " + std::to_string(LineNo) + ": bad integer '" + V +
+              "' in " + Key + " directive";
+  };
+  // Checked narrowing: int-typed directives (node ids) reject anything
+  // outside int range, not just anything outside int64 range.
+  auto ParseInt = [&](const char *Key, const std::string &V, int &Out) {
+    int64_t Wide;
+    if (!linecodec::parseI64(V, Wide) || Wide < INT_MIN || Wide > INT_MAX) {
+      Bad(Key, V);
+      return false;
+    }
+    Out = static_cast<int>(Wide);
+    return true;
+  };
   while (std::getline(In, Line)) {
+    ++LineNo;
     size_t Pos = Line.find("//");
     if (Pos == std::string::npos)
       continue;
@@ -588,28 +613,54 @@ CorpusDirectives parseDirectives(const std::string &Text) {
       D.Mode = *V;
     else if (auto V = Value("oracle"))
       D.Oracle = *V;
-    else if (auto V = Value("expect-cut-weight"))
-      D.ExpectCutWeight = std::stoll(*V);
-    else if (auto V = Value("args")) {
+    else if (auto V = Value("expect-cut-weight")) {
+      int64_t W;
+      if (!linecodec::parseI64(*V, W)) {
+        Bad("expect-cut-weight", *V);
+        continue;
+      }
+      D.ExpectCutWeight = W;
+    } else if (auto V = Value("args")) {
       std::istringstream AS(*V);
       std::string Tok;
-      while (std::getline(AS, Tok, ','))
-        if (!Tok.empty())
-          D.Args.push_back(std::stoll(Tok));
-    } else if (auto V = Value("nodes"))
-      D.Nodes = static_cast<int>(std::stoll(*V));
-    else if (auto V = Value("source"))
-      D.Source = static_cast<int>(std::stoll(*V));
-    else if (auto V = Value("sink"))
-      D.Sink = static_cast<int>(std::stoll(*V));
-    else if (auto V = Value("edge")) {
-      std::istringstream ES(*V);
-      CorpusDirectives::NetEdge E;
-      std::string Cap;
-      if (ES >> E.From >> E.To >> Cap) {
-        E.Cap = Cap == "inf" ? InfiniteCapacity : std::stoll(Cap);
-        D.NetEdges.push_back(E);
+      while (std::getline(AS, Tok, ',')) {
+        while (!Tok.empty() && Tok.front() == ' ')
+          Tok.erase(Tok.begin());
+        while (!Tok.empty() && Tok.back() == ' ')
+          Tok.pop_back();
+        if (Tok.empty())
+          continue;
+        int64_t A;
+        if (!linecodec::parseI64(Tok, A)) {
+          Bad("args", Tok);
+          break;
+        }
+        D.Args.push_back(A);
       }
+    } else if (auto V = Value("nodes"))
+      ParseInt("nodes", *V, D.Nodes);
+    else if (auto V = Value("source"))
+      ParseInt("source", *V, D.Source);
+    else if (auto V = Value("sink"))
+      ParseInt("sink", *V, D.Sink);
+    else if (auto V = Value("edge")) {
+      std::vector<std::string> T = linecodec::splitTokens(*V);
+      if (T.size() != 3) {
+        if (Error.empty())
+          Error = "line " + std::to_string(LineNo) +
+                  ": edge directive wants 'from to cap', got '" + *V + "'";
+        continue;
+      }
+      CorpusDirectives::NetEdge E;
+      if (!ParseInt("edge", T[0], E.From) || !ParseInt("edge", T[1], E.To))
+        continue;
+      if (T[2] == "inf")
+        E.Cap = InfiniteCapacity;
+      else if (!linecodec::parseI64(T[2], E.Cap)) {
+        Bad("edge", T[2]);
+        continue;
+      }
+      D.NetEdges.push_back(E);
     }
   }
   return D;
@@ -646,7 +697,10 @@ specpre::replayCorpusFile(const std::string &IrPath) {
   std::optional<std::string> Text = slurpFile(IrPath);
   if (!Text)
     return fail("corpus", "cannot read " + IrPath);
-  CorpusDirectives D = parseDirectives(*Text);
+  std::string DirectiveError;
+  CorpusDirectives D = parseDirectives(*Text, DirectiveError);
+  if (!DirectiveError.empty())
+    return fail("corpus", IrPath + ": " + DirectiveError);
 
   // Network-mode reproducers carry no IR: the flow network lives entirely
   // in the directives. Handle them before attempting to parse a module.

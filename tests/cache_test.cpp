@@ -27,6 +27,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -335,6 +338,91 @@ TEST(CompileCacheTest, CorruptDiskEntriesDegradeToMisses) {
   fs::remove_all(Dir);
 }
 
+TEST(CompileCacheTest, DiskTierEvictsLruUnderTheByteCap) {
+  namespace fs = std::filesystem;
+  fs::path Dir = fs::temp_directory_path() / "specpre-cache-test-evict";
+  fs::remove_all(Dir);
+
+  auto Corpus = makeCorpus(6);
+  uint64_t Total = 0;
+  {
+    CompileCache::Config CC;
+    CC.DiskDir = Dir.string();
+    CompileCache Cache(CC);
+    compileSerial(Corpus, PreStrategy::McSsaPre, &Cache);
+    ASSERT_EQ(Cache.counters().DiskWrites, Corpus.size());
+    for (const fs::directory_entry &F : fs::directory_iterator(Dir))
+      Total += fs::file_size(F.path());
+  }
+  ASSERT_GT(Total, 0u);
+
+  // Age the entries deterministically: file I is (N - I) hours stale.
+  // No sleeping — eviction order comes entirely from mtimes.
+  std::vector<fs::path> Files;
+  for (const fs::directory_entry &F : fs::directory_iterator(Dir))
+    Files.push_back(F.path());
+  std::sort(Files.begin(), Files.end());
+  auto Now = fs::file_time_type::clock::now();
+  for (size_t I = 0; I != Files.size(); ++I)
+    fs::last_write_time(Files[I],
+                        Now - std::chrono::hours(Files.size() - I));
+
+  // A cap one byte below the directory's real size: the constructor's
+  // initial sweep must bring the pre-populated tier under it (to 90% of
+  // the cap), oldest entries first. Generated programs vary in size, so
+  // the cap is derived from the measured total, not a per-entry guess.
+  CompileCache::Config CC;
+  CC.DiskDir = Dir.string();
+  CC.MaxDiskBytes = Total - 1;
+  CompileCache Cache(CC);
+  EXPECT_GT(Cache.counters().DiskEvictions, 0u);
+
+  uint64_t Remaining = 0, Count = 0;
+  for (const fs::directory_entry &F : fs::directory_iterator(Dir)) {
+    Remaining += fs::file_size(F.path());
+    ++Count;
+  }
+  EXPECT_LE(Remaining, CC.MaxDiskBytes);
+  EXPECT_GT(Count, 0u) << "eviction must converge, not clear the tier";
+  // LRU, not random: the newest file (largest mtime) survived.
+  EXPECT_TRUE(fs::exists(Files.back()))
+      << "most recent entry was evicted before older ones";
+  EXPECT_FALSE(fs::exists(Files.front()))
+      << "oldest entry outlived the sweep";
+
+  // Evicted keys are clean misses that repopulate; surviving keys hit.
+  CompileResult Again = compileSerial(Corpus, PreStrategy::McSsaPre, &Cache);
+  CacheCounters C = Cache.counters();
+  EXPECT_GT(C.Hits, 0u);
+  EXPECT_GT(C.Misses, 0u);
+  EXPECT_EQ(C.Hits + C.Misses, Corpus.size());
+  fs::remove_all(Dir);
+}
+
+TEST(CompileCacheTest, SweepReapsStaleTempFilesOnly) {
+  namespace fs = std::filesystem;
+  fs::path Dir = fs::temp_directory_path() / "specpre-cache-test-tmp";
+  fs::remove_all(Dir);
+  fs::create_directories(Dir);
+
+  // A crashed writer's orphan (backdated past the reap horizon) and a
+  // live writer's fresh temp file.
+  fs::path Stale = Dir / "deadbeef.sprc.tmp.1234.0";
+  fs::path Fresh = Dir / "cafef00d.sprc.tmp.5678.0";
+  { std::ofstream(Stale) << std::string(64, 'x'); }
+  { std::ofstream(Fresh) << std::string(64, 'y'); }
+  fs::last_write_time(Stale, fs::file_time_type::clock::now() -
+                                 std::chrono::hours(1));
+
+  CompileCache::Config CC;
+  CC.DiskDir = Dir.string();
+  CC.MaxDiskBytes = 1 << 20;
+  CompileCache Cache(CC); // constructor sweep
+  EXPECT_FALSE(fs::exists(Stale)) << "hour-old orphan not reaped";
+  EXPECT_TRUE(fs::exists(Fresh)) << "live writer's temp file reaped";
+  fs::remove_all(Dir);
+}
+
 //===----------------------------------------------------------------------===//
 // Verify mode and payload round-trip
 //===----------------------------------------------------------------------===//
@@ -386,4 +474,48 @@ TEST(CompileCacheTest, PayloadRoundTripsExactly) {
           << "truncation at " << Cut << " decoded";
     }
   }
+}
+
+TEST(CompileCacheTest, CorruptedIntegerTokensAreRejected) {
+  // The corruption corpus for the payload parsers. Before the checked
+  // linecodec parsers, strtoull slack let several of these *decode
+  // successfully* — "+0" for a count was read as 0, overflow digits
+  // clamped to ULLONG_MAX — turning a flipped disk byte into silently
+  // wrong replay data instead of a miss.
+  auto Corpus = makeCorpus(1);
+  const CorpusEntry &E = Corpus.front();
+  PreStats Stats;
+  PreOptions PO;
+  PO.Strategy = PreStrategy::McSsaPre;
+  PO.Prof = &E.NodeOnly;
+  PO.Stats = &Stats;
+  CompileOutcomeRecord Outcome;
+  Function Opt = compileWithFallback(E.Prepared, PO, &Outcome);
+  std::string Payload = encodeCachePayload(Opt, Stats.records(), Outcome);
+
+  size_t CountPos = Payload.find("records ");
+  ASSERT_NE(CountPos, std::string::npos);
+  CountPos += std::strlen("records ");
+  size_t CountEnd = Payload.find('\n', CountPos);
+  ASSERT_NE(CountEnd, std::string::npos);
+  const std::string CountTok = Payload.substr(CountPos, CountEnd - CountPos);
+
+  auto DecodeWithCount = [&](const std::string &Tok) {
+    std::string Mutated = Payload;
+    Mutated.replace(CountPos, CountTok.size(), Tok);
+    Function Junk;
+    std::vector<ExprStatsRecord> Records;
+    CompileOutcomeRecord JunkOutcome;
+    return decodeCachePayload(Mutated, Junk, Records, JunkOutcome);
+  };
+
+  EXPECT_TRUE(DecodeWithCount(CountTok)) << "identity mutation must decode";
+  // Sign slack: strtoull accepts both; a cache entry must not.
+  EXPECT_FALSE(DecodeWithCount("+" + CountTok));
+  EXPECT_FALSE(DecodeWithCount("-1"));
+  // ERANGE overflow: 26 digits clamp to ULLONG_MAX without errno checks.
+  EXPECT_FALSE(DecodeWithCount("99999999999999999999999999"));
+  // Trailing garbage and empty tokens.
+  EXPECT_FALSE(DecodeWithCount(CountTok + "x"));
+  EXPECT_FALSE(DecodeWithCount("0x10"));
 }

@@ -35,6 +35,14 @@
 //     --cache=on|off|verify content-addressed compilation cache; verify
 //                           recompiles every hit and asserts the cached
 //                           entry is bit-identical (exit 1 on mismatch)
+//     --connect=PATH        client mode: send the compile to a running
+//                           specpre-serve daemon at this socket instead
+//                           of compiling locally; stdout is bit-identical
+//                           to a local run (docs/SERVING.md). Flags that
+//                           only make sense locally (--dot-*, --run,
+//                           --stats, --profile-out, --metrics-out,
+//                           --inject-faults, --cache*, --jobs) are
+//                           rejected in this mode.
 //
 // Input syntax: see ir/Parser.h (examples/programs/*.spre).
 //
@@ -47,6 +55,7 @@
 #include "ir/Printer.h"
 #include "opt/Cleanup.h"
 #include "opt/ValueNumbering.h"
+#include "pre/CompileService.h"
 #include "pre/DotExport.h"
 #include "pre/ParallelDriver.h"
 #include "pre/PreDriver.h"
@@ -94,6 +103,8 @@ struct ToolOptions {
   bool ReportOutcomes = false; ///< report ladder outcome per function
   std::string CacheDir;        ///< on-disk cache directory ("" = memory-only)
   std::optional<CacheMode> Cache; ///< unset = on iff --cache-dir given
+  std::string ConnectPath; ///< serve-daemon socket ("" = compile locally)
+  bool JobsGiven = false;  ///< --jobs was on the command line
 };
 
 std::optional<std::vector<int64_t>> parseIntList(const std::string &S) {
@@ -122,6 +133,7 @@ int usage(const char *Argv0) {
                "[--max-graph-nodes=N]\n"
                "          [--inject-faults=SPEC] [--report-outcomes]\n"
                "          [--cache-dir=PATH] [--cache=on|off|verify]\n"
+               "          [--connect=SOCKET]\n"
                "          [--dot-cfg=PATH] [--dot-frg=PATH] [--function=NAME] <file>\n",
                Argv0);
   return 2;
@@ -202,7 +214,10 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Opts) {
       Opts.ProfileInPath = *V;
     } else if (auto V = Value("--metrics-out=")) {
       Opts.MetricsOutPath = *V;
+    } else if (auto V = Value("--connect=")) {
+      Opts.ConnectPath = *V;
     } else if (auto V = Value("--jobs=")) {
+      Opts.JobsGiven = true;
       try {
         Opts.Jobs = static_cast<unsigned>(std::stoul(*V));
       } catch (...) {
@@ -422,6 +437,120 @@ int processFunction(Function &F, const ToolOptions &Opts,
   return 0;
 }
 
+/// Client mode: ship the compile to a specpre-serve daemon and replay
+/// its streams, so `specpre-opt --connect=S file` is a drop-in for the
+/// local run (stdout bit-identical; see docs/SERVING.md).
+int runClientMode(const ToolOptions &Opts) {
+  // Flags whose effects are local side channels (files written here,
+  // interpretation of the *input*) cannot be delegated; reject loudly
+  // rather than silently compiling something else.
+  const char *Unsupported = nullptr;
+  if (!Opts.DotCfgPath.empty() || !Opts.DotFrgPath.empty())
+    Unsupported = "--dot-cfg/--dot-frg";
+  else if (Opts.RunArgs)
+    Unsupported = "--run";
+  else if (Opts.Stats)
+    Unsupported = "--stats";
+  else if (!Opts.ProfileOutPath.empty())
+    Unsupported = "--profile-out";
+  else if (!Opts.MetricsOutPath.empty())
+    Unsupported = "--metrics-out";
+  else if (!Opts.InjectFaults.empty())
+    Unsupported = "--inject-faults";
+  else if (!Opts.CacheDir.empty() || Opts.Cache)
+    Unsupported = "--cache-dir/--cache (the daemon owns the cache)";
+  else if (Opts.JobsGiven)
+    Unsupported = "--jobs (the daemon owns the pool)";
+  if (Unsupported) {
+    std::fprintf(stderr, "error: %s is not supported with --connect\n",
+                 Unsupported);
+    return 2;
+  }
+
+  std::ifstream In(Opts.InputPath);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open '%s'\n",
+                 Opts.InputPath.c_str());
+    return 1;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+
+  ServeRequest Req;
+  Req.ModuleText = Buffer.str();
+  Req.Strategy = Opts.Strategy;
+  Req.Placement = Opts.Placement;
+  Req.Algo = Opts.Algo;
+  Req.Objective = Opts.Objective;
+  Req.Budget = Opts.Budget;
+  Req.TrainArgs = Opts.TrainArgs;
+  Req.OnlyFunction = Opts.OnlyFunction;
+  Req.Emit = Opts.Emit;
+  Req.Cleanup = Opts.Cleanup;
+  Req.Gvn = Opts.Gvn;
+  Req.OutOfSsa = Opts.OutOfSsa;
+  Req.ReportOutcomes = Opts.ReportOutcomes;
+  if (!Opts.ProfileInPath.empty()) {
+    std::ifstream PIn(Opts.ProfileInPath);
+    if (!PIn) {
+      std::fprintf(stderr, "error: cannot open profile '%s'\n",
+                   Opts.ProfileInPath.c_str());
+      return 1;
+    }
+    std::stringstream PBuf;
+    PBuf << PIn.rdbuf();
+    Req.ProfileText = PBuf.str();
+  }
+
+  const int IoTimeoutMs = 60000; // compiles run remotely; be generous
+  Expected<Socket> Conn = connectUnix(Opts.ConnectPath, 5000);
+  if (!Conn) {
+    std::fprintf(stderr, "error: cannot connect to '%s': %s\n",
+                 Opts.ConnectPath.c_str(),
+                 Conn.status().message().c_str());
+    return 1;
+  }
+  if (Status St = writeFrame(*Conn, 'C', encodeServeRequest(Req),
+                             IoTimeoutMs);
+      !St) {
+    std::fprintf(stderr, "error: send failed: %s\n",
+                 St.message().c_str());
+    return 1;
+  }
+  Frame F;
+  bool PeerClosed = false;
+  if (Status St = readFrame(*Conn, F, PeerClosed, IoTimeoutMs); !St) {
+    std::fprintf(stderr, "error: receive failed: %s\n",
+                 St.message().c_str());
+    return 1;
+  }
+  if (PeerClosed) {
+    std::fprintf(stderr, "error: daemon closed the connection\n");
+    return 1;
+  }
+  if (F.Type == 'E') {
+    std::fprintf(stderr, "error: daemon: %s\n", F.Payload.c_str());
+    return 1;
+  }
+  if (F.Type != 'R') {
+    std::fprintf(stderr, "error: unexpected frame type '%c'\n", F.Type);
+    return 1;
+  }
+  ServeResponse Resp;
+  std::string Error;
+  if (!decodeServeResponse(F.Payload, Resp, Error)) {
+    std::fprintf(stderr, "error: bad response: %s\n", Error.c_str());
+    return 1;
+  }
+  if (!Resp.Ok) {
+    std::fprintf(stderr, "error: daemon: %s\n", Resp.Error.c_str());
+    return 1;
+  }
+  std::fwrite(Resp.StdoutText.data(), 1, Resp.StdoutText.size(), stdout);
+  std::fwrite(Resp.StderrText.data(), 1, Resp.StderrText.size(), stderr);
+  return Resp.ExitCode;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -429,6 +558,9 @@ int main(int Argc, char **Argv) {
   ToolOptions Opts;
   if (!parseArgs(Argc, Argv, Opts))
     return usage(Argv[0]);
+
+  if (!Opts.ConnectPath.empty())
+    return runClientMode(Opts);
 
   if (!Opts.InjectFaults.empty()) {
     Status S = configureFaultInjection(Opts.InjectFaults);

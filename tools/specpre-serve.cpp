@@ -1,0 +1,187 @@
+//===- tools/specpre-serve.cpp - Compilation service daemon ---------------===//
+//
+// A long-lived compilation server over a Unix-domain socket:
+//
+//   specpre-serve --socket=PATH [options]
+//
+//     --socket=PATH          Unix-domain socket to listen on (required)
+//     --jobs=N               compile-pipeline workers (0 = all cores)
+//     --request-workers=N    concurrent requests in execution (default 2)
+//     --cache-dir=PATH       shared on-disk cache directory
+//     --cache=on|off         in-process compile cache (default on)
+//     --cache-max-entries=N  in-memory LRU capacity (default 4096)
+//     --cache-max-disk-mb=N  disk-tier size cap; LRU-evicted (0 = unbounded)
+//     --io-timeout-ms=N      per-frame socket read/write budget (default 10000)
+//     --max-requests=N       exit after N compile requests (0 = forever)
+//     --metrics-out=PATH     write merged pipeline metrics JSON on shutdown
+//
+// Clients connect with `specpre-opt --connect=PATH <file>` (or any
+// speaker of the framed protocol in docs/SERVING.md). SIGTERM/SIGINT
+// drain in-flight requests, flush their responses, then exit 0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pre/CompileService.h"
+#include "support/CrashContext.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <thread>
+
+using namespace specpre;
+
+namespace {
+
+std::sig_atomic_t volatile StopSignal = 0;
+
+void onStopSignal(int) { StopSignal = 1; }
+
+struct ServeOptions {
+  ServeServer::Config Server;
+  std::string MetricsOutPath;
+};
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket=PATH [--jobs=N] [--request-workers=N]\n"
+               "          [--cache-dir=PATH] [--cache=on|off]\n"
+               "          [--cache-max-entries=N] [--cache-max-disk-mb=N]\n"
+               "          [--io-timeout-ms=N] [--max-requests=N]\n"
+               "          [--metrics-out=PATH]\n",
+               Argv0);
+  return 2;
+}
+
+bool parseArgs(int Argc, char **Argv, ServeOptions &Opts) {
+  for (int I = 1; I != Argc; ++I) {
+    std::string A = Argv[I];
+    auto Value = [&](const char *Prefix) -> std::optional<std::string> {
+      size_t N = std::strlen(Prefix);
+      if (A.rfind(Prefix, 0) == 0)
+        return A.substr(N);
+      return std::nullopt;
+    };
+    auto BadInt = [&](const char *Flag, const std::string &V) {
+      std::fprintf(stderr, "error: bad %s value '%s'\n", Flag, V.c_str());
+      return false;
+    };
+    if (auto V = Value("--socket=")) {
+      Opts.Server.SocketPath = *V;
+    } else if (auto V = Value("--jobs=")) {
+      try {
+        Opts.Server.Service.Jobs = static_cast<unsigned>(std::stoul(*V));
+      } catch (...) {
+        return BadInt("--jobs", *V);
+      }
+    } else if (auto V = Value("--request-workers=")) {
+      try {
+        Opts.Server.Service.RequestWorkers =
+            static_cast<unsigned>(std::stoul(*V));
+      } catch (...) {
+        return BadInt("--request-workers", *V);
+      }
+    } else if (auto V = Value("--cache-dir=")) {
+      Opts.Server.Service.CacheDir = *V;
+    } else if (auto V = Value("--cache=")) {
+      if (*V == "on")
+        Opts.Server.Service.Mode = CacheMode::On;
+      else if (*V == "off")
+        Opts.Server.Service.Mode = CacheMode::Off;
+      else {
+        std::fprintf(stderr, "error: bad --cache mode '%s'\n", V->c_str());
+        return false;
+      }
+    } else if (auto V = Value("--cache-max-entries=")) {
+      try {
+        Opts.Server.Service.CacheMaxEntries = std::stoull(*V);
+      } catch (...) {
+        return BadInt("--cache-max-entries", *V);
+      }
+    } else if (auto V = Value("--cache-max-disk-mb=")) {
+      try {
+        Opts.Server.Service.CacheMaxDiskBytes =
+            std::stoull(*V) * 1024 * 1024;
+      } catch (...) {
+        return BadInt("--cache-max-disk-mb", *V);
+      }
+    } else if (auto V = Value("--io-timeout-ms=")) {
+      try {
+        Opts.Server.IoTimeoutMs = std::stoi(*V);
+      } catch (...) {
+        return BadInt("--io-timeout-ms", *V);
+      }
+    } else if (auto V = Value("--max-requests=")) {
+      try {
+        Opts.Server.MaxRequests = std::stoull(*V);
+      } catch (...) {
+        return BadInt("--max-requests", *V);
+      }
+    } else if (auto V = Value("--metrics-out=")) {
+      Opts.MetricsOutPath = *V;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", A.c_str());
+      return false;
+    }
+  }
+  return !Opts.Server.SocketPath.empty();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  installCrashSignalHandlers();
+  ServeOptions Opts;
+  if (!parseArgs(Argc, Argv, Opts))
+    return usage(Argv[0]);
+
+  std::signal(SIGTERM, onStopSignal);
+  std::signal(SIGINT, onStopSignal);
+
+  ServeServer Server(Opts.Server);
+  if (Status St = Server.start(); !St) {
+    std::fprintf(stderr, "error: %s\n", St.toString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "specpre-serve: listening on %s (jobs=%u)\n",
+               Opts.Server.SocketPath.c_str(), Server.service().jobs());
+
+  // The signal handler only sets a flag; the main thread polls it so
+  // the actual teardown (joins, queue drain, socket closes) runs in
+  // normal context, never inside a handler.
+  while (!StopSignal && !Server.servedEnough())
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  std::fprintf(stderr, "specpre-serve: draining and shutting down\n");
+  Server.stop();
+
+  PipelineMetrics M = Server.service().metricsSnapshot();
+  if (!Opts.MetricsOutPath.empty()) {
+    std::ofstream Out(Opts.MetricsOutPath);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   Opts.MetricsOutPath.c_str());
+      return 1;
+    }
+    char Header[64];
+    std::snprintf(Header, sizeof(Header), "{\"jobs\": %u,\n\"steps\": ",
+                  Server.service().jobs());
+    Out << Header << M.toJson() << ",\n\"robustness\": "
+        << M.robustnessToJson() << ",\n\"arena\": " << M.arenaToJson()
+        << ",\n\"cache\": " << M.cacheToJson()
+        << ",\n\"service\": " << M.serviceToJson() << "}\n";
+  }
+  const ServiceCounters &S = M.service();
+  std::fprintf(stderr,
+               "specpre-serve: served=%llu ok=%llu failed=%llu "
+               "degraded=%llu queue_peak=%llu\n",
+               static_cast<unsigned long long>(S.RequestsReceived),
+               static_cast<unsigned long long>(S.RequestsSucceeded),
+               static_cast<unsigned long long>(S.RequestsFailed),
+               static_cast<unsigned long long>(S.RequestsDegraded),
+               static_cast<unsigned long long>(S.QueueDepthPeak));
+  return 0;
+}
