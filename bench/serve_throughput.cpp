@@ -1,7 +1,7 @@
 //===- bench/serve_throughput.cpp - Compilation service load test ---------------===//
 //
 // Usage:
-//   serve_throughput [--clients=N] [--json-out=PATH] [--smoke]
+//   serve_throughput [--clients=N] [--json-out=PATH] [--smoke] [--chaos]
 //
 // Drives an in-process specpre-serve instance (real Unix socket, real
 // frame protocol — only the process boundary is elided) with N
@@ -19,11 +19,19 @@
 // parallel speedup; the numbers still exercise the full contended path
 // (accept loop, per-connection readers, request queue, shared cache).
 //
+// --chaos switches the daemon to --isolate=process, arms torn-frame and
+// worker-kill injection at 5%, and drives retry-aware clients: the
+// reported req/s is degraded-mode throughput, and the JSON gains a
+// "chaos" section (shed rate, retries, worker crashes, quarantined).
+// The warm-hit-rate gate is skipped — sandbox workers run cache-less
+// when no --cache-dir style disk tier is configured.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchReport.h"
 #include "ir/Printer.h"
 #include "pre/CompileService.h"
+#include "support/FaultInjector.h"
 #include "workload/SpecSuite.h"
 
 #include <unistd.h>
@@ -54,6 +62,8 @@ struct WaveResult {
   std::vector<double> LatMs;
   double WallMs = 0;
   uint64_t Mismatches = 0;
+  uint64_t Degraded = 0;    ///< chaos mode: explicitly degraded answers
+  uint64_t Quarantined = 0; ///< chaos mode: poisoned-request verdicts
 };
 
 double percentile(std::vector<double> V, double P) {
@@ -64,11 +74,79 @@ double percentile(std::vector<double> V, double P) {
   return V[I];
 }
 
+/// Chaos-mode exchange: reconnect-and-resend until a terminal outcome,
+/// the same loop `specpre-opt --retries` runs. Returns false only when
+/// the attempt budget ran dry.
+bool chaosExchange(const std::string &SocketPath, const std::string &Encoded,
+                   ServeResponse &Resp, bool &Quarantined) {
+  Quarantined = false;
+  for (int A = 0; A != 40; ++A) {
+    Expected<Socket> Conn = connectUnix(SocketPath, 5000);
+    if (!Conn)
+      continue;
+    if (!writeFrame(*Conn, 'C', Encoded, 30000))
+      continue;
+    Frame F;
+    bool PeerClosed = false;
+    if (!readFrame(*Conn, F, PeerClosed, 120000) || PeerClosed)
+      continue;
+    if (F.Type == 'B')
+      continue;
+    if (F.Type == 'E') {
+      if (F.Payload.rfind("frame-error: ", 0) == 0)
+        continue;
+      Quarantined = F.Payload.rfind("quarantined: ", 0) == 0;
+      return Quarantined; // other terminal errors count as failures
+    }
+    if (F.Type != 'R')
+      continue;
+    std::string Error;
+    if (decodeServeResponse(F.Payload, Resp, Error))
+      return true;
+  }
+  return false;
+}
+
 /// One client: connect once, run every item through the daemon, record
 /// per-request latency, compare against the local reference.
 void runClient(const std::string &SocketPath,
-               const std::vector<WorkItem> &Items, WaveResult &Out,
-               std::mutex &OutMu) {
+               const std::vector<WorkItem> &Items, bool Chaos,
+               WaveResult &Out, std::mutex &OutMu) {
+  if (Chaos) {
+    std::vector<double> Lat;
+    uint64_t Bad = 0, Degraded = 0, Quar = 0;
+    for (const WorkItem &W : Items) {
+      auto T0 = std::chrono::steady_clock::now();
+      ServeResponse Resp;
+      bool Quarantined = false;
+      if (!chaosExchange(SocketPath, encodeServeRequest(W.Req), Resp,
+                         Quarantined)) {
+        std::fprintf(stderr, "UNRESOLVED after 40 attempts: %s\n",
+                     W.Name.c_str());
+        ++Bad;
+        continue;
+      }
+      auto T1 = std::chrono::steady_clock::now();
+      Lat.push_back(
+          std::chrono::duration<double, std::milli>(T1 - T0).count());
+      if (Quarantined) {
+        ++Quar;
+      } else if (Resp.Degraded) {
+        ++Degraded;
+      } else if (!Resp.Ok || Resp.ExitCode != W.WantExit ||
+                 Resp.StdoutText != W.WantStdout) {
+        std::fprintf(stderr, "MISMATCH on %s (exit %d vs %d)\n",
+                     W.Name.c_str(), Resp.ExitCode, W.WantExit);
+        ++Bad;
+      }
+    }
+    std::lock_guard<std::mutex> Lock(OutMu);
+    Out.LatMs.insert(Out.LatMs.end(), Lat.begin(), Lat.end());
+    Out.Mismatches += Bad;
+    Out.Degraded += Degraded;
+    Out.Quarantined += Quar;
+    return;
+  }
   Expected<Socket> Conn = connectUnix(SocketPath, 5000);
   if (!Conn) {
     std::fprintf(stderr, "client connect failed: %s\n",
@@ -107,14 +185,14 @@ void runClient(const std::string &SocketPath,
 }
 
 WaveResult runWave(const std::string &SocketPath, unsigned Clients,
-                   const std::vector<WorkItem> &Items) {
+                   const std::vector<WorkItem> &Items, bool Chaos) {
   WaveResult R;
   std::mutex Mu;
   auto T0 = std::chrono::steady_clock::now();
   std::vector<std::thread> Threads;
   for (unsigned C = 0; C != Clients; ++C)
     Threads.emplace_back(runClient, std::cref(SocketPath), std::cref(Items),
-                         std::ref(R), std::ref(Mu));
+                         Chaos, std::ref(R), std::ref(Mu));
   for (std::thread &T : Threads)
     T.join();
   R.WallMs = std::chrono::duration<double, std::milli>(
@@ -129,6 +207,7 @@ int main(int argc, char **argv) {
   unsigned Clients = 8;
   std::string JsonOut;
   bool Smoke = false;
+  bool Chaos = false;
   for (int I = 1; I != argc; ++I) {
     if (std::strncmp(argv[I], "--clients=", 10) == 0)
       Clients = static_cast<unsigned>(std::atoi(argv[I] + 10));
@@ -136,10 +215,12 @@ int main(int argc, char **argv) {
       JsonOut = argv[I] + 11;
     else if (std::strcmp(argv[I], "--smoke") == 0)
       Smoke = true;
+    else if (std::strcmp(argv[I], "--chaos") == 0)
+      Chaos = true;
     else {
       std::fprintf(stderr,
                    "usage: serve_throughput [--clients=N] "
-                   "[--json-out=PATH] [--smoke]\n");
+                   "[--json-out=PATH] [--smoke] [--chaos]\n");
       return 2;
     }
   }
@@ -177,6 +258,18 @@ int main(int argc, char **argv) {
   Cfg.SocketPath =
       "/tmp/specpre-serve-bench-" + std::to_string(getpid()) + ".sock";
   Cfg.Service.RequestWorkers = std::max(2u, Clients / 2);
+  if (Chaos) {
+    Cfg.Service.Isolation = IsolationMode::Process;
+    Cfg.Service.QuarantineAfter = 3;
+    Status St = configureFaultInjection("torn-frame:0.05:31,"
+                                        "worker-kill:0.05:32");
+    if (!St) {
+      std::fprintf(stderr, "chaos arm failed: %s\n", St.toString().c_str());
+      return 1;
+    }
+    std::printf("chaos: process isolation, torn-frame 5%%, "
+                "worker-kill 5%%, retrying clients\n\n");
+  }
   ServeServer Server(Cfg);
   Status St = Server.start();
   if (!St) {
@@ -184,10 +277,11 @@ int main(int argc, char **argv) {
     return 1;
   }
 
-  WaveResult Cold = runWave(Cfg.SocketPath, Clients, Items);
+  WaveResult Cold = runWave(Cfg.SocketPath, Clients, Items, Chaos);
   CacheCounters AfterCold = Server.service().cache()->counters();
-  WaveResult Warm = runWave(Cfg.SocketPath, Clients, Items);
+  WaveResult Warm = runWave(Cfg.SocketPath, Clients, Items, Chaos);
   CacheCounters AfterWarm = Server.service().cache()->counters();
+  disableFaultInjection();
   PipelineMetrics Metrics = Server.service().metricsSnapshot();
   Server.stop();
   ::unlink(Cfg.SocketPath.c_str());
@@ -216,6 +310,19 @@ int main(int argc, char **argv) {
               (unsigned long long)Metrics.service().QueueDepthPeak,
               (unsigned long long)Metrics.service().RequestsDegraded,
               (unsigned long long)Metrics.service().RequestsFailed);
+  uint64_t TotalReqs = Metrics.service().RequestsReceived;
+  double ShedRate =
+      TotalReqs ? double(Metrics.service().Shed) / TotalReqs : 0;
+  if (Chaos)
+    std::printf("chaos:  worker crashes %llu, deadline kills %llu, "
+                "retries %llu, quarantined %llu, shed %llu (%.1f%%), "
+                "degraded answers %llu\n",
+                (unsigned long long)Metrics.service().WorkerCrashes,
+                (unsigned long long)Metrics.service().DeadlineKills,
+                (unsigned long long)Metrics.service().Retries,
+                (unsigned long long)(Cold.Quarantined + Warm.Quarantined),
+                (unsigned long long)Metrics.service().Shed, ShedRate * 100,
+                (unsigned long long)(Cold.Degraded + Warm.Degraded));
 
   if (!JsonOut.empty()) {
     std::string Json = "{\n  \"smoke\": ";
@@ -235,12 +342,24 @@ int main(int argc, char **argv) {
     };
     Wave("cold", Cold);
     Wave("warm", Warm);
-    char Buf[128];
+    char Buf[256];
     std::snprintf(Buf, sizeof(Buf), ",\n  \"warm_hit_rate\": %.4f",
                   WarmHitRate);
     Json += Buf;
     Json += ",\n  \"cache\": " + Metrics.cacheToJson();
     Json += ",\n  \"service\": " + Metrics.serviceToJson();
+    if (Chaos) {
+      std::snprintf(Buf, sizeof(Buf),
+                    ",\n  \"chaos\": {\"shed_rate\": %.4f, "
+                    "\"degraded\": %llu, \"quarantined\": %llu, "
+                    "\"retries\": %llu, \"worker_crashes\": %llu}",
+                    ShedRate,
+                    (unsigned long long)(Cold.Degraded + Warm.Degraded),
+                    (unsigned long long)(Cold.Quarantined + Warm.Quarantined),
+                    (unsigned long long)Metrics.service().Retries,
+                    (unsigned long long)Metrics.service().WorkerCrashes);
+      Json += Buf;
+    }
     Json += "\n}\n";
     std::FILE *Out = std::fopen(JsonOut.c_str(), "w");
     if (!Out) {
@@ -259,12 +378,20 @@ int main(int argc, char **argv) {
                  (unsigned long long)Mismatches);
     return 1;
   }
-  if (WarmHitRate <= 0) {
+  if (WarmHitRate <= 0 && !Chaos) {
+    // In chaos mode the compiles run inside forked sandbox workers with
+    // no disk tier configured, so the parent's memory cache legitimately
+    // never warms; the bit-identity gate above still applies in full.
     std::fprintf(stderr, "FATAL: warm wave never hit the shared cache\n");
     return 1;
   }
-  std::printf("all %zu responses bit-identical to local compiles; "
-              "warm hit rate %.0f%%\n",
-              (size_t)(Items.size() * Clients * 2), WarmHitRate * 100);
+  if (Chaos)
+    std::printf("all %zu responses bit-identical, degraded or "
+                "quarantined under 5%% fault injection\n",
+                (size_t)(Items.size() * Clients * 2));
+  else
+    std::printf("all %zu responses bit-identical to local compiles; "
+                "warm hit rate %.0f%%\n",
+                (size_t)(Items.size() * Clients * 2), WarmHitRate * 100);
   return 0;
 }

@@ -96,4 +96,46 @@ done
 ./build-release/bench/serve_throughput --smoke --clients=8 \
   --json-out="$CACHE_DIR/serve_bench.json"
 
+# Chaos smoke (docs/ROBUSTNESS.md): a process-isolated ASan daemon with
+# worker kills and torn frames injected mid-load; the retrying client
+# must still produce bit-identical stdout, and SIGTERM must leave no
+# socket file or pidfile behind.
+echo "==== chaos smoke ===="
+CHAOS_DIR="$(mktemp -d)"
+CSOCK="$CHAOS_DIR/serve.sock"
+./build-asan/tools/specpre-serve --socket="$CSOCK" \
+  --isolate=process --inject-faults=worker-kill:0.25:7,torn-frame:0.1:3 \
+  --quarantine-after=6 --pidfile="$CHAOS_DIR/serve.pid" \
+  --metrics-out="$CHAOS_DIR/metrics.json" &
+CHAOS_PID=$!
+for i in $(seq 1 50); do
+  [ -S "$CSOCK" ] && break
+  sleep 0.1
+done
+[ -S "$CSOCK" ] || { echo "chaos daemon never bound $CSOCK"; exit 1; }
+[ -f "$CHAOS_DIR/serve.pid" ] || { echo "daemon wrote no pidfile"; exit 1; }
+for f in examples/programs/loop.spre examples/programs/diamond.spre; do
+  ./build-asan/tools/specpre-opt --strategy=mcssapre --train=3,4,64 \
+    "$f" > "$CHAOS_DIR/local.out"
+  ./build-asan/tools/specpre-opt --strategy=mcssapre --train=3,4,64 \
+    --connect="$CSOCK" --retries=8 --timeout-ms=30000 \
+    "$f" > "$CHAOS_DIR/remote.out"
+  cmp "$CHAOS_DIR/local.out" "$CHAOS_DIR/remote.out"
+done
+kill -TERM "$CHAOS_PID"
+wait "$CHAOS_PID" || { echo "chaos daemon exited nonzero on SIGTERM"; exit 1; }
+[ ! -e "$CSOCK" ] || { echo "stale socket file left behind"; exit 1; }
+[ ! -e "$CHAOS_DIR/serve.pid" ] || { echo "stale pidfile left behind"; exit 1; }
+grep -q '"worker_crashes"' "$CHAOS_DIR/metrics.json" || {
+  echo "daemon metrics missing robustness counters"; exit 1; }
+grep -q '"retries"' "$CHAOS_DIR/metrics.json" || {
+  echo "daemon metrics missing retry counter"; exit 1; }
+rm -rf "$CHAOS_DIR"
+
+# Degraded-mode load smoke: retry-aware concurrent clients against a
+# fault-injected process-isolated daemon (exit 1 inside the bench on any
+# hang or non-degraded divergence).
+./build-release/bench/serve_throughput --smoke --chaos --clients=4 \
+  --json-out="$CACHE_DIR/serve_chaos.json"
+
 echo "==== all configurations passed ===="

@@ -9,9 +9,19 @@
 #include "opt/ValueNumbering.h"
 #include "profile/Profile.h"
 #include "ssa/SsaDestruction.h"
+#include "support/FaultInjector.h"
 #include "support/LineCodec.h"
 
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
+#include <cstring>
+
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 using namespace specpre;
 using namespace specpre::linecodec;
@@ -178,6 +188,10 @@ std::string specpre::encodeServeResponse(const ServeResponse &R) {
   Out += "\nok ";
   Out += R.Ok ? "1" : "0";
   Out += "\nexit " + std::to_string(R.ExitCode);
+  Out += "\ndegraded ";
+  Out += R.Degraded ? "1" : "0";
+  Out += "\nquarantined ";
+  Out += R.Quarantined ? "1" : "0";
   Out += "\nerror " + esc(R.Error);
   Out += "\nstdout " + esc(R.StdoutText);
   Out += "\nstderr " + esc(R.StderrText) + "\n";
@@ -211,6 +225,12 @@ bool specpre::decodeServeResponse(const std::string &Payload,
         return Bad("bad exit directive");
       Out.ExitCode = static_cast<int>(V);
       SawExit = true;
+    } else if (Key == "degraded") {
+      if (Tok.size() != 2 || !parseBool(Tok[1], Out.Degraded))
+        return Bad("bad degraded directive");
+    } else if (Key == "quarantined") {
+      if (Tok.size() != 2 || !parseBool(Tok[1], Out.Quarantined))
+        return Bad("bad quarantined directive");
     } else if (Key == "error") {
       if (Tok.size() != 2 || !unesc(Tok[1], Out.Error))
         return Bad("bad error directive");
@@ -306,6 +326,8 @@ int processServeFunction(Function &F, const ServeRequest &R,
   CompileOutcomeRecord Outcome;
   Function Optimized =
       Driver.compileFunctionWithFallback(F, PO, Metrics, &Outcome);
+  if (Outcome.degraded())
+    Resp.Degraded = true;
   if (Outcome.degraded() || R.ReportOutcomes) {
     char Buf[256];
     std::snprintf(Buf, sizeof(Buf),
@@ -391,7 +413,10 @@ CompileService::CompileService(const Config &C)
 
 CompileService::~CompileService() { shutdown(); }
 
-std::future<ServeResponse> CompileService::submit(ServeRequest R) {
+std::future<ServeResponse> CompileService::enqueue(ServeRequest R,
+                                                   bool Bounded,
+                                                   bool &Shed) {
+  Shed = false;
   auto P = std::make_unique<Pending>();
   P->Req = std::move(R);
   P->Submitted = std::chrono::steady_clock::now();
@@ -406,6 +431,13 @@ std::future<ServeResponse> CompileService::submit(ServeRequest R) {
       P->Result.set_value(std::move(Rej));
       return Fut;
     }
+    if (Bounded && Cfg.QueueMaxDepth && Queue.size() >= Cfg.QueueMaxDepth) {
+      // Load shedding: the request arrived but is refused at the door.
+      ++Metrics.service().RequestsReceived;
+      ++Metrics.service().Shed;
+      Shed = true;
+      return Fut;
+    }
     ++Metrics.service().RequestsReceived;
     Queue.push_back(std::move(P));
     uint64_t Depth = Queue.size() + InFlight;
@@ -416,10 +448,231 @@ std::future<ServeResponse> CompileService::submit(ServeRequest R) {
   return Fut;
 }
 
+std::future<ServeResponse> CompileService::submit(ServeRequest R) {
+  bool Shed = false;
+  return enqueue(std::move(R), /*Bounded=*/false, Shed);
+}
+
+bool CompileService::trySubmit(ServeRequest R,
+                               std::future<ServeResponse> &Out) {
+  bool Shed = false;
+  std::future<ServeResponse> Fut =
+      enqueue(std::move(R), /*Bounded=*/true, Shed);
+  if (Shed)
+    return false;
+  Out = std::move(Fut);
+  return true;
+}
+
 void CompileService::noteProtocolFailure() {
   std::lock_guard<std::mutex> Lock(Mu);
   ++Metrics.service().RequestsReceived;
   ++Metrics.service().RequestsFailed;
+}
+
+namespace {
+
+/// FNV-1a over the encoded request: the quarantine key. Collisions
+/// would only over-quarantine a hash-twin request — acceptable for a
+/// 64-bit space and a set that grows one entry per poisoned request.
+uint64_t requestQuarantineKey(const std::string &Encoded) {
+  uint64_t H = 1469598103934665603ULL;
+  for (unsigned char C : Encoded) {
+    H ^= C;
+    H *= 1099511628211ULL;
+  }
+  return H;
+}
+
+/// Child side of --isolate=process: serve exactly one request over
+/// \p Fd, then _exit. Forked from a multithreaded supervisor, so only
+/// this thread exists here: everything below builds fresh objects (a
+/// Jobs=1 driver spawns no pool threads; the cache is a new instance
+/// over the shared *disk* tier, whose multi-process safety serve_test
+/// pins) and never touches the parent service's locks or memory cache.
+[[noreturn]] void sandboxWorkerMain(int Fd,
+                                    const CompileService::Config &Cfg) {
+  // Drop inherited descriptors (listener, other clients' connections)
+  // so a wedged worker can't hold peers' sockets open past the daemon.
+  long MaxFd = ::sysconf(_SC_OPEN_MAX);
+  if (MaxFd < 0 || MaxFd > 4096)
+    MaxFd = 4096;
+  for (int I = 3; I < MaxFd; ++I)
+    if (I != Fd)
+      ::close(I);
+  if (Cfg.WorkerMemLimitMb) {
+    // RLIMIT_DATA, not RLIMIT_AS: sanitizer shadow mappings count
+    // toward address space and would kill every ASan worker at birth.
+    struct rlimit Rl;
+    Rl.rlim_cur = Rl.rlim_max =
+        static_cast<rlim_t>(Cfg.WorkerMemLimitMb) * 1024 * 1024;
+    ::setrlimit(RLIMIT_DATA, &Rl);
+  }
+  Socket Conn(Fd);
+  Frame F;
+  bool PeerClosed = false;
+  if (!readFrame(Conn, F, PeerClosed, /*TimeoutMs=*/60000) || PeerClosed)
+    ::_exit(3);
+  if (F.Type == 'X') // supervisor-injected crash (chaos harness)
+    ::raise(SIGSEGV);
+  if (F.Type != 'C')
+    ::_exit(3);
+  ServeRequest Req;
+  std::string Error;
+  ServeResponse Resp;
+  if (!decodeServeRequest(F.Payload, Req, Error)) {
+    Resp.Ok = false;
+    Resp.Error = "worker decode: " + Error;
+    Resp.ExitCode = 1;
+  } else {
+    ParallelConfig PC;
+    PC.Jobs = 1; // post-fork: strictly single-threaded
+    ParallelPreDriver Driver(PC);
+    std::unique_ptr<CompileCache> Cache;
+    if (Cfg.Mode != CacheMode::Off && !Cfg.CacheDir.empty()) {
+      CompileCache::Config CC;
+      CC.DiskDir = Cfg.CacheDir;
+      CC.MaxEntries = Cfg.CacheMaxEntries;
+      CC.MaxDiskBytes = Cfg.CacheMaxDiskBytes;
+      CC.Mode = Cfg.Mode;
+      Cache = std::make_unique<CompileCache>(CC);
+    }
+    Resp = processServeRequest(Req, Driver, Cache.get(), nullptr);
+  }
+  (void)writeFrame(Conn, 'R', encodeServeResponse(Resp), 60000);
+  Conn.close();
+  ::_exit(0);
+}
+
+} // namespace
+
+ServeResponse CompileService::superviseRequest(const ServeRequest &R,
+                                               PipelineMetrics &Shard) {
+  const std::string Encoded = encodeServeRequest(R);
+  const uint64_t Key = requestQuarantineKey(Encoded);
+  const unsigned MaxDeaths = std::max(1u, Cfg.QuarantineAfter);
+  auto QuarantinedResponse = [&](unsigned Deaths) {
+    ServeResponse Resp;
+    Resp.Ok = false;
+    Resp.Quarantined = true;
+    Resp.ExitCode = 1;
+    Resp.Error = "request killed " + std::to_string(Deaths) +
+                 " compile worker(s); refusing to retry";
+    return Resp;
+  };
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Quarantine.count(Key)) {
+      ++Shard.service().Quarantined;
+      return QuarantinedResponse(MaxDeaths);
+    }
+  }
+  auto SupervisorError = [&](const char *What) {
+    ServeResponse Resp;
+    Resp.Ok = false;
+    Resp.Error = std::string(What) + ": " + std::strerror(errno);
+    Resp.ExitCode = 1;
+    return Resp;
+  };
+  // No deadline configured still means a *bounded* wait: a wedged worker
+  // must never wedge its request-worker thread forever.
+  const uint64_t DeadlineMs =
+      Cfg.RequestDeadlineMs ? Cfg.RequestDeadlineMs : 600000;
+  unsigned Deaths = 0;
+  for (;;) {
+    if (Deaths)
+      ++Shard.service().Retries;
+    // Chaos probes run on the supervisor side so every retry flips a
+    // fresh deterministic coin — a forked child's hit counters are
+    // frozen copies and would replay the same fault forever. The crash
+    // instruction travels to the worker as the 'X' frame type.
+    bool InjectCrash = faultInjectionEnabled() &&
+                       shouldInjectFault(FaultSite::WorkerCrash);
+    bool InjectKill = !InjectCrash && faultInjectionEnabled() &&
+                      shouldInjectFault(FaultSite::WorkerKill);
+
+    int Fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds) != 0)
+      return SupervisorError("socketpair");
+    pid_t Child = ::fork();
+    if (Child < 0) {
+      ::close(Fds[0]);
+      ::close(Fds[1]);
+      return SupervisorError("fork");
+    }
+    if (Child == 0) {
+      ::close(Fds[0]);
+      sandboxWorkerMain(Fds[1], Cfg); // noreturn
+    }
+    ::close(Fds[1]);
+    Socket Conn(Fds[0]);
+
+    ServeResponse Resp;
+    bool Dead = false, DeadlineHit = false;
+    int WriteBudget = static_cast<int>(std::min<uint64_t>(DeadlineMs, 60000));
+    if (!writeFrame(Conn, InjectCrash ? 'X' : 'C', Encoded, WriteBudget)) {
+      Dead = true; // worker died before consuming the request
+    } else {
+      if (InjectKill)
+        ::kill(Child, SIGKILL);
+      Frame F;
+      bool PeerClosed = false;
+      Status Rd = readFrame(Conn, F, PeerClosed,
+                            static_cast<int>(DeadlineMs));
+      if (!Rd) {
+        Dead = true;
+        DeadlineHit = Rd.code() == ErrorCode::ResourceLimit;
+      } else if (PeerClosed || F.Type != 'R') {
+        Dead = true;
+      } else {
+        std::string Error;
+        if (!decodeServeResponse(F.Payload, Resp, Error))
+          Dead = true;
+      }
+    }
+    Conn.close();
+    if (DeadlineHit)
+      ::kill(Child, SIGKILL); // past the hard deadline: no mercy
+    int WStatus = 0;
+    pid_t W;
+    do {
+      W = ::waitpid(Child, &WStatus, 0);
+    } while (W < 0 && errno == EINTR);
+    if (!Dead && W == Child && WIFEXITED(WStatus) &&
+        WEXITSTATUS(WStatus) == 0)
+      return Resp;
+
+    ++Deaths;
+    if (DeadlineHit)
+      ++Shard.service().DeadlineKills;
+    else
+      ++Shard.service().WorkerCrashes;
+    if (Deaths >= MaxDeaths) {
+      {
+        std::lock_guard<std::mutex> Lock(Mu);
+        Quarantine.insert(Key);
+      }
+      ++Shard.service().Quarantined;
+      return QuarantinedResponse(Deaths);
+    }
+  }
+}
+
+ServeResponse CompileService::executeRequest(const ServeRequest &R,
+                                             PipelineMetrics &Shard) {
+  if (Cfg.Isolation == IsolationMode::Process)
+    return superviseRequest(R, Shard);
+  if (Cfg.RequestDeadlineMs) {
+    // In-process, the deadline can only be enforced cooperatively:
+    // clamp the compile budget so pass boundaries and max-flow sampling
+    // notice it (docs/ROBUSTNESS.md). Hard kills need a process.
+    ServeRequest Clamped = R;
+    if (!Clamped.Budget.DeadlineMillis ||
+        Clamped.Budget.DeadlineMillis > Cfg.RequestDeadlineMs)
+      Clamped.Budget.DeadlineMillis = Cfg.RequestDeadlineMs;
+    return processServeRequest(Clamped, Driver, Cache.get(), &Shard);
+  }
+  return processServeRequest(R, Driver, Cache.get(), &Shard);
 }
 
 void CompileService::workerLoop() {
@@ -436,8 +689,7 @@ void CompileService::workerLoop() {
     }
     auto Started = std::chrono::steady_clock::now();
     PipelineMetrics Shard;
-    ServeResponse Resp =
-        processServeRequest(Work->Req, Driver, Cache.get(), &Shard);
+    ServeResponse Resp = executeRequest(Work->Req, Shard);
     auto Finished = std::chrono::steady_clock::now();
     {
       std::lock_guard<std::mutex> Lock(Mu);
@@ -454,7 +706,7 @@ void CompileService::workerLoop() {
         ++S.RequestsSucceeded;
       else
         ++S.RequestsFailed;
-      if (Shard.robustness().FunctionsDegraded)
+      if (Resp.Degraded)
         ++S.RequestsDegraded;
       Metrics.merge(Shard);
       --InFlight;
@@ -506,6 +758,13 @@ ServeServer::ServeServer(const Config &C) : Cfg(C), Service(C.Service) {}
 ServeServer::~ServeServer() { stop(); }
 
 Status ServeServer::start() {
+  // A dead client mid-response must surface as EPIPE on the write path,
+  // never SIGPIPE taking down the daemon and every other client with it.
+  ignoreSigPipeForProcess();
+  if (unixSocketInUse(Cfg.SocketPath))
+    return Status::error(ErrorCode::ResourceLimit,
+                         "socket path '" + Cfg.SocketPath +
+                             "' is in use by a live daemon");
   Expected<Socket> L = listenUnix(Cfg.SocketPath);
   if (!L)
     return L.status();
@@ -556,8 +815,11 @@ void ServeServer::handleConnection(Socket Conn) {
     if (!St) {
       // Malformed or truncated frame: answer with an error frame if the
       // socket still works, then drop the connection — after a framing
-      // error the stream position is unrecoverable.
-      (void)writeFrame(Conn, 'E', St.message(), Cfg.IoTimeoutMs);
+      // error the stream position is unrecoverable. The "frame-error: "
+      // prefix tells a retrying client this 'E' is transport damage
+      // (retryable), not a verdict about its request (terminal).
+      (void)writeFrame(Conn, 'E', "frame-error: " + St.message(),
+                       Cfg.IoTimeoutMs);
       return;
     }
     if (PeerClosed)
@@ -578,7 +840,25 @@ void ServeServer::handleConnection(Socket Conn) {
           return;
         break; // connection stays usable: the *frame* was well-formed
       }
-      ServeResponse Resp = Service.submit(std::move(Req)).get();
+      std::future<ServeResponse> Fut;
+      if (!Service.trySubmit(std::move(Req), Fut)) {
+        // Backpressure: the bounded queue is full. Shed with a 'B'
+        // frame rather than queueing without bound; the client backs
+        // off and retries. The connection stays usable.
+        if (!writeFrame(Conn, 'B', "busy: request queue is full",
+                        Cfg.IoTimeoutMs))
+          return;
+        break;
+      }
+      ServeResponse Resp = Fut.get();
+      if (Resp.Quarantined) {
+        // A poisoned request gets a terminal error frame (no
+        // "frame-error: " prefix — clients must not retry it).
+        if (!writeFrame(Conn, 'E', "quarantined: " + Resp.Error,
+                        Cfg.IoTimeoutMs))
+          return;
+        break;
+      }
       if (!writeFrame(Conn, 'R', encodeServeResponse(Resp), Cfg.IoTimeoutMs))
         return;
       break;
@@ -610,6 +890,9 @@ void ServeServer::stop() {
   std::lock_guard<std::mutex> StopLock(StopMu);
   if (Stopped.load())
     return;
+  // The acceptor thread only exists after a successful start(); a server
+  // that lost the socket-path race must not unlink the winner's file.
+  const bool WasStarted = Acceptor.joinable();
   StopRequested.store(true);
   if (Acceptor.joinable())
     Acceptor.join();
@@ -625,5 +908,10 @@ void ServeServer::stop() {
   for (std::thread &T : Conns)
     T.join();
   Service.shutdown();
+  // Leave no stale socket file behind: the next daemon's liveness probe
+  // (unixSocketInUse) would still see it as "not in use", but cleaning
+  // up here keeps crash-vs-clean-exit distinguishable for operators.
+  if (WasStarted)
+    ::unlink(Cfg.SocketPath.c_str());
   Stopped.store(true);
 }

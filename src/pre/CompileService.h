@@ -55,6 +55,7 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 namespace specpre {
@@ -91,6 +92,13 @@ struct ServeResponse {
   std::string StdoutText;   ///< Byte-identical to the batch tool's stdout.
   std::string StderrText;   ///< Diagnostics (degradations, errors).
   int ExitCode = 0;         ///< The batch tool's exit code.
+  /// The ladder gave up a rung somewhere inside the request, so the
+  /// output is explicitly degraded rather than the requested strategy's
+  /// (the chaos harness treats these as acceptable non-identical).
+  bool Degraded = false;
+  /// The request killed enough sandbox workers to be quarantined; the
+  /// server answers it with an 'E' frame, never retries it.
+  bool Quarantined = false;
 };
 
 /// Request payload codec for the 'C' frame. decode rejects unknown
@@ -112,6 +120,18 @@ ServeResponse processServeRequest(const ServeRequest &R,
                                   CompileCache *Cache,
                                   PipelineMetrics *Metrics);
 
+/// How a request worker runs the compile itself.
+enum class IsolationMode {
+  /// In the daemon's own address space (fast path, the default). A
+  /// request that segfaults takes the daemon with it.
+  InProcess,
+  /// In a forked sandbox worker per request, talking SPV1 frames to the
+  /// supervisor over a socketpair. A worker that crashes, blows the
+  /// deadline, or exceeds the memory cap is reaped and the request is
+  /// answered degraded/errored; the daemon survives.
+  Process,
+};
+
 class CompileService {
 public:
   struct Config {
@@ -124,6 +144,21 @@ public:
     uint64_t CacheMaxEntries = 4096;
     uint64_t CacheMaxDiskBytes = 0;
     CacheMode Mode = CacheMode::On;
+    /// Crash containment (docs/ROBUSTNESS.md).
+    IsolationMode Isolation = IsolationMode::InProcess;
+    /// Hard per-request wall-clock deadline, enforced daemon-side. In
+    /// process mode a worker past it is SIGKILLed; in-process it clamps
+    /// the compile budget's DeadlineMillis (soft: training/emission are
+    /// not interruptible without a process boundary). 0 = none.
+    uint64_t RequestDeadlineMs = 0;
+    /// RLIMIT_DATA cap for sandbox workers, in MiB (0 = none).
+    uint64_t WorkerMemLimitMb = 0;
+    /// A request whose workers die this many times is quarantined:
+    /// answered 'E', never forked again.
+    unsigned QuarantineAfter = 3;
+    /// Bounded queue depth (queued, not in-flight); trySubmit sheds
+    /// beyond it. 0 = unbounded. submit() ignores the bound.
+    uint64_t QueueMaxDepth = 0;
   };
 
   explicit CompileService(const Config &C);
@@ -133,6 +168,12 @@ public:
   /// it. Never blocks on compilation. Fails the future with Ok=false
   /// after shutdown() has begun.
   std::future<ServeResponse> submit(ServeRequest R);
+
+  /// submit() with backpressure: returns false — and leaves \p Out
+  /// untouched — when QueueMaxDepth requests are already queued, bumping
+  /// the shed counter. The socket front end answers such requests with a
+  /// 'B' (busy) frame instead of growing the queue without bound.
+  bool trySubmit(ServeRequest R, std::future<ServeResponse> &Out);
 
   /// Blocks until every submitted request has completed.
   void drain();
@@ -163,6 +204,18 @@ private:
 
   void workerLoop();
 
+  /// Runs \p R per Cfg.Isolation, accumulating into \p Shard.
+  ServeResponse executeRequest(const ServeRequest &R,
+                               PipelineMetrics &Shard);
+
+  /// Process mode: forks sandbox workers for \p R, reaping crashes and
+  /// deadline overruns, retrying up to the quarantine threshold.
+  ServeResponse superviseRequest(const ServeRequest &R,
+                                 PipelineMetrics &Shard);
+
+  std::future<ServeResponse> enqueue(ServeRequest R, bool Bounded,
+                                     bool &Shed);
+
   Config Cfg;
   ParallelPreDriver Driver;
   std::unique_ptr<CompileCache> Cache;
@@ -174,6 +227,9 @@ private:
   unsigned InFlight = 0; ///< Dequeued, not yet completed.
   bool Stopping = false;
   PipelineMetrics Metrics; ///< Merged shards of finished requests.
+  /// Hashes of requests that killed QuarantineAfter workers; never
+  /// forked for again (poisoned-request containment).
+  std::unordered_set<uint64_t> Quarantine;
   std::vector<std::thread> Workers;
 };
 
@@ -193,13 +249,16 @@ public:
   explicit ServeServer(const Config &C);
   ~ServeServer();
 
-  /// Binds and starts the accept loop. InvalidInput/InternalError on
-  /// socket failures.
+  /// Binds and starts the accept loop. Refuses (ResourceLimit) to start
+  /// when another live daemon is already serving the socket path —
+  /// stale files from a dead daemon are still replaced silently.
+  /// InvalidInput/InternalError on socket failures.
   Status start();
 
   /// Initiates a graceful stop: stop accepting, let in-flight requests
-  /// finish and their responses flush, close connections. Safe to call
-  /// from a signal-triggered watcher thread. Returns once fully stopped.
+  /// finish and their responses flush, close connections, unlink the
+  /// socket file. Safe to call from a signal-triggered watcher thread.
+  /// Returns once fully stopped.
   void stop();
 
   /// True once MaxRequests has been reached (the main loop then stops).

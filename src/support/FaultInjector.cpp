@@ -114,6 +114,18 @@ const char *specpre::faultSiteName(FaultSite S) {
     return "alloc";
   case FaultSite::Budget:
     return "budget";
+  case FaultSite::TornFrame:
+    return "torn-frame";
+  case FaultSite::PartialWrite:
+    return "partial-write";
+  case FaultSite::DelayedWrite:
+    return "delayed-write";
+  case FaultSite::DroppedConnection:
+    return "dropped-connection";
+  case FaultSite::WorkerKill:
+    return "worker-kill";
+  case FaultSite::WorkerCrash:
+    return "worker-crash";
   }
   return "unknown";
 }
@@ -185,25 +197,45 @@ bool specpre::faultInjectionEnabled() {
   return Active.load(std::memory_order_acquire) != nullptr;
 }
 
-void specpre::maybeInject(FaultSite S, const char *Detail) {
+namespace {
+
+/// Shared coin flip of maybeInject/shouldInjectFault: bumps the site's
+/// hit counter and, on a firing coin, the injected total. Returns the
+/// hit index through \p HitOut when the coin fires.
+bool coinFires(FaultSite S, uint64_t &HitOut) {
   const InjectorConfig *Config = Active.load(std::memory_order_acquire);
   if (!Config)
-    return;
+    return false;
   const SiteConfig &SC = Config->Sites[static_cast<unsigned>(S)];
   if (!SC.Armed || SC.Threshold == 0)
-    return;
+    return false;
   uint64_t Hit = HitCounters[static_cast<unsigned>(S)].fetch_add(
       1, std::memory_order_relaxed);
   uint64_t Coin =
       mix64(SC.Seed * 0x100000001b3ULL + static_cast<unsigned>(S) * 131 + Hit);
   if ((Coin & 0xffffffffULL) >= SC.Threshold)
-    return;
+    return false;
   InjectedTotal.fetch_add(1, std::memory_order_relaxed);
+  HitOut = Hit;
+  return true;
+}
+
+} // namespace
+
+void specpre::maybeInject(FaultSite S, const char *Detail) {
+  uint64_t Hit = 0;
+  if (!coinFires(S, Hit))
+    return;
   std::string Msg = std::string("injected fault at site '") +
                     faultSiteName(S) + "' (hit " + std::to_string(Hit) + ")";
   if (Detail && *Detail)
     Msg += std::string(", ") + Detail;
   throw StatusException(ErrorCode::FaultInjected, std::move(Msg));
+}
+
+bool specpre::shouldInjectFault(FaultSite S) {
+  uint64_t Hit = 0;
+  return coinFires(S, Hit);
 }
 
 uint64_t specpre::faultsInjectedCount() {

@@ -13,7 +13,11 @@
 /// rename, data-flow, reduction, min-cut, safe-placement, speculation,
 /// finalize, code-motion, verify) plus two cross-cutting ones: `alloc`
 /// (simulated allocation failure at graph-build time) and `budget`
-/// (simulated budget exhaustion at a pass boundary). The spec string
+/// (simulated budget exhaustion at a pass boundary). The chaos harness
+/// (docs/ROBUSTNESS.md) adds network and process sites — `torn-frame`,
+/// `partial-write`, `delayed-write`, `dropped-connection` in the socket
+/// framing layer, and `worker-kill` / `worker-crash` probed by the
+/// compile-worker supervisor. The spec string
 ///
 ///   site:rate[:seed][,site:rate[:seed]...]     e.g.  min-cut:0.01:7
 ///
@@ -58,9 +62,20 @@ enum class FaultSite : unsigned {
   Verify,
   Alloc,
   Budget,
+  // Network sites, enacted by support/Socket's framing layer (the fault
+  // is *performed*, not thrown — see shouldInjectFault).
+  TornFrame,          ///< Corrupt a frame's magic bytes on the wire.
+  PartialWrite,       ///< Send a frame prefix, then shut down writes.
+  DelayedWrite,       ///< Stall a frame write (slow-peer simulation).
+  DroppedConnection,  ///< Shut the connection down mid-exchange.
+  // Process sites, probed by the compile-worker supervisor
+  // (pre/CompileService --isolate=process).
+  WorkerKill,         ///< SIGKILL a sandbox worker mid-request.
+  WorkerCrash,        ///< Make a sandbox worker segfault mid-request.
 };
 
-constexpr unsigned NumFaultSites = static_cast<unsigned>(FaultSite::Budget) + 1;
+constexpr unsigned NumFaultSites =
+    static_cast<unsigned>(FaultSite::WorkerCrash) + 1;
 
 /// Spec-string spelling of \p S ("min-cut", "alloc", ...).
 const char *faultSiteName(FaultSite S);
@@ -80,6 +95,12 @@ bool faultInjectionEnabled();
 /// up, throws StatusException(FaultInjected) naming the site and hit
 /// index; otherwise returns. \p Detail is included in the message.
 void maybeInject(FaultSite S, const char *Detail = "");
+
+/// Query-style probe for faults the *caller* enacts (a torn frame is
+/// written corrupted, a worker is killed) rather than thrown through the
+/// ladder. Same deterministic coin and hit accounting as maybeInject;
+/// returns true when the caller should perform the fault.
+bool shouldInjectFault(FaultSite S);
 
 /// Total injected faults since the last configure/disable, across all
 /// sites and threads. Lets tools report how much the run was stressed.

@@ -74,6 +74,11 @@ void PipelineMetrics::merge(const PipelineMetrics &Other) {
       std::max(Service.QueueDepthPeak, Other.Service.QueueDepthPeak);
   Service.QueueWaitNanos += Other.Service.QueueWaitNanos;
   Service.CompileNanos += Other.Service.CompileNanos;
+  Service.WorkerCrashes += Other.Service.WorkerCrashes;
+  Service.DeadlineKills += Other.Service.DeadlineKills;
+  Service.Quarantined += Other.Service.Quarantined;
+  Service.Shed += Other.Service.Shed;
+  Service.Retries += Other.Service.Retries;
   Arena.NetworkBuilds += Other.Arena.NetworkBuilds;
   Arena.PeakBytes = std::max(Arena.PeakBytes, Other.Arena.PeakBytes);
   Arena.ChunkAllocations =
@@ -118,20 +123,27 @@ std::string PipelineMetrics::cacheToJson() const {
 }
 
 std::string PipelineMetrics::serviceToJson() const {
-  char Buf[384];
+  char Buf[640];
   std::snprintf(
       Buf, sizeof(Buf),
       "{\"requests_received\": %llu, \"requests_succeeded\": %llu, "
       "\"requests_failed\": %llu, \"requests_degraded\": %llu, "
       "\"queue_depth_peak\": %llu, \"queue_wait_millis\": %.6f, "
-      "\"compile_millis\": %.6f}",
+      "\"compile_millis\": %.6f, \"worker_crashes\": %llu, "
+      "\"deadline_kills\": %llu, \"quarantined\": %llu, "
+      "\"shed\": %llu, \"retries\": %llu}",
       static_cast<unsigned long long>(Service.RequestsReceived),
       static_cast<unsigned long long>(Service.RequestsSucceeded),
       static_cast<unsigned long long>(Service.RequestsFailed),
       static_cast<unsigned long long>(Service.RequestsDegraded),
       static_cast<unsigned long long>(Service.QueueDepthPeak),
       static_cast<double>(Service.QueueWaitNanos) / 1e6,
-      static_cast<double>(Service.CompileNanos) / 1e6);
+      static_cast<double>(Service.CompileNanos) / 1e6,
+      static_cast<unsigned long long>(Service.WorkerCrashes),
+      static_cast<unsigned long long>(Service.DeadlineKills),
+      static_cast<unsigned long long>(Service.Quarantined),
+      static_cast<unsigned long long>(Service.Shed),
+      static_cast<unsigned long long>(Service.Retries));
   return Buf;
 }
 

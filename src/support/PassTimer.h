@@ -81,6 +81,13 @@ struct ServiceCounters {
   uint64_t QueueDepthPeak = 0;   ///< Max in-flight requests observed.
   uint64_t QueueWaitNanos = 0;   ///< Total submit-to-start latency.
   uint64_t CompileNanos = 0;     ///< Total start-to-finish compile time.
+  // Process-isolation supervision (pre/CompileService --isolate=process)
+  // and backpressure; zero in in-process mode except Shed.
+  uint64_t WorkerCrashes = 0; ///< Sandbox workers that died mid-request.
+  uint64_t DeadlineKills = 0; ///< Workers killed at the request deadline.
+  uint64_t Quarantined = 0;   ///< Requests refused as poisoned.
+  uint64_t Shed = 0;          ///< Requests answered 'B' at a full queue.
+  uint64_t Retries = 0;       ///< Worker re-forks after a contained death.
 };
 
 /// Allocation counters of the per-expression network-build arenas

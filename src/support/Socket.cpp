@@ -2,7 +2,10 @@
 
 #include "support/Socket.h"
 
+#include "support/FaultInjector.h"
+
 #include <cerrno>
+#include <csignal>
 #include <cstring>
 
 #include <poll.h>
@@ -31,17 +34,36 @@ Status osError(const char *What) {
                        std::string(What) + ": " + std::strerror(errno));
 }
 
+/// Monotonic now, in milliseconds. Signal-storm-proof timeout math needs
+/// an absolute deadline, not a per-retry budget.
+int64_t monotonicMs() {
+  struct timespec Ts;
+  ::clock_gettime(CLOCK_MONOTONIC, &Ts);
+  return static_cast<int64_t>(Ts.tv_sec) * 1000 + Ts.tv_nsec / 1000000;
+}
+
 /// Waits until \p Fd is ready for \p Events (POLLIN/POLLOUT). Returns 1
-/// ready, 0 timeout, -1 error.
+/// ready, 0 timeout, -1 error. EINTR restarts the poll against the
+/// *original* deadline: a stream of signals (e.g. SIGCHLD from the
+/// worker supervisor reaping children) must not extend the wait, and a
+/// lone EINTR must not surface as a torn-frame error either.
 int waitReady(int Fd, short Events, int TimeoutMs) {
   struct pollfd P;
   P.fd = Fd;
   P.events = Events;
   P.revents = 0;
+  int64_t Deadline = TimeoutMs < 0 ? -1 : monotonicMs() + TimeoutMs;
   for (;;) {
     int R = ::poll(&P, 1, TimeoutMs);
-    if (R < 0 && errno == EINTR)
+    if (R < 0 && errno == EINTR) {
+      if (Deadline >= 0) {
+        int64_t Left = Deadline - monotonicMs();
+        if (Left <= 0)
+          return 0;
+        TimeoutMs = static_cast<int>(Left);
+      }
       continue;
+    }
     return R < 0 ? -1 : (R == 0 ? 0 : 1);
   }
 }
@@ -185,6 +207,30 @@ Status specpre::writeFrame(const Socket &S, char Type,
                     static_cast<char>((Len >> 8) & 0xff),
                     static_cast<char>((Len >> 16) & 0xff),
                     static_cast<char>((Len >> 24) & 0xff)};
+  // Chaos probes (docs/ROBUSTNESS.md): the network faults are enacted
+  // here, on the writer, so both directions of the protocol see torn
+  // input. Guarded by one atomic load when nothing is armed.
+  if (faultInjectionEnabled()) {
+    if (shouldInjectFault(FaultSite::DelayedWrite)) {
+      struct timespec Ts = {0, 50 * 1000 * 1000}; // 50 ms stall
+      ::nanosleep(&Ts, nullptr);
+    }
+    if (shouldInjectFault(FaultSite::DroppedConnection)) {
+      ::shutdown(S.fd(), SHUT_RDWR);
+      return Status::error(ErrorCode::FaultInjected,
+                           "injected fault: dropped connection");
+    }
+    if (shouldInjectFault(FaultSite::PartialWrite)) {
+      // The peer sees a header cut off mid-frame; our caller sees a
+      // failed write. Both ends must classify this as a torn exchange.
+      (void)sendAll(S.fd(), Header, 5, TimeoutMs);
+      ::shutdown(S.fd(), SHUT_WR);
+      return Status::error(ErrorCode::FaultInjected,
+                           "injected fault: partial write");
+    }
+    if (shouldInjectFault(FaultSite::TornFrame))
+      Header[0] = 'X'; // full frame, corrupted magic: reader rejects it
+  }
   if (Status St = sendAll(S.fd(), Header, sizeof(Header), TimeoutMs); !St)
     return St;
   return sendAll(S.fd(), Payload.data(), Payload.size(), TimeoutMs);
@@ -232,4 +278,30 @@ Status specpre::readFrame(const Socket &S, Frame &Out, bool &PeerClosed,
                            "peer closed mid-frame (truncated payload)");
   }
   return Status::ok();
+}
+
+bool specpre::unixSocketInUse(const std::string &Path) {
+  sockaddr_un Addr;
+  if (!fillSockaddr(Path, Addr))
+    return false;
+  Socket S(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!S.valid())
+    return false;
+  // One attempt, no retries: ECONNREFUSED/ENOENT mean nobody is
+  // listening (a stale file or no file), which is exactly "not in use".
+  for (;;) {
+    if (::connect(S.fd(), reinterpret_cast<sockaddr *>(&Addr),
+                  sizeof(Addr)) == 0)
+      return true;
+    if (errno == EINTR)
+      continue;
+    return false;
+  }
+}
+
+void specpre::ignoreSigPipeForProcess() {
+  struct sigaction Sa;
+  std::memset(&Sa, 0, sizeof(Sa));
+  Sa.sa_handler = SIG_IGN;
+  ::sigaction(SIGPIPE, &Sa, nullptr);
 }

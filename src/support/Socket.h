@@ -111,6 +111,18 @@ Status waitReadable(const Socket &S, int TimeoutMs, bool &Ready);
 Status readFrame(const Socket &S, Frame &Out, bool &PeerClosed,
                  int TimeoutMs);
 
+/// True when a live process is accepting connections at \p Path — a
+/// single connect attempt, no retries. Lets a daemon refuse to start
+/// over another daemon's socket instead of silently unlinking it
+/// (a stale file left by a dead daemon is not in use and is replaced).
+bool unixSocketInUse(const std::string &Path);
+
+/// Ignores SIGPIPE process-wide. send() here already passes
+/// MSG_NOSIGNAL, but response payloads can also leave through plain
+/// write paths in forked workers; a vanished client must surface as
+/// EPIPE, never a process-killing signal. Idempotent.
+void ignoreSigPipeForProcess();
+
 } // namespace specpre
 
 #endif // SPECPRE_SUPPORT_SOCKET_H

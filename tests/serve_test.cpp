@@ -457,6 +457,39 @@ TEST(ServeServerTest, StopDrainsInFlightRequests) {
   EXPECT_EQ(Served.load(), 3);
 }
 
+TEST(ServeServerTest, RefusesToStartOverALiveSocket) {
+  ServerFixture Fix("live");
+  ASSERT_TRUE(Fix.start().isOk());
+
+  {
+    // A second daemon on the same path must refuse, not silently steal
+    // the socket file out from under the running one.
+    ServeServer::Config Cfg2 = Fix.Cfg;
+    ServeServer Second(Cfg2);
+    Status St = Second.start();
+    ASSERT_FALSE(St.isOk());
+    EXPECT_NE(St.message().find("in use"), std::string::npos)
+        << St.toString();
+  }
+
+  // The loser's teardown must not have unlinked the winner's socket:
+  // a fresh client still connects and compiles.
+  Socket Conn = Fix.connect();
+  ASSERT_TRUE(Conn.valid());
+  ServeResponse R = compileOver(Conn, basicRequest());
+  EXPECT_TRUE(R.Ok);
+  EXPECT_EQ(R.ExitCode, 0);
+}
+
+TEST(ServeServerTest, StopRemovesTheSocketFile) {
+  ServerFixture Fix("unlink");
+  ASSERT_TRUE(Fix.start().isOk());
+  ASSERT_TRUE(std::filesystem::exists(Fix.Cfg.SocketPath));
+  Fix.Server->stop();
+  EXPECT_FALSE(std::filesystem::exists(Fix.Cfg.SocketPath))
+      << "clean stop left a stale socket file behind";
+}
+
 //===----------------------------------------------------------------------===//
 // Cross-process cache contention
 //===----------------------------------------------------------------------===//

@@ -43,6 +43,15 @@
 //                           --stats, --profile-out, --metrics-out,
 //                           --inject-faults, --cache*, --jobs) are
 //                           rejected in this mode.
+//     --timeout-ms=N        client mode: per-frame I/O budget against the
+//                           daemon (default 60000)
+//     --retries=N           client mode: reconnect and resend after a
+//                           transport failure or a 'B' (busy) frame, up
+//                           to N times with exponential backoff
+//                           (default 0); request-level 'E' errors are
+//                           terminal and never retried
+//     --retry-seed=N        client mode: seed for the deterministic
+//                           backoff jitter (default 0)
 //
 // Input syntax: see ir/Parser.h (examples/programs/*.spre).
 //
@@ -65,6 +74,9 @@
 #include "support/CrashContext.h"
 #include "support/FaultInjector.h"
 
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -72,6 +84,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace specpre;
@@ -105,6 +118,10 @@ struct ToolOptions {
   std::optional<CacheMode> Cache; ///< unset = on iff --cache-dir given
   std::string ConnectPath; ///< serve-daemon socket ("" = compile locally)
   bool JobsGiven = false;  ///< --jobs was on the command line
+  int TimeoutMs = 60000;   ///< client mode: per-frame I/O budget
+  unsigned Retries = 0;    ///< client mode: attempts beyond the first
+  uint64_t RetrySeed = 0;  ///< client mode: backoff jitter seed
+  bool RetryFlagsGiven = false; ///< any of --timeout-ms/--retries/--retry-seed
 };
 
 std::optional<std::vector<int64_t>> parseIntList(const std::string &S) {
@@ -133,7 +150,8 @@ int usage(const char *Argv0) {
                "[--max-graph-nodes=N]\n"
                "          [--inject-faults=SPEC] [--report-outcomes]\n"
                "          [--cache-dir=PATH] [--cache=on|off|verify]\n"
-               "          [--connect=SOCKET]\n"
+               "          [--connect=SOCKET] [--timeout-ms=N] [--retries=N]\n"
+               "          [--retry-seed=N]\n"
                "          [--dot-cfg=PATH] [--dot-frg=PATH] [--function=NAME] <file>\n",
                Argv0);
   return 2;
@@ -216,6 +234,33 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Opts) {
       Opts.MetricsOutPath = *V;
     } else if (auto V = Value("--connect=")) {
       Opts.ConnectPath = *V;
+    } else if (auto V = Value("--timeout-ms=")) {
+      Opts.RetryFlagsGiven = true;
+      try {
+        Opts.TimeoutMs = std::stoi(*V);
+      } catch (...) {
+        std::fprintf(stderr, "error: bad --timeout-ms value '%s'\n",
+                     V->c_str());
+        return false;
+      }
+    } else if (auto V = Value("--retries=")) {
+      Opts.RetryFlagsGiven = true;
+      try {
+        Opts.Retries = static_cast<unsigned>(std::stoul(*V));
+      } catch (...) {
+        std::fprintf(stderr, "error: bad --retries value '%s'\n",
+                     V->c_str());
+        return false;
+      }
+    } else if (auto V = Value("--retry-seed=")) {
+      Opts.RetryFlagsGiven = true;
+      try {
+        Opts.RetrySeed = std::stoull(*V);
+      } catch (...) {
+        std::fprintf(stderr, "error: bad --retry-seed value '%s'\n",
+                     V->c_str());
+        return false;
+      }
     } else if (auto V = Value("--jobs=")) {
       Opts.JobsGiven = true;
       try {
@@ -502,53 +547,101 @@ int runClientMode(const ToolOptions &Opts) {
     Req.ProfileText = PBuf.str();
   }
 
-  const int IoTimeoutMs = 60000; // compiles run remotely; be generous
-  Expected<Socket> Conn = connectUnix(Opts.ConnectPath, 5000);
-  if (!Conn) {
-    std::fprintf(stderr, "error: cannot connect to '%s': %s\n",
-                 Opts.ConnectPath.c_str(),
-                 Conn.status().message().c_str());
-    return 1;
+  // One attempt over a fresh connection. Distinguishes transport damage
+  // (retryable: the daemon never judged the request) from request-level
+  // verdicts (terminal: retrying would just replay the same answer —
+  // or worse, re-poke a quarantined request). The daemon marks 'E'
+  // frames caused by transport damage with a "frame-error: " prefix.
+  const std::string Encoded = encodeServeRequest(Req);
+  enum class Attempt { Done, Retry, Fatal };
+  int ExitCode = 1;
+  auto TryOnce = [&](std::string &Why) -> Attempt {
+    Expected<Socket> Conn = connectUnix(Opts.ConnectPath, 5000);
+    if (!Conn) {
+      Why = "cannot connect to '" + Opts.ConnectPath +
+            "': " + Conn.status().message();
+      return Attempt::Retry;
+    }
+    if (Status St = writeFrame(*Conn, 'C', Encoded, Opts.TimeoutMs); !St) {
+      Why = "send failed: " + St.message();
+      return Attempt::Retry;
+    }
+    Frame F;
+    bool PeerClosed = false;
+    if (Status St = readFrame(*Conn, F, PeerClosed, Opts.TimeoutMs); !St) {
+      Why = "receive failed: " + St.message();
+      return Attempt::Retry;
+    }
+    if (PeerClosed) {
+      Why = "daemon closed the connection";
+      return Attempt::Retry;
+    }
+    if (F.Type == 'B') {
+      Why = "daemon busy: " + F.Payload;
+      return Attempt::Retry;
+    }
+    if (F.Type == 'E') {
+      if (F.Payload.rfind("frame-error: ", 0) == 0) {
+        Why = "daemon: " + F.Payload;
+        return Attempt::Retry; // our frame arrived torn; resend it
+      }
+      std::fprintf(stderr, "error: daemon: %s\n", F.Payload.c_str());
+      return Attempt::Fatal;
+    }
+    if (F.Type != 'R') {
+      Why = std::string("unexpected frame type '") + F.Type + "'";
+      return Attempt::Retry;
+    }
+    ServeResponse Resp;
+    std::string Error;
+    if (!decodeServeResponse(F.Payload, Resp, Error)) {
+      Why = "bad response: " + Error;
+      return Attempt::Retry; // response torn in transit; ask again
+    }
+    if (!Resp.Ok) {
+      std::fprintf(stderr, "error: daemon: %s\n", Resp.Error.c_str());
+      return Attempt::Fatal;
+    }
+    std::fwrite(Resp.StdoutText.data(), 1, Resp.StdoutText.size(), stdout);
+    std::fwrite(Resp.StderrText.data(), 1, Resp.StderrText.size(), stderr);
+    ExitCode = Resp.ExitCode;
+    return Attempt::Done;
+  };
+
+  // splitmix64: deterministic jitter so two clients retrying the same
+  // busy daemon desynchronize without any shared state or wall clock.
+  auto Mix = [](uint64_t X) {
+    X += 0x9e3779b97f4a7c15ULL;
+    X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+    return X ^ (X >> 31);
+  };
+  for (unsigned A = 0;; ++A) {
+    std::string Why;
+    switch (TryOnce(Why)) {
+    case Attempt::Done:
+      return ExitCode;
+    case Attempt::Fatal:
+      return 1;
+    case Attempt::Retry:
+      if (A >= Opts.Retries) {
+        std::fprintf(stderr, "error: %s (after %u attempt%s)\n",
+                     Why.c_str(), A + 1, A ? "s" : "");
+        return 1;
+      }
+      // Exponential backoff, capped, plus seeded jitter in [0, base/2).
+      uint64_t BaseMs = std::min<uint64_t>(25ull << std::min(A, 7u), 2000);
+      uint64_t Jitter = Mix(Opts.RetrySeed * 0x100000001b3ULL + A) %
+                        (BaseMs / 2 + 1);
+      std::fprintf(stderr,
+                   "specpre-opt: retrying in %llu ms (attempt %u/%u): %s\n",
+                   static_cast<unsigned long long>(BaseMs + Jitter), A + 1,
+                   Opts.Retries, Why.c_str());
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(BaseMs + Jitter));
+      break;
+    }
   }
-  if (Status St = writeFrame(*Conn, 'C', encodeServeRequest(Req),
-                             IoTimeoutMs);
-      !St) {
-    std::fprintf(stderr, "error: send failed: %s\n",
-                 St.message().c_str());
-    return 1;
-  }
-  Frame F;
-  bool PeerClosed = false;
-  if (Status St = readFrame(*Conn, F, PeerClosed, IoTimeoutMs); !St) {
-    std::fprintf(stderr, "error: receive failed: %s\n",
-                 St.message().c_str());
-    return 1;
-  }
-  if (PeerClosed) {
-    std::fprintf(stderr, "error: daemon closed the connection\n");
-    return 1;
-  }
-  if (F.Type == 'E') {
-    std::fprintf(stderr, "error: daemon: %s\n", F.Payload.c_str());
-    return 1;
-  }
-  if (F.Type != 'R') {
-    std::fprintf(stderr, "error: unexpected frame type '%c'\n", F.Type);
-    return 1;
-  }
-  ServeResponse Resp;
-  std::string Error;
-  if (!decodeServeResponse(F.Payload, Resp, Error)) {
-    std::fprintf(stderr, "error: bad response: %s\n", Error.c_str());
-    return 1;
-  }
-  if (!Resp.Ok) {
-    std::fprintf(stderr, "error: daemon: %s\n", Resp.Error.c_str());
-    return 1;
-  }
-  std::fwrite(Resp.StdoutText.data(), 1, Resp.StdoutText.size(), stdout);
-  std::fwrite(Resp.StderrText.data(), 1, Resp.StderrText.size(), stderr);
-  return Resp.ExitCode;
 }
 
 } // namespace
@@ -561,6 +654,12 @@ int main(int Argc, char **Argv) {
 
   if (!Opts.ConnectPath.empty())
     return runClientMode(Opts);
+
+  if (Opts.RetryFlagsGiven) {
+    std::fprintf(stderr, "error: --timeout-ms/--retries/--retry-seed "
+                         "require --connect\n");
+    return 2;
+  }
 
   if (!Opts.InjectFaults.empty()) {
     Status S = configureFaultInjection(Opts.InjectFaults);

@@ -14,15 +14,29 @@
 //     --io-timeout-ms=N      per-frame socket read/write budget (default 10000)
 //     --max-requests=N       exit after N compile requests (0 = forever)
 //     --metrics-out=PATH     write merged pipeline metrics JSON on shutdown
+//     --isolate=MODE         in-process (default) or process: fork one
+//                            sandbox worker per request so a crashing
+//                            compile never takes the daemon down
+//     --request-deadline-ms=N  per-request wall-clock deadline (0 = none)
+//     --worker-mem-mb=N      RLIMIT_DATA cap for sandbox workers (0 = none)
+//     --quarantine-after=N   worker deaths before a request is quarantined
+//     --queue-depth=N        bounded request queue; beyond it clients get a
+//                            'B' (busy) frame (0 = unbounded)
+//     --pidfile=PATH         write the daemon pid; removed on clean exit
+//     --inject-faults=SPEC   deterministic chaos (site:rate[:seed], for the
+//                            chaos smoke tests — see docs/ROBUSTNESS.md)
 //
 // Clients connect with `specpre-opt --connect=PATH <file>` (or any
 // speaker of the framed protocol in docs/SERVING.md). SIGTERM/SIGINT
-// drain in-flight requests, flush their responses, then exit 0.
+// drain in-flight requests, flush their responses, then exit 0. The
+// daemon refuses to start when another live daemon already serves the
+// socket path; a stale socket file from a dead daemon is replaced.
 //
 //===----------------------------------------------------------------------===//
 
 #include "pre/CompileService.h"
 #include "support/CrashContext.h"
+#include "support/FaultInjector.h"
 
 #include <csignal>
 #include <cstdio>
@@ -31,6 +45,8 @@
 #include <optional>
 #include <string>
 #include <thread>
+
+#include <unistd.h>
 
 using namespace specpre;
 
@@ -43,6 +59,8 @@ void onStopSignal(int) { StopSignal = 1; }
 struct ServeOptions {
   ServeServer::Config Server;
   std::string MetricsOutPath;
+  std::string PidfilePath;
+  std::string InjectFaults;
 };
 
 int usage(const char *Argv0) {
@@ -51,7 +69,11 @@ int usage(const char *Argv0) {
                "          [--cache-dir=PATH] [--cache=on|off]\n"
                "          [--cache-max-entries=N] [--cache-max-disk-mb=N]\n"
                "          [--io-timeout-ms=N] [--max-requests=N]\n"
-               "          [--metrics-out=PATH]\n",
+               "          [--metrics-out=PATH]\n"
+               "          [--isolate=in-process|process]\n"
+               "          [--request-deadline-ms=N] [--worker-mem-mb=N]\n"
+               "          [--quarantine-after=N] [--queue-depth=N]\n"
+               "          [--pidfile=PATH] [--inject-faults=SPEC]\n",
                Argv0);
   return 2;
 }
@@ -122,6 +144,44 @@ bool parseArgs(int Argc, char **Argv, ServeOptions &Opts) {
       }
     } else if (auto V = Value("--metrics-out=")) {
       Opts.MetricsOutPath = *V;
+    } else if (auto V = Value("--isolate=")) {
+      if (*V == "in-process")
+        Opts.Server.Service.Isolation = IsolationMode::InProcess;
+      else if (*V == "process")
+        Opts.Server.Service.Isolation = IsolationMode::Process;
+      else {
+        std::fprintf(stderr, "error: bad --isolate mode '%s'\n", V->c_str());
+        return false;
+      }
+    } else if (auto V = Value("--request-deadline-ms=")) {
+      try {
+        Opts.Server.Service.RequestDeadlineMs = std::stoull(*V);
+      } catch (...) {
+        return BadInt("--request-deadline-ms", *V);
+      }
+    } else if (auto V = Value("--worker-mem-mb=")) {
+      try {
+        Opts.Server.Service.WorkerMemLimitMb = std::stoull(*V);
+      } catch (...) {
+        return BadInt("--worker-mem-mb", *V);
+      }
+    } else if (auto V = Value("--quarantine-after=")) {
+      try {
+        Opts.Server.Service.QuarantineAfter =
+            static_cast<unsigned>(std::stoul(*V));
+      } catch (...) {
+        return BadInt("--quarantine-after", *V);
+      }
+    } else if (auto V = Value("--queue-depth=")) {
+      try {
+        Opts.Server.Service.QueueMaxDepth = std::stoull(*V);
+      } catch (...) {
+        return BadInt("--queue-depth", *V);
+      }
+    } else if (auto V = Value("--pidfile=")) {
+      Opts.PidfilePath = *V;
+    } else if (auto V = Value("--inject-faults=")) {
+      Opts.InjectFaults = *V;
     } else {
       std::fprintf(stderr, "error: unknown option '%s'\n", A.c_str());
       return false;
@@ -141,10 +201,30 @@ int main(int Argc, char **Argv) {
   std::signal(SIGTERM, onStopSignal);
   std::signal(SIGINT, onStopSignal);
 
+  if (!Opts.InjectFaults.empty()) {
+    if (Status St = configureFaultInjection(Opts.InjectFaults); !St) {
+      std::fprintf(stderr, "error: --inject-faults: %s\n",
+                   St.toString().c_str());
+      return 1;
+    }
+  }
+
   ServeServer Server(Opts.Server);
   if (Status St = Server.start(); !St) {
     std::fprintf(stderr, "error: %s\n", St.toString().c_str());
     return 1;
+  }
+  if (!Opts.PidfilePath.empty()) {
+    // Written only after start() succeeded: a pidfile must never point
+    // at a daemon that lost the socket-path race and exited.
+    std::ofstream Pid(Opts.PidfilePath);
+    if (!Pid) {
+      std::fprintf(stderr, "error: cannot write pidfile '%s'\n",
+                   Opts.PidfilePath.c_str());
+      Server.stop();
+      return 1;
+    }
+    Pid << ::getpid() << "\n";
   }
   std::fprintf(stderr, "specpre-serve: listening on %s (jobs=%u)\n",
                Opts.Server.SocketPath.c_str(), Server.service().jobs());
@@ -157,6 +237,8 @@ int main(int Argc, char **Argv) {
 
   std::fprintf(stderr, "specpre-serve: draining and shutting down\n");
   Server.stop();
+  if (!Opts.PidfilePath.empty())
+    std::remove(Opts.PidfilePath.c_str());
 
   PipelineMetrics M = Server.service().metricsSnapshot();
   if (!Opts.MetricsOutPath.empty()) {
