@@ -19,12 +19,16 @@
 // parallel speedup; the numbers still exercise the full contended path
 // (accept loop, per-connection readers, request queue, shared cache).
 //
-// --chaos switches the daemon to --isolate=process, arms torn-frame and
-// worker-kill injection at 5%, and drives retry-aware clients: the
-// reported req/s is degraded-mode throughput, and the JSON gains a
-// "chaos" section (shed rate, retries, worker crashes, quarantined).
-// The warm-hit-rate gate is skipped — sandbox workers run cache-less
-// when no --cache-dir style disk tier is configured.
+// --chaos switches the daemon to --isolate=process with a real disk
+// cache tier, arms torn-frame, worker-kill and all five disk fault
+// sites (short writes, ENOSPC, EIO, bit rot, rename failures) at 5%,
+// and drives retry-aware clients: the reported req/s is degraded-mode
+// throughput, and the JSON gains a "chaos" section (shed rate, retries,
+// worker crashes, quarantined, corrupt entries dropped, disk I/O
+// errors, breaker opens) plus a post-storm scrub pass whose
+// scanned/quarantined counts land in the "cache" section. The
+// warm-hit-rate gate is skipped — under injected disk faults a warm
+// miss is the contract working, not a bug.
 //
 //===----------------------------------------------------------------------===//
 
@@ -40,6 +44,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -258,17 +263,25 @@ int main(int argc, char **argv) {
   Cfg.SocketPath =
       "/tmp/specpre-serve-bench-" + std::to_string(getpid()) + ".sock";
   Cfg.Service.RequestWorkers = std::max(2u, Clients / 2);
+  std::filesystem::path ChaosCacheDir;
   if (Chaos) {
     Cfg.Service.Isolation = IsolationMode::Process;
     Cfg.Service.QuarantineAfter = 3;
-    Status St = configureFaultInjection("torn-frame:0.05:31,"
-                                        "worker-kill:0.05:32");
+    // A real disk tier so the disk fault sites have traffic to damage.
+    ChaosCacheDir = std::filesystem::temp_directory_path() /
+                    ("specpre-serve-bench-cache-" + std::to_string(getpid()));
+    std::filesystem::remove_all(ChaosCacheDir);
+    Cfg.Service.CacheDir = ChaosCacheDir.string();
+    Status St = configureFaultInjection(
+        "torn-frame:0.05:31,worker-kill:0.05:32,"
+        "disk-short-write:0.05:33,disk-enospc:0.05:34,disk-eio:0.05:35,"
+        "disk-corrupt-byte:0.05:36,disk-rename-fail:0.05:37");
     if (!St) {
       std::fprintf(stderr, "chaos arm failed: %s\n", St.toString().c_str());
       return 1;
     }
-    std::printf("chaos: process isolation, torn-frame 5%%, "
-                "worker-kill 5%%, retrying clients\n\n");
+    std::printf("chaos: process isolation, torn-frame, worker-kill and "
+                "five disk fault sites at 5%%, retrying clients\n\n");
   }
   ServeServer Server(Cfg);
   Status St = Server.start();
@@ -282,9 +295,20 @@ int main(int argc, char **argv) {
   WaveResult Warm = runWave(Cfg.SocketPath, Clients, Items, Chaos);
   CacheCounters AfterWarm = Server.service().cache()->counters();
   disableFaultInjection();
+  if (Chaos) {
+    // Post-storm scrub: quarantine whatever rot the waves left behind so
+    // the reported counters cover the full detect-and-heal cycle.
+    CompileCache::ScrubReport Scrub =
+        Server.service().cache()->scrubDiskTier();
+    std::printf("scrub: scanned %llu entries, quarantined %llu\n",
+                (unsigned long long)Scrub.Scanned,
+                (unsigned long long)Scrub.Quarantined);
+  }
   PipelineMetrics Metrics = Server.service().metricsSnapshot();
   Server.stop();
   ::unlink(Cfg.SocketPath.c_str());
+  if (!ChaosCacheDir.empty())
+    std::filesystem::remove_all(ChaosCacheDir);
 
   uint64_t WarmHits = AfterWarm.Hits - AfterCold.Hits;
   uint64_t WarmLookups =
@@ -313,7 +337,7 @@ int main(int argc, char **argv) {
   uint64_t TotalReqs = Metrics.service().RequestsReceived;
   double ShedRate =
       TotalReqs ? double(Metrics.service().Shed) / TotalReqs : 0;
-  if (Chaos)
+  if (Chaos) {
     std::printf("chaos:  worker crashes %llu, deadline kills %llu, "
                 "retries %llu, quarantined %llu, shed %llu (%.1f%%), "
                 "degraded answers %llu\n",
@@ -323,6 +347,13 @@ int main(int argc, char **argv) {
                 (unsigned long long)(Cold.Quarantined + Warm.Quarantined),
                 (unsigned long long)Metrics.service().Shed, ShedRate * 100,
                 (unsigned long long)(Cold.Degraded + Warm.Degraded));
+    std::printf("disk:   corrupt dropped %llu, io errors %llu, "
+                "breaker opens %llu, scrub quarantined %llu\n",
+                (unsigned long long)Metrics.cache().CorruptDropped,
+                (unsigned long long)Metrics.cache().DiskIoErrors,
+                (unsigned long long)Metrics.cache().BreakerOpens,
+                (unsigned long long)Metrics.cache().ScrubQuarantined);
+  }
 
   if (!JsonOut.empty()) {
     std::string Json = "{\n  \"smoke\": ";
@@ -349,16 +380,25 @@ int main(int argc, char **argv) {
     Json += ",\n  \"cache\": " + Metrics.cacheToJson();
     Json += ",\n  \"service\": " + Metrics.serviceToJson();
     if (Chaos) {
-      std::snprintf(Buf, sizeof(Buf),
+      char Big[512];
+      std::snprintf(Big, sizeof(Big),
                     ",\n  \"chaos\": {\"shed_rate\": %.4f, "
                     "\"degraded\": %llu, \"quarantined\": %llu, "
-                    "\"retries\": %llu, \"worker_crashes\": %llu}",
+                    "\"retries\": %llu, \"worker_crashes\": %llu, "
+                    "\"corrupt_dropped\": %llu, \"disk_io_errors\": %llu, "
+                    "\"breaker_opens\": %llu, \"scrub_scanned\": %llu, "
+                    "\"scrub_quarantined\": %llu}",
                     ShedRate,
                     (unsigned long long)(Cold.Degraded + Warm.Degraded),
                     (unsigned long long)(Cold.Quarantined + Warm.Quarantined),
                     (unsigned long long)Metrics.service().Retries,
-                    (unsigned long long)Metrics.service().WorkerCrashes);
-      Json += Buf;
+                    (unsigned long long)Metrics.service().WorkerCrashes,
+                    (unsigned long long)Metrics.cache().CorruptDropped,
+                    (unsigned long long)Metrics.cache().DiskIoErrors,
+                    (unsigned long long)Metrics.cache().BreakerOpens,
+                    (unsigned long long)Metrics.cache().ScrubScanned,
+                    (unsigned long long)Metrics.cache().ScrubQuarantined);
+      Json += Big;
     }
     Json += "\n}\n";
     std::FILE *Out = std::fopen(JsonOut.c_str(), "w");
@@ -379,9 +419,10 @@ int main(int argc, char **argv) {
     return 1;
   }
   if (WarmHitRate <= 0 && !Chaos) {
-    // In chaos mode the compiles run inside forked sandbox workers with
-    // no disk tier configured, so the parent's memory cache legitimately
-    // never warms; the bit-identity gate above still applies in full.
+    // In chaos mode injected disk faults legitimately turn warm hits
+    // into clean recompiles (and the sandbox workers keep their own
+    // per-fork cache handles); the bit-identity gate above still
+    // applies in full.
     std::fprintf(stderr, "FATAL: warm wave never hit the shared cache\n");
     return 1;
   }

@@ -132,9 +132,50 @@ grep -q '"retries"' "$CHAOS_DIR/metrics.json" || {
   echo "daemon metrics missing retry counter"; exit 1; }
 rm -rf "$CHAOS_DIR"
 
+# Disk-chaos smoke (docs/CACHING.md "Durability and self-healing"): an
+# ASan daemon with a durable disk cache tier and all five disk fault
+# sites armed at 5%, a tight breaker, and the background scrubber
+# running. Every retried response must stay bit-identical to the local
+# compile — disk faults may cost recompiles, never bytes — and the
+# final metrics must expose the corruption and breaker counters.
+echo "==== disk-chaos smoke ===="
+DCHAOS_DIR="$(mktemp -d)"
+DSOCK="$DCHAOS_DIR/serve.sock"
+./build-asan/tools/specpre-serve --socket="$DSOCK" \
+  --cache-dir="$DCHAOS_DIR/cache" --cache-durable=on \
+  --cache-breaker-threshold=4 --cache-breaker-cooldown-ms=200 \
+  --cache-scrub-interval-ms=200 \
+  --inject-faults=disk-short-write:0.05:51,disk-enospc:0.05:52,disk-eio:0.05:53,disk-corrupt-byte:0.05:54,disk-rename-fail:0.05:55 \
+  --metrics-out="$DCHAOS_DIR/metrics.json" &
+DCHAOS_PID=$!
+for i in $(seq 1 50); do
+  [ -S "$DSOCK" ] && break
+  sleep 0.1
+done
+[ -S "$DSOCK" ] || { echo "disk-chaos daemon never bound $DSOCK"; exit 1; }
+for pass in 1 2; do
+  for f in examples/programs/loop.spre examples/programs/diamond.spre; do
+    ./build-asan/tools/specpre-opt --strategy=mcssapre --train=3,4,64 \
+      "$f" > "$DCHAOS_DIR/local.out"
+    ./build-asan/tools/specpre-opt --strategy=mcssapre --train=3,4,64 \
+      --connect="$DSOCK" --retries=8 --timeout-ms=30000 \
+      "$f" > "$DCHAOS_DIR/remote.out"
+    cmp "$DCHAOS_DIR/local.out" "$DCHAOS_DIR/remote.out"
+  done
+done
+kill -TERM "$DCHAOS_PID"
+wait "$DCHAOS_PID" || { echo "disk-chaos daemon exited nonzero on SIGTERM"; exit 1; }
+for key in '"corrupt_dropped"' '"breaker_opens"' '"scrub_scanned"'; do
+  grep -q "$key" "$DCHAOS_DIR/metrics.json" || {
+    echo "daemon metrics missing $key"; exit 1; }
+done
+# The one-shot scrubber over the stormed tier must exit cleanly too.
+./build-asan/tools/specpre-opt --cache-dir="$DCHAOS_DIR/cache" --cache-scrub
+rm -rf "$DCHAOS_DIR"
+
 # Degraded-mode load smoke: retry-aware concurrent clients against a
-# fault-injected process-isolated daemon (exit 1 inside the bench on any
-# hang or non-degraded divergence).
+# fault-injected process-isolated daemon with a damaged disk tier
+# (exit 1 inside the bench on any hang or non-degraded divergence).
 ./build-release/bench/serve_throughput --smoke --chaos --clients=4 \
   --json-out="$CACHE_DIR/serve_chaos.json"
 

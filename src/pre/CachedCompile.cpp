@@ -248,9 +248,13 @@ Function specpre::compileThroughCache(const Function &Prepared,
   if (ReplayedHitOut)
     *ReplayedHitOut = false;
   CompileCache *Cache = Opts.Cache;
-  // Fault injection makes outcomes a function of a process-global fault
-  // counter, not of the compile's inputs: bypass the cache entirely.
-  if (!Cache || Cache->mode() == CacheMode::Off || faultInjectionEnabled())
+  // Pipeline fault injection makes outcomes a function of a
+  // process-global fault counter, not of the compile's inputs: bypass
+  // the cache entirely. The network/process/disk sites only perturb
+  // transport and storage — outcomes stay input-pure under them, and
+  // the disk sites in particular *need* cache traffic to fire at all.
+  if (!Cache || Cache->mode() == CacheMode::Off ||
+      pipelineFaultInjectionEnabled())
     return Compile(Prepared, Opts, OutcomeOut);
 
   const CacheKey Key = compileCacheKey(Prepared, Opts);

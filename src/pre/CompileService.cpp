@@ -403,12 +403,31 @@ CompileService::CompileService(const Config &C)
     CC.DiskDir = Cfg.CacheDir;
     CC.MaxEntries = Cfg.CacheMaxEntries;
     CC.MaxDiskBytes = Cfg.CacheMaxDiskBytes;
+    CC.Durable = Cfg.CacheDurable;
+    CC.BreakerThreshold = Cfg.CacheBreakerThreshold;
+    CC.BreakerCooldownMs = Cfg.CacheBreakerCooldownMs;
     CC.Mode = Cfg.Mode;
     Cache = std::make_unique<CompileCache>(CC);
   }
   Workers.reserve(Cfg.RequestWorkers);
   for (unsigned I = 0; I != Cfg.RequestWorkers; ++I)
     Workers.emplace_back([this] { workerLoop(); });
+  if (Cache && !Cfg.CacheDir.empty() && Cfg.CacheScrubIntervalMs) {
+    // Background scrubber: wakes every interval, validates the disk
+    // tier's checksums at a bounded byte rate, quarantines corruption.
+    Scrubber = std::thread([this] {
+      std::unique_lock<std::mutex> Lock(ScrubStopMu);
+      while (!ScrubStop) {
+        if (ScrubStopCv.wait_for(
+                Lock, std::chrono::milliseconds(Cfg.CacheScrubIntervalMs),
+                [this] { return ScrubStop; }))
+          break;
+        Lock.unlock();
+        Cache->scrubDiskTier(Cfg.CacheScrubBytesPerSec);
+        Lock.lock();
+      }
+    });
+  }
 }
 
 CompileService::~CompileService() { shutdown(); }
@@ -534,6 +553,9 @@ uint64_t requestQuarantineKey(const std::string &Encoded) {
       CC.DiskDir = Cfg.CacheDir;
       CC.MaxEntries = Cfg.CacheMaxEntries;
       CC.MaxDiskBytes = Cfg.CacheMaxDiskBytes;
+      CC.Durable = Cfg.CacheDurable;
+      CC.BreakerThreshold = Cfg.CacheBreakerThreshold;
+      CC.BreakerCooldownMs = Cfg.CacheBreakerCooldownMs;
       CC.Mode = Cfg.Mode;
       Cache = std::make_unique<CompileCache>(CC);
     }
@@ -737,6 +759,14 @@ void CompileService::shutdown() {
   for (std::thread &W : Workers)
     W.join();
   Workers.clear();
+  if (Scrubber.joinable()) {
+    {
+      std::lock_guard<std::mutex> Lock(ScrubStopMu);
+      ScrubStop = true;
+    }
+    ScrubStopCv.notify_all();
+    Scrubber.join();
+  }
   if (Cache)
     Cache->sweepDiskTier();
 }

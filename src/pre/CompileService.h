@@ -143,6 +143,19 @@ public:
     std::string CacheDir;
     uint64_t CacheMaxEntries = 4096;
     uint64_t CacheMaxDiskBytes = 0;
+    /// Durable disk publishes: fsync entry + directory before rename
+    /// (docs/CACHING.md "Durability and self-healing").
+    bool CacheDurable = false;
+    /// Disk-tier circuit breaker: consecutive failures that open it
+    /// (0 = disabled) and the cooldown before half-open probes.
+    uint64_t CacheBreakerThreshold = 8;
+    uint64_t CacheBreakerCooldownMs = 2000;
+    /// Background scrubber cadence: every N ms the scrubber thread
+    /// walks the disk tier validating checksums and quarantining
+    /// corrupt entries. 0 = no scrubber thread.
+    uint64_t CacheScrubIntervalMs = 0;
+    /// Byte-rate limit for each scrub pass (0 = unthrottled).
+    uint64_t CacheScrubBytesPerSec = 4u << 20;
     CacheMode Mode = CacheMode::On;
     /// Crash containment (docs/ROBUSTNESS.md).
     IsolationMode Isolation = IsolationMode::InProcess;
@@ -231,6 +244,12 @@ private:
   /// forked for again (poisoned-request containment).
   std::unordered_set<uint64_t> Quarantine;
   std::vector<std::thread> Workers;
+  /// Background disk-tier scrubber (Cfg.CacheScrubIntervalMs > 0):
+  /// cv-signalled so shutdown() never waits out a sleep interval.
+  std::thread Scrubber;
+  std::mutex ScrubStopMu;
+  std::condition_variable ScrubStopCv;
+  bool ScrubStop = false;
 };
 
 /// The socket front end: owns a CompileService and serves the framed

@@ -24,12 +24,38 @@
 ///    multiple *processes* (the serve daemon plus any specpre-opt runs):
 ///    see docs/CACHING.md "Multi-process semantics" for the guarantees.
 ///
+/// The disk tier is durable and self-healing (docs/CACHING.md
+/// "Durability and self-healing"):
+///
+///  * every `.sprc` file carries a 64-bit two-lane splitmix64 checksum
+///    trailer (`sprc-sum <16 hex>\n`, the ir/StructuralHash idiom)
+///    appended at publish time and verified on every disk read — which
+///    is also the memory-tier promotion point. A mismatch (bit rot, a
+///    torn write that survived a crash, truncation) deletes the entry,
+///    bumps CorruptDropped, and surfaces as a clean miss;
+///  * the publish path is error-checked end to end (POSIX write loop,
+///    close result, rename result) and optionally durable
+///    (Config.Durable fsyncs the file and then the directory before the
+///    entry becomes visible). ENOSPC/EIO/rename failures map to a
+///    Status internally, unlink the temp file, and degrade the store to
+///    passthrough compilation — a full disk never fails a request;
+///  * a circuit breaker watches consecutive disk-tier failures: past
+///    Config.BreakerThreshold the disk tier is disabled for
+///    Config.BreakerCooldownMs, then probed half-open (one operation at
+///    a time) until a success re-closes it. A dying disk costs hit
+///    rate, never availability;
+///  * scrubDiskTier() walks the tier validating checksums, quarantining
+///    corrupt entries (renamed to `<entry>.quar`, never served again)
+///    with optional byte-rate limiting — the daemon runs it on a
+///    background cadence, `specpre-opt --cache-scrub` runs it once.
+///
 /// The disk tier is bounded by Config.MaxDiskBytes: when the directory
 /// grows past the cap, a sweep evicts least-recently-used entries (disk
 /// hits touch the entry's mtime, so recency survives process restarts)
-/// down to 90% of the cap and clears orphaned temp files left by
-/// crashed writers. Sweeps are concurrent-safe: eviction only unlinks,
-/// and a reader that loses the race sees a plain miss, never torn data.
+/// down to 90% of the cap. Every sweep — capped or not — also reaps
+/// orphaned temp files left by crashed writers. Sweeps are
+/// concurrent-safe: eviction only unlinks, and a reader that loses the
+/// race sees a plain miss, never torn data.
 ///
 /// All operations are thread-safe: the parallel driver's workers and the
 /// serve daemon's request workers share one cache. Disk I/O happens
@@ -46,13 +72,17 @@
 #ifndef SPECPRE_SUPPORT_COMPILECACHE_H
 #define SPECPRE_SUPPORT_COMPILECACHE_H
 
+#include <chrono>
 #include <cstdint>
 #include <list>
 #include <map>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
+
+#include "support/Status.h"
 
 namespace specpre {
 
@@ -60,6 +90,15 @@ enum class CacheMode {
   Off,    ///< Never look up or store (the default without a cache).
   On,     ///< Serve hits, populate on miss.
   Verify, ///< Hits are audited: recompile and assert bit-identical.
+};
+
+/// Disk-tier circuit-breaker state (docs/CACHING.md). Closed admits all
+/// disk I/O; Open short-circuits it for a cooldown; HalfOpen admits one
+/// probe operation at a time until a success re-closes the breaker.
+enum class DiskBreakerState : uint64_t {
+  Closed = 0,
+  Open = 1,
+  HalfOpen = 2,
 };
 
 /// Content address of one compilation (see compileCacheKey). A plain
@@ -83,6 +122,13 @@ struct CacheCounters {
   uint64_t DiskWrites = 0;       ///< Entries persisted to the directory.
   uint64_t DiskEvictions = 0;    ///< On-disk entries removed by sweeps.
   uint64_t VerifyMismatches = 0; ///< Verify-mode hit/recompile diffs.
+  uint64_t CorruptDropped = 0;   ///< Checksum failures dropped (read+scrub).
+  uint64_t DiskIoErrors = 0;     ///< Read/write/rename failures (real+injected).
+  uint64_t BreakerOpens = 0;     ///< Closed/half-open -> open transitions.
+  uint64_t BreakerShortCircuits = 0; ///< Disk ops skipped by an open breaker.
+  uint64_t BreakerState = 0;     ///< Gauge: DiskBreakerState at snapshot time.
+  uint64_t ScrubScanned = 0;     ///< Entries examined by scrubDiskTier().
+  uint64_t ScrubQuarantined = 0; ///< Corrupt entries quarantined by scrubs.
 };
 
 class CompileCache {
@@ -99,7 +145,27 @@ public:
     /// multi-process sharing (each process sweeps on its own writes),
     /// so transient overshoot by one payload is possible.
     uint64_t MaxDiskBytes = 0;
+    /// When set, every publish fsyncs the temp file before the rename
+    /// and the directory after it, so a renamed entry survives a power
+    /// cut. Off by default: the checksum trailer already turns a torn
+    /// publish into a clean miss, so durability is a policy choice, not
+    /// a correctness requirement.
+    bool Durable = false;
+    /// Consecutive disk-tier failures that open the circuit breaker;
+    /// 0 disables the breaker entirely.
+    uint64_t BreakerThreshold = 8;
+    /// How long an open breaker short-circuits the disk tier before
+    /// half-open probes are admitted.
+    uint64_t BreakerCooldownMs = 2000;
     CacheMode Mode = CacheMode::On;
+  };
+
+  /// Result of one scrubDiskTier() pass.
+  struct ScrubReport {
+    uint64_t Scanned = 0;      ///< .sprc entries examined.
+    uint64_t Quarantined = 0;  ///< Entries that failed their checksum.
+    uint64_t ReadFailures = 0; ///< Entries unreadable (racing sweep, EIO).
+    uint64_t BytesRead = 0;    ///< Total bytes validated.
   };
 
   explicit CompileCache(Config C);
@@ -107,11 +173,16 @@ public:
   CacheMode mode() const { return Cfg.Mode; }
 
   /// Returns the payload stored under \p Key, consulting memory first,
-  /// then the disk directory (promoting a disk hit into the LRU).
+  /// then the disk directory (promoting a disk hit into the LRU). Disk
+  /// bytes are checksum-verified before promotion; a corrupt entry is
+  /// deleted and reported as a miss.
   std::optional<std::string> lookup(const CacheKey &Key);
 
   /// Stores \p Payload under \p Key in memory and, when configured, on
-  /// disk. Re-inserting an existing key refreshes its LRU position.
+  /// disk. Re-inserting an existing key refreshes its LRU position. A
+  /// failed disk publish (ENOSPC, EIO, rename failure, open breaker)
+  /// leaves the memory tier populated and is absorbed silently — the
+  /// caller's request never fails because the disk did.
   void insert(const CacheKey &Key, std::string Payload);
 
   /// Verify-mode bookkeeping, called by the compile layer when a cached
@@ -122,18 +193,66 @@ public:
 
   uint64_t entriesInMemory() const;
 
+  DiskBreakerState breakerState() const;
+
   /// Forces a disk-tier sweep (normally triggered automatically when the
-  /// approximate directory size crosses MaxDiskBytes). No-op without a
-  /// disk directory or a cap. Exposed for tests and for the daemon's
-  /// shutdown path.
+  /// approximate directory size crosses MaxDiskBytes). Always reaps
+  /// stale temp files; evicts entries only when a byte cap is set and
+  /// exceeded. No-op without a disk directory. Exposed for tests and
+  /// for the daemon's shutdown path.
   void sweepDiskTier();
 
+  /// Walks the disk tier validating every entry's checksum trailer and
+  /// quarantining corrupt entries (renamed to `<entry>.quar` so they
+  /// can never be served, with only the newest few kept for forensics).
+  /// \p MaxBytesPerSec rate-limits the scan (0 = unthrottled) so a
+  /// background scrub cannot starve foreground compiles of disk
+  /// bandwidth. Concurrency-safe: overlapping scrubs no-op, racing
+  /// sweeps/writers surface as ReadFailures, never as false positives.
+  ScrubReport scrubDiskTier(uint64_t MaxBytesPerSec = 0);
+
+  /// The 64-bit payload digest the disk trailer carries: two splitmix64
+  /// lanes folded together, the same mixer idiom as ir/StructuralHash
+  /// (duplicated here because support/ cannot depend on ir/).
+  static uint64_t payloadChecksum(std::string_view Payload);
+
+  /// Frames \p Payload for disk: payload bytes + checksum trailer.
+  static std::string encodeDiskEntry(const std::string &Payload);
+
+  /// Validates \p Bytes as a framed disk entry. On success strips the
+  /// trailer into \p PayloadOut and returns true; any truncation, bit
+  /// flip, or malformed trailer returns false.
+  static bool decodeDiskEntry(const std::string &Bytes,
+                              std::string &PayloadOut);
+
 private:
+  /// Outcome classification for one disk-tier read.
+  enum class DiskReadResult { Hit, Missing, IoError, Corrupt };
+
   std::string diskPathFor(const CacheKey &Key) const;
 
   /// Inserts/refreshes \p Key in the LRU under Mu and applies the
   /// MaxEntries bound.
   void rememberInMemory(const CacheKey &Key, const std::string &Payload);
+
+  /// Reads and checksum-validates the framed entry at \p Path into
+  /// \p PayloadOut. Called outside Mu; enacts the disk-eio fault site.
+  DiskReadResult readDiskEntry(const std::string &Path,
+                               std::string &PayloadOut);
+
+  /// Error-checked, optionally durable publish of \p Bytes to \p Final
+  /// via \p Tmp. Enacts the disk write fault sites. On any failure the
+  /// temp file is unlinked before returning — a failed publish never
+  /// leaks a temp or a torn final entry.
+  Status publishDiskEntry(const std::string &Tmp, const std::string &Final,
+                          const std::string &Bytes);
+
+  /// Breaker admission check, called under Mu before any disk I/O.
+  /// Sets \p Probe when the admitted operation is a half-open probe.
+  bool diskTierAdmitsLocked(bool &Probe);
+
+  /// Breaker bookkeeping after a disk operation, called under Mu.
+  void noteDiskOutcomeLocked(bool Ok, bool WasProbe);
 
   Config Cfg;
   mutable std::mutex Mu;
@@ -146,9 +265,17 @@ private:
   /// and corrected to the scanned truth by every sweep. Only a trigger —
   /// eviction decisions come from the scan, never from this number.
   uint64_t ApproxDiskBytes = 0;
+  /// Breaker state machine, all under Mu.
+  DiskBreakerState Breaker = DiskBreakerState::Closed;
+  uint64_t ConsecutiveDiskFailures = 0;
+  std::chrono::steady_clock::time_point BreakerOpenedAt;
+  bool ProbeInFlight = false;
   /// Serializes sweeps within this process; a sweep already in progress
   /// makes concurrent triggers no-ops instead of queueing.
   std::mutex SweepMu;
+  /// Serializes scrubs (independent of SweepMu: a long rate-limited
+  /// scrub must not block cap-triggered eviction sweeps).
+  std::mutex ScrubMu;
 };
 
 } // namespace specpre

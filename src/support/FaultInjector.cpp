@@ -5,7 +5,9 @@
 #include <array>
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 using namespace specpre;
 
@@ -23,10 +25,18 @@ struct InjectorConfig {
   std::array<SiteConfig, NumFaultSites> Sites;
 };
 
-/// Published configuration; null when disarmed. Intentionally leaked on
+/// Published configuration; null when disarmed. Never freed on
 /// reconfigure so concurrent probes never read freed memory (specs are
-/// set a handful of times per process, from main or a test).
+/// set a handful of times per process, from main or a test); retired
+/// configs are parked in `Retired`, which also keeps them reachable so
+/// leak checkers stay quiet about the deliberate lifetime.
 std::atomic<const InjectorConfig *> Active{nullptr};
+
+std::mutex RetiredMu;
+std::vector<std::unique_ptr<const InjectorConfig>> &retiredConfigs() {
+  static std::vector<std::unique_ptr<const InjectorConfig>> Retired;
+  return Retired;
+}
 
 /// Per-site deterministic hit counters (shared across threads).
 std::array<std::atomic<uint64_t>, NumFaultSites> HitCounters{};
@@ -83,7 +93,12 @@ void publish(std::unique_ptr<InjectorConfig> Config) {
   for (auto &C : HitCounters)
     C.store(0, std::memory_order_relaxed);
   InjectedTotal.store(0, std::memory_order_relaxed);
-  Active.store(Config.release(), std::memory_order_release);
+  const InjectorConfig *Old =
+      Active.exchange(Config.release(), std::memory_order_acq_rel);
+  if (Old) {
+    std::lock_guard<std::mutex> Lock(RetiredMu);
+    retiredConfigs().emplace_back(Old);
+  }
 }
 
 } // namespace
@@ -126,6 +141,16 @@ const char *specpre::faultSiteName(FaultSite S) {
     return "worker-kill";
   case FaultSite::WorkerCrash:
     return "worker-crash";
+  case FaultSite::DiskShortWrite:
+    return "disk-short-write";
+  case FaultSite::DiskEnospc:
+    return "disk-enospc";
+  case FaultSite::DiskEio:
+    return "disk-eio";
+  case FaultSite::DiskCorruptByte:
+    return "disk-corrupt-byte";
+  case FaultSite::DiskRenameFail:
+    return "disk-rename-fail";
   }
   return "unknown";
 }
@@ -195,6 +220,16 @@ void specpre::disableFaultInjection() { publish(nullptr); }
 
 bool specpre::faultInjectionEnabled() {
   return Active.load(std::memory_order_acquire) != nullptr;
+}
+
+bool specpre::pipelineFaultInjectionEnabled() {
+  const InjectorConfig *Config = Active.load(std::memory_order_acquire);
+  if (!Config)
+    return false;
+  for (unsigned I = 0; I <= static_cast<unsigned>(FaultSite::Budget); ++I)
+    if (Config->Sites[I].Armed)
+      return true;
+  return false;
 }
 
 namespace {

@@ -17,7 +17,9 @@
 /// (docs/ROBUSTNESS.md) adds network and process sites — `torn-frame`,
 /// `partial-write`, `delayed-write`, `dropped-connection` in the socket
 /// framing layer, and `worker-kill` / `worker-crash` probed by the
-/// compile-worker supervisor. The spec string
+/// compile-worker supervisor — and disk sites enacted inside the
+/// CompileCache I/O helpers: `disk-short-write`, `disk-enospc`,
+/// `disk-eio`, `disk-corrupt-byte`, `disk-rename-fail`. The spec string
 ///
 ///   site:rate[:seed][,site:rate[:seed]...]     e.g.  min-cut:0.01:7
 ///
@@ -72,10 +74,17 @@ enum class FaultSite : unsigned {
   // (pre/CompileService --isolate=process).
   WorkerKill,         ///< SIGKILL a sandbox worker mid-request.
   WorkerCrash,        ///< Make a sandbox worker segfault mid-request.
+  // Disk sites, enacted inside support/CompileCache's publish and read
+  // helpers (docs/CACHING.md "Durability and self-healing").
+  DiskShortWrite,     ///< Publish only a prefix of the entry (torn write).
+  DiskEnospc,         ///< Fail a publish as if the disk were full.
+  DiskEio,            ///< Fail a disk read or write with an I/O error.
+  DiskCorruptByte,    ///< Flip one payload byte before it hits disk.
+  DiskRenameFail,     ///< Fail the atomic rename that publishes an entry.
 };
 
 constexpr unsigned NumFaultSites =
-    static_cast<unsigned>(FaultSite::WorkerCrash) + 1;
+    static_cast<unsigned>(FaultSite::DiskRenameFail) + 1;
 
 /// Spec-string spelling of \p S ("min-cut", "alloc", ...).
 const char *faultSiteName(FaultSite S);
@@ -90,6 +99,14 @@ void disableFaultInjection();
 
 /// True when any site is armed.
 bool faultInjectionEnabled();
+
+/// True when any *pipeline* site (phi-insertion through budget — the
+/// throwing sites that perturb a compile's outcome) is armed. The
+/// network, process, and disk sites only perturb transport and storage,
+/// so compilation results stay a pure function of their inputs and the
+/// compile cache remains sound under them; cache admission keys off this
+/// narrower check (pre/CachedCompile).
+bool pipelineFaultInjectionEnabled();
 
 /// Probe: if \p S is armed and the deterministic coin for this hit comes
 /// up, throws StatusException(FaultInjected) naming the site and hit

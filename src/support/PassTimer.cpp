@@ -66,6 +66,14 @@ void PipelineMetrics::merge(const PipelineMetrics &Other) {
   Cache.DiskWrites += Other.Cache.DiskWrites;
   Cache.DiskEvictions += Other.Cache.DiskEvictions;
   Cache.VerifyMismatches += Other.Cache.VerifyMismatches;
+  Cache.CorruptDropped += Other.Cache.CorruptDropped;
+  Cache.DiskIoErrors += Other.Cache.DiskIoErrors;
+  Cache.BreakerOpens += Other.Cache.BreakerOpens;
+  Cache.BreakerShortCircuits += Other.Cache.BreakerShortCircuits;
+  // A gauge, not an event count: keep the most-degraded observed state.
+  Cache.BreakerState = std::max(Cache.BreakerState, Other.Cache.BreakerState);
+  Cache.ScrubScanned += Other.Cache.ScrubScanned;
+  Cache.ScrubQuarantined += Other.Cache.ScrubQuarantined;
   Service.RequestsReceived += Other.Service.RequestsReceived;
   Service.RequestsSucceeded += Other.Service.RequestsSucceeded;
   Service.RequestsFailed += Other.Service.RequestsFailed;
@@ -105,12 +113,15 @@ std::string PipelineMetrics::arenaToJson() const {
 }
 
 std::string PipelineMetrics::cacheToJson() const {
-  char Buf[384];
+  char Buf[768];
   std::snprintf(Buf, sizeof(Buf),
                 "{\"hits\": %llu, \"misses\": %llu, \"stores\": %llu, "
                 "\"evictions\": %llu, \"disk_hits\": %llu, "
                 "\"disk_writes\": %llu, \"disk_evictions\": %llu, "
-                "\"verify_mismatches\": %llu}",
+                "\"verify_mismatches\": %llu, \"corrupt_dropped\": %llu, "
+                "\"disk_io_errors\": %llu, \"breaker_opens\": %llu, "
+                "\"breaker_short_circuits\": %llu, \"breaker_state\": %llu, "
+                "\"scrub_scanned\": %llu, \"scrub_quarantined\": %llu}",
                 static_cast<unsigned long long>(Cache.Hits),
                 static_cast<unsigned long long>(Cache.Misses),
                 static_cast<unsigned long long>(Cache.Stores),
@@ -118,7 +129,14 @@ std::string PipelineMetrics::cacheToJson() const {
                 static_cast<unsigned long long>(Cache.DiskHits),
                 static_cast<unsigned long long>(Cache.DiskWrites),
                 static_cast<unsigned long long>(Cache.DiskEvictions),
-                static_cast<unsigned long long>(Cache.VerifyMismatches));
+                static_cast<unsigned long long>(Cache.VerifyMismatches),
+                static_cast<unsigned long long>(Cache.CorruptDropped),
+                static_cast<unsigned long long>(Cache.DiskIoErrors),
+                static_cast<unsigned long long>(Cache.BreakerOpens),
+                static_cast<unsigned long long>(Cache.BreakerShortCircuits),
+                static_cast<unsigned long long>(Cache.BreakerState),
+                static_cast<unsigned long long>(Cache.ScrubScanned),
+                static_cast<unsigned long long>(Cache.ScrubQuarantined));
   return Buf;
 }
 

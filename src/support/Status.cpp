@@ -22,6 +22,8 @@ const char *specpre::errorCodeName(ErrorCode C) {
     return "fault-injected";
   case ErrorCode::WorkerFailed:
     return "worker-failed";
+  case ErrorCode::IoError:
+    return "io-error";
   case ErrorCode::InternalError:
     return "internal-error";
   }

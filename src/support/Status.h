@@ -43,6 +43,7 @@ enum class ErrorCode {
   ResourceLimit,    ///< A structural cap (graph size, allocation) hit.
   FaultInjected,    ///< A deterministic FaultInjector fault fired.
   WorkerFailed,     ///< A parallel worker task failed.
+  IoError,          ///< A disk or socket operation failed (ENOSPC, EIO).
   InternalError,    ///< Caught-but-unclassified exception.
 };
 

@@ -10,8 +10,13 @@
 //    frequencies for MC-SSAPRE, node+edge for MC-PRE, no profile at all
 //    for the heuristic legs;
 //  * unsound situations never populate the cache: degraded ladder
-//    outcomes are not stored, fault injection bypasses the cache
-//    entirely, and a corrupt disk entry decodes to a miss, not an error;
+//    outcomes are not stored, pipeline fault injection bypasses the
+//    cache entirely (disk-site injection does not — the disk sites need
+//    cache traffic), and a corrupt disk entry decodes to a miss;
+//  * every corruption class — truncation, bit rot, torn publishes — is
+//    a clean accounted miss, the breaker opens under a sustained disk
+//    fault burst and re-closes after a successful probe, and the
+//    scrubber quarantines rot before a reader ever sees it;
 //  * Verify mode audits hits without ever flagging a false mismatch.
 //
 //===----------------------------------------------------------------------===//
@@ -32,7 +37,9 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace specpre;
@@ -518,4 +525,359 @@ TEST(CompileCacheTest, CorruptedIntegerTokensAreRejected) {
   // Trailing garbage and empty tokens.
   EXPECT_FALSE(DecodeWithCount(CountTok + "x"));
   EXPECT_FALSE(DecodeWithCount("0x10"));
+}
+
+//===----------------------------------------------------------------------===//
+// Durability: the checksum trailer, fault-injected publishes, the
+// breaker, and the scrubber (docs/CACHING.md "Durability and
+// self-healing")
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Disarms injection on every exit path so a failing assertion cannot
+/// leak an armed spec into later tests.
+struct InjectionGuard {
+  explicit InjectionGuard(const char *Spec) {
+    EXPECT_TRUE(configureFaultInjection(Spec).isOk()) << Spec;
+  }
+  ~InjectionGuard() { disableFaultInjection(); }
+};
+
+std::string readFileBytes(const std::filesystem::path &P) {
+  std::ifstream In(P, std::ios::binary);
+  EXPECT_TRUE(In) << P;
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  return std::move(Buf).str();
+}
+
+void writeFileBytes(const std::filesystem::path &P, const std::string &Bytes) {
+  std::ofstream Out(P, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(Out) << P;
+  Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+}
+
+} // namespace
+
+TEST(CompileCacheTest, DiskEntryTrailerRoundTrips) {
+  const std::string Payloads[] = {"", "x", std::string(1000, 'z'),
+                                  "specpre-cache v1\nssa 1\nir\nret 0\n"};
+  for (const std::string &P : Payloads) {
+    std::string Framed = CompileCache::encodeDiskEntry(P);
+    ASSERT_GT(Framed.size(), P.size());
+    std::string Back;
+    ASSERT_TRUE(CompileCache::decodeDiskEntry(Framed, Back)) << P.size();
+    EXPECT_EQ(Back, P);
+  }
+  // Distinct payloads get distinct sums (no degenerate constant digest).
+  EXPECT_NE(CompileCache::payloadChecksum("a"),
+            CompileCache::payloadChecksum("b"));
+  // Appending bytes changes the digest even when the prefix is shared.
+  EXPECT_NE(CompileCache::payloadChecksum("abc"),
+            CompileCache::payloadChecksum("abcd"));
+  std::string Empty;
+  EXPECT_FALSE(CompileCache::decodeDiskEntry("", Empty));
+}
+
+TEST(CompileCacheTest, EveryCorruptionClassIsACleanMiss) {
+  namespace fs = std::filesystem;
+  fs::path Dir = fs::temp_directory_path() / "specpre-cache-test-classes";
+  fs::remove_all(Dir);
+
+  auto Corpus = makeCorpus(1);
+  CompileCache::Config CC;
+  CC.DiskDir = Dir.string();
+  CompileResult Cold;
+  {
+    CompileCache Cache(CC);
+    Cold = compileSerial(Corpus, PreStrategy::McSsaPre, &Cache);
+    ASSERT_EQ(Cache.counters().DiskWrites, 1u);
+  }
+  fs::path EntryPath;
+  for (const fs::directory_entry &F : fs::directory_iterator(Dir))
+    EntryPath = F.path();
+  ASSERT_FALSE(EntryPath.empty());
+  const std::string Good = readFileBytes(EntryPath);
+  ASSERT_GT(Good.size(), 32u);
+
+  // The framed entry's interesting offsets: the payload's own header
+  // line, an integer token, the payload middle, and the trailer.
+  size_t HeaderEnd = Good.find('\n');
+  ASSERT_NE(HeaderEnd, std::string::npos);
+  size_t RecordsAt = Good.find("records ");
+  ASSERT_NE(RecordsAt, std::string::npos);
+  size_t TrailerAt = Good.rfind("sprc-sum ");
+  ASSERT_NE(TrailerAt, std::string::npos);
+
+  std::vector<std::pair<const char *, std::string>> Mutations;
+  // Zero-length file and truncation at every section boundary.
+  Mutations.emplace_back("zero-length", "");
+  for (size_t Cut : {size_t{1}, HeaderEnd, RecordsAt, Good.size() / 2,
+                     TrailerAt, Good.size() - 1})
+    Mutations.emplace_back("truncation", Good.substr(0, Cut));
+  // Single bit-flips in the header, integer, payload, trailer regions.
+  for (size_t At : {size_t{2}, RecordsAt + 8, Good.size() / 2,
+                    TrailerAt + 10, Good.size() - 2}) {
+    std::string Flipped = Good;
+    Flipped[At] = static_cast<char>(Flipped[At] ^ 0x01);
+    Mutations.emplace_back("bit-flip", Flipped);
+  }
+
+  for (size_t I = 0; I != Mutations.size(); ++I) {
+    SCOPED_TRACE(std::string(Mutations[I].first) + " #" + std::to_string(I));
+    writeFileBytes(EntryPath, Mutations[I].second);
+    // Every class fails the static decoder...
+    std::string Out;
+    EXPECT_FALSE(CompileCache::decodeDiskEntry(Mutations[I].second, Out));
+    // ...and through a fresh cache it is a clean miss: the entry is
+    // dropped, accounted, recompiled bit-identically, and republished.
+    CompileCache Cache(CC);
+    CompileResult Warm = compileSerial(Corpus, PreStrategy::McSsaPre, &Cache);
+    expectSameResults(Cold, Warm, Mutations[I].first);
+    CacheCounters C = Cache.counters();
+    EXPECT_EQ(C.Hits, 0u);
+    EXPECT_EQ(C.Misses, 1u);
+    EXPECT_EQ(C.CorruptDropped, 1u);
+    EXPECT_EQ(C.Stores, 1u);
+    EXPECT_EQ(C.DiskWrites, 1u) << "dropped entry was not republished";
+    // Republished bytes must be whole again for the next round.
+    std::string Back;
+    EXPECT_TRUE(CompileCache::decodeDiskEntry(readFileBytes(EntryPath), Back));
+  }
+  fs::remove_all(Dir);
+}
+
+TEST(CompileCacheTest, DiskFaultSitesDoNotBypassTheCache) {
+  namespace fs = std::filesystem;
+  fs::path Dir = fs::temp_directory_path() / "specpre-cache-test-nobypass";
+  fs::remove_all(Dir);
+
+  auto Corpus = makeCorpus(2);
+  CompileCache::Config CC;
+  CC.DiskDir = Dir.string();
+  CompileCache Cache(CC);
+  // Disk sites armed (at rate zero) leave compile outcomes input-pure,
+  // so the cache must stay engaged — otherwise the disk sites could
+  // never see traffic. Contrast FaultInjectionBypassesTheCacheEntirely.
+  InjectionGuard Guard("disk-enospc:0.0:1,disk-eio:0.0:2");
+  ASSERT_TRUE(faultInjectionEnabled());
+  ASSERT_FALSE(pipelineFaultInjectionEnabled());
+  CompileResult Cold = compileSerial(Corpus, PreStrategy::McSsaPre, &Cache);
+  CompileResult Warm = compileSerial(Corpus, PreStrategy::McSsaPre, &Cache);
+  expectSameResults(Cold, Warm, "disk sites armed");
+  CacheCounters C = Cache.counters();
+  EXPECT_EQ(C.Stores, Corpus.size());
+  EXPECT_EQ(C.Hits, Corpus.size());
+  fs::remove_all(Dir);
+}
+
+TEST(CompileCacheTest, FailedStoresDegradeToPassthrough) {
+  namespace fs = std::filesystem;
+  fs::path Dir = fs::temp_directory_path() / "specpre-cache-test-storefail";
+  fs::remove_all(Dir);
+
+  auto Corpus = makeCorpus(2);
+  CompileResult Reference = compileSerial(Corpus, PreStrategy::McSsaPre,
+                                          nullptr);
+  CompileCache::Config CC;
+  CC.DiskDir = Dir.string();
+  CompileCache Cache(CC);
+  // Every publish's rename fails: the request must still succeed with
+  // bit-identical output, and no temp (or torn final) file may remain.
+  InjectionGuard Guard("disk-rename-fail:1:1");
+  CompileResult Got = compileSerial(Corpus, PreStrategy::McSsaPre, &Cache);
+  expectSameResults(Reference, Got, "rename failures");
+  CacheCounters C = Cache.counters();
+  EXPECT_EQ(C.Stores, Corpus.size());
+  EXPECT_EQ(C.DiskWrites, 0u);
+  EXPECT_EQ(C.DiskIoErrors, Corpus.size());
+  unsigned FilesLeft = 0;
+  for (const fs::directory_entry &F : fs::directory_iterator(Dir)) {
+    (void)F;
+    ++FilesLeft;
+  }
+  EXPECT_EQ(FilesLeft, 0u) << "failed publish leaked a file";
+  fs::remove_all(Dir);
+}
+
+TEST(CompileCacheTest, TornAndRottenPublishesAreCaughtByTheChecksum) {
+  namespace fs = std::filesystem;
+  for (const char *Spec : {"disk-short-write:1:1", "disk-corrupt-byte:1:1"}) {
+    SCOPED_TRACE(Spec);
+    fs::path Dir = fs::temp_directory_path() / "specpre-cache-test-torn";
+    fs::remove_all(Dir);
+
+    auto Corpus = makeCorpus(2);
+    CompileCache::Config CC;
+    CC.DiskDir = Dir.string();
+    CompileResult Cold;
+    {
+      CompileCache Cache(CC);
+      InjectionGuard Guard(Spec);
+      // The injected fault is silent: the publish "succeeds" but the
+      // bytes on disk are torn or rotten.
+      Cold = compileSerial(Corpus, PreStrategy::McSsaPre, &Cache);
+      EXPECT_EQ(Cache.counters().DiskWrites, Corpus.size());
+    }
+    // A fresh process reads the damaged tier: every entry must be
+    // detected, dropped, recompiled bit-identically, and republished.
+    CompileCache Cache(CC);
+    CompileResult Warm = compileSerial(Corpus, PreStrategy::McSsaPre, &Cache);
+    expectSameResults(Cold, Warm, Spec);
+    CacheCounters C = Cache.counters();
+    EXPECT_EQ(C.CorruptDropped, Corpus.size());
+    EXPECT_EQ(C.Hits, 0u);
+    EXPECT_EQ(C.DiskWrites, Corpus.size());
+
+    // And the healed tier replays clean.
+    CompileCache Healed(CC);
+    CompileResult Replayed =
+        compileSerial(Corpus, PreStrategy::McSsaPre, &Healed);
+    expectSameResults(Cold, Replayed, "replay after heal");
+    EXPECT_EQ(Healed.counters().Hits, Corpus.size());
+    EXPECT_EQ(Healed.counters().CorruptDropped, 0u);
+    fs::remove_all(Dir);
+  }
+}
+
+TEST(CompileCacheTest, EnospcBurstOpensAndReclosesTheBreaker) {
+  namespace fs = std::filesystem;
+  fs::path Dir = fs::temp_directory_path() / "specpre-cache-test-breaker";
+  fs::remove_all(Dir);
+
+  CompileCache::Config CC;
+  CC.DiskDir = Dir.string();
+  CC.BreakerThreshold = 3;
+  CC.BreakerCooldownMs = 50;
+  CompileCache Cache(CC);
+  auto KeyN = [](uint64_t N) { return CacheKey{0x1000 + N, N}; };
+
+  {
+    // A sustained ENOSPC burst: the first BreakerThreshold publishes
+    // fail for real, then the breaker opens and short-circuits the rest
+    // without touching the disk.
+    InjectionGuard Guard("disk-enospc:1:1");
+    for (uint64_t I = 0; I != 6; ++I)
+      Cache.insert(KeyN(I), "payload-" + std::to_string(I));
+    CacheCounters C = Cache.counters();
+    EXPECT_EQ(Cache.breakerState(), DiskBreakerState::Open);
+    EXPECT_EQ(C.BreakerOpens, 1u);
+    EXPECT_EQ(C.DiskIoErrors, CC.BreakerThreshold);
+    EXPECT_EQ(C.BreakerShortCircuits, 6 - CC.BreakerThreshold);
+    EXPECT_EQ(C.DiskWrites, 0u);
+
+    // A cold lookup against an open breaker is a miss by decree — no
+    // disk access, no stall.
+    EXPECT_FALSE(Cache.lookup(KeyN(99)).has_value());
+    EXPECT_GT(Cache.counters().BreakerShortCircuits,
+              C.BreakerShortCircuits);
+  }
+
+  // Disk recovers; after the cooldown one half-open probe succeeds and
+  // re-closes the breaker, and publishes flow again.
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  Cache.insert(KeyN(100), "recovered");
+  EXPECT_EQ(Cache.breakerState(), DiskBreakerState::Closed);
+  CacheCounters C = Cache.counters();
+  EXPECT_EQ(C.DiskWrites, 1u);
+
+  // The probe's bytes really landed, whole.
+  CompileCache Fresh(CC);
+  auto Back = Fresh.lookup(KeyN(100));
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(*Back, "recovered");
+  fs::remove_all(Dir);
+}
+
+TEST(CompileCacheTest, DurablePublishRoundTrips) {
+  namespace fs = std::filesystem;
+  fs::path Dir = fs::temp_directory_path() / "specpre-cache-test-durable";
+  fs::remove_all(Dir);
+
+  CompileCache::Config CC;
+  CC.DiskDir = Dir.string();
+  CC.Durable = true; // fsync file + directory around the rename
+  {
+    CompileCache Cache(CC);
+    Cache.insert(CacheKey{1, 2}, "durable payload");
+    EXPECT_EQ(Cache.counters().DiskWrites, 1u);
+  }
+  CompileCache Fresh(CC);
+  auto Back = Fresh.lookup(CacheKey{1, 2});
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(*Back, "durable payload");
+  fs::remove_all(Dir);
+}
+
+TEST(CompileCacheTest, SweepReapsTempsWithoutAByteCap) {
+  namespace fs = std::filesystem;
+  fs::path Dir = fs::temp_directory_path() / "specpre-cache-test-nocap-tmp";
+  fs::remove_all(Dir);
+  fs::create_directories(Dir);
+
+  // The pre-fix sweep returned immediately without a byte cap, so an
+  // unbounded tier leaked crashed writers' temps forever.
+  fs::path Stale = Dir / "deadbeef.sprc.tmp.1234.0";
+  fs::path Fresh = Dir / "cafef00d.sprc.tmp.5678.0";
+  { std::ofstream(Stale) << std::string(64, 'x'); }
+  { std::ofstream(Fresh) << std::string(64, 'y'); }
+  fs::last_write_time(Stale, fs::file_time_type::clock::now() -
+                                 std::chrono::hours(1));
+
+  CompileCache::Config CC;
+  CC.DiskDir = Dir.string(); // MaxDiskBytes = 0: unbounded
+  CompileCache Cache(CC);
+  Cache.sweepDiskTier();
+  EXPECT_FALSE(fs::exists(Stale)) << "uncapped sweep left the orphan";
+  EXPECT_TRUE(fs::exists(Fresh)) << "live writer's temp file reaped";
+  fs::remove_all(Dir);
+}
+
+TEST(CompileCacheTest, ScrubQuarantinesCorruptEntriesAndReapsTemps) {
+  namespace fs = std::filesystem;
+  fs::path Dir = fs::temp_directory_path() / "specpre-cache-test-scrub";
+  fs::remove_all(Dir);
+
+  CompileCache::Config CC;
+  CC.DiskDir = Dir.string();
+  CompileCache Cache(CC);
+  for (uint64_t I = 0; I != 3; ++I)
+    Cache.insert(CacheKey{I, I}, "scrub-payload-" + std::to_string(I));
+  ASSERT_EQ(Cache.counters().DiskWrites, 3u);
+
+  // Rot one entry and orphan one stale temp.
+  fs::path Victim = Dir / (CacheKey{1, 1}.toHex() + ".sprc");
+  std::string Bytes = readFileBytes(Victim);
+  Bytes[Bytes.size() / 2] = static_cast<char>(Bytes[Bytes.size() / 2] ^ 0x10);
+  writeFileBytes(Victim, Bytes);
+  fs::path Stale = Dir / "deadbeef.sprc.tmp.42.0";
+  { std::ofstream(Stale) << "orphan"; }
+  fs::last_write_time(Stale, fs::file_time_type::clock::now() -
+                                 std::chrono::hours(1));
+
+  CompileCache::ScrubReport R = Cache.scrubDiskTier();
+  EXPECT_EQ(R.Scanned, 3u);
+  EXPECT_EQ(R.Quarantined, 1u);
+  EXPECT_EQ(R.ReadFailures, 0u);
+  EXPECT_FALSE(fs::exists(Victim)) << "corrupt entry still servable";
+  EXPECT_TRUE(fs::exists(Victim.string() + ".quar"))
+      << "quarantine kept no forensic copy";
+  EXPECT_FALSE(fs::exists(Stale)) << "scrub left the temp orphan";
+  CacheCounters C = Cache.counters();
+  EXPECT_EQ(C.ScrubScanned, 3u);
+  EXPECT_EQ(C.ScrubQuarantined, 1u);
+  EXPECT_EQ(C.CorruptDropped, 1u);
+
+  // The quarantined key is a clean disk miss; its neighbors still hit.
+  CompileCache Fresh(CC);
+  EXPECT_FALSE(Fresh.lookup(CacheKey{1, 1}).has_value());
+  auto Neighbor = Fresh.lookup(CacheKey{0, 0});
+  ASSERT_TRUE(Neighbor.has_value());
+  EXPECT_EQ(*Neighbor, "scrub-payload-0");
+
+  // A second scrub over the healed tier finds nothing new to do.
+  CompileCache::ScrubReport R2 = Cache.scrubDiskTier();
+  EXPECT_EQ(R2.Quarantined, 0u);
+  fs::remove_all(Dir);
 }

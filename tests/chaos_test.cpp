@@ -28,6 +28,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -345,12 +346,17 @@ TEST(ChaosTest, ConcurrentChaosSweep) {
     Refs.push_back(Ref.StdoutText);
   }
 
+  namespace fs = std::filesystem;
+  fs::path CacheDir = fs::temp_directory_path() / "specpre-chaos-sweep-cache";
+  fs::remove_all(CacheDir);
+
   ServeServer::Config Cfg;
   Cfg.SocketPath = tempSocketPath("sweep");
   Cfg.IoTimeoutMs = 10000;
   Cfg.Service.RequestWorkers = 4;
   Cfg.Service.Isolation = IsolationMode::Process;
   Cfg.Service.QuarantineAfter = 3;
+  Cfg.Service.CacheDir = CacheDir.string();
   ServeServer Server(Cfg);
   ASSERT_TRUE(Server.start().isOk());
 
@@ -358,10 +364,14 @@ TEST(ChaosTest, ConcurrentChaosSweep) {
   {
     // Every write (client *and* server side) flips coins for torn
     // frames, partial writes, stalls and drops; every fork flips for
-    // kills and crashes. 5% per site, as the harness contract demands.
+    // kills and crashes; every cache publish and read flips for torn,
+    // rotten and failed disk I/O. 5% per site, as the contract demands.
     InjectionGuard Guard("torn-frame:0.05:21,partial-write:0.05:22,"
                          "delayed-write:0.05:23,dropped-connection:0.05:24,"
-                         "worker-kill:0.05:25,worker-crash:0.05:26");
+                         "worker-kill:0.05:25,worker-crash:0.05:26,"
+                         "disk-short-write:0.05:27,disk-enospc:0.05:28,"
+                         "disk-eio:0.05:29,disk-corrupt-byte:0.05:30,"
+                         "disk-rename-fail:0.05:31");
     auto Client = [&](unsigned Shift) {
       for (unsigned I = 0; I != Suite.size(); ++I) {
         unsigned K = (I + Shift) % Suite.size();
@@ -415,13 +425,88 @@ TEST(ChaosTest, ConcurrentChaosSweep) {
     ASSERT_TRUE(readFrame(*Conn, F, PeerClosed, 5000).isOk());
     ASSERT_EQ(F.Type, 'T');
     for (const char *Key : {"\"worker_crashes\"", "\"deadline_kills\"",
-                            "\"quarantined\"", "\"shed\"", "\"retries\""})
+                            "\"quarantined\"", "\"shed\"", "\"retries\"",
+                            "\"corrupt_dropped\"", "\"breaker_opens\"",
+                            "\"breaker_state\""})
       EXPECT_NE(F.Payload.find(Key), std::string::npos)
           << "stats JSON lacks " << Key << ": " << F.Payload;
   }
 
   Server.stop();
   ::unlink(Cfg.SocketPath.c_str());
+  fs::remove_all(CacheDir);
+}
+
+TEST(ChaosTest, DiskStormNeverServesCorruptBytes) {
+  // All five disk sites at a brutal 20%, nothing else armed: compile
+  // outcomes stay input-pure, so a faulting cache may only ever cost a
+  // recompile. Every response — cold and warm, while entries are being
+  // torn, rotted and refused around it — must be bit-identical. A single
+  // Degraded or Quarantined outcome here is a bug.
+  std::vector<ServeRequest> Suite;
+  {
+    ServeRequest R = basicRequest();
+    Suite.push_back(R);
+    R.Strategy = PreStrategy::SsaPre;
+    Suite.push_back(R);
+    R = basicRequest();
+    R.Placement = CutPlacement::Earliest;
+    Suite.push_back(R);
+  }
+  std::vector<std::string> Refs;
+  for (const ServeRequest &R : Suite) {
+    ServeResponse Ref = localReference(R);
+    ASSERT_TRUE(Ref.Ok);
+    Refs.push_back(Ref.StdoutText);
+  }
+
+  namespace fs = std::filesystem;
+  fs::path CacheDir = fs::temp_directory_path() / "specpre-chaos-storm-cache";
+  fs::remove_all(CacheDir);
+
+  ServeServer::Config Cfg;
+  Cfg.SocketPath = tempSocketPath("storm");
+  Cfg.IoTimeoutMs = 10000;
+  Cfg.Service.RequestWorkers = 2;
+  Cfg.Service.CacheDir = CacheDir.string();
+  // A tight breaker so the storm demonstrably trips and heals it.
+  Cfg.Service.CacheBreakerThreshold = 2;
+  Cfg.Service.CacheBreakerCooldownMs = 50;
+  Cfg.Service.CacheScrubIntervalMs = 100; // scrub concurrently with load
+  ServeServer Server(Cfg);
+  ASSERT_TRUE(Server.start().isOk());
+
+  {
+    InjectionGuard Guard("disk-short-write:0.2:41,disk-enospc:0.2:42,"
+                         "disk-eio:0.2:43,disk-corrupt-byte:0.2:44,"
+                         "disk-rename-fail:0.2:45");
+    for (unsigned Round = 0; Round != 6; ++Round)
+      for (unsigned I = 0; I != Suite.size(); ++I)
+        EXPECT_EQ(chaseRequest(Cfg.SocketPath, Suite[I], Refs[I], 10),
+                  Outcome::Match)
+            << "round " << Round << " request " << I;
+  }
+
+  // The storm has passed: the daemon is alive and its counters show the
+  // cache took the damage, not the responses.
+  {
+    Expected<Socket> Conn = connectUnix(Cfg.SocketPath, 5000);
+    ASSERT_TRUE(Conn.hasValue()) << Conn.status().toString();
+    ASSERT_TRUE(writeFrame(*Conn, 'S', "", 5000).isOk());
+    Frame F;
+    bool PeerClosed = false;
+    ASSERT_TRUE(readFrame(*Conn, F, PeerClosed, 5000).isOk());
+    ASSERT_EQ(F.Type, 'T');
+    for (const char *Key :
+         {"\"corrupt_dropped\"", "\"disk_io_errors\"", "\"breaker_opens\"",
+          "\"scrub_scanned\"", "\"scrub_quarantined\""})
+      EXPECT_NE(F.Payload.find(Key), std::string::npos)
+          << "stats JSON lacks " << Key << ": " << F.Payload;
+  }
+
+  Server.stop();
+  ::unlink(Cfg.SocketPath.c_str());
+  fs::remove_all(CacheDir);
 }
 
 #endif // !SPECPRE_TSAN

@@ -35,6 +35,11 @@
 //     --cache=on|off|verify content-addressed compilation cache; verify
 //                           recompiles every hit and asserts the cached
 //                           entry is bit-identical (exit 1 on mismatch)
+//     --cache-durable=on|off fsync cache entries + directory before each
+//                           publish rename (default off; docs/CACHING.md)
+//     --cache-scrub         one-shot scrub of --cache-dir: validate every
+//                           entry's checksum trailer, quarantine corrupt
+//                           entries, report, exit (no input file needed)
 //     --connect=PATH        client mode: send the compile to a running
 //                           specpre-serve daemon at this socket instead
 //                           of compiling locally; stdout is bit-identical
@@ -116,6 +121,8 @@ struct ToolOptions {
   bool ReportOutcomes = false; ///< report ladder outcome per function
   std::string CacheDir;        ///< on-disk cache directory ("" = memory-only)
   std::optional<CacheMode> Cache; ///< unset = on iff --cache-dir given
+  bool CacheDurable = false;   ///< fsync-before-rename disk publishes
+  bool CacheScrub = false;     ///< one-shot disk-tier scrub, then exit
   std::string ConnectPath; ///< serve-daemon socket ("" = compile locally)
   bool JobsGiven = false;  ///< --jobs was on the command line
   int TimeoutMs = 60000;   ///< client mode: per-frame I/O budget
@@ -150,6 +157,7 @@ int usage(const char *Argv0) {
                "[--max-graph-nodes=N]\n"
                "          [--inject-faults=SPEC] [--report-outcomes]\n"
                "          [--cache-dir=PATH] [--cache=on|off|verify]\n"
+               "          [--cache-durable=on|off] [--cache-scrub]\n"
                "          [--connect=SOCKET] [--timeout-ms=N] [--retries=N]\n"
                "          [--retry-seed=N]\n"
                "          [--dot-cfg=PATH] [--dot-frg=PATH] [--function=NAME] <file>\n",
@@ -308,6 +316,18 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Opts) {
         std::fprintf(stderr, "error: bad --cache mode '%s'\n", V->c_str());
         return false;
       }
+    } else if (auto V = Value("--cache-durable=")) {
+      if (*V == "on")
+        Opts.CacheDurable = true;
+      else if (*V == "off")
+        Opts.CacheDurable = false;
+      else {
+        std::fprintf(stderr, "error: bad --cache-durable value '%s'\n",
+                     V->c_str());
+        return false;
+      }
+    } else if (A == "--cache-scrub") {
+      Opts.CacheScrub = true;
     } else if (A == "--report-outcomes") {
       Opts.ReportOutcomes = true;
     } else if (A == "--cleanup") {
@@ -332,6 +352,10 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Opts) {
       return false;
     }
   }
+  // --cache-scrub is a standalone maintenance mode: it needs a cache
+  // directory, not an input program.
+  if (Opts.CacheScrub)
+    return true;
   return !Opts.InputPath.empty();
 }
 
@@ -502,7 +526,8 @@ int runClientMode(const ToolOptions &Opts) {
     Unsupported = "--metrics-out";
   else if (!Opts.InjectFaults.empty())
     Unsupported = "--inject-faults";
-  else if (!Opts.CacheDir.empty() || Opts.Cache)
+  else if (!Opts.CacheDir.empty() || Opts.Cache || Opts.CacheDurable ||
+           Opts.CacheScrub)
     Unsupported = "--cache-dir/--cache (the daemon owns the cache)";
   else if (Opts.JobsGiven)
     Unsupported = "--jobs (the daemon owns the pool)";
@@ -670,6 +695,25 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  if (Opts.CacheScrub) {
+    if (Opts.CacheDir.empty()) {
+      std::fprintf(stderr, "error: --cache-scrub requires --cache-dir\n");
+      return 2;
+    }
+    CompileCache::Config CC;
+    CC.DiskDir = Opts.CacheDir;
+    CompileCache Cache(CC);
+    CompileCache::ScrubReport R = Cache.scrubDiskTier();
+    std::fprintf(stderr,
+                 "cache-scrub: scanned=%llu quarantined=%llu "
+                 "read_failures=%llu bytes=%llu\n",
+                 static_cast<unsigned long long>(R.Scanned),
+                 static_cast<unsigned long long>(R.Quarantined),
+                 static_cast<unsigned long long>(R.ReadFailures),
+                 static_cast<unsigned long long>(R.BytesRead));
+    return 0;
+  }
+
   std::ifstream In(Opts.InputPath);
   if (!In) {
     std::fprintf(stderr, "error: cannot open '%s'\n",
@@ -701,6 +745,7 @@ int main(int Argc, char **Argv) {
   if (Mode != CacheMode::Off) {
     CompileCache::Config CC;
     CC.DiskDir = Opts.CacheDir;
+    CC.Durable = Opts.CacheDurable;
     CC.Mode = Mode;
     Cache = std::make_unique<CompileCache>(CC);
   }
@@ -726,16 +771,21 @@ int main(int Argc, char **Argv) {
     Metrics.cache() = CacheStats;
     // Summary on stderr so stdout stays bit-identical with and without
     // the cache.
-    std::fprintf(stderr,
-                 "cache: hits=%llu misses=%llu stores=%llu evictions=%llu "
-                 "disk_hits=%llu disk_writes=%llu verify_mismatches=%llu\n",
-                 static_cast<unsigned long long>(CacheStats.Hits),
-                 static_cast<unsigned long long>(CacheStats.Misses),
-                 static_cast<unsigned long long>(CacheStats.Stores),
-                 static_cast<unsigned long long>(CacheStats.Evictions),
-                 static_cast<unsigned long long>(CacheStats.DiskHits),
-                 static_cast<unsigned long long>(CacheStats.DiskWrites),
-                 static_cast<unsigned long long>(CacheStats.VerifyMismatches));
+    std::fprintf(
+        stderr,
+        "cache: hits=%llu misses=%llu stores=%llu evictions=%llu "
+        "disk_hits=%llu disk_writes=%llu verify_mismatches=%llu "
+        "corrupt_dropped=%llu disk_io_errors=%llu breaker_opens=%llu\n",
+        static_cast<unsigned long long>(CacheStats.Hits),
+        static_cast<unsigned long long>(CacheStats.Misses),
+        static_cast<unsigned long long>(CacheStats.Stores),
+        static_cast<unsigned long long>(CacheStats.Evictions),
+        static_cast<unsigned long long>(CacheStats.DiskHits),
+        static_cast<unsigned long long>(CacheStats.DiskWrites),
+        static_cast<unsigned long long>(CacheStats.VerifyMismatches),
+        static_cast<unsigned long long>(CacheStats.CorruptDropped),
+        static_cast<unsigned long long>(CacheStats.DiskIoErrors),
+        static_cast<unsigned long long>(CacheStats.BreakerOpens));
   }
 
   if (WantMetrics) {

@@ -11,6 +11,17 @@
 //     --cache=on|off         in-process compile cache (default on)
 //     --cache-max-entries=N  in-memory LRU capacity (default 4096)
 //     --cache-max-disk-mb=N  disk-tier size cap; LRU-evicted (0 = unbounded)
+//     --cache-durable=on|off fsync entries + directory before each publish
+//                            rename (default off; docs/CACHING.md)
+//     --cache-breaker-threshold=N    consecutive disk failures that open
+//                            the disk-tier circuit breaker (0 = disabled,
+//                            default 8)
+//     --cache-breaker-cooldown-ms=N  open-breaker cooldown before
+//                            half-open probes (default 2000)
+//     --cache-scrub-interval-ms=N    background checksum scrubber cadence
+//                            (0 = off); corrupt entries are quarantined
+//     --cache-scrub-bytes-per-sec=N  scrub read-rate ceiling so scrubbing
+//                            never competes with compiles (default 4 MiB/s)
 //     --io-timeout-ms=N      per-frame socket read/write budget (default 10000)
 //     --max-requests=N       exit after N compile requests (0 = forever)
 //     --metrics-out=PATH     write merged pipeline metrics JSON on shutdown
@@ -68,6 +79,11 @@ int usage(const char *Argv0) {
                "usage: %s --socket=PATH [--jobs=N] [--request-workers=N]\n"
                "          [--cache-dir=PATH] [--cache=on|off]\n"
                "          [--cache-max-entries=N] [--cache-max-disk-mb=N]\n"
+               "          [--cache-durable=on|off]\n"
+               "          [--cache-breaker-threshold=N]\n"
+               "          [--cache-breaker-cooldown-ms=N]\n"
+               "          [--cache-scrub-interval-ms=N]\n"
+               "          [--cache-scrub-bytes-per-sec=N]\n"
                "          [--io-timeout-ms=N] [--max-requests=N]\n"
                "          [--metrics-out=PATH]\n"
                "          [--isolate=in-process|process]\n"
@@ -129,6 +145,40 @@ bool parseArgs(int Argc, char **Argv, ServeOptions &Opts) {
             std::stoull(*V) * 1024 * 1024;
       } catch (...) {
         return BadInt("--cache-max-disk-mb", *V);
+      }
+    } else if (auto V = Value("--cache-durable=")) {
+      if (*V == "on")
+        Opts.Server.Service.CacheDurable = true;
+      else if (*V == "off")
+        Opts.Server.Service.CacheDurable = false;
+      else {
+        std::fprintf(stderr, "error: bad --cache-durable value '%s'\n",
+                     V->c_str());
+        return false;
+      }
+    } else if (auto V = Value("--cache-breaker-threshold=")) {
+      try {
+        Opts.Server.Service.CacheBreakerThreshold = std::stoull(*V);
+      } catch (...) {
+        return BadInt("--cache-breaker-threshold", *V);
+      }
+    } else if (auto V = Value("--cache-breaker-cooldown-ms=")) {
+      try {
+        Opts.Server.Service.CacheBreakerCooldownMs = std::stoull(*V);
+      } catch (...) {
+        return BadInt("--cache-breaker-cooldown-ms", *V);
+      }
+    } else if (auto V = Value("--cache-scrub-interval-ms=")) {
+      try {
+        Opts.Server.Service.CacheScrubIntervalMs = std::stoull(*V);
+      } catch (...) {
+        return BadInt("--cache-scrub-interval-ms", *V);
+      }
+    } else if (auto V = Value("--cache-scrub-bytes-per-sec=")) {
+      try {
+        Opts.Server.Service.CacheScrubBytesPerSec = std::stoull(*V);
+      } catch (...) {
+        return BadInt("--cache-scrub-bytes-per-sec", *V);
       }
     } else if (auto V = Value("--io-timeout-ms=")) {
       try {
