@@ -27,9 +27,12 @@ using namespace specpre::benchreport;
 namespace {
 
 /// Compiles one prepared program with MC-SSAPRE and merges its EFG
-/// statistics into \p Stats.
+/// statistics into \p Stats; then compiles it again through the leg D
+/// degradation ladder, merging decomposition telemetry into \p LoStats
+/// and counting functions that bailed out to MC-SSAPRE.
 void collectFrom(Function Prepared, const std::vector<int64_t> &TrainArgs,
-                 PreStats &Stats) {
+                 PreStats &Stats, PreStats &LoStats, unsigned &LoFuncs,
+                 unsigned &LoBailouts) {
   Profile Prof;
   ExecOptions EO;
   EO.CollectProfile = &Prof;
@@ -44,32 +47,49 @@ void collectFrom(Function Prepared, const std::vector<int64_t> &TrainArgs,
   PO.Verify = false; // speed: correctness is covered by the test suite
   Function F = Prepared;
   (void)compileWithPre(F, PO);
+
+  PreOptions LO;
+  LO.Strategy = PreStrategy::Lospre;
+  LO.Prof = &NodeOnly;
+  LO.Stats = &LoStats;
+  LO.Verify = false;
+  CompileOutcomeRecord Outcome;
+  (void)compileWithFallback(Prepared, LO, &Outcome);
+  ++LoFuncs;
+  if (Outcome.degraded())
+    ++LoBailouts;
 }
 
 } // namespace
 
 int main() {
-  PreStats Stats;
+  PreStats Stats, LoStats;
+  unsigned LoFuncs = 0, LoBailouts = 0;
 
   // The 29-program SPEC stand-in suite.
   for (const BenchmarkSpec &Spec : fullCpu2006Suite()) {
     Function F = Spec.buildProgram();
     prepareFunction(F);
-    collectFrom(std::move(F), Spec.TrainArgs, Stats);
+    collectFrom(std::move(F), Spec.TrainArgs, Stats, LoStats, LoFuncs,
+                LoBailouts);
   }
 
-  // A wider corpus for a meaningful distribution.
+  // A wider corpus for a meaningful distribution. Every third program
+  // admits bounded-treewidth grid regions so the leg D section below
+  // sees decompositions wider than the if/loop skeleton produces.
   for (uint64_t Seed = 1; Seed <= 600; ++Seed) {
     GeneratorConfig Cfg;
     Cfg.MaxDepth = 2 + Seed % 3;
     Cfg.ExprPoolSize = 6 + Seed % 8;
     Cfg.AllowDiv = Seed % 5 == 0;
+    if (Seed % 3 == 0)
+      Cfg.MaxWidth = 2 + Seed / 3 % 4;
     Function F = generateProgram(Seed * 31 + 7, Cfg,
                                  "corpus" + std::to_string(Seed));
     prepareFunction(F);
     std::vector<int64_t> Args(F.Params.size(),
                               static_cast<int64_t>(Seed * 991 + 17));
-    collectFrom(std::move(F), Args, Stats);
+    collectFrom(std::move(F), Args, Stats, LoStats, LoFuncs, LoBailouts);
   }
 
   printTitle("Figure 11: EFG size distribution (number of nodes per EFG)");
@@ -108,5 +128,41 @@ int main() {
               Stats.cumulativePercentAtOrBelow(100));
   std::printf("Largest EFG                        : %u nodes (paper: 805)\n",
               Stats.largestEfg());
+
+  // Leg D over the same population: how wide do the EFG-core tree
+  // decompositions actually get, and how often does the width budget
+  // force the ladder back to MC-SSAPRE? Records where the DP never ran
+  // (empty EFGs, or functions that bailed out and were recompiled by
+  // the fallback leg) carry no decomposition and are excluded.
+  printTitle("Leg D (LOSPRE): decomposition width over the same population");
+  std::map<unsigned, unsigned> WidthHist;
+  unsigned PeakWidth = 0;
+  uint64_t DpEntries = 0;
+  for (const ExprStatsRecord &R : LoStats.records()) {
+    if (R.LospreDpEntries == 0)
+      continue;
+    ++WidthHist[R.LospreWidth];
+    PeakWidth = std::max(PeakWidth, R.LospreWidth);
+    DpEntries += R.LospreDpEntries;
+  }
+  unsigned Solved = 0, WidthMax = 0;
+  for (auto &[Width, Count] : WidthHist) {
+    Solved += Count;
+    WidthMax = std::max(WidthMax, Count);
+  }
+  std::printf("%6s %8s  histogram (EFGs solved by the treewidth DP)\n",
+              "width", "count");
+  for (auto &[Width, Count] : WidthHist)
+    std::printf("%6u %8u  |%s\n", Width, Count,
+                bar(static_cast<double>(Count) / WidthMax, 40).c_str());
+  printRule();
+  std::printf("EFGs solved by the DP   : %u\n", Solved);
+  std::printf("Peak decomposition width: %u (budget: default "
+              "--lospre-max-width)\n",
+              PeakWidth);
+  std::printf("Total DP table entries  : %llu\n",
+              static_cast<unsigned long long>(DpEntries));
+  std::printf("Functions compiled      : %u, bailed out to MC-SSAPRE: %u\n",
+              LoFuncs, LoBailouts);
   return 0;
 }

@@ -3,7 +3,8 @@
 // The paper's step 7 cites Chekuri et al.'s experimental study of
 // minimum-cut algorithms and uses an O(V^2 sqrt(E)) algorithm. This
 // binary compares our three max-flow implementations (Edmonds-Karp,
-// Dinic, highest-label push-relabel) on four input families:
+// Dinic, highest-label push-relabel) and the leg D treewidth DP
+// (mincut/TreewidthCut.h) on four input families:
 //
 //   * EFG-shaped networks harvested from compiling generated programs
 //     (small, sparse, a few parallel source edges and infinite sink
@@ -11,7 +12,10 @@
 //   * deep chains (the largest-EFG shape: augmenting-path length grows
 //     with the network, so phase-based solvers pay per-phase BFS costs
 //     that push-relabel avoids),
-//   * dense random networks (the classic stress shape).
+//   * dense random networks (the classic stress shape; the treewidth
+//     solver bails out here by design — its width cap refuses them),
+//   * width-4 grids of growing height (leg D's native bounded-treewidth
+//     family: the DP is linear in height, max flow is not).
 //
 // Two modes:
 //
@@ -29,6 +33,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "mincut/MinCut.h"
+#include "mincut/TreewidthCut.h"
 #include "support/Random.h"
 
 #include <benchmark/benchmark.h>
@@ -108,6 +113,36 @@ FlowNetwork deepChain(Rng &R, int Depth) {
   return Net;
 }
 
+/// Leg D's native shape: a W-column grid of Height rows (treewidth W),
+/// source feeding the first row, last row draining to the sink. The
+/// bounded width makes the treewidth DP linear in Height while the
+/// max-flow solvers keep paying for ever-longer augmenting paths — the
+/// comparison behind PreStrategy::Lospre.
+FlowNetwork gridNetwork(Rng &R, int Width, int Height) {
+  FlowNetwork Net;
+  int S = Net.addNode();
+  int T = Net.addNode();
+  std::vector<int> Cells(static_cast<size_t>(Width * Height));
+  for (int &C : Cells)
+    C = Net.addNode();
+  auto At = [&](int I, int J) { return Cells[static_cast<size_t>(J * Width + I)]; };
+  for (int I = 0; I != Width; ++I) {
+    Net.addEdge(S, At(I, 0), static_cast<int64_t>(R.nextInRange(1, 1000)));
+    Net.addEdge(At(I, Height - 1), T,
+                static_cast<int64_t>(R.nextInRange(1, 1000)));
+  }
+  for (int J = 0; J != Height; ++J)
+    for (int I = 0; I != Width; ++I) {
+      if (I + 1 != Width)
+        Net.addEdge(At(I, J), At(I + 1, J),
+                    static_cast<int64_t>(R.nextInRange(1, 1000)));
+      if (J + 1 != Height)
+        Net.addEdge(At(I, J), At(I, J + 1),
+                    static_cast<int64_t>(R.nextInRange(1, 1000)));
+    }
+  return Net;
+}
+
 FlowNetwork denseRandom(Rng &R, int N) {
   FlowNetwork Net(N);
   for (int U = 0; U != N; ++U)
@@ -137,6 +172,26 @@ void BM_DeepChain(benchmark::State &State, MaxFlowAlgorithm Algo) {
     Net.resetFlow();
     benchmark::DoNotOptimize(computeMaxFlow(Net, 0, 1, Algo));
   }
+  State.SetLabel(std::to_string(Net.numNodes()) + " nodes");
+}
+
+void BM_Grid(benchmark::State &State, MaxFlowAlgorithm Algo) {
+  int Height = static_cast<int>(State.range(0));
+  Rng R(61);
+  FlowNetwork Net = gridNetwork(R, 4, Height);
+  for (auto _ : State) {
+    Net.resetFlow();
+    benchmark::DoNotOptimize(computeMaxFlow(Net, 0, 1, Algo));
+  }
+  State.SetLabel(std::to_string(Net.numNodes()) + " nodes");
+}
+
+void BM_GridTreewidthCut(benchmark::State &State) {
+  int Height = static_cast<int>(State.range(0));
+  Rng R(61);
+  FlowNetwork Net = gridNetwork(R, 4, Height);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(computeTreewidthMinCut(Net, 0, 1, 16));
   State.SetLabel(std::to_string(Net.numNodes()) + " nodes");
 }
 
@@ -187,6 +242,11 @@ std::vector<SuiteCase> buildSuite(bool Smoke) {
     C.Source = 0;
     C.Sink = N - 1;
     Cases.push_back(std::move(C));
+  }
+  for (int Height : Smoke ? std::vector<int>{64, 256}
+                          : std::vector<int>{64, 512, 4096}) {
+    Rng R(61);
+    Cases.push_back({"grid_w4", Height, gridNetwork(R, 4, Height)});
   }
   return Cases;
 }
@@ -268,6 +328,43 @@ int runJsonSuite(const std::string &Path, bool Smoke) {
               maxFlowAlgorithmName(Algo) +
               "\": {\"ns_per_op\": " + std::to_string(Ns) + "}";
     }
+    // Fourth solver: the leg D treewidth DP. It refuses networks whose
+    // decomposition exceeds the width cap (dense_random, by design) —
+    // recorded as ns_per_op -1 rather than a disagreement. When it does
+    // solve, its capacity must match the max-flow value exactly.
+    double TwNs = -1;
+    {
+      Expected<MinCutResult> Probe =
+          computeTreewidthMinCut(C.Net, C.Source, C.Sink, 16);
+      if (Probe.hasValue()) {
+        if (Probe->Capacity != RefFlow) {
+          std::fprintf(stderr,
+                       "DISAGREEMENT: %s size %d: treewidth cut %lld vs "
+                       "max-flow %lld\n",
+                       C.Family, C.Size,
+                       static_cast<long long>(Probe->Capacity),
+                       static_cast<long long>(RefFlow));
+          Disagreed = true;
+        }
+        double TotalMs = 0;
+        int Iters = 0;
+        while (Iters < MinIters || TotalMs < MinMillis) {
+          auto T0 = std::chrono::steady_clock::now();
+          benchmark::DoNotOptimize(
+              computeTreewidthMinCut(C.Net, C.Source, C.Sink, 16));
+          auto T1 = std::chrono::steady_clock::now();
+          double Ns =
+              std::chrono::duration<double, std::nano>(T1 - T0).count();
+          TotalMs += Ns / 1e6;
+          ++Iters;
+          if (TwNs < 0 || Ns < TwNs)
+            TwNs = Ns;
+          if (Iters > 10000)
+            break;
+        }
+      }
+    }
+    Json += ", \"treewidth\": {\"ns_per_op\": " + std::to_string(TwNs) + "}";
     char Speed[64];
     std::snprintf(Speed, sizeof(Speed), "%.2f",
                   PrNs > 0 ? DinicNs / PrNs : 0.0);
@@ -275,8 +372,8 @@ int runJsonSuite(const std::string &Path, bool Smoke) {
             ", \"speedup_pr_over_dinic\": " + Speed + "}";
     Json += CI + 1 != Cases.size() ? ",\n" : "\n";
     std::printf("%-12s size %6d: dinic %10.0fns  push-relabel %10.0fns  "
-                "(%sx)\n",
-                C.Family, C.Size, DinicNs, PrNs, Speed);
+                "treewidth %10.0fns  (%sx)\n",
+                C.Family, C.Size, DinicNs, PrNs, TwNs, Speed);
   }
   Json += "  ]\n}\n";
 
@@ -319,6 +416,13 @@ BENCHMARK_CAPTURE(BM_DeepChain, dinic, MaxFlowAlgorithm::Dinic)
 BENCHMARK_CAPTURE(BM_DeepChain, push_relabel, MaxFlowAlgorithm::PushRelabel)
     ->Arg(256)
     ->Arg(2048);
+BENCHMARK_CAPTURE(BM_Grid, dinic, MaxFlowAlgorithm::Dinic)
+    ->Arg(64)
+    ->Arg(512);
+BENCHMARK_CAPTURE(BM_Grid, push_relabel, MaxFlowAlgorithm::PushRelabel)
+    ->Arg(64)
+    ->Arg(512);
+BENCHMARK(BM_GridTreewidthCut)->Arg(64)->Arg(512);
 BENCHMARK_CAPTURE(BM_DenseRandom, edmonds_karp, MaxFlowAlgorithm::EdmondsKarp)
     ->Arg(16)
     ->Arg(64);

@@ -1,0 +1,252 @@
+//===- analysis/TreeDecomposition.cpp - Bounded-width decompositions ----------===//
+
+#include "analysis/TreeDecomposition.h"
+
+#include "analysis/Cfg.h"
+#include "analysis/DomTree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+using namespace specpre;
+
+namespace {
+
+/// Inserts \p V into the sorted-unique vector \p Vec; returns true if it
+/// was not already present.
+bool insertSorted(std::vector<unsigned> &Vec, unsigned V) {
+  auto It = std::lower_bound(Vec.begin(), Vec.end(), V);
+  if (It != Vec.end() && *It == V)
+    return false;
+  Vec.insert(It, V);
+  return true;
+}
+
+void eraseSorted(std::vector<unsigned> &Vec, unsigned V) {
+  auto It = std::lower_bound(Vec.begin(), Vec.end(), V);
+  if (It != Vec.end() && *It == V)
+    Vec.erase(It);
+}
+
+bool containsSorted(const std::vector<unsigned> &Vec, unsigned V) {
+  return std::binary_search(Vec.begin(), Vec.end(), V);
+}
+
+} // namespace
+
+Expected<TreeDecomposition>
+specpre::buildTreeDecomposition(const TdGraph &G, unsigned MaxWidth) {
+  const unsigned N = G.NumVertices;
+  TreeDecomposition TD;
+  TD.HomeBag.assign(N, 0);
+  TD.ElimPos.assign(N, 0);
+  if (N == 0)
+    return TD;
+
+  std::vector<std::vector<unsigned>> Adj(N);
+  for (const std::pair<unsigned, unsigned> &E : G.Edges) {
+    if (E.first == E.second || E.first >= N || E.second >= N)
+      continue;
+    insertSorted(Adj[E.first], E.second);
+    insertSorted(Adj[E.second], E.first);
+  }
+
+  // Min-degree selection through a bucket queue. Degrees above the cap
+  // all live in the overflow bucket: a successful elimination step never
+  // needs them, and finding only overflow vertices *is* the bailout.
+  const unsigned Overflow = MaxWidth + 1;
+  std::vector<std::set<unsigned>> Buckets(Overflow + 1);
+  std::vector<unsigned> CurBucket(N);
+  auto bucketOf = [&](unsigned V) {
+    return std::min(static_cast<unsigned>(Adj[V].size()), Overflow);
+  };
+  for (unsigned V = 0; V != N; ++V) {
+    CurBucket[V] = bucketOf(V);
+    Buckets[CurBucket[V]].insert(V);
+  }
+
+  TD.Bags.resize(N);
+  unsigned MaxBag = 0;
+  for (unsigned Step = 0; Step != N; ++Step) {
+    unsigned V = N;
+    for (unsigned D = 0; D <= Overflow && V == N; ++D) {
+      if (Buckets[D].empty())
+        continue;
+      if (D == Overflow)
+        return Status::error(
+            ErrorCode::ResourceLimit,
+            "tree decomposition width bound " + std::to_string(MaxWidth) +
+                " exceeded (min remaining degree " +
+                std::to_string(Adj[*Buckets[D].begin()].size()) + ")");
+      V = *Buckets[D].begin();
+      Buckets[D].erase(Buckets[D].begin());
+    }
+    assert(V != N && "bucket queue lost a vertex");
+
+    std::vector<unsigned> Nb = Adj[V]; // all still uneliminated
+    assert(Nb.size() <= MaxWidth && "overfull bucket selected");
+    TD.ElimPos[V] = Step;
+    TD.HomeBag[V] = Step;
+    TdBag &Bag = TD.Bags[Step];
+    Bag.Vertices = Nb;
+    insertSorted(Bag.Vertices, V);
+    MaxBag = std::max(MaxBag, static_cast<unsigned>(Bag.Vertices.size()));
+
+    // Turn the neighborhood into a clique and detach V, re-bucketing
+    // every touched vertex once at the end.
+    for (unsigned U : Nb)
+      eraseSorted(Adj[U], V);
+    for (size_t I = 0; I != Nb.size(); ++I)
+      for (size_t J = I + 1; J != Nb.size(); ++J)
+        if (insertSorted(Adj[Nb[I]], Nb[J]))
+          insertSorted(Adj[Nb[J]], Nb[I]);
+    Adj[V].clear();
+    for (unsigned U : Nb) {
+      Buckets[CurBucket[U]].erase(U);
+      CurBucket[U] = bucketOf(U);
+      Buckets[CurBucket[U]].insert(U);
+    }
+  }
+  TD.Width = MaxBag ? MaxBag - 1 : 0;
+
+  // Parent links: the home bag of the first-eliminated neighbor. That
+  // bag contains the entire remaining neighborhood (it became a clique
+  // here), giving the running-intersection property directly.
+  for (unsigned I = 0; I != N; ++I) {
+    TdBag &Bag = TD.Bags[I];
+    int Parent = -1;
+    unsigned BestPos = N;
+    for (unsigned U : Bag.Vertices) {
+      if (TD.ElimPos[U] == I) // the eliminated vertex itself
+        continue;
+      if (TD.ElimPos[U] < BestPos) {
+        BestPos = TD.ElimPos[U];
+        Parent = static_cast<int>(TD.HomeBag[U]);
+      }
+    }
+    assert((Parent == -1 || Parent > static_cast<int>(I)) &&
+           "parent bag must be created later than its child");
+    Bag.Parent = Parent;
+  }
+  return TD;
+}
+
+bool specpre::verifyTreeDecomposition(const TdGraph &G,
+                                      const TreeDecomposition &TD,
+                                      std::string &Error) {
+  const unsigned N = G.NumVertices;
+  std::vector<std::vector<unsigned>> BagsOf(N);
+  for (unsigned B = 0; B != TD.Bags.size(); ++B) {
+    for (unsigned V : TD.Bags[B].Vertices) {
+      if (V >= N) {
+        Error = "bag " + std::to_string(B) + " names out-of-range vertex " +
+                std::to_string(V);
+        return false;
+      }
+      BagsOf[V].push_back(B);
+    }
+    if (TD.Bags[B].Parent != -1 &&
+        (TD.Bags[B].Parent <= static_cast<int>(B) ||
+         TD.Bags[B].Parent >= static_cast<int>(TD.Bags.size()))) {
+      Error = "bag " + std::to_string(B) + " has invalid parent " +
+              std::to_string(TD.Bags[B].Parent);
+      return false;
+    }
+    if (TD.Bags[B].Vertices.size() > TD.Width + 1) {
+      Error = "bag " + std::to_string(B) + " exceeds stated width " +
+              std::to_string(TD.Width);
+      return false;
+    }
+  }
+
+  for (unsigned V = 0; V != N; ++V)
+    if (BagsOf[V].empty()) {
+      Error = "vertex " + std::to_string(V) + " appears in no bag";
+      return false;
+    }
+
+  for (const std::pair<unsigned, unsigned> &E : G.Edges) {
+    if (E.first == E.second || E.first >= N || E.second >= N)
+      continue;
+    bool Covered = false;
+    for (unsigned B : BagsOf[E.first])
+      if (containsSorted(TD.Bags[B].Vertices, E.second)) {
+        Covered = true;
+        break;
+      }
+    if (!Covered) {
+      Error = "edge (" + std::to_string(E.first) + ", " +
+              std::to_string(E.second) + ") is covered by no bag";
+      return false;
+    }
+  }
+
+  // Connected-subtree axiom: within the set of bags containing V, every
+  // bag but one must have its parent in the set too.
+  std::vector<char> InSet(TD.Bags.size(), 0);
+  for (unsigned V = 0; V != N; ++V) {
+    for (unsigned B : BagsOf[V])
+      InSet[B] = 1;
+    unsigned Components = 0;
+    for (unsigned B : BagsOf[V]) {
+      int P = TD.Bags[B].Parent;
+      if (P == -1 || !InSet[P])
+        ++Components;
+    }
+    for (unsigned B : BagsOf[V])
+      InSet[B] = 0;
+    if (Components != 1) {
+      Error = "bags containing vertex " + std::to_string(V) + " form " +
+              std::to_string(Components) + " components, not a subtree";
+      return false;
+    }
+  }
+  return true;
+}
+
+TdGraph specpre::cfgSkeleton(const Cfg &C) {
+  TdGraph G;
+  G.NumVertices = C.numBlocks();
+  for (const std::pair<BlockId, BlockId> &E : C.edges())
+    G.Edges.push_back({static_cast<unsigned>(E.first),
+                       static_cast<unsigned>(E.second)});
+  return G;
+}
+
+bool specpre::isReducibleCfg(const Cfg &C, const DomTree &DT) {
+  // Kahn's algorithm over the forward (non-back) edges of the reachable
+  // subgraph: reducible iff nothing cyclic remains once every
+  // dominator-certified back edge is removed.
+  const unsigned N = C.numBlocks();
+  std::vector<unsigned> InDegree(N, 0);
+  std::vector<std::pair<BlockId, BlockId>> Forward;
+  unsigned Reachable = 0;
+  for (unsigned B = 0; B != N; ++B)
+    if (C.isReachable(B))
+      ++Reachable;
+  for (const std::pair<BlockId, BlockId> &E : C.edges()) {
+    if (DT.dominates(E.second, E.first))
+      continue; // a back edge of a natural loop
+    Forward.push_back(E);
+    ++InDegree[E.second];
+  }
+  std::vector<std::vector<BlockId>> Succ(N);
+  for (const std::pair<BlockId, BlockId> &E : Forward)
+    Succ[E.first].push_back(E.second);
+
+  std::vector<BlockId> Work;
+  for (unsigned B = 0; B != N; ++B)
+    if (C.isReachable(B) && InDegree[B] == 0)
+      Work.push_back(B);
+  unsigned Processed = 0;
+  while (!Work.empty()) {
+    BlockId B = Work.back();
+    Work.pop_back();
+    ++Processed;
+    for (BlockId S : Succ[B])
+      if (--InDegree[S] == 0)
+        Work.push_back(S);
+  }
+  return Processed == Reachable;
+}

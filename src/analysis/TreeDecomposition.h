@@ -1,0 +1,104 @@
+//===- analysis/TreeDecomposition.h - Bounded-width decompositions -*- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Width-bounded tree decompositions for the linear-time lospre leg
+/// (leg D). Krause's "lospre in linear time" observes that structured
+/// control flow has bounded treewidth, which turns the min-cut instance
+/// MC-SSAPRE solves with max-flow into a linear-size dynamic program.
+///
+/// The builder runs the classic min-degree elimination-ordering
+/// heuristic with a hard width cap: eliminating a vertex whose current
+/// neighborhood exceeds the cap aborts with ErrorCode::ResourceLimit
+/// instead of producing an oversized bag. That makes the cap a *bailout
+/// trigger*, not an approximation knob — callers (pre/Lospre.cpp) fall
+/// back to the exact max-flow leg whenever the heuristic cannot stay
+/// within budget. On the series-parallel graphs the structured program
+/// generator emits, min-degree is exact and the width found is the true
+/// treewidth.
+///
+/// Decompositions are rooted forests in elimination order: bag i is
+/// created when vertex order[i] is eliminated, and its parent (created
+/// later) is the home bag of its first-eliminated neighbor, so child
+/// indices are always smaller than parent indices — a ready-made
+/// bottom-up DP schedule.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_ANALYSIS_TREEDECOMPOSITION_H
+#define SPECPRE_ANALYSIS_TREEDECOMPOSITION_H
+
+#include "support/Status.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace specpre {
+
+class Cfg;
+class DomTree;
+
+/// An undirected graph handed to the decomposition builder. Vertices are
+/// 0..NumVertices-1; duplicate edges and self-loops are tolerated (they
+/// do not change the decomposition).
+struct TdGraph {
+  unsigned NumVertices = 0;
+  std::vector<std::pair<unsigned, unsigned>> Edges;
+};
+
+/// One bag of a tree decomposition.
+struct TdBag {
+  std::vector<unsigned> Vertices; ///< Sorted ascending.
+  int Parent = -1;                ///< Bag index, -1 for a root. Always > own index.
+};
+
+/// A rooted tree decomposition (a forest when the graph is disconnected).
+struct TreeDecomposition {
+  std::vector<TdBag> Bags; ///< One per vertex, in elimination order.
+  unsigned Width = 0;      ///< max bag size - 1 (0 for the empty graph).
+  /// HomeBag[v]: the bag created when v was eliminated. It contains v
+  /// and v's neighborhood at elimination time, and it is the unique
+  /// *smallest-index* bag containing v.
+  std::vector<unsigned> HomeBag;
+  /// ElimPos[v]: v's position in the elimination order (== HomeBag[v]).
+  std::vector<unsigned> ElimPos;
+};
+
+/// Builds a tree decomposition of \p G with width at most \p MaxWidth
+/// using the min-degree elimination heuristic (deterministic: ties break
+/// toward the lowest vertex id). Returns ErrorCode::ResourceLimit when
+/// any elimination step would create a bag wider than the cap — the
+/// graph may still have small treewidth, but this builder cannot prove
+/// it within budget, which is exactly the contract leg D's bailout
+/// needs. O((N + E) * MaxWidth^2) time.
+Expected<TreeDecomposition> buildTreeDecomposition(const TdGraph &G,
+                                                   unsigned MaxWidth);
+
+/// Checks the three tree-decomposition axioms: every vertex is in at
+/// least one bag, every edge has both endpoints in some common bag, and
+/// the bags containing any fixed vertex form a connected subtree of the
+/// (forest-shaped) bag tree. On failure returns false and describes the
+/// violated axiom in \p Error.
+bool verifyTreeDecomposition(const TdGraph &G, const TreeDecomposition &TD,
+                             std::string &Error);
+
+/// The undirected skeleton of \p C's reachable CFG edges, suitable for
+/// buildTreeDecomposition. Vertices are block ids (including unreachable
+/// ids, which simply end up isolated).
+TdGraph cfgSkeleton(const Cfg &C);
+
+/// True iff \p C is reducible: removing every back edge (an edge whose
+/// target dominates its source) leaves an acyclic graph. Structured
+/// source programs always produce reducible CFGs; irreducible loops are
+/// the classic case Krause's structured-program assumption excludes, so
+/// leg D refuses them up front (analysis/Loops natural-loop info is only
+/// meaningful on reducible graphs anyway).
+bool isReducibleCfg(const Cfg &C, const DomTree &DT);
+
+} // namespace specpre
+
+#endif // SPECPRE_ANALYSIS_TREEDECOMPOSITION_H

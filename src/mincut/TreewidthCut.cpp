@@ -1,0 +1,276 @@
+//===- mincut/TreewidthCut.cpp - Min cut by treewidth DP ----------------------===//
+
+#include "mincut/TreewidthCut.h"
+
+#include "analysis/TreeDecomposition.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+using namespace specpre;
+
+namespace {
+
+/// Costs saturate here instead of overflowing: comfortably above any sum
+/// of finite capacities, and still addable to another saturated cost
+/// without wrapping int64.
+constexpr int64_t CostCap = int64_t(1) << 62;
+
+int64_t satAdd(int64_t A, int64_t B) {
+  return A > CostCap - B ? CostCap : A + B;
+}
+
+/// Local endpoint of a charged edge: a bag position, or one of the two
+/// fixed apexes.
+constexpr int SourceLocal = -1; ///< Always on the S side.
+constexpr int SinkLocal = -2;   ///< Always on the T side.
+
+struct BagEdge {
+  int ULocal;  ///< Tail (bag position, SourceLocal, or SinkLocal).
+  int VLocal;  ///< Head.
+  int64_t Cap;
+};
+
+int localIndex(const std::vector<unsigned> &Vertices, unsigned V) {
+  auto It = std::lower_bound(Vertices.begin(), Vertices.end(), V);
+  assert(It != Vertices.end() && *It == V && "vertex not in bag");
+  return static_cast<int>(It - Vertices.begin());
+}
+
+bool onSourceSide(int Local, uint32_t Mask) {
+  if (Local == SourceLocal)
+    return true;
+  if (Local == SinkLocal)
+    return false;
+  return (Mask >> Local) & 1;
+}
+
+} // namespace
+
+Expected<MinCutResult>
+specpre::computeTreewidthMinCut(FlowNetwork &Net, int Source, int Sink,
+                                unsigned MaxWidth, TreewidthCutStats *Stats) {
+  assert(Source != Sink && "source and sink must differ");
+  if (MaxWidth > 24)
+    return Status::error(ErrorCode::ResourceLimit,
+                         "treewidth DP width bound " +
+                             std::to_string(MaxWidth) +
+                             " exceeds the 24-bit mask limit");
+  const int NumNodes = Net.numNodes();
+  const int NumEdges = Net.numOriginalEdges();
+
+  // The decomposed core: every node except the two apexes.
+  std::vector<int> CoreIdx(static_cast<size_t>(NumNodes), -1);
+  std::vector<int> CoreNode;
+  for (int V = 0; V != NumNodes; ++V)
+    if (V != Source && V != Sink) {
+      CoreIdx[static_cast<size_t>(V)] = static_cast<int>(CoreNode.size());
+      CoreNode.push_back(V);
+    }
+
+  TdGraph G;
+  G.NumVertices = static_cast<unsigned>(CoreNode.size());
+  int64_t BaseCost = 0; // source→sink edges cross every admissible cut
+  for (int E = 0; E != NumEdges; ++E) {
+    int U = Net.edgeFrom(E), W = Net.edgeTo(E);
+    if (U == W)
+      continue;
+    if (U == Source && W == Sink) {
+      BaseCost = satAdd(BaseCost, Net.edgeCapacity(E));
+      continue;
+    }
+    if (U == Sink || W == Source)
+      continue; // tail in T or head in S is fixed: never a forward crossing
+    int CU = U == Source ? -1 : CoreIdx[static_cast<size_t>(U)];
+    int CW = W == Sink ? -1 : CoreIdx[static_cast<size_t>(W)];
+    if (CU >= 0 && CW >= 0)
+      G.Edges.push_back({static_cast<unsigned>(CU), static_cast<unsigned>(CW)});
+  }
+
+  Expected<TreeDecomposition> TDOr = buildTreeDecomposition(G, MaxWidth);
+  if (!TDOr)
+    return TDOr.status();
+  TreeDecomposition &TD = *TDOr;
+  const unsigned NumBags = static_cast<unsigned>(TD.Bags.size());
+  if (Stats) {
+    Stats->Width = TD.Width;
+    Stats->NumBags = NumBags;
+    Stats->DpEntries = 0;
+  }
+
+  // Charge every capacity to exactly one bag. Core-core edges go to the
+  // home bag of the earlier-eliminated endpoint (which contains both);
+  // apex edges go to the home bag of their core endpoint.
+  std::vector<std::vector<BagEdge>> Charged(NumBags);
+  for (int E = 0; E != NumEdges; ++E) {
+    int U = Net.edgeFrom(E), W = Net.edgeTo(E);
+    if (U == W || (U == Source && W == Sink))
+      continue;
+    if (U == Sink || W == Source)
+      continue; // can never cross forward
+    int64_t Cap = Net.edgeCapacity(E);
+    if (U == Source) {
+      unsigned B = TD.HomeBag[static_cast<size_t>(
+          CoreIdx[static_cast<size_t>(W)])];
+      Charged[B].push_back(
+          {SourceLocal,
+           localIndex(TD.Bags[B].Vertices,
+                      static_cast<unsigned>(CoreIdx[static_cast<size_t>(W)])),
+           Cap});
+    } else if (W == Sink) {
+      unsigned B = TD.HomeBag[static_cast<size_t>(
+          CoreIdx[static_cast<size_t>(U)])];
+      Charged[B].push_back(
+          {localIndex(TD.Bags[B].Vertices,
+                      static_cast<unsigned>(CoreIdx[static_cast<size_t>(U)])),
+           SinkLocal, Cap});
+    } else {
+      unsigned CU = static_cast<unsigned>(CoreIdx[static_cast<size_t>(U)]);
+      unsigned CW = static_cast<unsigned>(CoreIdx[static_cast<size_t>(W)]);
+      unsigned B = std::min(TD.HomeBag[CU], TD.HomeBag[CW]);
+      Charged[B].push_back({localIndex(TD.Bags[B].Vertices, CU),
+                            localIndex(TD.Bags[B].Vertices, CW), Cap});
+    }
+  }
+
+  // Bottom-up DP. Bag indices are already a child-before-parent
+  // schedule (Parent > own index by construction). Each bag's table is
+  // folded into a message over its parent interface — the bag minus its
+  // eliminated vertex, which the parent contains entirely.
+  std::vector<std::vector<unsigned>> Children(NumBags);
+  std::vector<unsigned> Roots;
+  for (unsigned B = 0; B != NumBags; ++B) {
+    if (TD.Bags[B].Parent == -1)
+      Roots.push_back(B);
+    else
+      Children[static_cast<unsigned>(TD.Bags[B].Parent)].push_back(B);
+  }
+
+  // Per bag, retained for traceback: the interface key extraction
+  // (which parent-mask bits feed the key, in interface order) and the
+  // argmin child mask per key.
+  std::vector<std::vector<int>> KeyFromParentBit(NumBags);
+  std::vector<std::vector<uint32_t>> ArgMask(NumBags);
+  std::vector<std::vector<int64_t>> Msg(NumBags);
+  std::vector<uint32_t> RootArg(NumBags, 0);
+  int64_t Total = BaseCost;
+
+  for (unsigned B = 0; B != NumBags; ++B) {
+    const TdBag &Bag = TD.Bags[B];
+    const unsigned K = static_cast<unsigned>(Bag.Vertices.size());
+    assert(K <= 31 && "bag too wide for mask DP");
+    const uint32_t NumMasks = uint32_t(1) << K;
+    if (Stats)
+      Stats->DpEntries += NumMasks;
+
+    std::vector<int64_t> Table(NumMasks, 0);
+    for (uint32_t Mask = 0; Mask != NumMasks; ++Mask) {
+      int64_t Cost = 0;
+      for (const BagEdge &E : Charged[B])
+        if (onSourceSide(E.ULocal, Mask) && !onSourceSide(E.VLocal, Mask))
+          Cost = satAdd(Cost, E.Cap);
+      Table[Mask] = Cost;
+    }
+
+    // Fold in each child's message, keyed by this bag's bits at the
+    // child interface positions.
+    for (unsigned C : Children[B]) {
+      const std::vector<int> &Bits = KeyFromParentBit[C];
+      for (uint32_t Mask = 0; Mask != NumMasks; ++Mask) {
+        uint32_t Key = 0;
+        for (unsigned I = 0; I != Bits.size(); ++I)
+          Key |= ((Mask >> Bits[I]) & 1u) << I;
+        Table[Mask] = satAdd(Table[Mask], Msg[C][Key]);
+      }
+      Msg[C].clear(); // consumed; ArgMask stays for traceback
+      Msg[C].shrink_to_fit();
+    }
+
+    if (Bag.Parent == -1) {
+      // Root: minimize outright.
+      int64_t Best = CostCap;
+      uint32_t BestMask = 0;
+      for (uint32_t Mask = 0; Mask != NumMasks; ++Mask)
+        if (Table[Mask] < Best) {
+          Best = Table[Mask];
+          BestMask = Mask;
+        }
+      RootArg[B] = BestMask;
+      Total = satAdd(Total, Best);
+      continue;
+    }
+
+    // Interface with the parent: this bag minus its eliminated vertex.
+    const unsigned Elim = [&] {
+      for (unsigned V : Bag.Vertices)
+        if (TD.ElimPos[V] == B)
+          return V;
+      assert(false && "bag lost its eliminated vertex");
+      return Bag.Vertices.front();
+    }();
+    std::vector<unsigned> Shared;
+    std::vector<int> OwnBit;
+    for (unsigned V : Bag.Vertices)
+      if (V != Elim) {
+        Shared.push_back(V);
+        OwnBit.push_back(localIndex(Bag.Vertices, V));
+      }
+    const TdBag &PBag = TD.Bags[static_cast<unsigned>(Bag.Parent)];
+    KeyFromParentBit[B].reserve(Shared.size());
+    for (unsigned V : Shared)
+      KeyFromParentBit[B].push_back(localIndex(PBag.Vertices, V));
+
+    const uint32_t NumKeys = uint32_t(1) << Shared.size();
+    Msg[B].assign(NumKeys, CostCap);
+    ArgMask[B].assign(NumKeys, 0);
+    for (uint32_t Mask = 0; Mask != NumMasks; ++Mask) {
+      uint32_t Key = 0;
+      for (unsigned I = 0; I != OwnBit.size(); ++I)
+        Key |= ((Mask >> OwnBit[I]) & 1u) << I;
+      if (Table[Mask] < Msg[B][Key]) {
+        Msg[B][Key] = Table[Mask];
+        ArgMask[B][Key] = Mask;
+      }
+    }
+  }
+
+  // Traceback, parent before child (descending bag index works: every
+  // parent index is larger than its children's).
+  std::vector<uint32_t> Chosen(NumBags, 0);
+  for (unsigned I = NumBags; I-- > 0;) {
+    const TdBag &Bag = TD.Bags[I];
+    if (Bag.Parent == -1) {
+      Chosen[I] = RootArg[I];
+      continue;
+    }
+    uint32_t ParentMask = Chosen[static_cast<unsigned>(Bag.Parent)];
+    const std::vector<int> &Bits = KeyFromParentBit[I];
+    uint32_t Key = 0;
+    for (unsigned J = 0; J != Bits.size(); ++J)
+      Key |= ((ParentMask >> Bits[J]) & 1u) << J;
+    Chosen[I] = ArgMask[I][Key];
+  }
+
+  MinCutResult Cut;
+  Cut.SourceSide.assign(static_cast<size_t>(NumNodes), false);
+  Cut.SourceSide[static_cast<size_t>(Source)] = true;
+  for (unsigned C = 0; C != CoreNode.size(); ++C) {
+    unsigned B = TD.HomeBag[C];
+    int Bit = localIndex(TD.Bags[B].Vertices, C);
+    if ((Chosen[B] >> Bit) & 1u)
+      Cut.SourceSide[static_cast<size_t>(CoreNode[C])] = true;
+  }
+  for (int E = 0; E != NumEdges; ++E) {
+    int U = Net.edgeFrom(E), W = Net.edgeTo(E);
+    if (U != W && Cut.SourceSide[static_cast<size_t>(U)] &&
+        !Cut.SourceSide[static_cast<size_t>(W)]) {
+      Cut.CutEdgeIds.push_back(E);
+      Cut.Capacity = satAdd(Cut.Capacity, Net.edgeCapacity(E));
+    }
+  }
+  assert(Cut.Capacity == Total &&
+         "partition capacity disagrees with DP optimum");
+  (void)Total;
+  return Cut;
+}

@@ -1,0 +1,59 @@
+//===- mincut/TreewidthCut.h - Min cut by treewidth DP ---------*- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An exact minimum s-t cut solver that runs in O(2^w · N) for networks
+/// whose source/sink-free core has a width-w tree decomposition —
+/// the engine behind PreStrategy::Lospre (leg D, after Krause's "lospre
+/// in linear time"). A minimum cut is a minimum-weight bipartition
+/// {S ∋ source, T ∋ sink} counting forward S→T capacities; over a tree
+/// decomposition that objective decomposes into per-bag terms joined on
+/// bag interfaces, which a bottom-up table DP minimizes exactly.
+///
+/// The artificial source and sink are apex vertices (adjacent to almost
+/// everything), so they are excluded from the decomposed core and their
+/// sides are fixed instead: source ∈ S and sink ∈ T in every DP state.
+/// Edges touching them charge the home bag of their core endpoint.
+///
+/// The solver is exact: its Capacity always equals computeMinCut's on
+/// the same network, though the reported partition may be a *different*
+/// minimum cut (ties break toward the lexicographically smallest
+/// assignment, not toward the sink-closest cut). The returned cut always
+/// satisfies verifyMinCut. When the decomposition heuristic cannot stay
+/// within MaxWidth the solver returns ErrorCode::ResourceLimit and the
+/// caller falls back to max-flow.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_MINCUT_TREEWIDTHCUT_H
+#define SPECPRE_MINCUT_TREEWIDTHCUT_H
+
+#include "mincut/MinCut.h"
+#include "support/Status.h"
+
+#include <cstdint>
+
+namespace specpre {
+
+/// Size/effort observations of one treewidth min-cut solve.
+struct TreewidthCutStats {
+  unsigned Width = 0;    ///< Core decomposition width found.
+  unsigned NumBags = 0;  ///< Bags in the decomposition (== core vertices).
+  uint64_t DpEntries = 0; ///< Total DP table entries across all bags.
+};
+
+/// Computes a minimum s-t cut of \p Net by dynamic programming over a
+/// width-bounded tree decomposition of the core (all nodes except \p
+/// Source and \p Sink). Returns ErrorCode::ResourceLimit when the
+/// min-degree heuristic exceeds \p MaxWidth. Deterministic; does not
+/// push flow (the network's flow state is left untouched).
+Expected<MinCutResult> computeTreewidthMinCut(FlowNetwork &Net, int Source,
+                                              int Sink, unsigned MaxWidth,
+                                              TreewidthCutStats *Stats = nullptr);
+
+} // namespace specpre
+
+#endif // SPECPRE_MINCUT_TREEWIDTHCUT_H

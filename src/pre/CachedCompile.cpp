@@ -2,11 +2,11 @@
 //
 // Payload wire format (one entry, line-oriented text, LF only):
 //
-//   specpre-cache v1
+//   specpre-cache v2
 //   ssa <0|1>
 //   outcome <fn> <funcidx> <requested> <used> <retries> <cause> <message>
 //   records <N>
-//   record <24 space-separated fields, ExprStatsRecord declaration order>
+//   record <26 space-separated fields, ExprStatsRecord declaration order>
 //   ...            (exactly N record lines)
 //   ir <bytes>
 //   <printed optimized IR, exactly <bytes> bytes>
@@ -46,7 +46,7 @@ void appendRecordLine(std::string &Out, const ExprStatsRecord &R) {
   std::snprintf(
       Buf, sizeof(Buf),
       " %u %u %u %u %d %u %u %lld %u %u %u %u %u %u %llu %llu %llu %lld "
-      "%lld %lld %d %d\n",
+      "%lld %lld %d %d %u %llu\n",
       R.FuncIndex, R.ExprIndex, R.FrgPhis, R.FrgReals, R.EfgEmpty ? 1 : 0,
       R.EfgNodes, R.EfgEdges, static_cast<long long>(R.CutWeight),
       R.NumInsertions, R.NumReloads, R.NumSaves, R.NumTempPhis, R.McPreNodes,
@@ -56,12 +56,13 @@ void appendRecordLine(std::string &Out, const ExprStatsRecord &R) {
       static_cast<long long>(R.SprWeight),
       static_cast<long long>(R.InsertedWeight),
       static_cast<long long>(R.InPlaceWeight), R.Saturated ? 1 : 0,
-      R.Speculated ? 1 : 0);
+      R.Speculated ? 1 : 0, R.LospreWidth,
+      static_cast<unsigned long long>(R.LospreDpEntries));
   Out += Buf;
 }
 
 bool parseRecordLine(const std::vector<std::string> &T, ExprStatsRecord &R) {
-  if (T.size() != 25 || T[0] != "record")
+  if (T.size() != 27 || T[0] != "record")
     return false;
   return unesc(T[1], R.Expr) && unesc(T[2], R.FunctionName) &&
          parseU32(T[3], R.FuncIndex) && parseU32(T[4], R.ExprIndex) &&
@@ -75,7 +76,8 @@ bool parseRecordLine(const std::vector<std::string> &T, ExprStatsRecord &R) {
          parseU64(T[19], R.SprReloadedFreq) &&
          parseI64(T[20], R.SprWeight) && parseI64(T[21], R.InsertedWeight) &&
          parseI64(T[22], R.InPlaceWeight) && parseBool(T[23], R.Saturated) &&
-         parseBool(T[24], R.Speculated);
+         parseBool(T[24], R.Speculated) && parseU32(T[25], R.LospreWidth) &&
+         parseU64(T[26], R.LospreDpEntries);
 }
 
 } // namespace
@@ -85,7 +87,7 @@ CacheKey specpre::compileCacheKey(const Function &Prepared,
   HashBuilder H;
   // Format tag: bumping it orphans every existing entry (they stay
   // undecoded on disk until evicted, never served).
-  H.addString("specpre-cache-key-v1");
+  H.addString("specpre-cache-key-v2");
   hashFunctionInto(H, Prepared);
 
   H.addString(strategyName(Opts.Strategy));
@@ -97,6 +99,10 @@ CacheKey specpre::compileCacheKey(const Function &Prepared,
   H.addU64(Opts.Budget.DeadlineMillis);
   H.addU64(Opts.Budget.MaxFlowAugmentations);
   H.addU64(Opts.Budget.MaxGraphNodes);
+  // Leg D's width bound changes which EFGs bail out (and the ladder
+  // below it), so it is part of the key — but only when leg D runs.
+  if (Opts.Strategy == PreStrategy::Lospre)
+    H.addU64(Opts.LospreMaxWidth);
 
   H.addBool(Opts.EquivalenceInputs != nullptr);
   if (Opts.EquivalenceInputs) {
@@ -109,14 +115,15 @@ CacheKey specpre::compileCacheKey(const Function &Prepared,
   }
 
   // Only the profile slice the strategy actually consumes enters the
-  // key: node frequencies for MC-SSAPRE, node+edge for MC-PRE (it
+  // key: node frequencies for MC-SSAPRE and LOSPRE, node+edge for MC-PRE (it
   // estimates edges from nodes when HasEdgeFreqs is off, so both feed
   // in), nothing for the profile-free legs. Note the degradation ladder
   // below a profile-consuming rung only runs profile-free strategies, so
   // a degraded result never depends on more profile than its key —
   // degraded results are not cached anyway.
   const bool NeedsNodes = Opts.Strategy == PreStrategy::McSsaPre ||
-                          Opts.Strategy == PreStrategy::McPre;
+                          Opts.Strategy == PreStrategy::McPre ||
+                          Opts.Strategy == PreStrategy::Lospre;
   const bool NeedsEdges = Opts.Strategy == PreStrategy::McPre;
   H.addBool(NeedsNodes && Opts.Prof);
   if (NeedsNodes && Opts.Prof) {
@@ -143,7 +150,7 @@ std::string
 specpre::encodeCachePayload(const Function &Optimized,
                             const std::vector<ExprStatsRecord> &Records,
                             const CompileOutcomeRecord &Outcome) {
-  std::string Out = "specpre-cache v1\n";
+  std::string Out = "specpre-cache v2\n";
   Out += Optimized.IsSSA ? "ssa 1\n" : "ssa 0\n";
 
   Out += "outcome ";
@@ -178,7 +185,7 @@ bool specpre::decodeCachePayload(const std::string &Payload,
                                  CompileOutcomeRecord &OutcomeOut) {
   size_t Pos = 0;
   std::string Line;
-  if (!nextLine(Payload, Pos, Line) || Line != "specpre-cache v1")
+  if (!nextLine(Payload, Pos, Line) || Line != "specpre-cache v2")
     return false;
 
   if (!nextLine(Payload, Pos, Line))

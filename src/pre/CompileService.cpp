@@ -52,6 +52,8 @@ const char *strategyFlagName(PreStrategy S) {
     return "mcpre";
   case PreStrategy::Lcm:
     return "lcm";
+  case PreStrategy::Lospre:
+    return "lospre";
   }
   return "mcssapre";
 }
@@ -69,6 +71,8 @@ bool parseStrategyFlag(const std::string &Name, PreStrategy &Out) {
     Out = PreStrategy::McPre;
   else if (Name == "lcm")
     Out = PreStrategy::Lcm;
+  else if (Name == "lospre")
+    Out = PreStrategy::Lospre;
   else
     return false;
   return true;
@@ -92,6 +96,8 @@ std::string specpre::encodeServeRequest(const ServeRequest &R) {
   Out += "\nbudget " + std::to_string(R.Budget.DeadlineMillis) + " " +
          std::to_string(R.Budget.MaxFlowAugmentations) + " " +
          std::to_string(R.Budget.MaxGraphNodes);
+  if (R.Strategy == PreStrategy::Lospre)
+    Out += "\nlospre-max-width " + std::to_string(R.LospreMaxWidth);
   Out += "\nflags " + std::string(R.Emit ? "1" : "0") + " " +
          (R.Cleanup ? "1" : "0") + " " + (R.Gvn ? "1" : "0") + " " +
          (R.OutOfSsa ? "1" : "0") + " " + (R.ReportOutcomes ? "1" : "0");
@@ -149,6 +155,11 @@ bool specpre::decodeServeRequest(const std::string &Payload,
           !parseU64(Tok[2], Out.Budget.MaxFlowAugmentations) ||
           !parseU64(Tok[3], Out.Budget.MaxGraphNodes))
         return Bad("bad budget directive");
+    } else if (Key == "lospre-max-width") {
+      uint64_t W;
+      if (Tok.size() != 2 || !parseU64(Tok[1], W) || W > 64)
+        return Bad("bad lospre-max-width directive");
+      Out.LospreMaxWidth = static_cast<unsigned>(W);
     } else if (Key == "flags") {
       if (Tok.size() != 6 || !parseBool(Tok[1], Out.Emit) ||
           !parseBool(Tok[2], Out.Cleanup) || !parseBool(Tok[3], Out.Gvn) ||
@@ -276,7 +287,8 @@ int processServeFunction(Function &F, const ServeRequest &R,
   prepareFunction(F);
 
   bool NeedsProfile = R.Strategy == PreStrategy::McSsaPre ||
-                      R.Strategy == PreStrategy::McPre;
+                      R.Strategy == PreStrategy::McPre ||
+                      R.Strategy == PreStrategy::Lospre;
   Profile Prof;
   if (NeedsProfile && !R.ProfileText.empty()) {
     std::string Error;
@@ -319,6 +331,7 @@ int processServeFunction(Function &F, const ServeRequest &R,
   PO.Algo = R.Algo;
   PO.Objective = R.Objective;
   PO.Budget = R.Budget;
+  PO.LospreMaxWidth = R.LospreMaxWidth;
   PO.Cache = Cache;
   PreStats Stats;
   PO.Stats = &Stats;

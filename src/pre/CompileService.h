@@ -70,6 +70,9 @@ struct ServeRequest {
   MaxFlowAlgorithm Algo = MaxFlowAlgorithm::Dinic;
   CutObjective Objective = CutObjective::speed();
   CompileBudget Budget;
+  /// Leg D's treewidth budget (PreOptions::LospreMaxWidth). Only on the
+  /// wire when Strategy is Lospre; otherwise the default is implied.
+  unsigned LospreMaxWidth = 8;
   /// Arguments for the profile-collection run; required by the
   /// profile-guided strategies unless ProfileText is given.
   std::optional<std::vector<int64_t>> TrainArgs;

@@ -1,0 +1,54 @@
+//===- pre/Lospre.h - Linear-time lospre (leg D) ---------------*- C++ -*-===//
+//
+// Part of the MC-SSAPRE reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Leg D of the pipeline: lifetime-optimal speculative PRE in linear
+/// time on bounded-treewidth (structured) CFGs, after Krause's "lospre
+/// in linear time". The leg shares everything with MC-SSAPRE except
+/// step 7: it builds the very same essential flow graph
+/// (pre/McSsaPre.h buildEfgNetwork) and solves the minimum cut by
+/// dynamic programming over a tree decomposition of the EFG core
+/// (mincut/TreewidthCut.h) instead of by max flow — O(2^w · N) for
+/// width w, i.e. linear for the bounded width structured programs
+/// guarantee, versus the superlinear max-flow bound.
+///
+/// Because both legs minimize the identical objective over the
+/// identical network, the cut *capacities* agree bit-for-bit, and since
+/// every other term of the dynamic-computation count (full-redundancy
+/// frequency, SPR weight) is cut-independent, so do the optimized
+/// programs' dynamic expression counts — the property
+/// tests/lospre_equivalence_test.cpp and the leg-D fuzz oracle pin.
+/// The chosen cut may differ on ties, so placements are compared by
+/// cost, never by identity.
+///
+/// The leg refuses, with ErrorCode::ResourceLimit, inputs outside its
+/// linear-time domain: irreducible CFGs (checked by the driver before
+/// any per-expression work) and EFGs whose decomposition exceeds the
+/// width bound (checked here). The degradation ladder then falls back
+/// to MC-SSAPRE, which accepts anything — bailing out is never wrong,
+/// only slower.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPRE_PRE_LOSPRE_H
+#define SPECPRE_PRE_LOSPRE_H
+
+#include "pre/McSsaPre.h"
+
+namespace specpre {
+
+/// Runs steps 3-8 on \p G under \p Prof with the treewidth min-cut
+/// engine. Sets WillBeAvail and operand Insert flags exactly like
+/// computeSpeculativePlacement; the returned stats additionally carry
+/// the decomposition width and DP table size. Throws
+/// StatusException(ResourceLimit) when the EFG's decomposition exceeds
+/// \p MaxWidth — the caller's degradation ladder retries on MC-SSAPRE.
+EfgStats computeLosprePlacement(Frg &G, const Profile &Prof,
+                                CutObjective Objective, unsigned MaxWidth);
+
+} // namespace specpre
+
+#endif // SPECPRE_PRE_LOSPRE_H

@@ -327,6 +327,15 @@ EfgStats specpre::computeSpeculativePlacement(Frg &G, const Profile &Prof,
 
   // Step 7: minimum cut, picking later cuts on ties via reverse labeling.
   MinCutResult Cut = computeMinCut(Net, B.Source, B.Sink, Placement, Algo);
+
+  // Steps 7b-8: validation, cut application, Figure-7 propagation.
+  applyEfgCut(G, B, Cut, "MC-SSAPRE", Stats);
+  return Stats;
+}
+
+void specpre::applyEfgCut(Frg &G, EfgBuild &B, const MinCutResult &Cut,
+                          const char *LegName, EfgStats &Stats) {
+  FlowNetwork &Net = B.Net;
   Stats.CutWeight = Cut.Capacity;
   Stats.NumCutEdges = static_cast<unsigned>(Cut.CutEdgeIds.size());
 
@@ -337,9 +346,11 @@ EfgStats specpre::computeSpeculativePlacement(Frg &G, const Profile &Prof,
   {
     std::string CutError;
     maybeInject(FaultSite::Verify, "min-cut validation");
+    Net.freeze();
     if (!verifyMinCut(Net, B.Source, B.Sink, Cut, CutError))
       throw StatusException(ErrorCode::InternalError,
-                            "MC-SSAPRE minimum cut failed validation: " +
+                            std::string(LegName) +
+                                " minimum cut failed validation: " +
                                 CutError);
   }
 
@@ -352,8 +363,8 @@ EfgStats specpre::computeSpeculativePlacement(Frg &G, const Profile &Prof,
       // strategy that does not price edges at all.
       throw StatusException(
           ErrorCode::InternalError,
-          "infinite sink edge in the MC-SSAPRE minimum cut "
-          "(finite capacity aliased the infinite edges)");
+          "infinite sink edge in the " + std::string(LegName) +
+              " minimum cut (finite capacity aliased the infinite edges)");
     const EfgBuild::Action &A = B.Actions[Tag];
     if (A.K == EfgBuild::Action::Kind::InsertAtOperand) {
       assert(!G.phis()[A.PhiIdx].Operands[A.OpIdx].InsertBlocked &&
@@ -405,5 +416,4 @@ EfgStats specpre::computeSpeculativePlacement(Frg &G, const Profile &Prof,
     }
   }
 #endif
-  return Stats;
 }

@@ -64,6 +64,11 @@ struct EfgStats {
   int64_t InPlaceWeight = 0;  ///< Type-2 (in-place) cut-edge weights.
   bool Saturated = false;     ///< Some finite weight hit MaxFiniteCapacity;
                               ///< exact reconciliation no longer holds.
+
+  // Leg D (pre/Lospre.h) observations; zero when the max-flow leg ran.
+  unsigned TdWidth = 0;    ///< Tree-decomposition width of the EFG core.
+  unsigned TdBags = 0;     ///< Bags in the decomposition.
+  uint64_t DpEntries = 0;  ///< Total DP table entries evaluated.
 };
 
 /// The essential flow graph of one candidate expression, together with
@@ -121,6 +126,15 @@ EfgStats computeSpeculativePlacement(
 /// \p G from the current Insert flags by forward propagation of full
 /// availability. Exposed for tests (Lemma 8).
 void computeWillBeAvailFromInserts(Frg &G);
+
+/// Steps 7b-8, shared by the max-flow leg and the treewidth leg
+/// (pre/Lospre.h): validates \p Cut against \p B's network (throwing a
+/// recoverable InternalError on an invalid or infinite-crossing cut),
+/// applies the cut's placement actions to \p G's operand Insert flags,
+/// tallies CutWeight / insertion / in-place statistics into \p Stats,
+/// and recomputes WillBeAvail (Figure 7). \p LegName labels diagnostics.
+void applyEfgCut(Frg &G, EfgBuild &B, const MinCutResult &Cut,
+                 const char *LegName, EfgStats &Stats);
 
 } // namespace specpre
 

@@ -5,6 +5,7 @@
 #include "analysis/Cfg.h"
 #include "analysis/DomTree.h"
 #include "analysis/Loops.h"
+#include "analysis/TreeDecomposition.h"
 #include "ir/Verifier.h"
 #include "pre/CachedCompile.h"
 #include "pre/CodeMotion.h"
@@ -12,6 +13,7 @@
 #include "pre/Finalize.h"
 #include "pre/Frg.h"
 #include "pre/LexicalDataFlow.h"
+#include "pre/Lospre.h"
 #include "pre/SsaPre.h"
 #include "ssa/SsaConstruction.h"
 #include "support/Budget.h"
@@ -28,7 +30,7 @@ namespace {
 
 bool isSsaStrategy(PreStrategy S) {
   return S == PreStrategy::SsaPre || S == PreStrategy::SsaPreSpec ||
-         S == PreStrategy::McSsaPre;
+         S == PreStrategy::McSsaPre || S == PreStrategy::Lospre;
 }
 
 /// The analysis half of one expression's PRE, computed against the
@@ -79,6 +81,27 @@ void computePlacementOnFrg(Frg &G, const PreOptions &Opts,
     Rec.InsertedWeight = ES.InsertedWeight;
     Rec.InPlaceWeight = ES.InPlaceWeight;
     Rec.Saturated = ES.Saturated;
+    break;
+  }
+  case PreStrategy::Lospre: {
+    assert(Opts.Prof && "LOSPRE requires a profile");
+    if (E.canFault()) {
+      computeSafePlacement(G, LDF, EI, false, nullptr);
+      break;
+    }
+    EfgStats ES = computeLosprePlacement(G, *Opts.Prof, Opts.Objective,
+                                         Opts.LospreMaxWidth);
+    Rec.Speculated = true;
+    Rec.EfgEmpty = ES.Empty;
+    Rec.EfgNodes = ES.NumNodes;
+    Rec.EfgEdges = ES.NumEdges;
+    Rec.CutWeight = ES.CutWeight;
+    Rec.SprWeight = ES.SprWeight;
+    Rec.InsertedWeight = ES.InsertedWeight;
+    Rec.InPlaceWeight = ES.InPlaceWeight;
+    Rec.Saturated = ES.Saturated;
+    Rec.LospreWidth = ES.TdWidth;
+    Rec.LospreDpEntries = ES.DpEntries;
     break;
   }
   default:
@@ -133,6 +156,15 @@ void runSsaStrategiesParallel(Function &F, const PreOptions &Opts,
   Cfg C(F);
   DomTree DT = DomTree::buildDominators(C);
   LoopInfo LI(C, DT);
+  // Leg D's whole-function reducibility gate, mirroring the serial
+  // driver: bail out before the per-expression fan-out so the ladder
+  // retries the whole function on MC-SSAPRE.
+  if (Opts.Strategy == PreStrategy::Lospre && !isReducibleCfg(C, DT)) {
+    if (Metrics)
+      ++Metrics->lospre().Bailouts;
+    throw StatusException(ErrorCode::ResourceLimit,
+                          "LOSPRE requires a reducible CFG");
+  }
 
   std::vector<ExprKey> Exprs;
   LexicalDataFlow LDF;

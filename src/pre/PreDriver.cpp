@@ -7,6 +7,7 @@
 #include "analysis/DomTree.h"
 #include "analysis/LoopRestructure.h"
 #include "analysis/Loops.h"
+#include "analysis/TreeDecomposition.h"
 #include "ir/Verifier.h"
 #include "pre/CachedCompile.h"
 #include "pre/CodeMotion.h"
@@ -15,9 +16,11 @@
 #include "pre/Frg.h"
 #include "pre/LexicalDataFlow.h"
 #include "pre/Lcm.h"
+#include "pre/Lospre.h"
 #include "pre/McPre.h"
 #include "pre/McSsaPre.h"
 #include "pre/SsaPre.h"
+#include "support/PassTimer.h"
 #include "interp/Interpreter.h"
 #include "ssa/SsaConstruction.h"
 #include "support/CrashContext.h"
@@ -41,6 +44,8 @@ const char *specpre::strategyName(PreStrategy S) {
     return "MC-PRE";
   case PreStrategy::Lcm:
     return "LCM";
+  case PreStrategy::Lospre:
+    return "LOSPRE";
   }
   SPECPRE_UNREACHABLE("bad strategy");
 }
@@ -81,11 +86,27 @@ bool reportOracleFailure(const PreOptions &Opts, const std::string &Message) {
   throw StatusException(ErrorCode::VerifyFailed, Message);
 }
 
+/// Leg D's whole-function gate: Krause's linear-time construction
+/// assumes structured (reducible) control flow, so an irreducible CFG
+/// is refused up front — one recoverable bailout for the function, not
+/// one per expression — and the degradation ladder retries with
+/// MC-SSAPRE, which accepts anything.
+void gateLospreReducibility(const Cfg &C, const DomTree &DT) {
+  if (isReducibleCfg(C, DT))
+    return;
+  if (PipelineMetrics *M = currentMetricsSink())
+    ++M->lospre().Bailouts;
+  throw StatusException(ErrorCode::ResourceLimit,
+                        "LOSPRE requires a reducible CFG");
+}
+
 void runSsaStrategies(Function &F, const PreOptions &Opts) {
   assert(F.IsSSA && "SSA strategies require SSA form");
   Cfg C(F);
   DomTree DT = DomTree::buildDominators(C);
   LoopInfo LI(C, DT);
+  if (Opts.Strategy == PreStrategy::Lospre)
+    gateLospreReducibility(C, DT);
 
   std::vector<ExprKey> Exprs = collectCandidateExprs(F);
   // Lexical block-level data flow is unaffected by the per-expression
@@ -135,6 +156,27 @@ void runSsaStrategies(Function &F, const PreOptions &Opts) {
       Rec.InsertedWeight = ES.InsertedWeight;
       Rec.InPlaceWeight = ES.InPlaceWeight;
       Rec.Saturated = ES.Saturated;
+      break;
+    }
+    case PreStrategy::Lospre: {
+      assert(Opts.Prof && "LOSPRE requires a profile");
+      if (E.canFault()) {
+        computeSafePlacement(G, LDF, EI, false, nullptr);
+        break;
+      }
+      EfgStats ES = computeLosprePlacement(G, *Opts.Prof, Opts.Objective,
+                                           Opts.LospreMaxWidth);
+      Rec.Speculated = true;
+      Rec.EfgEmpty = ES.Empty;
+      Rec.EfgNodes = ES.NumNodes;
+      Rec.EfgEdges = ES.NumEdges;
+      Rec.CutWeight = ES.CutWeight;
+      Rec.SprWeight = ES.SprWeight;
+      Rec.InsertedWeight = ES.InsertedWeight;
+      Rec.InPlaceWeight = ES.InPlaceWeight;
+      Rec.Saturated = ES.Saturated;
+      Rec.LospreWidth = ES.TdWidth;
+      Rec.LospreDpEntries = ES.DpEntries;
       break;
     }
     default:
@@ -201,6 +243,7 @@ void specpre::runPre(Function &F, const PreOptions &Opts) {
   case PreStrategy::SsaPre:
   case PreStrategy::SsaPreSpec:
   case PreStrategy::McSsaPre:
+  case PreStrategy::Lospre:
     runSsaStrategies(F, Opts);
     return;
   case PreStrategy::McPre: {
@@ -228,7 +271,8 @@ Function specpre::compileWithPre(const Function &Prepared,
   Function F = Prepared;
   if (Opts.Strategy == PreStrategy::SsaPre ||
       Opts.Strategy == PreStrategy::SsaPreSpec ||
-      Opts.Strategy == PreStrategy::McSsaPre)
+      Opts.Strategy == PreStrategy::McSsaPre ||
+      Opts.Strategy == PreStrategy::Lospre)
     constructSsa(F);
   runPre(F, Opts);
   return F;
@@ -245,6 +289,11 @@ Status specpre::runPreChecked(Function &F, const PreOptions &Opts) {
 
 std::vector<PreStrategy> specpre::degradationLadder(PreStrategy Requested) {
   switch (Requested) {
+  case PreStrategy::Lospre:
+    // Leg D's bailouts (irreducible CFG, width bound) land on the exact
+    // max-flow leg first: same optimum, just not linear time.
+    return {PreStrategy::Lospre, PreStrategy::McSsaPre,
+            PreStrategy::SsaPreSpec, PreStrategy::SsaPre, PreStrategy::None};
   case PreStrategy::McSsaPre:
     return {PreStrategy::McSsaPre, PreStrategy::SsaPreSpec,
             PreStrategy::SsaPre, PreStrategy::None};

@@ -15,6 +15,9 @@
 ///     A. SsaPre     safe SSAPRE, no speculation, no profile
 ///     B. SsaPreSpec SSAPRE + conservative loop speculation (SSAPREsp)
 ///     C. McSsaPre   optimal speculative PRE via min-cut on the FRG
+///     D. Lospre     the same optimum in linear time on reducible,
+///                   bounded-treewidth CFGs (Krause), with a
+///                   ResourceLimit bailout to MC-SSAPRE otherwise
 ///     -- McPre      the CFG-based baseline (Section 4 comparison)
 ///
 /// The SSA strategies run on SSA form; MC-PRE runs on non-SSA form.
@@ -47,6 +50,8 @@ enum class PreStrategy {
   McPre,      ///< The CFG-based min-cut baseline (Xue & Cai).
   Lcm,        ///< Classic lazy code motion (Knoop et al.): the safe
               ///< optimum, used as an oracle for leg A.
+  Lospre,     ///< Leg D: leg C's optimum via treewidth DP (pre/Lospre.h);
+              ///< bails out to MC-SSAPRE on irreducible or wide CFGs.
 };
 
 const char *strategyName(PreStrategy S);
@@ -86,6 +91,12 @@ struct PreOptions {
   /// on each argument vector before accepting a rung's result. Argument
   /// vectors are padded/truncated to the function's arity.
   const std::vector<std::vector<int64_t>> *EquivalenceInputs = nullptr;
+  /// Leg D's treewidth budget: computeLosprePlacement refuses, with a
+  /// recoverable ResourceLimit, any EFG whose tree decomposition comes
+  /// out wider than this (the DP is O(2^w · N), so the bound caps both
+  /// time and table memory). Only consulted when Strategy == Lospre;
+  /// part of the compilation cache key there.
+  unsigned LospreMaxWidth = 8;
   /// Content-addressed compilation cache consulted by the fallback
   /// drivers (serial compileWithFallback and the parallel driver's
   /// compileFunctionWithFallback); see pre/CachedCompile.h for the
@@ -119,6 +130,7 @@ Status runPreChecked(Function &F, const PreOptions &Opts);
 /// most capable first, ending in PreStrategy::None (the identity rung,
 /// which runs no pass code and therefore cannot fail):
 ///
+///   LOSPRE    -> MC-SSAPRE -> SSAPREsp -> SSAPRE -> none
 ///   MC-SSAPRE -> SSAPREsp -> SSAPRE -> none
 ///   SSAPREsp  -> SSAPRE -> none        MC-PRE -> none
 ///   SSAPRE    -> none                  LCM    -> none

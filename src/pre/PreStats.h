@@ -62,6 +62,10 @@ struct ExprStatsRecord {
   /// fallback, whose records carry no cut weights to reconcile.
   bool Speculated = false;
 
+  // ---- Leg D (pre/Lospre.h) observations; zero for every other leg.
+  unsigned LospreWidth = 0;     ///< EFG-core tree-decomposition width.
+  uint64_t LospreDpEntries = 0; ///< DP table entries evaluated.
+
   bool operator==(const ExprStatsRecord &) const = default;
 };
 

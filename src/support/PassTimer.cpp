@@ -91,6 +91,11 @@ void PipelineMetrics::merge(const PipelineMetrics &Other) {
   Arena.PeakBytes = std::max(Arena.PeakBytes, Other.Arena.PeakBytes);
   Arena.ChunkAllocations =
       std::max(Arena.ChunkAllocations, Other.Arena.ChunkAllocations);
+  Lospre.Solved += Other.Lospre.Solved;
+  Lospre.Bailouts += Other.Lospre.Bailouts;
+  // A gauge like the arena high-water mark: keep the widest observed.
+  Lospre.WidthPeak = std::max(Lospre.WidthPeak, Other.Lospre.WidthPeak);
+  Lospre.DpEntries += Other.Lospre.DpEntries;
 }
 
 void PipelineMetrics::noteNetworkArena(uint64_t PeakBytes,
@@ -109,6 +114,18 @@ std::string PipelineMetrics::arenaToJson() const {
                 static_cast<unsigned long long>(Arena.NetworkBuilds),
                 static_cast<unsigned long long>(Arena.PeakBytes),
                 static_cast<unsigned long long>(Arena.ChunkAllocations));
+  return Buf;
+}
+
+std::string PipelineMetrics::lospreToJson() const {
+  char Buf[192];
+  std::snprintf(Buf, sizeof(Buf),
+                "{\"solved\": %llu, \"bailouts\": %llu, "
+                "\"width_peak\": %llu, \"dp_entries\": %llu}",
+                static_cast<unsigned long long>(Lospre.Solved),
+                static_cast<unsigned long long>(Lospre.Bailouts),
+                static_cast<unsigned long long>(Lospre.WidthPeak),
+                static_cast<unsigned long long>(Lospre.DpEntries));
   return Buf;
 }
 

@@ -90,6 +90,16 @@ struct ServiceCounters {
   uint64_t Retries = 0;       ///< Worker re-forks after a contained death.
 };
 
+/// Leg D (pre/Lospre.h) counters: how often the treewidth engine solved
+/// a placement, how often it bailed out to MC-SSAPRE, and how big its
+/// decompositions ran. Exported under the metrics JSON "lospre" key.
+struct LospreCounters {
+  uint64_t Solved = 0;    ///< EFGs placed by the treewidth DP.
+  uint64_t Bailouts = 0;  ///< ResourceLimit refusals (width/irreducible).
+  uint64_t WidthPeak = 0; ///< Max decomposition width observed (a gauge).
+  uint64_t DpEntries = 0; ///< Total DP table entries evaluated.
+};
+
 /// Allocation counters of the per-expression network-build arenas
 /// (support/Arena.h). Exported under the metrics JSON "arena" key; the
 /// network stress test asserts PeakBytes does not grow while thousands
@@ -139,6 +149,15 @@ public:
   /// JSON object with one key per ArenaCounters field.
   std::string arenaToJson() const;
 
+  /// Leg-D treewidth engine counters; filled by pre/Lospre and the
+  /// PreDriver's reducibility gate, zero elsewhere. merge() sums,
+  /// except WidthPeak which folds by max.
+  LospreCounters &lospre() { return Lospre; }
+  const LospreCounters &lospre() const { return Lospre; }
+
+  /// JSON object with one key per LospreCounters field.
+  std::string lospreToJson() const;
+
   const StepMetrics &step(PipelineStep S) const {
     return Steps[static_cast<unsigned>(S)];
   }
@@ -160,6 +179,7 @@ private:
   CacheCounters Cache;
   ServiceCounters Service;
   ArenaCounters Arena;
+  LospreCounters Lospre;
 };
 
 /// Installs a thread-local metrics sink for the current scope; nesting

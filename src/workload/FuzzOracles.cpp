@@ -8,6 +8,7 @@
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "mincut/MinCut.h"
+#include "mincut/TreewidthCut.h"
 #include "pre/ExprKey.h"
 #include "pre/Frg.h"
 #include "pre/McSsaPre.h"
@@ -50,6 +51,12 @@ GeneratorConfig specpre::fuzzGeneratorConfig(uint64_t Seed, uint64_t CaseIdx) {
   C.InvariantChance = 100 + static_cast<unsigned>(R.nextBelow(150));
   C.MinTrip = 2;
   C.MaxTrip = 2 + static_cast<unsigned>(R.nextBelow(7));
+  // A third of the cases admit bounded-treewidth grid regions, so the
+  // pipeline matrix routinely exercises leg D's DP on widths 2-5 (the
+  // rest keep the legacy shapes, where grids never fire). Drawn last:
+  // the rolls above stay identical for every historical (seed, case).
+  if (R.chance(1, 3))
+    C.MaxWidth = 2 + static_cast<unsigned>(R.nextBelow(4));
   return C;
 }
 
@@ -282,6 +289,90 @@ std::optional<OracleFailure> specpre::checkPipelineOracles(
                         Dyn[ISpec], false))
     return F;
 
+  // ---- Leg D (LOSPRE): always through the ladder, because a width or
+  // reducibility bailout is leg D's *specified* behavior, not a failure.
+  // The verifier and semantic equivalence gate whatever rung landed; the
+  // cross-leg cost identities below only apply to genuine leg D output.
+  StrategyRun LosRun;
+  {
+    PreOptions PO;
+    PO.Strategy = PreStrategy::Lospre;
+    PO.Prof = &NodeOnly;
+    PO.Stats = &LosRun.Stats;
+    LosRun.Opt = compileWithFallback(Prepared, PO, &LosRun.Outcome);
+  }
+  LosRun.TrainResult = interpret(LosRun.Opt, TrainArgs);
+  if (!LosRun.TrainResult.sameObservableBehavior(Train))
+    return fail("semantics(LOSPRE)",
+                "training input [" + joinArgs(TrainArgs) + "]: original " +
+                    Train.describe() + "; optimized " +
+                    LosRun.TrainResult.describe());
+  for (const std::vector<int64_t> &Args : VariantArgs) {
+    ExecResult Ref = interpret(Prepared, Args);
+    if (Ref.TimedOut)
+      continue;
+    ExecResult R = interpret(LosRun.Opt, Args);
+    if (!R.sameObservableBehavior(Ref))
+      return fail("semantics(LOSPRE)",
+                  "variant input [" + joinArgs(Args) + "]: original " +
+                      Ref.describe() + "; optimized " + R.describe());
+  }
+  if (LosRun.Outcome.degraded() && !faultInjectionEnabled()) {
+    // "Bailout, never wrong": with no faults injected, the only way leg
+    // D may abandon its rung is the documented ResourceLimit refusal
+    // (irreducible CFG or over-wide decomposition), and the ladder's
+    // next rung — MC-SSAPRE, which cannot fail uninjected — must stick.
+    if (LosRun.Outcome.Cause != "resource-limit")
+      return fail("lospre-bailout",
+                  "degraded with cause '" + LosRun.Outcome.Cause + "' (" +
+                      LosRun.Outcome.Message + "), not resource-limit");
+    if (LosRun.Outcome.Used != "MC-SSAPRE")
+      return fail("lospre-bailout",
+                  "bailout landed on " + LosRun.Outcome.Used +
+                      ", not MC-SSAPRE");
+  }
+  if (!Train.Trapped && !LosRun.Outcome.degraded()) {
+    // Leg D solved every EFG itself: its placements must be exactly as
+    // cheap as the max-flow leg's, expression by expression. The cut
+    // *partitions* may differ (ties), so cost — not IR — is compared;
+    // equal capacity on the shared EFG forces equal dynamic counts.
+    if (auto F = Ordering("dyn(LOSPRE) == dyn(MC-SSAPRE)",
+                          LosRun.TrainResult.DynamicComputations, Dyn[IMc],
+                          true))
+      return F;
+    if (auto F = checkPrediction("LOSPRE", Train.DynamicComputations, LosRun))
+      return F;
+    if (auto F = checkCutReconciliation(LosRun))
+      return F;
+    const std::vector<ExprStatsRecord> &A = LosRun.Stats.records();
+    const std::vector<ExprStatsRecord> &B = Runs[IMc].Stats.records();
+    if (A.size() != B.size())
+      return fail("lospre-cost-equality",
+                  "record counts differ: " + std::to_string(A.size()) +
+                      " vs " + std::to_string(B.size()));
+    for (size_t I = 0; I != A.size(); ++I) {
+      const ExprStatsRecord &L = A[I], &M = B[I];
+      if (L.ExprIndex != M.ExprIndex || L.Expr != M.Expr)
+        return fail("lospre-cost-equality",
+                    "record " + std::to_string(I) + ": expression order "
+                    "diverged ('" + L.Expr + "' vs '" + M.Expr + "')");
+      if (L.EfgNodes != M.EfgNodes || L.EfgEdges != M.EfgEdges)
+        return fail("lospre-cost-equality",
+                    "expr '" + L.Expr + "': EFG sizes differ (" +
+                        std::to_string(L.EfgNodes) + "n/" +
+                        std::to_string(L.EfgEdges) + "e vs " +
+                        std::to_string(M.EfgNodes) + "n/" +
+                        std::to_string(M.EfgEdges) + "e)");
+      if (L.CutWeight != M.CutWeight || L.SprWeight != M.SprWeight)
+        return fail("lospre-cost-equality",
+                    "expr '" + L.Expr + "': cut weight " +
+                        std::to_string(L.CutWeight) + " (spr " +
+                        std::to_string(L.SprWeight) + ") vs MC-SSAPRE " +
+                        std::to_string(M.CutWeight) + " (spr " +
+                        std::to_string(M.SprWeight) + ")");
+    }
+  }
+
   bool Faulting = false;
   for (const ExprKey &K : collectCandidateExprs(Prepared))
     Faulting |= K.canFault();
@@ -397,6 +488,31 @@ specpre::checkEfgCutOracles(const Function &F, const Profile &Prof,
                   "expr '" + E.toString(Ssa) + "': cut weight " +
                       std::to_string(ES.CutWeight) + ", expected " +
                       std::to_string(*ExpectCutWeight));
+    // Leg D cross-check on the same candidate: the treewidth DP over a
+    // fresh build of the identical EFG must yield a structurally valid
+    // cut of exactly the max-flow capacity — or refuse with the
+    // documented ResourceLimit. Any other status is an oracle failure.
+    Frg G2(Ssa, C, DT, E);
+    EfgBuild B = buildEfgNetwork(G2, Prof);
+    if (!B.Empty) {
+      Expected<MinCutResult> Tw =
+          computeTreewidthMinCut(B.Net, B.Source, B.Sink, 16);
+      if (Tw.hasValue()) {
+        std::string Error;
+        if (!verifyMinCut(B.Net, B.Source, B.Sink, *Tw, Error))
+          return fail("treewidth-cut-structure",
+                      "expr '" + E.toString(Ssa) + "': " + Error);
+        if (Tw->Capacity != ES.CutWeight)
+          return fail("treewidth-cut-capacity",
+                      "expr '" + E.toString(Ssa) + "': treewidth cut " +
+                          std::to_string(Tw->Capacity) +
+                          " != max-flow cut " +
+                          std::to_string(ES.CutWeight));
+      } else if (Tw.status().code() != ErrorCode::ResourceLimit) {
+        return fail("treewidth-cut", "expr '" + E.toString(Ssa) + "': " +
+                                         Tw.status().toString());
+      }
+    }
     return std::nullopt; // First non-faulting candidate with an EFG.
   }
   return fail("corpus", "no non-faulting candidate with a non-empty EFG");
@@ -488,6 +604,23 @@ specpre::checkNetworkOracles(NetworkCase &C,
                         " edges)");
       }
     }
+  // The treewidth DP is a third independent solver over the same
+  // network. Its cut may pick a different (tied) partition — only the
+  // capacity is pinned to the brute-force truth, plus structural
+  // validity. Width 16 comfortably covers the fuzzed 8-node networks,
+  // so a ResourceLimit refusal here is itself a failure.
+  C.Net.resetFlow();
+  Expected<MinCutResult> Tw =
+      computeTreewidthMinCut(C.Net, C.Source, C.Sink, 16);
+  if (!Tw.hasValue())
+    return fail("treewidth-cut", Tw.status().toString());
+  std::string TwError;
+  if (!verifyMinCut(C.Net, C.Source, C.Sink, *Tw, TwError))
+    return fail("treewidth-cut-structure", TwError);
+  if (Tw->Capacity != Truth)
+    return fail("treewidth-cut-capacity",
+                "treewidth cut " + std::to_string(Tw->Capacity) +
+                    " != brute force " + std::to_string(Truth));
   return std::nullopt;
 }
 

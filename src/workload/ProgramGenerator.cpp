@@ -43,6 +43,7 @@ private:
   void genIf(unsigned Depth);
   void genWhile(unsigned Depth);
   void genDoWhile(unsigned Depth);
+  void genGrid();
 
   /// Emits a biased boolean into a fresh temp and returns it. The bias
   /// depends on the chaos variable, so different inputs steer different
@@ -185,6 +186,43 @@ void Generator::genDoWhile(unsigned Depth) {
   B->setInsertBlock(Exit);
 }
 
+void Generator::genGrid() {
+  // W x H grid of blocks with edges (i,j)->(i+1,j) and (i,j)->(i,j+1):
+  // an acyclic region whose undirected skeleton is the grid graph, of
+  // treewidth exactly min(W,H) = W. Cells branch right-vs-down on a
+  // biased condition, so execution traces one skewed monotone lattice
+  // path per visit and every cell carries pooled (redundant) work —
+  // plenty of profitable speculative placements for the cut to weigh.
+  // Cells do not nest sub-regions, which is what keeps the region's
+  // contribution to the whole function's treewidth at exactly W.
+  const unsigned W = Cfg.MaxWidth;
+  const unsigned H = W + 2 + static_cast<unsigned>(Rand.nextBelow(3));
+  std::vector<BlockId> Cells;
+  Cells.reserve(W * H);
+  for (unsigned I = 0; I != W * H; ++I)
+    Cells.push_back(newBlock());
+  BlockId Join = newBlock();
+  auto At = [&](unsigned I, unsigned J) { return Cells[J * W + I]; };
+  B->emitJump(At(0, 0));
+  for (unsigned J = 0; J != H; ++J) {
+    for (unsigned I = 0; I != W; ++I) {
+      B->setInsertBlock(At(I, J));
+      emitStraightLine(1 + Rand.nextBelow(Cfg.StmtsPerBlock));
+      const bool HasRight = I + 1 != W;
+      const bool HasDown = J + 1 != H;
+      if (HasRight && HasDown)
+        B->emitBranch(emitBiasedCondition(), At(I + 1, J), At(I, J + 1));
+      else if (HasRight)
+        B->emitJump(At(I + 1, J));
+      else if (HasDown)
+        B->emitJump(At(I, J + 1));
+      else
+        B->emitJump(Join);
+    }
+  }
+  B->setInsertBlock(Join);
+}
+
 void Generator::genRegion(unsigned Depth) {
   unsigned Regions = 1 + static_cast<unsigned>(
                              Rand.nextBelow(Cfg.RegionsPerLevel));
@@ -201,6 +239,10 @@ void Generator::genRegion(unsigned Depth) {
       genWhile(Depth);
     else if (Roll < Cfg.IfChance + Cfg.WhileChance + Cfg.DoWhileChance)
       genDoWhile(Depth);
+    else if (Cfg.MaxWidth >= 2 &&
+             Roll < Cfg.IfChance + Cfg.WhileChance + Cfg.DoWhileChance +
+                        Cfg.GridChance)
+      genGrid();
   }
 }
 

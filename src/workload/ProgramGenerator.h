@@ -57,6 +57,18 @@ struct GeneratorConfig {
   /// are distributional, so training and reference profiles correlate
   /// the way long-running SPEC iterations do).
   unsigned OuterTrip = 1;
+
+  /// When >= 2, regions may additionally emit a MaxWidth-column grid DAG
+  /// of blocks — edges (i,j)->(i+1,j) and (i,j)->(i,j+1) — whose CFG
+  /// skeleton has treewidth exactly min(W,H) = MaxWidth. This is the
+  /// bounded-treewidth family leg D (PreStrategy::Lospre) solves in
+  /// linear time; the knob lets the fuzzer and the equivalence tests pin
+  /// the decomposition width of what they generate. 0 (the default)
+  /// leaves generated programs byte-identical to earlier versions.
+  unsigned MaxWidth = 0;
+  /// Per-mille chance of a grid region (only consulted when MaxWidth
+  /// >= 2). Shares the same roll as the if/while/do-while kinds.
+  unsigned GridChance = 250;
 };
 
 /// Generates a deterministic program from \p Seed. The function takes

@@ -323,7 +323,7 @@ TEST(CompileCacheTest, CorruptDiskEntriesDegradeToMisses) {
     std::ofstream Out(F.path(), std::ios::binary | std::ios::trunc);
     ASSERT_TRUE(Out) << F.path();
     if (I++ % 2)
-      Out << "specpre-cache v1\nssa 2\ngarbage\n";
+      Out << "specpre-cache v2\nssa 2\ngarbage\n";
   }
   // A fresh process over the same directory: the store still serves the
   // torn bytes (it cannot decode them), but the compile layer must fall
@@ -562,7 +562,7 @@ void writeFileBytes(const std::filesystem::path &P, const std::string &Bytes) {
 
 TEST(CompileCacheTest, DiskEntryTrailerRoundTrips) {
   const std::string Payloads[] = {"", "x", std::string(1000, 'z'),
-                                  "specpre-cache v1\nssa 1\nir\nret 0\n"};
+                                  "specpre-cache v2\nssa 1\nir\nret 0\n"};
   for (const std::string &P : Payloads) {
     std::string Framed = CompileCache::encodeDiskEntry(P);
     ASSERT_GT(Framed.size(), P.size());

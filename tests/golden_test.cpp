@@ -1,8 +1,8 @@
 //===- tests/golden_test.cpp - Golden snapshots of optimized IR -----------------===//
 //
 // Pins the printed optimized IR of a small, representative program set
-// under all four PRE legs (SSAPRE, SSAPREsp, MC-SSAPRE, MC-PRE) against
-// checked-in snapshots in tests/golden/. Any change to placement,
+// under all five PRE legs (SSAPRE, SSAPREsp, MC-SSAPRE, MC-PRE, LOSPRE)
+// against checked-in snapshots in tests/golden/. Any change to placement,
 // finalize, code motion or the printer shows up as a readable IR diff in
 // the failure message instead of a distant oracle violation.
 //
@@ -77,6 +77,7 @@ const Leg Legs[] = {
     {"ssapresp", PreStrategy::SsaPreSpec},
     {"mcssapre", PreStrategy::McSsaPre},
     {"mcpre", PreStrategy::McPre},
+    {"lospre", PreStrategy::Lospre},
 };
 
 std::string slurp(const std::string &Path, bool &Ok) {

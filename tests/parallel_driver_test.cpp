@@ -5,7 +5,7 @@
 // (compileWithPre — untouched by the parallel driver) and through
 // ParallelPreDriver at --jobs=4, and the outputs must match
 // bit-identically — printed IR, interpreter dynamic counts, and the
-// merged PreStats record sequence — for all five strategies. Plus unit
+// merged PreStats record sequence — for all six strategies. Plus unit
 // tests of the work-stealing ThreadPool itself.
 //
 //===----------------------------------------------------------------------===//
@@ -202,7 +202,7 @@ INSTANTIATE_TEST_SUITE_P(
     AllStrategies, ParallelDifferential,
     ::testing::Values(PreStrategy::SsaPre, PreStrategy::SsaPreSpec,
                       PreStrategy::McSsaPre, PreStrategy::McPre,
-                      PreStrategy::Lcm),
+                      PreStrategy::Lcm, PreStrategy::Lospre),
     [](const ::testing::TestParamInfo<PreStrategy> &Info) {
       switch (Info.param) {
       case PreStrategy::SsaPre:
@@ -213,6 +213,8 @@ INSTANTIATE_TEST_SUITE_P(
         return "McSsaPre";
       case PreStrategy::McPre:
         return "McPre";
+      case PreStrategy::Lospre:
+        return "Lospre";
       default:
         return "Lcm";
       }

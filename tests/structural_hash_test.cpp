@@ -127,11 +127,11 @@ TEST(StructuralHash, PinnedCacheKeys) {
   PreOptions PO;
   PO.Strategy = PreStrategy::McSsaPre;
   PO.Prof = &NodeOnly;
-  EXPECT_EQ(compileCacheKey(F, PO).toHex(), "081c11fe93fbaa6f1439d1063dc33a3b");
+  EXPECT_EQ(compileCacheKey(F, PO).toHex(), "15242fd34cac37708f280e8d3d4491e0");
 
   PO.Strategy = PreStrategy::McPre;
   PO.Prof = &Prof;
-  EXPECT_EQ(compileCacheKey(F, PO).toHex(), "d0bf39856daaf62e88eb7b0a4e4d6735");
+  EXPECT_EQ(compileCacheKey(F, PO).toHex(), "c84eb4307d7c0663ec4fa4ed9ae58b62");
 }
 
 TEST(StructuralHash, HexFormatIsHiThenLo) {

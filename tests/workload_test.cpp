@@ -1,9 +1,12 @@
 //===- tests/workload_test.cpp - Program generator and suite tests --------------===//
 
+#include "analysis/Cfg.h"
+#include "analysis/TreeDecomposition.h"
 #include "interp/Interpreter.h"
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
 #include "pre/ExprKey.h"
+#include "pre/PreDriver.h"
 #include "workload/ProgramGenerator.h"
 #include "workload/SpecSuite.h"
 
@@ -121,6 +124,70 @@ TEST(SpecSuite, TrainAndRefDiffer) {
   // Most benchmarks drift; a few are perfectly correlated (like real FDO).
   EXPECT_GE(Differ, 15u);
   EXPECT_LT(Differ, 29u);
+}
+
+TEST(Generator, MaxWidthProgramsAreWellFormedAndTerminate) {
+  for (unsigned Width : {2u, 4u, 6u}) {
+    for (uint64_t Seed = 1; Seed <= 10; ++Seed) {
+      GeneratorConfig Cfg0;
+      Cfg0.MaxWidth = Width;
+      Function F = generateProgram(Seed, Cfg0);
+      std::string Error;
+      ASSERT_TRUE(verifyFunction(F, Error))
+          << "width " << Width << " seed " << Seed << ": " << Error;
+      std::vector<int64_t> Args(F.Params.size(),
+                                static_cast<int64_t>(Seed * 7717 + Width));
+      ExecResult R = interpret(F, Args);
+      ASSERT_FALSE(R.TimedOut) << "width " << Width << " seed " << Seed;
+      ASSERT_FALSE(R.Trapped) << "width " << Width << " seed " << Seed;
+    }
+  }
+}
+
+TEST(Generator, MaxWidthZeroIsByteIdenticalToLegacy) {
+  // The knob must not perturb the random stream of existing configs:
+  // seeds are pinned all over the test suite and the goldens.
+  GeneratorConfig Legacy; // MaxWidth defaults to 0
+  for (uint64_t Seed = 1; Seed <= 6; ++Seed) {
+    GeneratorConfig Off = Legacy;
+    Off.MaxWidth = 0;
+    EXPECT_EQ(printFunction(generateProgram(Seed, Legacy)),
+              printFunction(generateProgram(Seed, Off)));
+  }
+}
+
+TEST(Generator, MaxWidthBoundsTheTreeDecompositionWidth) {
+  // The point of the knob: the *prepared* function's CFG skeleton must
+  // decompose within the requested width (plus a small constant for the
+  // surrounding if/while scaffolding and loop restructuring). The bound
+  // is what makes generated corpora usable as leg D inputs without
+  // bailouts.
+  unsigned SawGrid = 0;
+  for (unsigned Width : {3u, 5u}) {
+    for (uint64_t Seed = 1; Seed <= 12; ++Seed) {
+      GeneratorConfig Cfg0;
+      Cfg0.MaxWidth = Width;
+      Cfg0.GridChance = 600; // make grid regions likely
+      Function F = generateProgram(Seed, Cfg0);
+      Function Legacy = generateProgram(Seed, GeneratorConfig{});
+      if (F.numBlocks() > Legacy.numBlocks() + Width * (Width + 1))
+        ++SawGrid; // crude but deterministic grid-presence witness
+      prepareFunction(F);
+      Cfg C(F);
+      TdGraph G = cfgSkeleton(C);
+      Expected<TreeDecomposition> Td =
+          buildTreeDecomposition(G, Width + 3);
+      ASSERT_TRUE(Td.hasValue())
+          << "width " << Width << " seed " << Seed << ": "
+          << Td.status().message();
+      EXPECT_LE(Td->Width, Width + 3) << "width " << Width << " seed "
+                                      << Seed;
+      std::string Error;
+      EXPECT_TRUE(verifyTreeDecomposition(G, *Td, Error))
+          << "width " << Width << " seed " << Seed << ": " << Error;
+    }
+  }
+  EXPECT_GE(SawGrid, 8u); // most seeds must actually contain a grid
 }
 
 TEST(Generator, InvariantChanceKnob) {

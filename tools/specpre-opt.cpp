@@ -4,7 +4,10 @@
 //
 //   specpre-opt [options] <file>
 //
-//     --strategy=<ssapre|ssapresp|mcssapre|mcpre|lcm|none>   (default mcssapre)
+//     --strategy=<ssapre|ssapresp|mcssapre|lospre|mcpre|lcm|none>
+//                           (default mcssapre)
+//     --lospre-max-width=N  leg D's treewidth budget (default 8); EFGs
+//                           wider than this bail out to MC-SSAPRE
 //     --train=<a,b,...>     arguments for the profile-collection run
 //     --run=<a,b,...>       interpret the result and report costs
 //     --placement=<latest|earliest>   min-cut tie-breaking
@@ -117,6 +120,7 @@ struct ToolOptions {
   std::string InputPath;
   unsigned Jobs = 1; ///< PRE pipeline workers; 0 = hardware concurrency
   CompileBudget Budget;     ///< per-function resource limits
+  unsigned LospreMaxWidth = 8; ///< leg D treewidth budget
   std::string InjectFaults; ///< fault-injection spec ("" = disabled)
   bool ReportOutcomes = false; ///< report ladder outcome per function
   std::string CacheDir;        ///< on-disk cache directory ("" = memory-only)
@@ -150,6 +154,7 @@ int usage(const char *Argv0) {
                "usage: %s [--strategy=S] [--train=a,b,...] [--run=a,b,...]\n"
                "          [--placement=latest|earliest] "
                "[--mincut-algo=dinic|ek|pr]\n"
+               "          [--lospre-max-width=N]\n"
                "          [--cleanup] [--stats]\n"
                "          [--objective=speed|size|speed-then-size] [--no-emit]\n"
                "          [--jobs=N] [--metrics-out=PATH]\n"
@@ -183,6 +188,8 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Opts) {
         Opts.Strategy = PreStrategy::McSsaPre;
       else if (*V == "mcpre")
         Opts.Strategy = PreStrategy::McPre;
+      else if (*V == "lospre")
+        Opts.Strategy = PreStrategy::Lospre;
       else if (*V == "lcm")
         Opts.Strategy = PreStrategy::Lcm;
       else if (*V == "none")
@@ -301,6 +308,14 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Opts) {
                      V->c_str());
         return false;
       }
+    } else if (auto V = Value("--lospre-max-width=")) {
+      try {
+        Opts.LospreMaxWidth = static_cast<unsigned>(std::stoul(*V));
+      } catch (...) {
+        std::fprintf(stderr, "error: bad --lospre-max-width value '%s'\n",
+                     V->c_str());
+        return false;
+      }
     } else if (auto V = Value("--inject-faults=")) {
       Opts.InjectFaults = *V;
     } else if (auto V = Value("--cache-dir=")) {
@@ -374,7 +389,8 @@ int processFunction(Function &F, const ToolOptions &Opts,
   prepareFunction(F);
 
   bool NeedsProfile = Opts.Strategy == PreStrategy::McSsaPre ||
-                      Opts.Strategy == PreStrategy::McPre;
+                      Opts.Strategy == PreStrategy::McPre ||
+                      Opts.Strategy == PreStrategy::Lospre;
   Profile Prof;
   if (NeedsProfile && !Opts.ProfileInPath.empty()) {
     std::ifstream In(Opts.ProfileInPath);
@@ -451,6 +467,7 @@ int processFunction(Function &F, const ToolOptions &Opts,
   PO.Algo = Opts.Algo;
   PO.Objective = Opts.Objective;
   PO.Budget = Opts.Budget;
+  PO.LospreMaxWidth = Opts.LospreMaxWidth;
   PO.Cache = Cache;
   PreStats Stats;
   PO.Stats = &Stats;
@@ -553,6 +570,7 @@ int runClientMode(const ToolOptions &Opts) {
   Req.Algo = Opts.Algo;
   Req.Objective = Opts.Objective;
   Req.Budget = Opts.Budget;
+  Req.LospreMaxWidth = Opts.LospreMaxWidth;
   Req.TrainArgs = Opts.TrainArgs;
   Req.OnlyFunction = Opts.OnlyFunction;
   Req.Emit = Opts.Emit;
@@ -800,7 +818,8 @@ int main(int Argc, char **Argv) {
                   Driver.jobs());
     Out << Header << Metrics.toJson() << ",\n\"robustness\": "
         << Metrics.robustnessToJson() << ",\n\"arena\": "
-        << Metrics.arenaToJson() << ",\n\"cache\": "
+        << Metrics.arenaToJson() << ",\n\"lospre\": "
+        << Metrics.lospreToJson() << ",\n\"cache\": "
         << Metrics.cacheToJson() << "}\n";
   }
 

@@ -303,6 +303,7 @@ int main(int Argc, char **Argv) {
                   Server.service().jobs());
     Out << Header << M.toJson() << ",\n\"robustness\": "
         << M.robustnessToJson() << ",\n\"arena\": " << M.arenaToJson()
+        << ",\n\"lospre\": " << M.lospreToJson()
         << ",\n\"cache\": " << M.cacheToJson()
         << ",\n\"service\": " << M.serviceToJson() << "}\n";
   }
